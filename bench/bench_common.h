@@ -1,0 +1,72 @@
+// Shared setup for the per-figure benchmark harnesses: environment knobs,
+// mapping-budget handling, and uniform reporting.
+//
+// Scale note (DESIGN.md §3): paper experiments use 1M-page (4 GB) columns on
+// an 8-core machine with vm.max_map_count raised to 2^32-1. Defaults here
+// fit a small container; set VMSV_PAGES=1048576 (and raise vm.max_map_count)
+// to reproduce paper scale.
+
+#ifndef VMSV_BENCH_BENCH_COMMON_H_
+#define VMSV_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "rewiring/physical_memory_file.h"
+#include "util/env.h"
+
+namespace vmsv {
+namespace bench {
+
+/// Environment-configurable benchmark parameters.
+struct BenchEnv {
+  /// Column size in pages (VMSV_PAGES).
+  uint64_t pages;
+  /// Queries per sequence (VMSV_QUERIES; paper: 250).
+  uint64_t queries;
+  /// Repetitions to average over (VMSV_REPS; paper: 3).
+  uint64_t reps;
+  /// Main-memory file backend (VMSV_BACKEND=memfd|shm).
+  MemoryFileBackend backend;
+  /// vm.max_map_count in effect after the raise attempt.
+  uint64_t map_budget;
+};
+
+/// Loads the environment with `default_pages` as the column-size default,
+/// attempts to raise vm.max_map_count (paper: 2^32-1), and prints a header.
+inline BenchEnv LoadBenchEnv(const char* bench_name, uint64_t default_pages) {
+  BenchEnv env;
+  env.pages = GetEnvUint64("VMSV_PAGES", default_pages);
+  env.queries = GetEnvUint64("VMSV_QUERIES", 250);
+  env.reps = GetEnvUint64("VMSV_REPS", 3);
+  env.backend =
+      MemoryFileBackendFromString(GetEnvString("VMSV_BACKEND", "memfd"));
+  env.map_budget = TryRaiseMaxMapCount((uint64_t{1} << 32) - 1);
+  std::fprintf(stdout, "# %s\n", bench_name);
+  std::fprintf(stdout,
+               "# pages=%llu (%.1f MB column)  queries=%llu  reps=%llu  "
+               "backend=%s  vm.max_map_count=%llu\n",
+               static_cast<unsigned long long>(env.pages),
+               static_cast<double>(env.pages) * 4096.0 / 1e6,
+               static_cast<unsigned long long>(env.queries),
+               static_cast<unsigned long long>(env.reps),
+               env.backend == MemoryFileBackend::kMemfd ? "memfd" : "shm",
+               static_cast<unsigned long long>(env.map_budget));
+  return env;
+}
+
+/// Aborts with a readable message when a Status is not OK.
+#define VMSV_BENCH_CHECK_OK(expr)                                     \
+  do {                                                                \
+    const ::vmsv::Status _st = (expr);                                \
+    if (!_st.ok()) {                                                  \
+      std::fprintf(stderr, "[bench] %s\n", _st.ToString().c_str());   \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+}  // namespace bench
+}  // namespace vmsv
+
+#endif  // VMSV_BENCH_BENCH_COMMON_H_

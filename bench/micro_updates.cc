@@ -1,0 +1,123 @@
+// Micro-benchmarks of the update path (§2.4/§2.5 internals): batch
+// net-effect filtering, group-by-page, and view alignment with the two
+// mapping sources (/proc/self/maps vs the user-space mirror).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/adaptive_layer.h"
+#include "core/update_applier.h"
+#include "storage/update.h"
+#include "util/macros.h"
+#include "util/random.h"
+#include "workload/distribution.h"
+
+namespace vmsv {
+namespace {
+
+constexpr uint64_t kBenchPages = 2048;  // 8 MB column
+
+std::unique_ptr<PhysicalColumn> MakeBenchColumn() {
+  DistributionSpec spec;
+  spec.kind = DataDistribution::kUniform;
+  spec.max_value = ~Value{0};
+  spec.seed = 9;
+  auto column = MakeColumn(spec, kBenchPages * kValuesPerPage);
+  VMSV_CHECK_OK(column.status());
+  return std::move(column).ValueOrDie();
+}
+
+UpdateBatch MakeBatch(uint64_t num_rows, size_t size, uint64_t seed) {
+  Rng rng(seed);
+  UpdateBatch batch;
+  for (size_t i = 0; i < size; ++i) {
+    batch.Add(rng.Below(num_rows), rng.Next(), rng.Next());
+  }
+  return batch;
+}
+
+void BM_FilterLastPerRow(benchmark::State& state) {
+  const auto size = static_cast<size_t>(state.range(0));
+  const UpdateBatch batch = MakeBatch(1 << 20, size, 5);
+  for (auto _ : state) {
+    UpdateBatch net = batch.FilterLastPerRow();
+    benchmark::DoNotOptimize(net.size());
+  }
+  state.SetItemsProcessed(state.iterations() * size);
+}
+BENCHMARK(BM_FilterLastPerRow)->Arg(1000)->Arg(100000);
+
+void BM_GroupByPage(benchmark::State& state) {
+  const auto size = static_cast<size_t>(state.range(0));
+  const UpdateBatch batch = MakeBatch(1 << 20, size, 6);
+  for (auto _ : state) {
+    auto groups = batch.GroupByPage();
+    benchmark::DoNotOptimize(groups.size());
+  }
+  state.SetItemsProcessed(state.iterations() * size);
+}
+BENCHMARK(BM_GroupByPage)->Arg(1000)->Arg(100000);
+
+template <MappingSource source>
+void BM_AlignViews(benchmark::State& state) {
+  const auto batch_size = static_cast<size_t>(state.range(0));
+  auto column = MakeBenchColumn();
+  // One view over a 1/64 slice of the domain (~all pages qualify for a
+  // uniform column, giving the parser real work).
+  const Value slice = (~Value{0}) / 64;
+  auto view_r = BuildViewByScan(*column, 0, slice, {}, nullptr);
+  VMSV_CHECK(view_r.ok());
+  auto view = std::move(view_r).ValueOrDie();
+
+  Rng rng(11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    UpdateBatch batch;
+    for (size_t i = 0; i < batch_size; ++i) {
+      const uint64_t row = rng.Below(column->num_rows());
+      const Value new_value = rng.Next();
+      batch.Add(row, column->Set(row, new_value), new_value);
+    }
+    state.ResumeTiming();
+    auto stats = AlignPartialViews(*column, {view.get()}, batch, source);
+    VMSV_CHECK(stats.ok());
+    benchmark::DoNotOptimize(stats->pages_added);
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+  state.SetLabel(source == MappingSource::kProcMaps ? "proc-maps"
+                                                    : "user-space-table");
+}
+BENCHMARK_TEMPLATE(BM_AlignViews, MappingSource::kProcMaps)
+    ->Arg(100)
+    ->Arg(10000);
+BENCHMARK_TEMPLATE(BM_AlignViews, MappingSource::kUserSpaceTable)
+    ->Arg(100)
+    ->Arg(10000);
+
+void BM_FlushThroughAdaptiveColumn(benchmark::State& state) {
+  auto adaptive_r = AdaptiveColumn::Create(MakeBenchColumn(), {});
+  VMSV_CHECK(adaptive_r.ok());
+  auto& adaptive = *adaptive_r;
+  // Establish a couple of views.
+  VMSV_CHECK(adaptive->Execute({0, (~Value{0}) / 128}).ok());
+  VMSV_CHECK(adaptive->Execute({~Value{0} / 2, ~Value{0} / 2 + ~Value{0} / 128}).ok());
+  Rng rng(13);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 1000; ++i) {
+      adaptive->Update(rng.Below(adaptive->column().num_rows()), rng.Next());
+    }
+    state.ResumeTiming();
+    auto stats = adaptive->FlushUpdates();
+    VMSV_CHECK(stats.ok());
+    benchmark::DoNotOptimize(stats->align_ms);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_FlushThroughAdaptiveColumn);
+
+}  // namespace
+}  // namespace vmsv
+
+BENCHMARK_MAIN();
