@@ -42,7 +42,11 @@ inline BenchEnv LoadBenchEnv(const char* bench_name, uint64_t default_pages) {
   env.reps = GetEnvUint64("VMSV_REPS", 3);
   env.backend =
       MemoryFileBackendFromString(GetEnvString("VMSV_BACKEND", "memfd"));
-  env.map_budget = TryRaiseMaxMapCount((uint64_t{1} << 32) - 1);
+  // Raising the SYSTEM-WIDE sysctl is opt-in (paper scale needs it, smoke
+  // runs must not mutate the host as a test side effect).
+  env.map_budget = GetEnvUint64("VMSV_RAISE_MAP_COUNT", 0) != 0
+                       ? TryRaiseMaxMapCount((uint64_t{1} << 32) - 1)
+                       : ReadMaxMapCount(/*fallback=*/65530);
   std::fprintf(stdout, "# %s\n", bench_name);
   std::fprintf(stdout,
                "# pages=%llu (%.1f MB column)  queries=%llu  reps=%llu  "

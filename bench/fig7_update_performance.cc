@@ -13,6 +13,7 @@
 // parsing dominates small batches and is costlier under uniform data (more
 // mappings, bigger maps file); removals cost more than additions.
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -89,13 +90,18 @@ int RunDistribution(const bench::BenchEnv& env, DataDistribution kind) {
     ViewSet rebuilt = BuildViews(*column, /*seed=*/7);
     const double rebuild_ms = rebuild_timer.ElapsedMillis();
 
-    // Sanity: aligned views must index exactly what the rebuild indexes.
+    // Sanity: aligned views must index exactly what the rebuild indexes —
+    // compare page SETS, not counts, so compensating add/remove bugs can't
+    // cancel out.
     for (int i = 0; i < kNumViews; ++i) {
-      if (set.views[i]->num_pages() != rebuilt.views[i]->num_pages()) {
-        std::fprintf(stderr, "[bench] ALIGNMENT MISMATCH view %d: %llu vs %llu\n",
-                     i,
-                     static_cast<unsigned long long>(set.views[i]->num_pages()),
-                     static_cast<unsigned long long>(rebuilt.views[i]->num_pages()));
+      std::vector<uint64_t> aligned = set.views[i]->physical_pages();
+      std::vector<uint64_t> fresh = rebuilt.views[i]->physical_pages();
+      std::sort(aligned.begin(), aligned.end());
+      std::sort(fresh.begin(), fresh.end());
+      if (aligned != fresh) {
+        std::fprintf(stderr, "[bench] ALIGNMENT MISMATCH view %d: %llu vs %llu pages\n",
+                     i, static_cast<unsigned long long>(aligned.size()),
+                     static_cast<unsigned long long>(fresh.size()));
         return 1;
       }
     }

@@ -1,0 +1,311 @@
+#include "core/adaptive_layer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/macros.h"
+
+namespace vmsv {
+
+namespace {
+
+/// True when [lo_a, hi_a] and [lo_b, hi_b] overlap or are integer-adjacent
+/// (no representable value lies between them), i.e. their union is gap-free.
+/// The max-value guards keep the +1 adjacency probes from wrapping.
+bool RangesTouch(Value lo_a, Value hi_a, Value lo_b, Value hi_b) {
+  return (hi_a == ~Value{0} || lo_b <= hi_a + 1) &&
+         (hi_b == ~Value{0} || lo_a <= hi_b + 1);
+}
+
+}  // namespace
+
+const char* CandidateDecisionName(CandidateDecision decision) {
+  switch (decision) {
+    case CandidateDecision::kAnsweredFromView: return "answered_from_view";
+    case CandidateDecision::kInserted: return "inserted";
+    case CandidateDecision::kDiscardedSubset: return "discarded_subset";
+    case CandidateDecision::kReplacedExisting: return "replaced_existing";
+    case CandidateDecision::kBudgetExhausted: return "budget_exhausted";
+    case CandidateDecision::kNone: return "none";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// PartialViewIndex
+
+VirtualView* PartialViewIndex::FindSmallestCovering(const RangeQuery& q) const {
+  VirtualView* best = nullptr;
+  for (const auto& view : views_) {
+    if (!view->Covers(q)) continue;
+    if (best == nullptr || view->num_pages() < best->num_pages()) {
+      best = view.get();
+    }
+  }
+  return best;
+}
+
+bool PartialViewIndex::FindCover(const RangeQuery& q, bool cost_based,
+                                 std::vector<VirtualView*>* cover) const {
+  cover->clear();
+  // Greedy interval covering over the value domain: repeatedly choose among
+  // the views starting at or below the uncovered point the one that extends
+  // coverage furthest (or cheapest per unit, when cost-based).
+  Value point = q.lo;
+  while (true) {
+    VirtualView* best = nullptr;
+    double best_score = 0;
+    for (const auto& view : views_) {
+      if (view->lo() > point || view->hi() < point) continue;
+      const Value extension = view->hi() - point;
+      if (extension == 0 && point < q.hi) continue;
+      double score;
+      if (cost_based) {
+        // New coverage per page scanned — maximize (the +1s avoid
+        // div-by-zero and keep zero-extension finishers eligible).
+        score = static_cast<double>(extension + 1) /
+                static_cast<double>(view->num_pages() + 1);
+      } else {
+        score = static_cast<double>(extension);
+      }
+      if (best == nullptr || score > best_score) {
+        best = view.get();
+        best_score = score;
+      }
+    }
+    if (best == nullptr) return false;  // gap at `point`
+    cover->push_back(best);
+    if (best->hi() >= q.hi) return true;
+    point = best->hi() + 1;
+  }
+}
+
+void PartialViewIndex::Replace(VirtualView* victim,
+                               std::unique_ptr<VirtualView> replacement) {
+  for (auto& slot : views_) {
+    if (slot.get() == victim) {
+      slot = std::move(replacement);
+      return;
+    }
+  }
+  VMSV_CHECK(false && "Replace victim not in pool");
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveColumn
+
+StatusOr<std::unique_ptr<AdaptiveColumn>> AdaptiveColumn::Create(
+    std::unique_ptr<PhysicalColumn> column, const AdaptiveConfig& config) {
+  if (column == nullptr) return InvalidArgument("AdaptiveColumn needs a column");
+  if (config.max_views == 0) return InvalidArgument("max_views must be >= 1");
+  auto adaptive = std::unique_ptr<AdaptiveColumn>(
+      new AdaptiveColumn(std::move(column), config));
+  if (config.creation.background_mapping) {
+    adaptive->mapper_ = std::make_unique<BackgroundMapper>();
+  }
+  return adaptive;
+}
+
+StatusOr<QueryExecution> AdaptiveColumn::ExecuteFullScan(
+    const RangeQuery& q) const {
+  QueryExecution exec;
+  // Whole pages, not num_rows: view scans operate page-wise, so the baseline
+  // must treat any zero-filled tail identically for results to compare equal.
+  const PageScanResult r =
+      ScanPage(reinterpret_cast<const Value*>(column_->base_arena().data()),
+               column_->num_pages() * kValuesPerPage, q);
+  exec.match_count = r.match_count;
+  exec.sum = r.sum;
+  exec.stats.scanned_pages = column_->num_pages();
+  exec.stats.views_after = view_index_.num_partial_views();
+  exec.stats.decision = CandidateDecision::kNone;
+  return exec;
+}
+
+StatusOr<QueryExecution> AdaptiveColumn::Execute(const RangeQuery& q) {
+  if (q.lo > q.hi) return InvalidArgument("query lo > hi");
+  if (HasPendingUpdates()) {
+    auto flushed = FlushUpdates();
+    if (!flushed.ok()) return flushed.status();
+  }
+
+  if (config_.mode == QueryMode::kSingleView) {
+    if (VirtualView* view = view_index_.FindSmallestCovering(q)) {
+      return AnswerFromSingleView(view, q);
+    }
+  } else {
+    std::vector<VirtualView*> cover;
+    if (view_index_.FindCover(q, config_.cost_based_routing, &cover)) {
+      if (config_.cost_based_routing) {
+        uint64_t cover_pages = 0;
+        for (const VirtualView* v : cover) cover_pages += v->num_pages();
+        if (cover_pages < column_->num_pages()) return AnswerFromCover(cover, q);
+        // Cover costlier than a full scan: fall through to the scan path.
+      } else {
+        return AnswerFromCover(cover, q);
+      }
+    }
+  }
+  return FullScanAndAdapt(q);
+}
+
+StatusOr<QueryExecution> AdaptiveColumn::AnswerFromSingleView(
+    VirtualView* view, const RangeQuery& q) {
+  QueryExecution exec;
+  VMSV_RETURN_IF_ERROR(view->EnsureMaterialized(mapper_.get()));
+  const PageScanResult r = view->Scan(q);
+  exec.match_count = r.match_count;
+  exec.sum = r.sum;
+  exec.stats.scanned_pages = view->num_pages();
+  exec.stats.considered_views = 1;
+  exec.stats.views_after = view_index_.num_partial_views();
+  exec.stats.decision = CandidateDecision::kAnsweredFromView;
+  ++metrics_.queries;
+  metrics_.scanned_pages += exec.stats.scanned_pages;
+  metrics_.fullscan_equivalent_pages += column_->num_pages();
+  return exec;
+}
+
+StatusOr<QueryExecution> AdaptiveColumn::AnswerFromCover(
+    const std::vector<VirtualView*>& cover, const RangeQuery& q) {
+  QueryExecution exec;
+  // Views in a cover may share physical pages; each page is scanned once.
+  std::unordered_set<uint64_t> seen;
+  PageScanResult total;
+  for (VirtualView* view : cover) {
+    VMSV_RETURN_IF_ERROR(view->EnsureMaterialized(mapper_.get()));
+    total.Merge(view->ScanIf(
+        q, [&seen](uint64_t page) { return seen.insert(page).second; }));
+  }
+  exec.match_count = total.match_count;
+  exec.sum = total.sum;
+  exec.stats.scanned_pages = seen.size();
+  exec.stats.considered_views = cover.size();
+  exec.stats.views_after = view_index_.num_partial_views();
+  exec.stats.decision = CandidateDecision::kAnsweredFromView;
+  ++metrics_.queries;
+  metrics_.scanned_pages += exec.stats.scanned_pages;
+  metrics_.fullscan_equivalent_pages += column_->num_pages();
+  return exec;
+}
+
+StatusOr<QueryExecution> AdaptiveColumn::FullScanAndAdapt(const RangeQuery& q) {
+  // The full scan doubles as candidate materialization (§2.3): one pass
+  // answers the query and rewires the qualifying pages into a new view.
+  auto built = BuildViewAndAnswer(*column_, q.lo, q.hi, q, config_.creation,
+                                  mapper_.get());
+  if (!built.ok()) return built.status();
+
+  QueryExecution exec;
+  exec.match_count = built->query_result.match_count;
+  exec.sum = built->query_result.sum;
+  exec.stats.scanned_pages = built->scanned_pages;
+  exec.stats.considered_views = 0;
+  exec.stats.decision = DecideCandidate(std::move(built->view));
+  exec.stats.views_after = view_index_.num_partial_views();
+  ++metrics_.queries;
+  metrics_.scanned_pages += exec.stats.scanned_pages;
+  metrics_.fullscan_equivalent_pages += column_->num_pages();
+  return exec;
+}
+
+CandidateDecision AdaptiveColumn::DecideCandidate(
+    std::unique_ptr<VirtualView> candidate) {
+  // An EMPTY candidate (query range holds no data) is pure range knowledge;
+  // the generic subset logic would vacuously discard it against any view
+  // and the data-free range would full-scan forever. Record it: redundant
+  // only under a view that covers the range; mergeable into a touching
+  // empty view; otherwise a view of its own, answering with 0 page reads.
+  if (candidate->num_pages() == 0) {
+    const RangeQuery cand_range = candidate->value_range();
+    for (const auto& view : view_index_.views()) {
+      if (view->Covers(cand_range)) {
+        ++metrics_.views_discarded;
+        return CandidateDecision::kDiscardedSubset;
+      }
+    }
+    for (const auto& view : view_index_.views()) {
+      if (view->num_pages() == 0 &&
+          RangesTouch(view->lo(), view->hi(), cand_range.lo, cand_range.hi)) {
+        view->ExtendRange(cand_range.lo, cand_range.hi);
+        ++metrics_.views_discarded;
+        return CandidateDecision::kDiscardedSubset;
+      }
+    }
+    if (view_index_.num_partial_views() >= config_.max_views) {
+      return CandidateDecision::kBudgetExhausted;
+    }
+    view_index_.Insert(std::move(candidate));
+    ++metrics_.views_created;
+    return CandidateDecision::kInserted;
+  }
+
+  // Discard: candidate pages are (nearly) contained in an existing view.
+  for (const auto& view : view_index_.views()) {
+    uint64_t missing = 0;
+    for (const uint64_t page : candidate->physical_pages()) {
+      if (!view->ContainsPage(page) && ++missing > config_.discard_tolerance) {
+        break;
+      }
+    }
+    if (missing <= config_.discard_tolerance) {
+      // An exact subset proves the view holds every page with a value in the
+      // candidate's range, so the view's range may absorb it — otherwise the
+      // discarded query range would full-scan forever (its value range being
+      // covered by no view is exactly why the scan ran). Two restrictions
+      // keep the Covers() invariant ("view holds every page with a value in
+      // its range") intact: an inexact subset may miss up to `missing`
+      // pages, and a range separated by a GAP would claim values neither
+      // side ever scanned for (overlapping or integer-adjacent ranges
+      // union gap-free).
+      if (missing == 0 && RangesTouch(view->lo(), view->hi(), candidate->lo(),
+                                      candidate->hi())) {
+        view->ExtendRange(candidate->lo(), candidate->hi());
+      }
+      ++metrics_.views_discarded;
+      return CandidateDecision::kDiscardedSubset;
+    }
+  }
+  // Replace: an existing view is (nearly) contained in the candidate. An
+  // EMPTY view is a vacuous page-subset of anything — replacing it would
+  // silently drop its range knowledge, so it is only replaced when the
+  // candidate's range subsumes it.
+  for (const auto& view : view_index_.views()) {
+    if (view->num_pages() == 0 &&
+        !(candidate->lo() <= view->lo() && candidate->hi() >= view->hi())) {
+      continue;
+    }
+    uint64_t missing = 0;
+    for (const uint64_t page : view->physical_pages()) {
+      if (!candidate->ContainsPage(page) && ++missing > config_.replace_tolerance) {
+        break;
+      }
+    }
+    if (missing <= config_.replace_tolerance) {
+      view_index_.Replace(view.get(), std::move(candidate));
+      ++metrics_.views_replaced;
+      return CandidateDecision::kReplacedExisting;
+    }
+  }
+  if (view_index_.num_partial_views() >= config_.max_views) {
+    return CandidateDecision::kBudgetExhausted;
+  }
+  view_index_.Insert(std::move(candidate));
+  ++metrics_.views_created;
+  return CandidateDecision::kInserted;
+}
+
+void AdaptiveColumn::Update(uint64_t row, Value new_value) {
+  const Value old_value = column_->Set(row, new_value);
+  pending_.Add(row, old_value, new_value);
+}
+
+StatusOr<UpdateApplyStats> AdaptiveColumn::FlushUpdates() {
+  auto views = view_index_.MutableViews();
+  auto stats = AlignPartialViews(*column_, views, pending_,
+                                 config_.mapping_source);
+  if (stats.ok()) pending_.clear();
+  return stats;
+}
+
+}  // namespace vmsv

@@ -1,0 +1,207 @@
+// AdaptiveColumn — the adaptive query-processing layer (paper §2.2,
+// Listing 1). Every range query is answered either from partial virtual
+// views that cover it, or by a full scan that simultaneously materializes a
+// candidate view for the queried range. A bounded pool of views
+// (`max_views`) adapts to the workload: candidates that are (near-)subsets
+// of existing views are discarded, views that are (near-)subsets of a
+// candidate are replaced.
+//
+// Two routing modes:
+//   - kSingleView: a query is answered from the SMALLEST single view whose
+//     value range covers it (Figure 4);
+//   - kMultiView:  several views may jointly cover the query; their page
+//     sets are deduplicated during the scan (Figure 5). With
+//     cost_based_routing, cover selection minimizes scanned pages and falls
+//     back to a full scan when the cover would be costlier.
+
+#ifndef VMSV_CORE_ADAPTIVE_LAYER_H_
+#define VMSV_CORE_ADAPTIVE_LAYER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/scan.h"
+#include "core/update_applier.h"
+#include "core/virtual_view.h"
+#include "storage/column.h"
+#include "storage/types.h"
+#include "storage/update.h"
+#include "util/status.h"
+
+namespace vmsv {
+
+enum class QueryMode {
+  kSingleView,
+  kMultiView,
+};
+
+enum class CandidateDecision {
+  /// No candidate was built: existing views answered the query.
+  kAnsweredFromView,
+  /// Full scan ran and the candidate entered the view pool.
+  kInserted,
+  /// Candidate's pages were (a near-)subset of an existing view — dropped.
+  kDiscardedSubset,
+  /// An existing view was (a near-)subset of the candidate — swapped out.
+  kReplacedExisting,
+  /// View pool at max_views; candidate dropped.
+  kBudgetExhausted,
+  kNone,
+};
+
+const char* CandidateDecisionName(CandidateDecision decision);
+
+struct AdaptiveConfig {
+  QueryMode mode = QueryMode::kSingleView;
+  /// Upper bound on concurrently materialized partial views.
+  size_t max_views = 100;
+  /// Multi-view only: pick covers by scanned-page cost and fall back to a
+  /// full scan when the cover is costlier (the paper's stated future work).
+  bool cost_based_routing = false;
+  /// Discard a candidate whose page set exceeds an existing view's by at
+  /// most this many pages (paper's d; evaluation uses 0).
+  uint64_t discard_tolerance = 0;
+  /// Replace an existing view whose page set exceeds the candidate's by at
+  /// most this many pages (paper's r; evaluation uses 0).
+  uint64_t replace_tolerance = 0;
+  /// View-creation optimizations (§2.3) used for candidate materialization.
+  /// Lazy materialization is on by default: a candidate's pages are only
+  /// rewired once the view first answers a query, so discarded candidates
+  /// never pay for mmap work.
+  ViewCreationOptions creation{/*coalesce_runs=*/true,
+                               /*background_mapping=*/false,
+                               /*lazy_materialize=*/true};
+  /// Mapping source for update alignment (§2.5).
+  MappingSource mapping_source = MappingSource::kUserSpaceTable;
+};
+
+/// Per-query execution statistics.
+struct ExecStats {
+  uint64_t scanned_pages = 0;
+  uint64_t considered_views = 0;  // views scanned to answer the query
+  uint64_t views_after = 0;       // pool size after the decision
+  CandidateDecision decision = CandidateDecision::kNone;
+};
+
+/// A query answer plus its execution statistics.
+struct QueryExecution {
+  uint64_t match_count = 0;
+  Value sum = 0;
+  ExecStats stats;
+};
+
+/// Workload-accumulated counters.
+struct CumulativeStats {
+  uint64_t queries = 0;
+  uint64_t scanned_pages = 0;
+  uint64_t fullscan_equivalent_pages = 0;
+  uint64_t views_created = 0;
+  uint64_t views_discarded = 0;
+  uint64_t views_replaced = 0;
+
+  /// Fraction of page reads avoided relative to answering every query with
+  /// a full scan.
+  double PagesSavedRatio() const {
+    if (fullscan_equivalent_pages == 0) return 0.0;
+    return 1.0 - static_cast<double>(scanned_pages) /
+                     static_cast<double>(fullscan_equivalent_pages);
+  }
+};
+
+/// The pool of materialized partial views.
+class PartialViewIndex {
+ public:
+  size_t num_partial_views() const { return views_.size(); }
+
+  uint64_t TotalPartialPages() const {
+    uint64_t total = 0;
+    for (const auto& v : views_) total += v->num_pages();
+    return total;
+  }
+
+  const std::vector<std::unique_ptr<VirtualView>>& views() const {
+    return views_;
+  }
+
+  std::vector<VirtualView*> MutableViews() {
+    std::vector<VirtualView*> out;
+    out.reserve(views_.size());
+    for (auto& v : views_) out.push_back(v.get());
+    return out;
+  }
+
+  /// Smallest (fewest pages) view whose value range covers q, or nullptr.
+  VirtualView* FindSmallestCovering(const RangeQuery& q) const;
+
+  /// Greedy interval cover of q by view value ranges. Returns true and the
+  /// chosen views (in cover order) when a complete cover exists.
+  /// `cost_based` breaks ties toward fewer pages per unit of new coverage.
+  bool FindCover(const RangeQuery& q, bool cost_based,
+                 std::vector<VirtualView*>* cover) const;
+
+  void Insert(std::unique_ptr<VirtualView> view) {
+    views_.push_back(std::move(view));
+  }
+
+  /// Swaps `victim` (must be in the pool) for `replacement`.
+  void Replace(VirtualView* victim, std::unique_ptr<VirtualView> replacement);
+
+ private:
+  std::vector<std::unique_ptr<VirtualView>> views_;
+};
+
+class AdaptiveColumn {
+ public:
+  static StatusOr<std::unique_ptr<AdaptiveColumn>> Create(
+      std::unique_ptr<PhysicalColumn> column, const AdaptiveConfig& config);
+
+  /// Answers q adaptively (Listing 1): from views when covered, else full
+  /// scan + candidate materialization + insert/discard/replace decision.
+  /// Pending updates are flushed first.
+  StatusOr<QueryExecution> Execute(const RangeQuery& q);
+
+  /// The non-adaptive baseline: scans the base column. Does not touch the
+  /// view pool or the cumulative metrics.
+  StatusOr<QueryExecution> ExecuteFullScan(const RangeQuery& q) const;
+
+  /// Applies an update to the base column immediately and logs it for view
+  /// alignment at the next flush/query.
+  void Update(uint64_t row, Value new_value);
+
+  /// Aligns all views with the logged updates (§2.4/§2.5).
+  StatusOr<UpdateApplyStats> FlushUpdates();
+
+  bool HasPendingUpdates() const { return !pending_.empty(); }
+
+  const PhysicalColumn& column() const { return *column_; }
+  PhysicalColumn* mutable_column() { return column_.get(); }
+  const PartialViewIndex& view_index() const { return view_index_; }
+  const CumulativeStats& metrics() const { return metrics_; }
+  const AdaptiveConfig& config() const { return config_; }
+
+ private:
+  AdaptiveColumn(std::unique_ptr<PhysicalColumn> column,
+                 const AdaptiveConfig& config)
+      : column_(std::move(column)), config_(config) {}
+
+  StatusOr<QueryExecution> AnswerFromSingleView(VirtualView* view,
+                                                const RangeQuery& q);
+  StatusOr<QueryExecution> AnswerFromCover(
+      const std::vector<VirtualView*>& cover, const RangeQuery& q);
+  StatusOr<QueryExecution> FullScanAndAdapt(const RangeQuery& q);
+
+  /// The insert/discard/replace decision of Listing 1.
+  CandidateDecision DecideCandidate(std::unique_ptr<VirtualView> candidate);
+
+  std::unique_ptr<PhysicalColumn> column_;
+  AdaptiveConfig config_;
+  PartialViewIndex view_index_;
+  UpdateBatch pending_;
+  CumulativeStats metrics_;
+  std::unique_ptr<BackgroundMapper> mapper_;  // lazily created when enabled
+};
+
+}  // namespace vmsv
+
+#endif  // VMSV_CORE_ADAPTIVE_LAYER_H_

@@ -1,0 +1,69 @@
+// Per-page scan kernels. Every query path — full scans, index probes,
+// view scans — funnels through these two loops, so they stay branch-light
+// and header-inline.
+
+#ifndef VMSV_CORE_SCAN_H_
+#define VMSV_CORE_SCAN_H_
+
+#include <cstdint>
+
+#include "storage/types.h"
+
+namespace vmsv {
+
+struct PageScanResult {
+  uint64_t match_count = 0;
+  Value sum = 0;  // wraps mod 2^64; identical across variants by construction
+
+  void Merge(const PageScanResult& other) {
+    match_count += other.match_count;
+    sum += other.sum;
+  }
+};
+
+/// Filters `count` values against q, accumulating count and sum of matches.
+inline PageScanResult ScanPage(const Value* data, uint64_t count,
+                               const RangeQuery& q) {
+  PageScanResult result;
+  for (uint64_t i = 0; i < count; ++i) {
+    const Value v = data[i];
+    // Branch-free qualification keeps the loop vectorizable.
+    const uint64_t match = static_cast<uint64_t>(v >= q.lo) &
+                           static_cast<uint64_t>(v <= q.hi);
+    result.match_count += match;
+    result.sum += v * match;
+  }
+  return result;
+}
+
+/// True when at least one of `count` values falls in q. Early-exits, so the
+/// common qualifying case is cheap; a non-qualifying page costs a full pass.
+inline bool PageContainsAny(const Value* data, uint64_t count,
+                            const RangeQuery& q) {
+  for (uint64_t i = 0; i < count; ++i) {
+    if (q.Contains(data[i])) return true;
+  }
+  return false;
+}
+
+/// Min/max of a page — the zone-map building block.
+struct PageZone {
+  Value min = ~Value{0};
+  Value max = 0;
+
+  bool Intersects(const RangeQuery& q) const { return min <= q.hi && max >= q.lo; }
+};
+
+inline PageZone ComputePageZone(const Value* data, uint64_t count) {
+  PageZone zone;
+  for (uint64_t i = 0; i < count; ++i) {
+    const Value v = data[i];
+    if (v < zone.min) zone.min = v;
+    if (v > zone.max) zone.max = v;
+  }
+  return zone;
+}
+
+}  // namespace vmsv
+
+#endif  // VMSV_CORE_SCAN_H_

@@ -1,0 +1,263 @@
+#include "core/virtual_view.h"
+
+#include "util/macros.h"
+
+namespace vmsv {
+
+// ---------------------------------------------------------------------------
+// BackgroundMapper
+
+BackgroundMapper::BackgroundMapper()
+    : worker_([this] { WorkerLoop(); }) {}
+
+BackgroundMapper::~BackgroundMapper() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  worker_.join();
+}
+
+void BackgroundMapper::Enqueue(VirtualArena* arena, uint64_t slot_start,
+                               uint64_t file_page_start, uint64_t count) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(MapTask{arena, slot_start, file_page_start, count});
+  }
+  work_cv_.notify_one();
+}
+
+Status BackgroundMapper::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+  Status result = first_error_;
+  first_error_ = OkStatus();
+  return result;
+}
+
+void BackgroundMapper::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    const MapTask task = queue_.front();
+    queue_.pop();
+    busy_ = true;
+    lock.unlock();
+    const Status st =
+        task.arena->MapRange(task.slot_start, task.file_page_start, task.count);
+    lock.lock();
+    busy_ = false;
+    if (!st.ok() && first_error_.ok()) first_error_ = st;
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VirtualView
+
+StatusOr<std::unique_ptr<VirtualView>> VirtualView::CreateEmpty(
+    const PhysicalColumn& column, Value lo, Value hi) {
+  if (lo > hi) return InvalidArgument("view range lo > hi");
+  return std::unique_ptr<VirtualView>(
+      new VirtualView(column.file(), column.num_pages(), lo, hi));
+}
+
+Status VirtualView::EnsureMaterialized(BackgroundMapper* mapper) {
+  if (arena_ != nullptr) return OkStatus();
+  auto arena_r = VirtualArena::Create(file_, arena_slots_);
+  if (!arena_r.ok()) return arena_r.status();
+  // Materialization is transactional: the arena is installed only once every
+  // mapping succeeded. A mid-way mmap failure (e.g. vm.max_map_count
+  // exhausted) must leave the view consistently UNmaterialized — a
+  // half-mapped arena would make the next Scan fault instead of the caller
+  // seeing this Status.
+  std::unique_ptr<VirtualArena> arena = std::move(arena_r).ValueOrDie();
+  // Rewire the page list in coalesced runs of consecutive page ids.
+  uint64_t slot = 0;
+  while (slot < pages_.size()) {
+    uint64_t run = 1;
+    while (slot + run < pages_.size() &&
+           pages_[slot + run] == pages_[slot] + run) {
+      ++run;
+    }
+    if (mapper != nullptr) {
+      mapper->Enqueue(arena.get(), slot, pages_[slot], run);
+    } else {
+      VMSV_RETURN_IF_ERROR(arena->MapRange(slot, pages_[slot], run));
+    }
+    slot += run;
+  }
+  if (mapper != nullptr) {
+    VMSV_RETURN_IF_ERROR(mapper->Drain());
+  }
+  arena_ = std::move(arena);
+  return OkStatus();
+}
+
+Status VirtualView::AppendPage(uint64_t page, BackgroundMapper* mapper) {
+  return AppendPageRun(page, 1, mapper);
+}
+
+Status VirtualView::AppendPageRun(uint64_t first_page, uint64_t count,
+                                  BackgroundMapper* mapper) {
+  const uint64_t slot_start = pages_.size();
+  if (slot_start + count > arena_slots_) {
+    return ResourceExhausted("view arena full");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    if (page_to_slot_.count(first_page + i) != 0) {
+      return FailedPrecondition("page already in view");
+    }
+  }
+  // Map before recording membership: on mmap failure the view must not be
+  // left listing pages whose slots are unmapped (a later Scan would fault).
+  // Background-mapped errors surface at Drain, where creation fails as a
+  // whole and the view is dropped.
+  if (arena_ != nullptr) {
+    if (mapper != nullptr) {
+      mapper->Enqueue(arena_.get(), slot_start, first_page, count);
+    } else {
+      VMSV_RETURN_IF_ERROR(arena_->MapRange(slot_start, first_page, count));
+    }
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t page = first_page + i;
+    pages_.push_back(page);
+    page_to_slot_[page] = slot_start + i;
+  }
+  return OkStatus();
+}
+
+Status VirtualView::RemovePage(uint64_t page) {
+  auto it = page_to_slot_.find(page);
+  if (it == page_to_slot_.end()) return NotFound("page not in view");
+  const uint64_t slot = it->second;
+  const uint64_t last_slot = pages_.size() - 1;
+  if (slot != last_slot) {
+    // Rewire the last slot's physical page into the vacated position.
+    const uint64_t moved_page = pages_[last_slot];
+    if (arena_ != nullptr) {
+      VMSV_RETURN_IF_ERROR(arena_->MapRange(slot, moved_page, 1));
+    }
+    pages_[slot] = moved_page;
+    page_to_slot_[moved_page] = slot;
+  }
+  pages_.pop_back();
+  page_to_slot_.erase(it);
+  if (arena_ == nullptr) return OkStatus();
+  return arena_->UnmapRange(last_slot, 1);
+}
+
+PageScanResult VirtualView::Scan(const RangeQuery& q) const {
+  // One pass over the contiguous virtual range — the whole point of
+  // rewiring: no indirection per page.
+  return ScanPage(reinterpret_cast<const Value*>(arena_->data()),
+                  pages_.size() * kValuesPerPage, q);
+}
+
+// ---------------------------------------------------------------------------
+// Creation by scan
+
+namespace {
+
+struct BuildState {
+  VirtualView* view = nullptr;
+  BackgroundMapper* mapper = nullptr;
+  bool coalesce = false;
+  uint64_t run_start = 0;
+  uint64_t run_len = 0;
+  Status status;
+
+  void FlushRun() {
+    if (run_len == 0 || !status.ok()) return;
+    const Status st = view->AppendPageRun(run_start, run_len, mapper);
+    if (!st.ok()) status = st;
+    run_len = 0;
+  }
+
+  void AddPage(uint64_t page) {
+    if (!status.ok()) return;
+    if (!coalesce) {
+      const Status st = view->AppendPage(page, mapper);
+      if (!st.ok()) status = st;
+      return;
+    }
+    if (run_len > 0 && page == run_start + run_len) {
+      ++run_len;
+      return;
+    }
+    FlushRun();
+    run_start = page;
+    run_len = 1;
+  }
+};
+
+}  // namespace
+
+StatusOr<ViewBuildOutput> BuildViewAndAnswer(const PhysicalColumn& column,
+                                             Value lo, Value hi,
+                                             const RangeQuery& query,
+                                             const ViewCreationOptions& options,
+                                             BackgroundMapper* mapper) {
+  if (options.background_mapping && mapper == nullptr) {
+    return InvalidArgument("background_mapping requires a BackgroundMapper");
+  }
+  auto view_r = VirtualView::CreateEmpty(column, lo, hi);
+  if (!view_r.ok()) return view_r.status();
+  ViewBuildOutput out;
+  out.view = std::move(view_r).ValueOrDie();
+
+  BackgroundMapper* effective_mapper =
+      options.background_mapping ? mapper : nullptr;
+  if (!options.lazy_materialize) {
+    // Eager creation: the arena exists up front and pages are rewired as the
+    // scan discovers them (§2.3). Lazy creation records the list only.
+    VMSV_RETURN_IF_ERROR(out.view->EnsureMaterialized());
+  }
+  BuildState state;
+  state.view = out.view.get();
+  state.mapper = effective_mapper;
+  state.coalesce = options.coalesce_runs;
+  const RangeQuery view_range{lo, hi};
+  const bool ranges_equal = view_range == query;
+  const uint64_t num_pages = column.num_pages();
+  for (uint64_t page = 0; page < num_pages; ++page) {
+    const Value* data = column.PageData(page);
+    // One vectorized filter pass answers the query; on the adaptive path the
+    // candidate range IS the query range, so the same pass also decides page
+    // membership and creation rides on the answering scan for free. A wider
+    // view range needs a qualification probe only when the query found
+    // nothing on the page.
+    const PageScanResult r = ScanPage(data, kValuesPerPage, query);
+    out.query_result.Merge(r);
+    const bool qualifies =
+        r.match_count > 0 ||
+        (!ranges_equal && PageContainsAny(data, kValuesPerPage, view_range));
+    if (qualifies) state.AddPage(page);
+  }
+  state.FlushRun();
+  if (effective_mapper != nullptr) {
+    // Drain BEFORE any error return: queued tasks hold a raw pointer into
+    // out.view's arena, which dies with this frame on the error path.
+    VMSV_RETURN_IF_ERROR(effective_mapper->Drain());
+  }
+  if (!state.status.ok()) return state.status;
+  out.scanned_pages = num_pages;
+  return out;
+}
+
+StatusOr<std::unique_ptr<VirtualView>> BuildViewByScan(
+    const PhysicalColumn& column, Value lo, Value hi,
+    const ViewCreationOptions& options, BackgroundMapper* mapper) {
+  auto out = BuildViewAndAnswer(column, lo, hi, RangeQuery{lo, hi}, options,
+                                mapper);
+  if (!out.ok()) return out.status();
+  return std::move(out->view);
+}
+
+}  // namespace vmsv

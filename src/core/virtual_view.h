@@ -1,0 +1,195 @@
+// VirtualView — a partial storage view (paper §2.2): the set of physical
+// pages containing at least one value in [lo, hi], rewired into a
+// contiguous virtual range so it scans like a dense column. No data is
+// copied; the view shares physical pages with the base column, so base
+// updates are visible in the view instantly — only page membership must be
+// maintained (§2.4).
+//
+// View creation (§2.3) happens as a by-product of a full scan and supports
+// the paper's two optimizations:
+//   - run coalescing: consecutive qualifying pages are mapped in one mmap,
+//   - concurrent mapping: mmap calls are shipped to a background thread so
+//     mapping overlaps the scan.
+
+#ifndef VMSV_CORE_VIRTUAL_VIEW_H_
+#define VMSV_CORE_VIRTUAL_VIEW_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scan.h"
+#include "rewiring/virtual_arena.h"
+#include "storage/column.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace vmsv {
+
+struct ViewCreationOptions {
+  /// Map runs of consecutive qualifying pages with one mmap call.
+  bool coalesce_runs = false;
+  /// Ship mapping calls to a BackgroundMapper so they overlap the scan.
+  bool background_mapping = false;
+  /// Collect the page list only; defer all mmap work to the first use of
+  /// the view (EnsureMaterialized). Candidates that end up discarded then
+  /// never pay for rewiring at all.
+  bool lazy_materialize = false;
+};
+
+/// A worker thread executing arena MapRange calls asynchronously. One mapper
+/// can be reused across several view creations; Drain() is the barrier.
+class BackgroundMapper {
+ public:
+  BackgroundMapper();
+  ~BackgroundMapper();
+  BackgroundMapper(const BackgroundMapper&) = delete;
+  BackgroundMapper& operator=(const BackgroundMapper&) = delete;
+
+  /// Enqueues arena->MapRange(slot_start, file_page_start, count).
+  void Enqueue(VirtualArena* arena, uint64_t slot_start,
+               uint64_t file_page_start, uint64_t count);
+
+  /// Blocks until the queue is empty and returns the first error, if any.
+  Status Drain();
+
+ private:
+  struct MapTask {
+    VirtualArena* arena;
+    uint64_t slot_start;
+    uint64_t file_page_start;
+    uint64_t count;
+  };
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::queue<MapTask> queue_;
+  Status first_error_;
+  bool stopping_ = false;
+  bool busy_ = false;
+  std::thread worker_;
+};
+
+/// A partial view is born as a page LIST; the contiguous arena mapping is
+/// materialized either eagerly at creation (BuildViewByScan) or lazily on
+/// first scan (the adaptive path). While unmaterialized, membership updates
+/// are list edits and cost no syscalls.
+class VirtualView {
+ public:
+  /// An empty unmaterialized view over value range [lo, hi].
+  static StatusOr<std::unique_ptr<VirtualView>> CreateEmpty(
+      const PhysicalColumn& column, Value lo, Value hi);
+
+  Value lo() const { return lo_; }
+  Value hi() const { return hi_; }
+  RangeQuery value_range() const { return RangeQuery{lo_, hi_}; }
+
+  /// Widens the view's value range to include [lo, hi]. ONLY legal when the
+  /// caller has proven the view already contains every page holding a value
+  /// in the extension (e.g. an exact page-subset candidate was discarded);
+  /// otherwise the view would silently miss pages for covered queries.
+  void ExtendRange(Value lo, Value hi) {
+    if (lo < lo_) lo_ = lo;
+    if (hi > hi_) hi_ = hi;
+  }
+
+  /// True when this view's pages can answer q exactly: the view indexes
+  /// every page holding any value in q.
+  bool Covers(const RangeQuery& q) const { return lo_ <= q.lo && hi_ >= q.hi; }
+
+  uint64_t num_pages() const { return pages_.size(); }
+  const std::vector<uint64_t>& physical_pages() const { return pages_; }
+  bool ContainsPage(uint64_t page) const {
+    return page_to_slot_.count(page) != 0;
+  }
+
+  /// True once the arena mapping exists. arena() is only valid then.
+  bool is_materialized() const { return arena_ != nullptr; }
+  const VirtualArena& arena() const { return *arena_; }
+
+  /// Creates the arena and rewires the current page list into it (runs of
+  /// consecutive page ids coalesce into single mmap calls). No-op when
+  /// already materialized. `mapper` non-null ships the mmaps to the
+  /// background thread (drained before returning).
+  Status EnsureMaterialized(BackgroundMapper* mapper = nullptr);
+
+  /// Appends a physical page (and maps it at the next slot when
+  /// materialized). `mapper` non-null routes the mmap to the background
+  /// thread.
+  Status AppendPage(uint64_t page, BackgroundMapper* mapper = nullptr);
+
+  /// Appends `count` consecutive physical pages (one mmap call when
+  /// materialized).
+  Status AppendPageRun(uint64_t first_page, uint64_t count,
+                       BackgroundMapper* mapper = nullptr);
+
+  /// Removes a physical page. When materialized, the last slot is rewired
+  /// into its position (swap-remove keeps the view contiguous) and the tail
+  /// slot unmapped; otherwise a list edit.
+  Status RemovePage(uint64_t page);
+
+  /// Scans the view (virtually contiguous) filtered by q. The view must be
+  /// materialized.
+  PageScanResult Scan(const RangeQuery& q) const;
+
+  /// Scans only pages for which `include(physical_page)` is true — the
+  /// multi-view dedup hook.
+  template <typename Pred>
+  PageScanResult ScanIf(const RangeQuery& q, Pred include) const {
+    PageScanResult result;
+    for (uint64_t slot = 0; slot < pages_.size(); ++slot) {
+      if (!include(pages_[slot])) continue;
+      result.Merge(ScanPage(
+          reinterpret_cast<const Value*>(arena_->SlotData(slot)),
+          kValuesPerPage, q));
+    }
+    return result;
+  }
+
+ private:
+  VirtualView(std::shared_ptr<PhysicalMemoryFile> file, uint64_t arena_slots,
+              Value lo, Value hi)
+      : file_(std::move(file)), arena_slots_(arena_slots), lo_(lo), hi_(hi) {}
+
+  std::shared_ptr<PhysicalMemoryFile> file_;
+  uint64_t arena_slots_;                    // reservation size (column pages)
+  std::unique_ptr<VirtualArena> arena_;     // null until materialized
+  Value lo_;
+  Value hi_;
+  std::vector<uint64_t> pages_;                       // slot -> physical page
+  std::unordered_map<uint64_t, uint64_t> page_to_slot_;
+};
+
+/// Builds the view for [lo, hi] by scanning every column page (the paper's
+/// creation path: the scan that answers the triggering query also emits the
+/// view). Optimizations per `options`; `mapper` may be null unless
+/// options.background_mapping is set, in which case it must be provided.
+StatusOr<std::unique_ptr<VirtualView>> BuildViewByScan(
+    const PhysicalColumn& column, Value lo, Value hi,
+    const ViewCreationOptions& options = {}, BackgroundMapper* mapper = nullptr);
+
+/// Same scan, but additionally returns the filtered result of `query` from
+/// the single pass (used by the adaptive layer: answer + candidate in one
+/// scan). `query` must be covered by [lo, hi].
+struct ViewBuildOutput {
+  std::unique_ptr<VirtualView> view;
+  PageScanResult query_result;
+  uint64_t scanned_pages = 0;
+};
+StatusOr<ViewBuildOutput> BuildViewAndAnswer(const PhysicalColumn& column,
+                                             Value lo, Value hi,
+                                             const RangeQuery& query,
+                                             const ViewCreationOptions& options,
+                                             BackgroundMapper* mapper);
+
+}  // namespace vmsv
+
+#endif  // VMSV_CORE_VIRTUAL_VIEW_H_

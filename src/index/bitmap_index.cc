@@ -1,0 +1,38 @@
+#include "index/bitmap_index.h"
+
+namespace vmsv {
+
+Status BitmapIndex::Build(const PhysicalColumn& column, Value lo, Value hi) {
+  lo_ = lo;
+  hi_ = hi;
+  num_pages_ = column.num_pages();
+  num_set_ = 0;
+  bits_.assign((num_pages_ + 63) / 64, 0);
+  for (uint64_t page = 0; page < num_pages_; ++page) {
+    if (PageQualifies(column, page)) AssignBit(page, true);
+  }
+  return OkStatus();
+}
+
+Status BitmapIndex::ApplyUpdate(const PhysicalColumn& column,
+                                const RowUpdate& update) {
+  const uint64_t page = PhysicalColumn::PageOfRow(update.row);
+  AssignBit(page, PageQualifies(column, page));
+  return OkStatus();
+}
+
+IndexQueryResult BitmapIndex::Query(const PhysicalColumn& column,
+                                    const RangeQuery& q) const {
+  IndexQueryResult result;
+  for (uint64_t word = 0; word < bits_.size(); ++word) {
+    uint64_t w = bits_[word];
+    while (w != 0) {
+      const uint64_t page = (word << 6) + static_cast<uint64_t>(__builtin_ctzll(w));
+      w &= w - 1;
+      result.Merge(ScanPage(column.PageData(page), kValuesPerPage, q));
+    }
+  }
+  return result;
+}
+
+}  // namespace vmsv

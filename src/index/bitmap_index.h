@@ -1,0 +1,44 @@
+// Bitmap (Figure 3 competitor): one bit per column page, set when the page
+// holds a value in the indexed range. Query cost is a pass over all bits
+// plus scans of the set pages.
+
+#ifndef VMSV_INDEX_BITMAP_INDEX_H_
+#define VMSV_INDEX_BITMAP_INDEX_H_
+
+#include <vector>
+
+#include "index/partial_index.h"
+
+namespace vmsv {
+
+class BitmapIndex : public PartialIndex {
+ public:
+  const char* name() const override { return "bitmap"; }
+
+  Status Build(const PhysicalColumn& column, Value lo, Value hi) override;
+  Status ApplyUpdate(const PhysicalColumn& column,
+                     const RowUpdate& update) override;
+  IndexQueryResult Query(const PhysicalColumn& column,
+                         const RangeQuery& q) const override;
+  uint64_t num_indexed_pages() const override { return num_set_; }
+
+ private:
+  std::vector<uint64_t> bits_;  // packed, one bit per page
+  uint64_t num_pages_ = 0;
+  uint64_t num_set_ = 0;
+
+  bool TestBit(uint64_t page) const {
+    return (bits_[page >> 6] >> (page & 63)) & 1;
+  }
+  void AssignBit(uint64_t page, bool value) {
+    const uint64_t mask = uint64_t{1} << (page & 63);
+    const bool current = TestBit(page);
+    if (current == value) return;
+    bits_[page >> 6] ^= mask;
+    num_set_ += value ? 1 : static_cast<uint64_t>(-1);
+  }
+};
+
+}  // namespace vmsv
+
+#endif  // VMSV_INDEX_BITMAP_INDEX_H_

@@ -1,0 +1,41 @@
+#include "index/page_id_vector_index.h"
+
+#include <algorithm>
+
+namespace vmsv {
+
+Status PageIdVectorIndex::Build(const PhysicalColumn& column, Value lo,
+                                Value hi) {
+  lo_ = lo;
+  hi_ = hi;
+  pages_.clear();
+  for (uint64_t page = 0; page < column.num_pages(); ++page) {
+    if (PageQualifies(column, page)) pages_.push_back(page);
+  }
+  return OkStatus();
+}
+
+Status PageIdVectorIndex::ApplyUpdate(const PhysicalColumn& column,
+                                      const RowUpdate& update) {
+  const uint64_t page = PhysicalColumn::PageOfRow(update.row);
+  const bool qualifies = PageQualifies(column, page);
+  auto it = std::lower_bound(pages_.begin(), pages_.end(), page);
+  const bool member = it != pages_.end() && *it == page;
+  if (qualifies && !member) {
+    pages_.insert(it, page);
+  } else if (!qualifies && member) {
+    pages_.erase(it);
+  }
+  return OkStatus();
+}
+
+IndexQueryResult PageIdVectorIndex::Query(const PhysicalColumn& column,
+                                          const RangeQuery& q) const {
+  IndexQueryResult result;
+  for (const uint64_t page : pages_) {
+    result.Merge(ScanPage(column.PageData(page), kValuesPerPage, q));
+  }
+  return result;
+}
+
+}  // namespace vmsv

@@ -1,0 +1,33 @@
+// Vector of page ids (Figure 3 competitor): a sorted vector of the
+// qualifying pages. Queries iterate the vector directly; updates
+// binary-search to insert/remove ids.
+
+#ifndef VMSV_INDEX_PAGE_ID_VECTOR_INDEX_H_
+#define VMSV_INDEX_PAGE_ID_VECTOR_INDEX_H_
+
+#include <vector>
+
+#include "index/partial_index.h"
+
+namespace vmsv {
+
+class PageIdVectorIndex : public PartialIndex {
+ public:
+  const char* name() const override { return "page_id_vector"; }
+
+  Status Build(const PhysicalColumn& column, Value lo, Value hi) override;
+  Status ApplyUpdate(const PhysicalColumn& column,
+                     const RowUpdate& update) override;
+  IndexQueryResult Query(const PhysicalColumn& column,
+                         const RangeQuery& q) const override;
+  uint64_t num_indexed_pages() const override { return pages_.size(); }
+
+  const std::vector<uint64_t>& pages() const { return pages_; }
+
+ private:
+  std::vector<uint64_t> pages_;  // sorted qualifying page ids
+};
+
+}  // namespace vmsv
+
+#endif  // VMSV_INDEX_PAGE_ID_VECTOR_INDEX_H_

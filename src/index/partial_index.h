@@ -1,0 +1,60 @@
+// PartialIndex — common interface of the five partial-view representations
+// compared in Figure 3 (paper §3.1). A partial index over value range
+// [lo, hi] identifies the physical pages containing at least one value in
+// that range; Query answers any sub-range of it, and ApplyUpdate keeps the
+// representation consistent after a base-column write (the column already
+// holds the new value when ApplyUpdate is called).
+
+#ifndef VMSV_INDEX_PARTIAL_INDEX_H_
+#define VMSV_INDEX_PARTIAL_INDEX_H_
+
+#include <cstdint>
+
+#include "core/scan.h"
+#include "storage/column.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace vmsv {
+
+/// Index probes return the same (match_count, sum) shape scans produce.
+using IndexQueryResult = PageScanResult;
+
+class PartialIndex {
+ public:
+  virtual ~PartialIndex() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Builds the index over value range [lo, hi] of `column`.
+  virtual Status Build(const PhysicalColumn& column, Value lo, Value hi) = 0;
+
+  /// Re-establishes consistency after `update` was applied to the column.
+  virtual Status ApplyUpdate(const PhysicalColumn& column,
+                             const RowUpdate& update) = 0;
+
+  /// Answers q (must satisfy lo <= q.lo && q.hi <= hi) by scanning the
+  /// pages this index identifies.
+  virtual IndexQueryResult Query(const PhysicalColumn& column,
+                                 const RangeQuery& q) const = 0;
+
+  /// Pages currently identified as containing indexed values.
+  virtual uint64_t num_indexed_pages() const = 0;
+
+  Value lo() const { return lo_; }
+  Value hi() const { return hi_; }
+
+ protected:
+  /// True when the page (current content) holds >= 1 value in [lo_, hi_].
+  bool PageQualifies(const PhysicalColumn& column, uint64_t page) const {
+    return PageContainsAny(column.PageData(page), kValuesPerPage,
+                           RangeQuery{lo_, hi_});
+  }
+
+  Value lo_ = 0;
+  Value hi_ = 0;
+};
+
+}  // namespace vmsv
+
+#endif  // VMSV_INDEX_PARTIAL_INDEX_H_

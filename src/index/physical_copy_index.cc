@@ -1,0 +1,68 @@
+#include "index/physical_copy_index.h"
+
+#include <cstring>
+
+namespace vmsv {
+
+void PhysicalCopyIndex::CopyPageIn(const PhysicalColumn& column, uint64_t page,
+                                   uint64_t slot) {
+  std::memcpy(buffer_.data() + slot * kValuesPerPage, column.PageData(page),
+              kPageSize);
+}
+
+Status PhysicalCopyIndex::Build(const PhysicalColumn& column, Value lo,
+                                Value hi) {
+  lo_ = lo;
+  hi_ = hi;
+  buffer_.clear();
+  pages_.clear();
+  page_to_slot_.clear();
+  for (uint64_t page = 0; page < column.num_pages(); ++page) {
+    if (!PageQualifies(column, page)) continue;
+    const uint64_t slot = pages_.size();
+    pages_.push_back(page);
+    page_to_slot_[page] = slot;
+    buffer_.resize(buffer_.size() + kValuesPerPage);
+    CopyPageIn(column, page, slot);
+  }
+  return OkStatus();
+}
+
+Status PhysicalCopyIndex::ApplyUpdate(const PhysicalColumn& column,
+                                      const RowUpdate& update) {
+  const uint64_t page = PhysicalColumn::PageOfRow(update.row);
+  const bool qualifies = PageQualifies(column, page);
+  auto it = page_to_slot_.find(page);
+  if (qualifies && it == page_to_slot_.end()) {
+    const uint64_t slot = pages_.size();
+    pages_.push_back(page);
+    page_to_slot_[page] = slot;
+    buffer_.resize(buffer_.size() + kValuesPerPage);
+    CopyPageIn(column, page, slot);
+  } else if (!qualifies && it != page_to_slot_.end()) {
+    // Swap-remove: move the last page copy into the vacated slot.
+    const uint64_t slot = it->second;
+    const uint64_t last_slot = pages_.size() - 1;
+    if (slot != last_slot) {
+      const uint64_t moved_page = pages_[last_slot];
+      std::memcpy(buffer_.data() + slot * kValuesPerPage,
+                  buffer_.data() + last_slot * kValuesPerPage, kPageSize);
+      pages_[slot] = moved_page;
+      page_to_slot_[moved_page] = slot;
+    }
+    pages_.pop_back();
+    buffer_.resize(buffer_.size() - kValuesPerPage);
+    page_to_slot_.erase(it);
+  } else if (qualifies) {
+    // Page stays a member: the copy must reflect the new value.
+    CopyPageIn(column, page, it->second);
+  }
+  return OkStatus();
+}
+
+IndexQueryResult PhysicalCopyIndex::Query(const PhysicalColumn& /*column*/,
+                                          const RangeQuery& q) const {
+  return ScanPage(buffer_.data(), buffer_.size(), q);
+}
+
+}  // namespace vmsv

@@ -1,0 +1,37 @@
+// Physical copy (Figure 3's artificial "Physical Scan" optimum): qualifying
+// pages are COPIED into a dense buffer, so queries scan physically
+// contiguous memory with zero indirection. Updates must write through to
+// the copy — the maintenance cost virtual views avoid by sharing pages.
+
+#ifndef VMSV_INDEX_PHYSICAL_COPY_INDEX_H_
+#define VMSV_INDEX_PHYSICAL_COPY_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "index/partial_index.h"
+
+namespace vmsv {
+
+class PhysicalCopyIndex : public PartialIndex {
+ public:
+  const char* name() const override { return "physical_copy"; }
+
+  Status Build(const PhysicalColumn& column, Value lo, Value hi) override;
+  Status ApplyUpdate(const PhysicalColumn& column,
+                     const RowUpdate& update) override;
+  IndexQueryResult Query(const PhysicalColumn& column,
+                         const RangeQuery& q) const override;
+  uint64_t num_indexed_pages() const override { return pages_.size(); }
+
+ private:
+  void CopyPageIn(const PhysicalColumn& column, uint64_t page, uint64_t slot);
+
+  std::vector<Value> buffer_;                          // dense page copies
+  std::vector<uint64_t> pages_;                        // slot -> page id
+  std::unordered_map<uint64_t, uint64_t> page_to_slot_;
+};
+
+}  // namespace vmsv
+
+#endif  // VMSV_INDEX_PHYSICAL_COPY_INDEX_H_

@@ -1,0 +1,43 @@
+#include "index/zone_map_index.h"
+
+namespace vmsv {
+
+Status ZoneMapIndex::Build(const PhysicalColumn& column, Value lo, Value hi) {
+  lo_ = lo;
+  hi_ = hi;
+  zones_.resize(column.num_pages());
+  for (uint64_t page = 0; page < zones_.size(); ++page) {
+    zones_[page] = ComputePageZone(column.PageData(page), kValuesPerPage);
+  }
+  return OkStatus();
+}
+
+Status ZoneMapIndex::ApplyUpdate(const PhysicalColumn& column,
+                                 const RowUpdate& update) {
+  const uint64_t page = PhysicalColumn::PageOfRow(update.row);
+  // Shrinking updates (old value was an extremum) need a rescan; growing
+  // ones could be handled incrementally, but one page is cheap either way.
+  zones_[page] = ComputePageZone(column.PageData(page), kValuesPerPage);
+  return OkStatus();
+}
+
+IndexQueryResult ZoneMapIndex::Query(const PhysicalColumn& column,
+                                     const RangeQuery& q) const {
+  IndexQueryResult result;
+  for (uint64_t page = 0; page < zones_.size(); ++page) {
+    if (!zones_[page].Intersects(q)) continue;
+    result.Merge(ScanPage(column.PageData(page), kValuesPerPage, q));
+  }
+  return result;
+}
+
+uint64_t ZoneMapIndex::num_indexed_pages() const {
+  const RangeQuery range{lo_, hi_};
+  uint64_t count = 0;
+  for (const PageZone& zone : zones_) {
+    if (zone.Intersects(range)) ++count;
+  }
+  return count;
+}
+
+}  // namespace vmsv

@@ -1,0 +1,31 @@
+// Zone map (Figure 3 competitor): per-page min/max metadata for EVERY page
+// of the column. Queries inspect all zones — the paper's explanation for
+// why it is the slowest explicit representation at low selectivity.
+
+#ifndef VMSV_INDEX_ZONE_MAP_INDEX_H_
+#define VMSV_INDEX_ZONE_MAP_INDEX_H_
+
+#include <vector>
+
+#include "index/partial_index.h"
+
+namespace vmsv {
+
+class ZoneMapIndex : public PartialIndex {
+ public:
+  const char* name() const override { return "zone_map"; }
+
+  Status Build(const PhysicalColumn& column, Value lo, Value hi) override;
+  Status ApplyUpdate(const PhysicalColumn& column,
+                     const RowUpdate& update) override;
+  IndexQueryResult Query(const PhysicalColumn& column,
+                         const RangeQuery& q) const override;
+  uint64_t num_indexed_pages() const override;
+
+ private:
+  std::vector<PageZone> zones_;  // one per column page
+};
+
+}  // namespace vmsv
+
+#endif  // VMSV_INDEX_ZONE_MAP_INDEX_H_

@@ -1,0 +1,80 @@
+#include "rewiring/physical_memory_file.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace vmsv {
+
+MemoryFileBackend MemoryFileBackendFromString(const std::string& name) {
+  if (name == "shm") return MemoryFileBackend::kShm;
+  return MemoryFileBackend::kMemfd;
+}
+
+const char* MemoryFileBackendName(MemoryFileBackend backend) {
+  return backend == MemoryFileBackend::kShm ? "shm" : "memfd";
+}
+
+StatusOr<PhysicalMemoryFile> PhysicalMemoryFile::Create(
+    uint64_t pages, MemoryFileBackend backend) {
+  if (pages == 0) return InvalidArgument("PhysicalMemoryFile needs >= 1 page");
+  int fd = -1;
+  if (backend == MemoryFileBackend::kMemfd) {
+    fd = static_cast<int>(memfd_create("vmsv-column", MFD_CLOEXEC));
+    if (fd < 0) return ErrnoError("memfd_create", errno);
+  } else {
+    // A process-unique name; the object is unlinked immediately after open so
+    // the descriptor is the only reference (same lifetime story as memfd).
+    char name[64];
+    static int counter = 0;
+    std::snprintf(name, sizeof(name), "/vmsv-%" PRIdMAX "-%d",
+                  static_cast<intmax_t>(::getpid()), counter++);
+    fd = ::shm_open(name, O_RDWR | O_CREAT | O_EXCL, 0600);
+    if (fd < 0) return ErrnoError("shm_open", errno);
+    ::shm_unlink(name);
+  }
+  if (::ftruncate(fd, static_cast<off_t>(pages * kPageSize)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    return ErrnoError("ftruncate", saved);
+  }
+  return PhysicalMemoryFile(fd, pages, backend);
+}
+
+PhysicalMemoryFile::PhysicalMemoryFile(PhysicalMemoryFile&& other) noexcept
+    : fd_(other.fd_), num_pages_(other.num_pages_), backend_(other.backend_) {
+  other.fd_ = -1;
+  other.num_pages_ = 0;
+}
+
+PhysicalMemoryFile& PhysicalMemoryFile::operator=(
+    PhysicalMemoryFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    num_pages_ = other.num_pages_;
+    backend_ = other.backend_;
+    other.fd_ = -1;
+    other.num_pages_ = 0;
+  }
+  return *this;
+}
+
+PhysicalMemoryFile::~PhysicalMemoryFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status PhysicalMemoryFile::Grow(uint64_t new_pages) {
+  if (new_pages <= num_pages_) return OkStatus();
+  if (::ftruncate(fd_, static_cast<off_t>(new_pages * kPageSize)) != 0) {
+    return ErrnoError("ftruncate(grow)", errno);
+  }
+  num_pages_ = new_pages;
+  return OkStatus();
+}
+
+}  // namespace vmsv

@@ -1,0 +1,65 @@
+// PhysicalMemoryFile — the main-memory file whose pages back every storage
+// view (paper §2.1). Rewiring maps page ranges of this file into virtual
+// address ranges; two backends are supported:
+//
+//   - memfd:  anonymous memory file via memfd_create(2) (default),
+//   - shm:    POSIX shared memory object via shm_open(3).
+//
+// The file itself owns only the descriptor and its size. All address-space
+// manipulation lives in VirtualArena.
+
+#ifndef VMSV_REWIRING_PHYSICAL_MEMORY_FILE_H_
+#define VMSV_REWIRING_PHYSICAL_MEMORY_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace vmsv {
+
+/// One storage page: 4 KiB, the rewiring granularity.
+inline constexpr uint64_t kPageSize = 4096;
+
+enum class MemoryFileBackend {
+  kMemfd,
+  kShm,
+};
+
+/// "memfd" / "shm" (case-sensitive); anything else falls back to memfd.
+MemoryFileBackend MemoryFileBackendFromString(const std::string& name);
+const char* MemoryFileBackendName(MemoryFileBackend backend);
+
+class PhysicalMemoryFile {
+ public:
+  /// Creates a main-memory file of `pages` zero-filled pages.
+  static StatusOr<PhysicalMemoryFile> Create(
+      uint64_t pages, MemoryFileBackend backend = MemoryFileBackend::kMemfd);
+
+  PhysicalMemoryFile(PhysicalMemoryFile&& other) noexcept;
+  PhysicalMemoryFile& operator=(PhysicalMemoryFile&& other) noexcept;
+  PhysicalMemoryFile(const PhysicalMemoryFile&) = delete;
+  PhysicalMemoryFile& operator=(const PhysicalMemoryFile&) = delete;
+  ~PhysicalMemoryFile();
+
+  int fd() const { return fd_; }
+  uint64_t num_pages() const { return num_pages_; }
+  uint64_t size_bytes() const { return num_pages_ * kPageSize; }
+  MemoryFileBackend backend() const { return backend_; }
+
+  /// Grows the file to `new_pages` (no-op if already at least that large).
+  Status Grow(uint64_t new_pages);
+
+ private:
+  PhysicalMemoryFile(int fd, uint64_t pages, MemoryFileBackend backend)
+      : fd_(fd), num_pages_(pages), backend_(backend) {}
+
+  int fd_ = -1;
+  uint64_t num_pages_ = 0;
+  MemoryFileBackend backend_ = MemoryFileBackend::kMemfd;
+};
+
+}  // namespace vmsv
+
+#endif  // VMSV_REWIRING_PHYSICAL_MEMORY_FILE_H_

@@ -1,0 +1,89 @@
+// VirtualArena — a contiguous reserved virtual address range whose
+// page-sized slots can be rewired onto arbitrary pages of a
+// PhysicalMemoryFile (paper §2.1).
+//
+// The arena reserves its full range up front with an inaccessible anonymous
+// mapping (PROT_NONE, MAP_NORESERVE), so slot rewiring is always a MAP_FIXED
+// replacement and the range stays contiguous for scans. Unmapped slots fault
+// on access by design.
+//
+// The arena additionally keeps a user-space slot→file-page table. The paper
+// (§2.5) argues a DBMS need not maintain such a table because the kernel
+// already has the truth and /proc/self/maps exposes it; both mapping sources
+// are implemented (see maps_parser.h / update_applier.h) so their costs can
+// be compared.
+
+#ifndef VMSV_REWIRING_VIRTUAL_ARENA_H_
+#define VMSV_REWIRING_VIRTUAL_ARENA_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rewiring/physical_memory_file.h"
+#include "util/status.h"
+
+namespace vmsv {
+
+class VirtualArena {
+ public:
+  /// Sentinel in the slot table: slot is not backed by any file page.
+  static constexpr int64_t kUnmapped = -1;
+
+  /// Reserves `num_slots` pages of virtual address space against `file`.
+  static StatusOr<std::unique_ptr<VirtualArena>> Create(
+      std::shared_ptr<PhysicalMemoryFile> file, uint64_t num_slots);
+
+  ~VirtualArena();
+  VirtualArena(const VirtualArena&) = delete;
+  VirtualArena& operator=(const VirtualArena&) = delete;
+
+  /// Rewires `count` consecutive slots starting at `slot_start` onto
+  /// `count` consecutive file pages starting at `file_page_start`, with a
+  /// single mmap call (run coalescing is the caller's job).
+  Status MapRange(uint64_t slot_start, uint64_t file_page_start, uint64_t count);
+
+  /// Returns `count` slots starting at `slot_start` to the inaccessible
+  /// reserved state (one mmap call).
+  Status UnmapRange(uint64_t slot_start, uint64_t count);
+
+  /// Base address of the reservation.
+  uint8_t* data() const { return base_; }
+
+  /// Address of one slot; valid to dereference only while the slot is mapped.
+  uint8_t* SlotData(uint64_t slot) const { return base_ + slot * kPageSize; }
+
+  uint64_t num_slots() const { return num_slots_; }
+  const std::shared_ptr<PhysicalMemoryFile>& file() const { return file_; }
+
+  /// User-space mirror of the kernel mapping state: file page backing each
+  /// slot, or kUnmapped. The table grows on demand — views map slots
+  /// contiguously from 0, so it stays O(mapped slots), not O(reservation).
+  int64_t SlotFilePage(uint64_t slot) const {
+    return slot < slot_to_page_.size() ? slot_to_page_[slot] : kUnmapped;
+  }
+  const std::vector<int64_t>& slot_table() const { return slot_to_page_; }
+
+  /// Number of slots currently backed by a file page.
+  uint64_t num_mapped_slots() const { return num_mapped_; }
+
+  /// Total mmap(2) invocations that installed file pages (reservation and
+  /// unmapping excluded) — the figure-6 "mmap_calls" metric.
+  uint64_t map_call_count() const { return map_calls_; }
+
+ private:
+  VirtualArena(std::shared_ptr<PhysicalMemoryFile> file, uint8_t* base,
+               uint64_t num_slots)
+      : file_(std::move(file)), base_(base), num_slots_(num_slots) {}
+
+  std::shared_ptr<PhysicalMemoryFile> file_;
+  uint8_t* base_;
+  uint64_t num_slots_;
+  std::vector<int64_t> slot_to_page_;
+  uint64_t num_mapped_ = 0;
+  uint64_t map_calls_ = 0;
+};
+
+}  // namespace vmsv
+
+#endif  // VMSV_REWIRING_VIRTUAL_ARENA_H_

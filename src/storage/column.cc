@@ -1,0 +1,22 @@
+#include "storage/column.h"
+
+namespace vmsv {
+
+StatusOr<std::unique_ptr<PhysicalColumn>> PhysicalColumn::Create(
+    uint64_t num_rows, MemoryFileBackend backend) {
+  if (num_rows == 0) return InvalidArgument("column needs >= 1 row");
+  const uint64_t pages = (num_rows + kValuesPerPage - 1) / kValuesPerPage;
+  auto file_r = PhysicalMemoryFile::Create(pages, backend);
+  if (!file_r.ok()) return file_r.status();
+  auto file = std::make_shared<PhysicalMemoryFile>(std::move(file_r).ValueOrDie());
+  auto arena_r = VirtualArena::Create(file, pages);
+  if (!arena_r.ok()) return arena_r.status();
+  auto arena = std::move(arena_r).ValueOrDie();
+  // Identity-map the whole file in one coalesced call: the base full view.
+  Status st = arena->MapRange(/*slot_start=*/0, /*file_page_start=*/0, pages);
+  if (!st.ok()) return st;
+  return std::unique_ptr<PhysicalColumn>(
+      new PhysicalColumn(std::move(file), std::move(arena), num_rows));
+}
+
+}  // namespace vmsv

@@ -1,0 +1,45 @@
+#include "storage/update.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace vmsv {
+
+UpdateBatch UpdateBatch::FilterLastPerRow() const {
+  UpdateBatch net;
+  std::unordered_map<uint64_t, size_t> row_to_index;
+  row_to_index.reserve(updates_.size());
+  for (const RowUpdate& u : updates_) {
+    auto [it, inserted] = row_to_index.emplace(u.row, net.updates_.size());
+    if (inserted) {
+      net.updates_.push_back(u);
+    } else {
+      net.updates_[it->second].new_value = u.new_value;
+    }
+  }
+  // Drop rows whose net effect is a no-op.
+  auto keep_end = std::remove_if(
+      net.updates_.begin(), net.updates_.end(),
+      [](const RowUpdate& u) { return u.old_value == u.new_value; });
+  net.updates_.erase(keep_end, net.updates_.end());
+  return net;
+}
+
+std::map<uint64_t, std::vector<RowUpdate>> UpdateBatch::GroupByPage() const {
+  std::map<uint64_t, std::vector<RowUpdate>> groups;
+  for (const RowUpdate& u : updates_) {
+    groups[u.row / kValuesPerPage].push_back(u);
+  }
+  return groups;
+}
+
+std::vector<uint64_t> UpdateBatch::TouchedPages() const {
+  std::vector<uint64_t> pages;
+  pages.reserve(updates_.size());
+  for (const RowUpdate& u : updates_) pages.push_back(u.row / kValuesPerPage);
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  return pages;
+}
+
+}  // namespace vmsv

@@ -1,0 +1,50 @@
+// UpdateBatch — a log of row updates applied to the base column, with the
+// two preprocessing steps the paper's view-alignment path needs (§2.4):
+// net-effect filtering (only the last write per row matters) and grouping by
+// storage page (membership of a page in a view is re-decided once per page,
+// not once per update).
+
+#ifndef VMSV_STORAGE_UPDATE_H_
+#define VMSV_STORAGE_UPDATE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace vmsv {
+
+class UpdateBatch {
+ public:
+  void Add(uint64_t row, Value old_value, Value new_value) {
+    updates_.push_back(RowUpdate{row, old_value, new_value});
+  }
+  void Add(const RowUpdate& update) { updates_.push_back(update); }
+
+  size_t size() const { return updates_.size(); }
+  bool empty() const { return updates_.empty(); }
+  void clear() { updates_.clear(); }
+
+  const std::vector<RowUpdate>& updates() const { return updates_; }
+
+  /// Net effect of the batch: one update per row, carrying the FIRST
+  /// old_value ever seen for the row and the LAST new_value. Rows whose net
+  /// effect is a no-op (old == new) are dropped. Order of first appearance
+  /// is preserved.
+  UpdateBatch FilterLastPerRow() const;
+
+  /// Updates grouped by the storage page their row lives on, sorted by page
+  /// id. Rows keep batch order within a group.
+  std::map<uint64_t, std::vector<RowUpdate>> GroupByPage() const;
+
+  /// Sorted deduplicated ids of pages touched by the batch.
+  std::vector<uint64_t> TouchedPages() const;
+
+ private:
+  std::vector<RowUpdate> updates_;
+};
+
+}  // namespace vmsv
+
+#endif  // VMSV_STORAGE_UPDATE_H_

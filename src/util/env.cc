@@ -1,0 +1,91 @@
+#include "util/env.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace vmsv {
+
+bool ParseUint64(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  // strtoull would skip whitespace and silently wrap negative input
+  // ("-1" -> 2^64-1); demand a leading digit so both are rejected.
+  if (text[0] < '0' || text[0] > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str()) return false;
+  uint64_t result = value;
+  if (*end != '\0') {
+    uint64_t shift = 0;
+    switch (*end) {
+      case 'k': case 'K': shift = 10; break;
+      case 'm': case 'M': shift = 20; break;
+      case 'g': case 'G': shift = 30; break;
+      default: return false;
+    }
+    if (end[1] != '\0') return false;
+    if (shift != 0 && result > (~uint64_t{0} >> shift)) return false;  // overflow
+    result <<= shift;
+  }
+  *out = result;
+  return true;
+}
+
+uint64_t GetEnvUint64(const char* name, uint64_t default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return default_value;
+  uint64_t value = 0;
+  if (!ParseUint64(raw, &value)) {
+    std::fprintf(stderr, "[vmsv] ignoring unparsable %s=%s\n", name, raw);
+    return default_value;
+  }
+  return value;
+}
+
+std::string GetEnvString(const char* name, const std::string& default_value) {
+  const char* raw = std::getenv(name);
+  return raw == nullptr ? default_value : std::string(raw);
+}
+
+double GetEnvDouble(const char* name, double default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return default_value;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (errno != 0 || end == raw || *end != '\0') {
+    std::fprintf(stderr, "[vmsv] ignoring unparsable %s=%s\n", name, raw);
+    return default_value;
+  }
+  return value;
+}
+
+namespace {
+constexpr const char kMaxMapCountPath[] = "/proc/sys/vm/max_map_count";
+}  // namespace
+
+uint64_t ReadMaxMapCount(uint64_t fallback) {
+  std::FILE* f = std::fopen(kMaxMapCountPath, "r");
+  if (f == nullptr) return fallback;
+  unsigned long long value = 0;
+  const int rc = std::fscanf(f, "%llu", &value);
+  std::fclose(f);
+  return rc == 1 ? value : fallback;
+}
+
+uint64_t TryRaiseMaxMapCount(uint64_t target) {
+  const uint64_t current = ReadMaxMapCount(/*fallback=*/65530);
+  if (current >= target) return current;
+  // Raising requires CAP_SYS_ADMIN; inside an unprivileged container this
+  // fails silently and the caller works within the existing budget.
+  std::FILE* f = std::fopen(kMaxMapCountPath, "w");
+  if (f != nullptr) {
+    std::fprintf(f, "%llu", static_cast<unsigned long long>(target));
+    std::fclose(f);
+  }
+  return ReadMaxMapCount(current);
+}
+
+}  // namespace vmsv

@@ -1,0 +1,40 @@
+// Environment-variable parsing and vm.max_map_count handling.
+//
+// The benchmarks are configured exclusively through VMSV_* environment
+// variables so the same binaries serve both the ctest smoke tier
+// (VMSV_PAGES=256) and paper-scale runs (VMSV_PAGES=1048576).
+
+#ifndef VMSV_UTIL_ENV_H_
+#define VMSV_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vmsv {
+
+/// Returns the environment variable `name` parsed as uint64, or
+/// `default_value` when unset, empty, or unparsable. Accepts optional
+/// k/m/g suffixes (binary: 1k = 1024).
+uint64_t GetEnvUint64(const char* name, uint64_t default_value);
+
+/// Returns the environment variable `name`, or `default_value` when unset.
+std::string GetEnvString(const char* name, const std::string& default_value);
+
+/// Returns the environment variable parsed as double, or `default_value`.
+double GetEnvDouble(const char* name, double default_value);
+
+/// Parses a uint64 with optional k/m/g suffix. Returns false on garbage.
+/// Exposed for unit testing.
+bool ParseUint64(const std::string& text, uint64_t* out);
+
+/// Reads vm.max_map_count, attempts to raise it to `target` (requires
+/// privilege; failure is not an error), and returns the value in effect
+/// afterwards. The paper raises it to 2^32-1 for the 1M-page experiments.
+uint64_t TryRaiseMaxMapCount(uint64_t target);
+
+/// Reads the current vm.max_map_count, or `fallback` if /proc is unreadable.
+uint64_t ReadMaxMapCount(uint64_t fallback);
+
+}  // namespace vmsv
+
+#endif  // VMSV_UTIL_ENV_H_

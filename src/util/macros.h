@@ -1,0 +1,54 @@
+// CHECK-style invariant macros. Used in benchmarks and library internals for
+// conditions that indicate programmer error, not recoverable failures.
+
+#ifndef VMSV_UTIL_MACROS_H_
+#define VMSV_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/status.h"
+
+/// Aborts when `cond` is false.
+#define VMSV_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "[vmsv] CHECK failed at %s:%d: %s\n",          \
+                   __FILE__, __LINE__, #cond);                            \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+/// Aborts when a Status (or StatusOr.status()) expression is not OK.
+#define VMSV_CHECK_OK(expr)                                               \
+  do {                                                                    \
+    const ::vmsv::Status _vmsv_st = (expr);                               \
+    if (!_vmsv_st.ok()) {                                                 \
+      std::fprintf(stderr, "[vmsv] CHECK_OK failed at %s:%d: %s\n",       \
+                   __FILE__, __LINE__, _vmsv_st.ToString().c_str());      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+/// Propagates a non-OK Status to the caller.
+#define VMSV_RETURN_IF_ERROR(expr)                                        \
+  do {                                                                    \
+    ::vmsv::Status _vmsv_st = (expr);                                     \
+    if (!_vmsv_st.ok()) return _vmsv_st;                                  \
+  } while (0)
+
+/// Evaluates a StatusOr expression; on error propagates the Status, else
+/// moves the value into `lhs`.
+#define VMSV_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  VMSV_ASSIGN_OR_RETURN_IMPL(                                             \
+      VMSV_MACRO_CONCAT(_vmsv_statusor, __LINE__), lhs, expr)
+
+#define VMSV_ASSIGN_OR_RETURN_IMPL(var, lhs, expr)                        \
+  auto var = (expr);                                                      \
+  if (!var.ok()) return var.status();                                     \
+  lhs = std::move(var).ValueOrDie()
+
+#define VMSV_MACRO_CONCAT_INNER(a, b) a##b
+#define VMSV_MACRO_CONCAT(a, b) VMSV_MACRO_CONCAT_INNER(a, b)
+
+#endif  // VMSV_UTIL_MACROS_H_

@@ -1,0 +1,74 @@
+// Deterministic, platform-independent pseudo-random primitives.
+//
+// All data generation and workload shuffling in vmsv goes through these so
+// that a (seed, row) pair always produces the same value on every build —
+// the distribution golden tests depend on it. Do not replace with
+// std::mt19937 / std::uniform_int_distribution, whose outputs are not
+// pinned across standard library implementations.
+
+#ifndef VMSV_UTIL_RANDOM_H_
+#define VMSV_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace vmsv {
+
+/// SplitMix64 step — also used standalone as a stateless hash of (seed, i).
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Stateless mix of a seed and an index; the workhorse behind the
+/// deterministic value generators.
+inline uint64_t MixHash(uint64_t seed, uint64_t index) {
+  return SplitMix64(seed ^ (index * 0xd1342543de82ef95ull + 0x2545f4914f6cdd1dull));
+}
+
+/// Uniform double in [0, 1) derived from the top 53 bits of a hash.
+inline double ToUnitDouble(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+/// xorshift128+ generator (Vigna): fast, decent quality, fully portable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    s0_ = SplitMix64(seed);
+    s1_ = SplitMix64(s0_);
+    if ((s0_ | s1_) == 0) s1_ = 1;  // the all-zero state is absorbing
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n); n == 0 returns 0. Debiased via rejection sampling.
+  uint64_t Below(uint64_t n) {
+    if (n == 0) return 0;
+    const uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    uint64_t r;
+    do {
+      r = Next();
+    } while (r < threshold);
+    return r % n;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextUnit() { return ToUnitDouble(Next()); }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace vmsv
+
+#endif  // VMSV_UTIL_RANDOM_H_

@@ -1,0 +1,123 @@
+// Minimal Status / StatusOr error-handling vocabulary for the vmsv library.
+//
+// Error handling contract: fallible constructors and syscall wrappers return
+// Status or StatusOr<T>; hot-path accessors (scans, slot lookups) are
+// unchecked. Styled after absl::Status but self-contained so the library has
+// no third-party dependencies.
+
+#ifndef VMSV_UTIL_STATUS_H_
+#define VMSV_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace vmsv {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kResourceExhausted = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kIoError = 6,
+  kUnimplemented = 7,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status IoError(std::string msg) {
+  return Status(StatusCode::kIoError, std::move(msg));
+}
+
+/// Builds an IoError carrying strerror(saved_errno) — for syscall wrappers.
+Status ErrnoError(const char* op, int saved_errno);
+
+/// Either a T or a non-OK Status. Supports move-only payloads
+/// (std::unique_ptr<VirtualArena> etc.).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = InternalError("StatusOr constructed from OK Status without value");
+    }
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& { DieIfError(); return *value_; }
+  T& ValueOrDie() & { DieIfError(); return *value_; }
+  T&& ValueOrDie() && { DieIfError(); return *std::move(value_); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!status_.ok()) {
+      std::fprintf(stderr, "[vmsv] ValueOrDie on error status: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;           // OK iff value_ holds a payload
+  std::optional<T> value_;
+};
+
+}  // namespace vmsv
+
+#endif  // VMSV_UTIL_STATUS_H_

@@ -1,0 +1,33 @@
+// Monotonic wall-clock stopwatch used by all benchmark timing paths.
+
+#ifndef VMSV_UTIL_STOPWATCH_H_
+#define VMSV_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace vmsv {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedNanos() const {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vmsv
+
+#endif  // VMSV_UTIL_STOPWATCH_H_

@@ -1,0 +1,94 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace vmsv {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  VMSV_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  VMSV_CHECK(cells.size() <= headers_.size());
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::PrintTable(std::FILE* out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "" : "  ",
+                   static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    std::fprintf(out, "%s%s", c == 0 ? "" : "  ",
+                 std::string(widths[c], '-').c_str());
+  }
+  std::fprintf(out, "\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::CsvEscape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\r\n") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (const char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += ',';
+      out += CsvEscape(row[c]);
+    }
+    out += '\n';
+  };
+  append_row(headers_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+void TablePrinter::PrintCsv(std::FILE* out) const {
+  const std::string csv = ToCsv();
+  std::fwrite(csv.data(), 1, csv.size(), out);
+}
+
+std::string TablePrinter::Fmt(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::string TablePrinter::Fmt(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  return buf;
+}
+
+std::string TablePrinter::Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace vmsv

@@ -1,0 +1,50 @@
+// Tabular benchmark output: aligned human-readable tables plus RFC-4180-ish
+// CSV (quoted fields, doubled quotes) so figure data can be piped straight
+// into plotting scripts.
+
+#ifndef VMSV_UTIL_TABLE_PRINTER_H_
+#define VMSV_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vmsv {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; short rows are padded with empty cells, long rows abort.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Human-readable aligned table.
+  void PrintTable(std::FILE* out = stdout) const;
+
+  /// CSV with a header row; fields containing comma, quote, CR or LF are
+  /// quoted and embedded quotes doubled.
+  void PrintCsv(std::FILE* out = stdout) const;
+
+  /// Renders the CSV into a string (unit-test hook).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return headers_.size(); }
+
+  // Cell formatting helpers.
+  static std::string Fmt(uint64_t value);
+  static std::string Fmt(int64_t value);
+  static std::string Fmt(double value, int precision);
+
+  /// Escapes a single CSV field (exposed for unit tests).
+  static std::string CsvEscape(const std::string& field);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vmsv
+
+#endif  // VMSV_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,97 @@
+#include "workload/query_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace vmsv {
+namespace {
+
+RangeQuery PlaceQuery(Rng& rng, Value domain_hi, Value width) {
+  if (width > domain_hi) width = domain_hi;
+  const Value max_lo = domain_hi - width;
+  const Value lo = rng.Below(max_lo + 1);
+  return RangeQuery{lo, lo + width};
+}
+
+/// Deterministic Fisher–Yates using the workload Rng.
+void Shuffle(std::vector<RangeQuery>& queries, Rng& rng) {
+  for (size_t i = queries.size(); i > 1; --i) {
+    const size_t j = rng.Below(i);
+    std::swap(queries[i - 1], queries[j]);
+  }
+}
+
+}  // namespace
+
+std::vector<RangeQuery> MakeVaryingWidthWorkload(const QueryWorkloadSpec& spec,
+                                                 Value max_width,
+                                                 Value min_width) {
+  if (min_width == 0) min_width = 1;
+  if (max_width < min_width) max_width = min_width;
+  Rng rng(spec.seed);
+  std::vector<RangeQuery> queries;
+  queries.reserve(spec.num_queries);
+  const double log_hi = std::log(static_cast<double>(max_width));
+  const double log_lo = std::log(static_cast<double>(min_width));
+  for (uint64_t i = 0; i < spec.num_queries; ++i) {
+    const double t =
+        spec.num_queries <= 1
+            ? 0.0
+            : static_cast<double>(i) / static_cast<double>(spec.num_queries - 1);
+    const double w = std::exp(log_hi + (log_lo - log_hi) * t);
+    queries.push_back(PlaceQuery(rng, spec.domain_hi, static_cast<Value>(w)));
+  }
+  Shuffle(queries, rng);
+  return queries;
+}
+
+std::vector<RangeQuery> MakeFixedSelectivityWorkload(
+    const QueryWorkloadSpec& spec, double selectivity) {
+  Rng rng(spec.seed);
+  const Value width = static_cast<Value>(
+      selectivity * static_cast<double>(spec.domain_hi));
+  std::vector<RangeQuery> queries;
+  queries.reserve(spec.num_queries);
+  for (uint64_t i = 0; i < spec.num_queries; ++i) {
+    queries.push_back(PlaceQuery(rng, spec.domain_hi, width));
+  }
+  return queries;
+}
+
+std::vector<RangeQuery> MakeZipfianWorkload(const QueryWorkloadSpec& spec,
+                                            double selectivity, double skew) {
+  Rng rng(spec.seed);
+  const Value width = static_cast<Value>(
+      selectivity * static_cast<double>(spec.domain_hi));
+
+  // Anchor positions: a deterministic set of possible query starts. Rank r
+  // is drawn with probability proportional to 1/(r+1)^skew.
+  constexpr size_t kAnchors = 256;
+  std::vector<Value> anchors(kAnchors);
+  const Value max_lo = spec.domain_hi > width ? spec.domain_hi - width : 0;
+  for (size_t i = 0; i < kAnchors; ++i) {
+    anchors[i] = Rng(spec.seed * 1315423911ull + i).Below(max_lo + 1);
+  }
+  std::vector<double> cdf(kAnchors);
+  double total = 0;
+  for (size_t r = 0; r < kAnchors; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), skew);
+    cdf[r] = total;
+  }
+  for (double& c : cdf) c /= total;
+
+  std::vector<RangeQuery> queries;
+  queries.reserve(spec.num_queries);
+  for (uint64_t i = 0; i < spec.num_queries; ++i) {
+    const double u = rng.NextUnit();
+    const size_t rank = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    const Value lo = anchors[std::min(rank, kAnchors - 1)];
+    queries.push_back(RangeQuery{lo, lo + width});
+  }
+  return queries;
+}
+
+}  // namespace vmsv

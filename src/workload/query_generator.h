@@ -1,0 +1,43 @@
+// Range-query workload generators for the paper's experiment sequences:
+// varying-width shuffled ranges (Figures 4/Table 1), fixed-selectivity
+// ranges (Figure 5), and a Zipfian-position extension for the skew ablation.
+
+#ifndef VMSV_WORKLOAD_QUERY_GENERATOR_H_
+#define VMSV_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace vmsv {
+
+struct QueryWorkloadSpec {
+  uint64_t num_queries = 250;
+  /// Inclusive upper bound of the queried value domain.
+  Value domain_hi = 100'000'000;
+  uint64_t seed = 7;
+};
+
+/// Query widths interpolate geometrically from `max_width` down to
+/// `min_width` across the sequence, then the sequence is shuffled (the
+/// paper's Figure-4 workload: 50M down to 5000, shuffled). Positions are
+/// uniform over the domain.
+std::vector<RangeQuery> MakeVaryingWidthWorkload(const QueryWorkloadSpec& spec,
+                                                 Value max_width,
+                                                 Value min_width);
+
+/// Every query selects `selectivity` of the value domain at a uniformly
+/// random position (Figure 5: 1% and 10%).
+std::vector<RangeQuery> MakeFixedSelectivityWorkload(
+    const QueryWorkloadSpec& spec, double selectivity);
+
+/// Fixed-selectivity queries whose positions are drawn Zipfian over a set of
+/// anchor positions; skew = 0 degenerates to uniform anchors. Models an
+/// analyst hammering a few hot ranges.
+std::vector<RangeQuery> MakeZipfianWorkload(const QueryWorkloadSpec& spec,
+                                            double selectivity, double skew);
+
+}  // namespace vmsv
+
+#endif  // VMSV_WORKLOAD_QUERY_GENERATOR_H_

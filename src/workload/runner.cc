@@ -1,0 +1,71 @@
+#include "workload/runner.h"
+
+#include <optional>
+#include <string>
+
+#include "util/stopwatch.h"
+
+namespace vmsv {
+
+StatusOr<WorkloadReport> RunWorkload(AdaptiveColumn* adaptive,
+                                     const std::vector<RangeQuery>& queries,
+                                     const RunnerOptions& options) {
+  if (adaptive == nullptr) return InvalidArgument("RunWorkload needs a column");
+  WorkloadReport report;
+  report.traces.reserve(queries.size());
+  const bool need_baseline = options.run_baseline || options.verify_results;
+
+  if (options.warmup && !queries.empty()) {
+    auto warm = adaptive->ExecuteFullScan(queries.front());
+    if (!warm.ok()) return warm.status();
+  }
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const RangeQuery& q = queries[i];
+    QueryTrace trace;
+    trace.query = q;
+
+    // The baseline runs first so neither series systematically inherits the
+    // other's cache warm-up; the reference measurement stays conservative.
+    std::optional<QueryExecution> baseline;
+    if (need_baseline) {
+      Stopwatch baseline_timer;
+      auto baseline_r = adaptive->ExecuteFullScan(q);
+      if (!baseline_r.ok()) return baseline_r.status();
+      trace.fullscan_ms = baseline_timer.ElapsedMillis();
+      baseline = *std::move(baseline_r);
+    }
+
+    Stopwatch adaptive_timer;
+    auto exec = adaptive->Execute(q);
+    if (!exec.ok()) return exec.status();
+    trace.adaptive_ms = adaptive_timer.ElapsedMillis();
+    trace.scanned_pages = exec->stats.scanned_pages;
+    trace.considered_views = exec->stats.considered_views;
+    trace.views_after = exec->stats.views_after;
+    trace.decision = exec->stats.decision;
+    trace.match_count = exec->match_count;
+    trace.sum = exec->sum;
+
+    if (baseline.has_value()) {
+      if (options.verify_results &&
+          (baseline->match_count != exec->match_count ||
+           baseline->sum != exec->sum)) {
+        return InternalError(
+            "adaptive/baseline mismatch at query " + std::to_string(i) +
+            " [" + std::to_string(q.lo) + ", " + std::to_string(q.hi) +
+            "]: adaptive count=" + std::to_string(exec->match_count) +
+            " sum=" + std::to_string(exec->sum) +
+            " vs baseline count=" + std::to_string(baseline->match_count) +
+            " sum=" + std::to_string(baseline->sum));
+      }
+    }
+
+    report.adaptive_total_ms += trace.adaptive_ms;
+    report.fullscan_total_ms += trace.fullscan_ms;
+    report.traces.push_back(trace);
+  }
+  return report;
+}
+
+}  // namespace vmsv

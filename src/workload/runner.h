@@ -1,0 +1,53 @@
+// RunWorkload — drives a query sequence through an AdaptiveColumn, timing
+// each adaptive answer against the full-scan baseline and (optionally)
+// verifying that both agree. All figure harnesses and the adaptive tests
+// share this loop.
+
+#ifndef VMSV_WORKLOAD_RUNNER_H_
+#define VMSV_WORKLOAD_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/adaptive_layer.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace vmsv {
+
+struct RunnerOptions {
+  /// Also time every query as a full scan (the "full scans only" series).
+  bool run_baseline = true;
+  /// Compare adaptive result against the baseline and fail on mismatch.
+  /// Implies the baseline scan runs even if run_baseline is false.
+  bool verify_results = false;
+  /// One untimed full scan before the sequence, so the first measured query
+  /// is not polluted by cold caches/TLBs.
+  bool warmup = true;
+};
+
+struct QueryTrace {
+  RangeQuery query;
+  double adaptive_ms = 0;
+  double fullscan_ms = 0;
+  uint64_t scanned_pages = 0;
+  uint64_t considered_views = 0;
+  uint64_t views_after = 0;
+  CandidateDecision decision = CandidateDecision::kNone;
+  uint64_t match_count = 0;
+  Value sum = 0;
+};
+
+struct WorkloadReport {
+  std::vector<QueryTrace> traces;
+  double adaptive_total_ms = 0;
+  double fullscan_total_ms = 0;
+};
+
+StatusOr<WorkloadReport> RunWorkload(AdaptiveColumn* adaptive,
+                                     const std::vector<RangeQuery>& queries,
+                                     const RunnerOptions& options);
+
+}  // namespace vmsv
+
+#endif  // VMSV_WORKLOAD_RUNNER_H_

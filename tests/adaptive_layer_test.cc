@@ -1,0 +1,309 @@
+#include "core/adaptive_layer.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "workload/distribution.h"
+#include "workload/query_generator.h"
+#include "workload/runner.h"
+
+namespace vmsv {
+namespace {
+
+constexpr uint64_t kTestPages = 64;
+constexpr Value kMaxValue = 100'000'000;
+
+std::unique_ptr<PhysicalColumn> MakeTestColumn(DataDistribution kind) {
+  DistributionSpec spec;
+  spec.kind = kind;
+  spec.max_value = kMaxValue;
+  spec.seed = 42;
+  auto column_r = MakeColumn(spec, kTestPages * kValuesPerPage);
+  EXPECT_TRUE(column_r.ok()) << column_r.status().ToString();
+  return std::move(column_r).ValueOrDie();
+}
+
+std::unique_ptr<AdaptiveColumn> MakeAdaptive(DataDistribution kind,
+                                             const AdaptiveConfig& config) {
+  auto adaptive_r = AdaptiveColumn::Create(MakeTestColumn(kind), config);
+  EXPECT_TRUE(adaptive_r.ok()) << adaptive_r.status().ToString();
+  return std::move(adaptive_r).ValueOrDie();
+}
+
+std::vector<RangeQuery> TestWorkload(uint64_t n, uint64_t seed) {
+  QueryWorkloadSpec wspec;
+  wspec.num_queries = n;
+  wspec.domain_hi = kMaxValue;
+  wspec.seed = seed;
+  return MakeVaryingWidthWorkload(wspec, kMaxValue / 2, kMaxValue / 20000);
+}
+
+TEST(AdaptiveColumnTest, CreateValidatesArguments) {
+  EXPECT_FALSE(AdaptiveColumn::Create(nullptr, {}).ok());
+  AdaptiveConfig config;
+  config.max_views = 0;
+  EXPECT_FALSE(
+      AdaptiveColumn::Create(MakeTestColumn(DataDistribution::kSine), config)
+          .ok());
+}
+
+TEST(AdaptiveColumnTest, RejectsInvertedQuery) {
+  auto adaptive = MakeAdaptive(DataDistribution::kSine, {});
+  EXPECT_FALSE(adaptive->Execute(RangeQuery{10, 5}).ok());
+}
+
+// The core correctness contract: in both modes, on every distribution,
+// adaptive answers must equal the full-scan baseline for a whole query
+// sequence (the runner verifies each query).
+class AdaptiveModeTest
+    : public ::testing::TestWithParam<std::tuple<QueryMode, DataDistribution>> {
+};
+
+TEST_P(AdaptiveModeTest, ResultsEqualFullScanBaseline) {
+  const auto [mode, kind] = GetParam();
+  AdaptiveConfig config;
+  config.mode = mode;
+  config.max_views = 16;
+  auto adaptive = MakeAdaptive(kind, config);
+
+  RunnerOptions options;
+  options.run_baseline = true;
+  options.verify_results = true;
+  auto report_r = RunWorkload(adaptive.get(), TestWorkload(40, 3), options);
+  ASSERT_TRUE(report_r.ok()) << report_r.status().ToString();
+  EXPECT_EQ(report_r->traces.size(), 40u);
+
+  // The budget must be respected throughout.
+  EXPECT_LE(adaptive->view_index().num_partial_views(), config.max_views);
+  // On clustered data at least one view must have materialized.
+  EXPECT_GE(adaptive->view_index().num_partial_views(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModesAndDistributions, AdaptiveModeTest,
+    ::testing::Combine(::testing::Values(QueryMode::kSingleView,
+                                         QueryMode::kMultiView),
+                       ::testing::Values(DataDistribution::kSine,
+                                         DataDistribution::kLinear,
+                                         DataDistribution::kSparse,
+                                         DataDistribution::kUniform)));
+
+TEST(AdaptiveColumnTest, MaxViewsBudgetIsHardLimit) {
+  AdaptiveConfig config;
+  config.max_views = 3;
+  auto adaptive = MakeAdaptive(DataDistribution::kSine, config);
+
+  bool saw_budget_exhausted = false;
+  for (const RangeQuery& q : TestWorkload(60, 11)) {
+    auto exec = adaptive->Execute(q);
+    ASSERT_TRUE(exec.ok());
+    EXPECT_LE(adaptive->view_index().num_partial_views(), 3u);
+    saw_budget_exhausted |=
+        exec->stats.decision == CandidateDecision::kBudgetExhausted;
+  }
+  EXPECT_TRUE(saw_budget_exhausted);
+}
+
+TEST(AdaptiveColumnTest, CoveredQueryIsAnsweredFromView) {
+  auto adaptive = MakeAdaptive(DataDistribution::kSine, {});
+  const RangeQuery wide{10'000'000, 30'000'000};
+  auto first = adaptive->Execute(wide);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->stats.decision, CandidateDecision::kInserted);
+  EXPECT_EQ(first->stats.scanned_pages, kTestPages);
+
+  // A narrower query inside the view's range must be answered from it and
+  // scan at most the view's pages.
+  const RangeQuery narrow{12'000'000, 20'000'000};
+  auto second = adaptive->Execute(narrow);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->stats.decision, CandidateDecision::kAnsweredFromView);
+  EXPECT_LT(second->stats.scanned_pages, kTestPages);
+
+  auto baseline = adaptive->ExecuteFullScan(narrow);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(second->match_count, baseline->match_count);
+  EXPECT_EQ(second->sum, baseline->sum);
+}
+
+TEST(AdaptiveColumnTest, RepeatedQueryIsDiscardedAsSubset) {
+  auto adaptive = MakeAdaptive(DataDistribution::kSine, {});
+  const RangeQuery q{5'000'000, 25'000'000};
+  ASSERT_TRUE(adaptive->Execute(q).ok());
+  // Force the full-scan path again by querying a range only slightly wider
+  // than the view: its page set is typically identical on clustered data.
+  const RangeQuery wider{5'000'000, 25'000'001};
+  auto exec = adaptive->Execute(wider);
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ(exec->stats.decision, CandidateDecision::kDiscardedSubset);
+  EXPECT_EQ(adaptive->view_index().num_partial_views(), 1u);
+
+  // An exact-subset discard must extend the absorbing view's range, so the
+  // same query is answered from the view from now on instead of triggering
+  // an endless full-scan/discard loop.
+  auto again = adaptive->Execute(wider);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->stats.decision, CandidateDecision::kAnsweredFromView);
+  EXPECT_EQ(again->match_count, exec->match_count);
+  EXPECT_EQ(again->sum, exec->sum);
+
+  auto baseline = adaptive->ExecuteFullScan(wider);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(again->match_count, baseline->match_count);
+  EXPECT_EQ(again->sum, baseline->sum);
+}
+
+TEST(AdaptiveColumnTest, DisjointSubsetDiscardDoesNotExtendRange) {
+  // A candidate whose range is DISJOINT from the absorbing view must not
+  // widen it: the gap between the ranges was never scanned for, so routing
+  // gap queries to the view would return wrong results.
+  auto adaptive = MakeAdaptive(DataDistribution::kSparse, {});
+  // Sparse data: most pages hold only low-band values, so two disjoint
+  // high-band ranges often qualify the same few spike pages.
+  const RangeQuery a{60'000'000, 70'000'000};
+  ASSERT_TRUE(adaptive->Execute(a).ok());
+  const RangeQuery b{80'000'000, 90'000'000};
+  auto exec_b = adaptive->Execute(b);
+  ASSERT_TRUE(exec_b.ok());
+
+  // Whatever the decisions were, every later query must stay correct.
+  for (const RangeQuery& q :
+       {RangeQuery{72'000'000, 78'000'000}, RangeQuery{60'000'000, 90'000'000},
+        a, b}) {
+    auto exec = adaptive->Execute(q);
+    ASSERT_TRUE(exec.ok());
+    auto baseline = adaptive->ExecuteFullScan(q);
+    ASSERT_TRUE(baseline.ok());
+    EXPECT_EQ(exec->match_count, baseline->match_count)
+        << "[" << q.lo << "," << q.hi << "]";
+    EXPECT_EQ(exec->sum, baseline->sum);
+  }
+}
+
+TEST(AdaptiveColumnTest, DataFreeRangeIsRememberedAsEmptyView) {
+  // A query range holding no data must be recorded (as an empty view), not
+  // rebuilt and discarded on every repetition.
+  auto adaptive = MakeAdaptive(DataDistribution::kSine, {});
+  // All column values are <= kMaxValue, so this range is provably empty.
+  const RangeQuery empty_range{kMaxValue + 1, kMaxValue + 1000};
+  auto first = adaptive->Execute(empty_range);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->match_count, 0u);
+  EXPECT_EQ(first->stats.decision, CandidateDecision::kInserted);
+
+  auto second = adaptive->Execute(empty_range);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->stats.decision, CandidateDecision::kAnsweredFromView);
+  EXPECT_EQ(second->stats.scanned_pages, 0u);
+  EXPECT_EQ(second->match_count, 0u);
+
+  // A touching empty range merges instead of burning budget; a data-bearing
+  // query afterwards must not be answered by (or replace into) the empty
+  // view wrongly.
+  auto third = adaptive->Execute(RangeQuery{kMaxValue + 1001, kMaxValue + 2000});
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->stats.decision, CandidateDecision::kDiscardedSubset);
+  EXPECT_EQ(adaptive->view_index().num_partial_views(), 1u);
+
+  const RangeQuery data_range{0, kMaxValue / 4};
+  auto fourth = adaptive->Execute(data_range);
+  ASSERT_TRUE(fourth.ok());
+  auto baseline = adaptive->ExecuteFullScan(data_range);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(fourth->match_count, baseline->match_count);
+  EXPECT_EQ(fourth->sum, baseline->sum);
+  // The empty view must still be present alongside any new view.
+  EXPECT_GE(adaptive->view_index().num_partial_views(), 2u);
+}
+
+TEST(AdaptiveColumnTest, MultiViewCombinesViews) {
+  AdaptiveConfig config;
+  config.mode = QueryMode::kMultiView;
+  config.max_views = 8;
+  auto adaptive = MakeAdaptive(DataDistribution::kSine, config);
+
+  // Two adjacent views...
+  ASSERT_TRUE(adaptive->Execute(RangeQuery{10'000'000, 20'000'000}).ok());
+  ASSERT_TRUE(adaptive->Execute(RangeQuery{20'000'001, 30'000'000}).ok());
+  // ...jointly answer a query spanning both.
+  const RangeQuery spanning{15'000'000, 25'000'000};
+  auto exec = adaptive->Execute(spanning);
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ(exec->stats.decision, CandidateDecision::kAnsweredFromView);
+  EXPECT_EQ(exec->stats.considered_views, 2u);
+
+  auto baseline = adaptive->ExecuteFullScan(spanning);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(exec->match_count, baseline->match_count);
+  EXPECT_EQ(exec->sum, baseline->sum);
+}
+
+TEST(AdaptiveColumnTest, MetricsAccumulate) {
+  auto adaptive = MakeAdaptive(DataDistribution::kSine, {});
+  ASSERT_TRUE(adaptive->Execute(RangeQuery{0, kMaxValue}).ok());
+  ASSERT_TRUE(adaptive->Execute(RangeQuery{1'000'000, 2'000'000}).ok());
+  const CumulativeStats& m = adaptive->metrics();
+  EXPECT_EQ(m.queries, 2u);
+  EXPECT_EQ(m.fullscan_equivalent_pages, 2 * kTestPages);
+  EXPECT_GT(m.scanned_pages, 0u);
+  EXPECT_GE(m.PagesSavedRatio(), 0.0);
+  EXPECT_LT(m.PagesSavedRatio(), 1.0);
+}
+
+TEST(AdaptiveColumnTest, PendingUpdatesAreFlushedBeforeAnswering) {
+  auto adaptive = MakeAdaptive(DataDistribution::kSine, {});
+  const RangeQuery q{40'000'000, 60'000'000};
+  ASSERT_TRUE(adaptive->Execute(q).ok());
+
+  // Move some rows into and out of the queried range, bypassing no logs.
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t row = rng.Below(adaptive->column().num_rows());
+    adaptive->Update(row, rng.Below(kMaxValue + 1));
+  }
+  EXPECT_TRUE(adaptive->HasPendingUpdates());
+
+  auto exec = adaptive->Execute(q);
+  ASSERT_TRUE(exec.ok());
+  EXPECT_FALSE(adaptive->HasPendingUpdates());
+  auto baseline = adaptive->ExecuteFullScan(q);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(exec->match_count, baseline->match_count);
+  EXPECT_EQ(exec->sum, baseline->sum);
+}
+
+TEST(AdaptiveColumnTest, BackgroundMappingCreationMatchesBaseline) {
+  AdaptiveConfig config;
+  config.creation.coalesce_runs = true;
+  config.creation.background_mapping = true;
+  auto adaptive = MakeAdaptive(DataDistribution::kSine, config);
+  RunnerOptions options;
+  options.verify_results = true;
+  auto report_r = RunWorkload(adaptive.get(), TestWorkload(20, 9), options);
+  ASSERT_TRUE(report_r.ok()) << report_r.status().ToString();
+}
+
+TEST(AdaptiveColumnTest, ProcMapsMappingSourceMatchesBaseline) {
+  AdaptiveConfig config;
+  config.mapping_source = MappingSource::kProcMaps;
+  auto adaptive = MakeAdaptive(DataDistribution::kSine, config);
+  ASSERT_TRUE(adaptive->Execute(RangeQuery{30'000'000, 70'000'000}).ok());
+  Rng rng(17);
+  for (int i = 0; i < 300; ++i) {
+    adaptive->Update(rng.Below(adaptive->column().num_rows()),
+                     rng.Below(kMaxValue + 1));
+  }
+  const RangeQuery q{35'000'000, 65'000'000};
+  auto exec = adaptive->Execute(q);
+  ASSERT_TRUE(exec.ok());
+  auto baseline = adaptive->ExecuteFullScan(q);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(exec->match_count, baseline->match_count);
+  EXPECT_EQ(exec->sum, baseline->sum);
+}
+
+}  // namespace
+}  // namespace vmsv

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Asserts the paper's headline effect at smoke scale: the accumulated
+# adaptive response time on the sine distribution must not exceed the
+# fullscan-only baseline. Usage: check_fig4_smoke.sh <fig4-binary>
+# (scale knobs come from VMSV_* env vars set by ctest).
+set -eu
+
+bin="$1"
+
+# Wall-clock assertions on loaded CI machines are noisy: best of three
+# attempts. If adaptive is genuinely slower, all three fail.
+attempt=1
+while [ "$attempt" -le 3 ]; do
+  out="$("$bin")" || { echo "$out"; echo "FAIL: fig4 run failed"; exit 1; }
+
+  line="$(printf '%s\n' "$out" | grep '^# sine: accumulated')" || {
+    printf '%s\n' "$out"
+    echo "FAIL: no sine summary line in fig4 output"
+    exit 1
+  }
+
+  # Line shape: "# sine: accumulated adaptive=X ms, fullscan-only=Y ms, ..."
+  # awk exit codes: 0 = pass, 1 = timing failure (retryable), 2 = the line
+  # no longer parses (a format regression — never retry, never misreport
+  # as a performance problem).
+  rc=0
+  printf '%s\n' "$line" | awk -F'[= ]' '{
+    for (i = 1; i <= NF; ++i) {
+      if ($i == "adaptive") adaptive = $(i + 1);
+      if ($i == "fullscan-only") fullscan = $(i + 1);
+    }
+    if (adaptive == "" || fullscan == "") {
+      print "FAIL: could not parse accumulated times"; exit 2;
+    }
+    printf "adaptive=%s ms fullscan=%s ms\n", adaptive, fullscan;
+    if (adaptive + 0 > fullscan + 0) exit 1;
+  }' || rc=$?
+  if [ "$rc" -eq 0 ]; then
+    echo "OK: adaptive <= fullscan-only (attempt $attempt)"
+    exit 0
+  fi
+  if [ "$rc" -ge 2 ]; then
+    printf '%s\n' "$line"
+    echo "FAIL: summary line format changed"
+    exit 1
+  fi
+  echo "attempt $attempt: adaptive exceeded fullscan-only, retrying"
+  attempt=$((attempt + 1))
+done
+echo "FAIL: adaptive accumulated time exceeded fullscan-only in 3 attempts"
+exit 1

@@ -1,0 +1,232 @@
+// Pins the deterministic workload inputs: the Figure-2/4 distributions must
+// produce byte-identical columns across refactors (seed 42), or every
+// figure in the repo silently changes meaning.
+
+#include "workload/distribution.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/scan.h"
+#include "workload/query_generator.h"
+
+namespace vmsv {
+namespace {
+
+constexpr Value kMaxValue = 100'000'000;
+constexpr uint64_t kNumRows = 256 * kValuesPerPage;
+
+DistributionSpec SpecFor(DataDistribution kind) {
+  // Exactly the Figure-2 dump configuration in fig4_single_view_adaptive.
+  return DistributionSpec{kind, kMaxValue, 42, 100.0, 0.10};
+}
+
+TEST(ValueGeneratorTest, IsDeterministicAndPure) {
+  for (const DataDistribution kind :
+       {DataDistribution::kUniform, DataDistribution::kLinear,
+        DataDistribution::kSine, DataDistribution::kSparse}) {
+    const ValueGenerator a(SpecFor(kind), kNumRows);
+    const ValueGenerator b(SpecFor(kind), kNumRows);
+    for (uint64_t row = 0; row < 2048; row += 37) {
+      ASSERT_EQ(a(row), b(row)) << DistributionName(kind) << " row " << row;
+      ASSERT_EQ(a(row), a(row)) << DistributionName(kind) << " row " << row;
+    }
+  }
+}
+
+TEST(ValueGeneratorTest, SeedChangesValues) {
+  DistributionSpec a = SpecFor(DataDistribution::kUniform);
+  DistributionSpec b = a;
+  b.seed = 43;
+  const ValueGenerator ga(a, kNumRows);
+  const ValueGenerator gb(b, kNumRows);
+  int differing = 0;
+  for (uint64_t row = 0; row < 64; ++row) {
+    if (ga(row) != gb(row)) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(ValueGeneratorTest, ValuesStayInDomain) {
+  for (const DataDistribution kind :
+       {DataDistribution::kUniform, DataDistribution::kLinear,
+        DataDistribution::kSine, DataDistribution::kSparse}) {
+    const ValueGenerator gen(SpecFor(kind), kNumRows);
+    for (uint64_t row = 0; row < kNumRows; row += 101) {
+      ASSERT_LE(gen(row), kMaxValue) << DistributionName(kind);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden values, seed 42. These pin the exact Figure-2/4 inputs. If a
+// refactor changes them intentionally, regenerate with
+// `fig4_single_view_adaptive --dump-dist` and update BOTH this test and any
+// stored figure data.
+
+TEST(GoldenDistributionTest, LinearFirstRows) {
+  const ValueGenerator gen(SpecFor(DataDistribution::kLinear), kNumRows);
+  const std::vector<Value> expected = {
+      0, 1536516, 3087443, 0,
+  };
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(gen(i), expected[i]) << "row " << i;
+  }
+}
+
+TEST(GoldenDistributionTest, SparseFirstRows) {
+  const ValueGenerator gen(SpecFor(DataDistribution::kSparse), kNumRows);
+  const std::vector<Value> expected = {
+      415970, 574537, 423633, 471791,
+  };
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(gen(i), expected[i]) << "row " << i;
+  }
+}
+
+TEST(GoldenDistributionTest, UniformFirstRows) {
+  const ValueGenerator gen(SpecFor(DataDistribution::kUniform), kNumRows);
+  const std::vector<Value> expected = {
+      21603245, 47542703, 96012303, 54251173,
+  };
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(gen(i), expected[i]) << "row " << i;
+  }
+}
+
+TEST(GoldenDistributionTest, SineFirstRows) {
+  // sin() comes from libm, so the sine golden uses a tolerance wide enough
+  // for cross-libm ULP drift yet far below the jitter amplitude.
+  const ValueGenerator gen(SpecFor(DataDistribution::kSine), kNumRows);
+  const std::vector<double> expected = {
+      53343848.0, 50529396.0, 50566492.0, 47779217.0,
+  };
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(gen(i)), expected[i], 100.0) << "row " << i;
+  }
+}
+
+TEST(GoldenDistributionTest, PerPageFirstValues) {
+  // The series Figure 2 actually plots: first value of each page.
+  const ValueGenerator linear(SpecFor(DataDistribution::kLinear), kNumRows);
+  const ValueGenerator sparse(SpecFor(DataDistribution::kSparse), kNumRows);
+  const std::vector<Value> expected_linear = {
+      0, 23993969, 45334524,
+  };
+  const std::vector<Value> expected_sparse = {
+      415970, 67809578, 383686,
+  };
+  const std::vector<uint64_t> pages = {0, 64, 128};
+  for (size_t i = 0; i < pages.size(); ++i) {
+    EXPECT_EQ(linear(pages[i] * kValuesPerPage), expected_linear[i]);
+    EXPECT_EQ(sparse(pages[i] * kValuesPerPage), expected_sparse[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural properties the experiments rely on.
+
+TEST(DistributionShapeTest, UniformPageQualificationMatchesPaper) {
+  // Figure 6(a): with uniform data over [0, 100M], ~40% of 512-value pages
+  // contain a value in [0, 100k] (1 - (1 - 1e-3)^512 = 0.401).
+  auto column_r = MakeColumn(SpecFor(DataDistribution::kUniform), kNumRows);
+  ASSERT_TRUE(column_r.ok());
+  auto& column = *column_r;
+  uint64_t qualifying = 0;
+  for (uint64_t page = 0; page < column->num_pages(); ++page) {
+    if (PageContainsAny(column->PageData(page), kValuesPerPage,
+                        RangeQuery{0, 100'000})) {
+      ++qualifying;
+    }
+  }
+  const double fraction =
+      static_cast<double>(qualifying) / static_cast<double>(column->num_pages());
+  EXPECT_NEAR(fraction, 0.401, 0.08);
+}
+
+TEST(DistributionShapeTest, ClusteredDistributionsProduceSmallViews) {
+  // The premise of adaptivity: on clustered data, a narrow value range maps
+  // to a small fraction of the pages.
+  for (const DataDistribution kind :
+       {DataDistribution::kLinear, DataDistribution::kSine,
+        DataDistribution::kSparse}) {
+    auto column_r = MakeColumn(SpecFor(kind), kNumRows);
+    ASSERT_TRUE(column_r.ok());
+    auto& column = *column_r;
+    const RangeQuery narrow{70'000'000, 72'000'000};  // 2% of the domain
+    uint64_t qualifying = 0;
+    for (uint64_t page = 0; page < column->num_pages(); ++page) {
+      if (PageContainsAny(column->PageData(page), kValuesPerPage, narrow)) {
+        ++qualifying;
+      }
+    }
+    EXPECT_LT(qualifying, column->num_pages() / 2)
+        << DistributionName(kind)
+        << ": narrow range touches too many pages for views to pay off";
+  }
+}
+
+TEST(MakeColumnTest, ColumnMatchesGenerator) {
+  const DistributionSpec spec = SpecFor(DataDistribution::kSine);
+  auto column_r = MakeColumn(spec, kNumRows);
+  ASSERT_TRUE(column_r.ok());
+  auto& column = *column_r;
+  const ValueGenerator gen(spec, kNumRows);
+  for (uint64_t row = 0; row < kNumRows; row += 999) {
+    ASSERT_EQ(column->Get(row), gen(row)) << "row " << row;
+  }
+}
+
+TEST(QueryGeneratorTest, WorkloadsAreDeterministic) {
+  QueryWorkloadSpec wspec;
+  wspec.num_queries = 50;
+  wspec.domain_hi = kMaxValue;
+  wspec.seed = 7;
+  const auto a = MakeVaryingWidthWorkload(wspec, 50'000'000, 5'000);
+  const auto b = MakeVaryingWidthWorkload(wspec, 50'000'000, 5'000);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "query " << i;
+  }
+  for (const RangeQuery& q : a) {
+    ASSERT_LE(q.lo, q.hi);
+    ASSERT_LE(q.hi, kMaxValue);
+  }
+}
+
+TEST(QueryGeneratorTest, FixedSelectivityWidths) {
+  QueryWorkloadSpec wspec;
+  wspec.num_queries = 20;
+  wspec.domain_hi = kMaxValue;
+  wspec.seed = 11;
+  const auto queries = MakeFixedSelectivityWorkload(wspec, 0.01);
+  for (const RangeQuery& q : queries) {
+    EXPECT_EQ(q.hi - q.lo, static_cast<Value>(0.01 * kMaxValue));
+    EXPECT_LE(q.hi, kMaxValue);
+  }
+}
+
+TEST(QueryGeneratorTest, ZipfianSkewConcentratesPositions) {
+  QueryWorkloadSpec wspec;
+  wspec.num_queries = 200;
+  wspec.domain_hi = kMaxValue;
+  wspec.seed = 13;
+  auto count_distinct = [](const std::vector<RangeQuery>& qs) {
+    std::vector<Value> los;
+    for (const auto& q : qs) los.push_back(q.lo);
+    std::sort(los.begin(), los.end());
+    los.erase(std::unique(los.begin(), los.end()), los.end());
+    return los.size();
+  };
+  const size_t uniform_distinct =
+      count_distinct(MakeZipfianWorkload(wspec, 0.02, 0.0));
+  const size_t skewed_distinct =
+      count_distinct(MakeZipfianWorkload(wspec, 0.02, 2.0));
+  EXPECT_LT(skewed_distinct, uniform_distinct);
+}
+
+}  // namespace
+}  // namespace vmsv

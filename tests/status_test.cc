@@ -1,0 +1,77 @@
+#include "util/status.h"
+
+#include <cerrno>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace vmsv {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_EQ(st, Status::OK());
+  EXPECT_EQ(st, OkStatus());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status st = InvalidArgument("bad page id");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad page id");
+  EXPECT_EQ(st.ToString(), "INVALID_ARGUMENT: bad page id");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(IoError("x").code(), StatusCode::kIoError);
+}
+
+TEST(StatusTest, ErrnoErrorMentionsOperation) {
+  const Status st = ErrnoError("mmap", ENOMEM);
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("mmap"), std::string::npos);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.ValueOrDie(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(NotFound("no such view"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, SupportsMoveOnlyPayload) {
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(**result, 7);
+  std::unique_ptr<int> owned = std::move(result).ValueOrDie();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusOrTest, ArrowOperatorReachesMembers) {
+  StatusOr<std::string> result(std::string("views"));
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(StatusOrTest, ConstructionFromOkStatusBecomesInternalError) {
+  StatusOr<int> result{OkStatus()};
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace vmsv

@@ -1,0 +1,67 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace vmsv {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsPassThrough) {
+  EXPECT_EQ(TablePrinter::CsvEscape("adaptive_ms"), "adaptive_ms");
+  EXPECT_EQ(TablePrinter::CsvEscape(""), "");
+  EXPECT_EQ(TablePrinter::CsvEscape("3.14"), "3.14");
+}
+
+TEST(CsvEscapeTest, CommaForcesQuoting) {
+  EXPECT_EQ(TablePrinter::CsvEscape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscapeTest, QuotesAreDoubled) {
+  EXPECT_EQ(TablePrinter::CsvEscape("v[\"0\"]"), "\"v[\"\"0\"\"]\"");
+}
+
+TEST(CsvEscapeTest, NewlinesForceQuoting) {
+  EXPECT_EQ(TablePrinter::CsvEscape("a\nb"), "\"a\nb\"");
+  EXPECT_EQ(TablePrinter::CsvEscape("a\r\nb"), "\"a\r\nb\"");
+}
+
+TEST(TablePrinterTest, CsvHasHeaderAndRows) {
+  TablePrinter table({"k", "ms"});
+  table.AddRow({"10", "1.5"});
+  table.AddRow({"20", "0.25"});
+  EXPECT_EQ(table.ToCsv(), "k,ms\n10,1.5\n20,0.25\n");
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  EXPECT_EQ(table.ToCsv(), "a,b,c\n1,,\n");
+}
+
+TEST(TablePrinterTest, EscapingAppliesInsideRows) {
+  TablePrinter table({"label", "value"});
+  table.AddRow({"sine, 1%", "3"});
+  EXPECT_EQ(table.ToCsv(), "label,value\n\"sine, 1%\",3\n");
+}
+
+TEST(TablePrinterFmtTest, Integers) {
+  EXPECT_EQ(TablePrinter::Fmt(uint64_t{0}), "0");
+  EXPECT_EQ(TablePrinter::Fmt(~uint64_t{0}), "18446744073709551615");
+  EXPECT_EQ(TablePrinter::Fmt(int64_t{-42}), "-42");
+}
+
+TEST(TablePrinterFmtTest, DoublesRespectPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 0), "3");
+  EXPECT_EQ(TablePrinter::Fmt(0.5, 3), "0.500");
+}
+
+TEST(TablePrinterTest, CountsRowsAndColumns) {
+  TablePrinter table({"x", "y"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  EXPECT_EQ(table.num_columns(), 2u);
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace vmsv
