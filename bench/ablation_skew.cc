@@ -22,8 +22,9 @@ int Main() {
   const bench::BenchEnv env =
       bench::LoadBenchEnv("Ablation: query-position skew (Zipfian)", 8192);
 
-  TablePrinter table({"skew", "adaptive_ms", "fullscan_ms", "speedup_x",
-                      "pages_saved_pct", "final_views"});
+  TablePrinter table(bench::WithScanConfigHeaders(
+      {"skew", "adaptive_ms", "fullscan_ms", "speedup_x", "pages_saved_pct",
+       "final_views"}));
   for (const double skew : {0.0, 0.5, 1.0, 1.5, 2.0}) {
     DistributionSpec spec;
     spec.kind = DataDistribution::kSine;
@@ -51,14 +52,16 @@ int Main() {
     VMSV_BENCH_CHECK_OK(report_r.status());
 
     const CumulativeStats& m = adaptive->metrics();
-    table.AddRow({TablePrinter::Fmt(skew, 1),
-                  TablePrinter::Fmt(report_r->adaptive_total_ms, 1),
-                  TablePrinter::Fmt(report_r->fullscan_total_ms, 1),
-                  TablePrinter::Fmt(
-                      report_r->fullscan_total_ms / report_r->adaptive_total_ms, 2),
-                  TablePrinter::Fmt(100.0 * m.PagesSavedRatio(), 1),
-                  TablePrinter::Fmt(static_cast<uint64_t>(
-                      adaptive->view_index().num_partial_views()))});
+    table.AddRow(bench::WithScanConfigCells(
+        {TablePrinter::Fmt(skew, 1),
+         TablePrinter::Fmt(report_r->adaptive_total_ms, 1),
+         TablePrinter::Fmt(report_r->fullscan_total_ms, 1),
+         TablePrinter::Fmt(
+             report_r->fullscan_total_ms / report_r->adaptive_total_ms, 2),
+         TablePrinter::Fmt(100.0 * m.PagesSavedRatio(), 1),
+         TablePrinter::Fmt(static_cast<uint64_t>(
+             adaptive->view_index().num_partial_views()))},
+        env));
   }
   table.PrintTable();
   std::fprintf(stdout, "\n# csv\n");

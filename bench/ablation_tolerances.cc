@@ -84,8 +84,9 @@ int Main() {
   const bench::BenchEnv env = bench::LoadBenchEnv(
       "Ablation: discard/replacement tolerances and routing policy", 8192);
 
-  TablePrinter table({"mode", "d", "r", "total_ms", "inserted", "discarded",
-                      "replaced", "final_views", "view_pages"});
+  TablePrinter table(bench::WithScanConfigHeaders(
+      {"mode", "d", "r", "total_ms", "inserted", "discarded", "replaced",
+       "final_views", "view_pages"}));
   struct Row {
     QueryMode mode;
     bool cost_based;
@@ -106,13 +107,15 @@ int Main() {
         RunConfig(env, row.mode, row.cost_based, row.d, row.r);
     std::string mode = row.mode == QueryMode::kSingleView ? "single" : "multi";
     if (row.cost_based) mode += "+cost";
-    table.AddRow({mode, TablePrinter::Fmt(row.d), TablePrinter::Fmt(row.r),
-                  TablePrinter::Fmt(result.total_ms, 1),
-                  TablePrinter::Fmt(result.inserted),
-                  TablePrinter::Fmt(result.discarded),
-                  TablePrinter::Fmt(result.replaced),
-                  TablePrinter::Fmt(result.final_views),
-                  TablePrinter::Fmt(result.total_view_pages)});
+    table.AddRow(bench::WithScanConfigCells(
+        {mode, TablePrinter::Fmt(row.d), TablePrinter::Fmt(row.r),
+         TablePrinter::Fmt(result.total_ms, 1),
+         TablePrinter::Fmt(result.inserted),
+         TablePrinter::Fmt(result.discarded),
+         TablePrinter::Fmt(result.replaced),
+         TablePrinter::Fmt(result.final_views),
+         TablePrinter::Fmt(result.total_view_pages)},
+        env));
   }
   table.PrintTable();
   std::fprintf(stdout, "\n# csv\n");

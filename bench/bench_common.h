@@ -5,6 +5,11 @@
 // an 8-core machine with vm.max_map_count raised to 2^32-1. Defaults here
 // fit a small container; set VMSV_PAGES=1048576 (and raise vm.max_map_count)
 // to reproduce paper scale.
+//
+// Every harness runs on top of the scan execution engine (src/exec/): the
+// active kernel (VMSV_KERNEL) and scan parallelism (VMSV_THREADS) are
+// printed in the header and emitted as `kernel`/`threads` CSV columns so
+// each figure's numbers are attributable to a scan configuration.
 
 #ifndef VMSV_BENCH_BENCH_COMMON_H_
 #define VMSV_BENCH_BENCH_COMMON_H_
@@ -12,7 +17,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "exec/parallel_scanner.h"
+#include "exec/scan_kernels.h"
+#include "exec/thread_pool.h"
 #include "rewiring/physical_memory_file.h"
 #include "util/env.h"
 
@@ -31,6 +40,12 @@ struct BenchEnv {
   MemoryFileBackend backend;
   /// vm.max_map_count in effect after the raise attempt.
   uint64_t map_budget;
+  /// Active scan kernel name (VMSV_KERNEL / cpuid dispatch).
+  const char* kernel;
+  /// Scan parallelism (VMSV_THREADS, default hardware_concurrency).
+  uint64_t threads;
+  /// Pages at or below which scans run serially (VMSV_SERIAL_CUTOFF).
+  uint64_t serial_cutoff;
 };
 
 /// Loads the environment with `default_pages` as the column-size default,
@@ -47,6 +62,9 @@ inline BenchEnv LoadBenchEnv(const char* bench_name, uint64_t default_pages) {
   env.map_budget = GetEnvUint64("VMSV_RAISE_MAP_COUNT", 0) != 0
                        ? TryRaiseMaxMapCount((uint64_t{1} << 32) - 1)
                        : ReadMaxMapCount(/*fallback=*/65530);
+  env.kernel = ScanKernelName(ActiveScanKernel());
+  env.threads = DefaultScanThreads();
+  env.serial_cutoff = DefaultSerialCutoffPages();
   std::fprintf(stdout, "# %s\n", bench_name);
   std::fprintf(stdout,
                "# pages=%llu (%.1f MB column)  queries=%llu  reps=%llu  "
@@ -57,7 +75,27 @@ inline BenchEnv LoadBenchEnv(const char* bench_name, uint64_t default_pages) {
                static_cast<unsigned long long>(env.reps),
                env.backend == MemoryFileBackend::kMemfd ? "memfd" : "shm",
                static_cast<unsigned long long>(env.map_budget));
+  std::fprintf(stdout,
+               "# scan engine: kernel=%s  threads=%llu  serial_cutoff=%llu "
+               "pages\n",
+               env.kernel, static_cast<unsigned long long>(env.threads),
+               static_cast<unsigned long long>(env.serial_cutoff));
   return env;
+}
+
+/// Appends the scan-configuration columns every figure CSV carries.
+inline std::vector<std::string> WithScanConfigHeaders(
+    std::vector<std::string> headers) {
+  headers.push_back("kernel");
+  headers.push_back("threads");
+  return headers;
+}
+
+inline std::vector<std::string> WithScanConfigCells(
+    std::vector<std::string> cells, const BenchEnv& env) {
+  cells.push_back(env.kernel);
+  cells.push_back(std::to_string(env.threads));
+  return cells;
 }
 
 /// Aborts with a readable message when a Status is not OK.

@@ -75,16 +75,19 @@ int RunDistribution(const bench::BenchEnv& env, DataDistribution kind) {
   const WorkloadReport& report = *report_r;
 
   std::fprintf(stdout, "\n## %s distribution\n", DistributionName(kind));
-  TablePrinter table({"query", "adaptive_ms", "scanned_pages", "fullscan_ms",
-                      "views_after", "decision"});
+  TablePrinter table(bench::WithScanConfigHeaders(
+      {"query", "adaptive_ms", "scanned_pages", "fullscan_ms", "views_after",
+       "decision"}));
   for (size_t i = 0; i < report.traces.size(); ++i) {
     const QueryTrace& t = report.traces[i];
-    table.AddRow({TablePrinter::Fmt(static_cast<uint64_t>(i)),
-                  TablePrinter::Fmt(t.adaptive_ms, 3),
-                  TablePrinter::Fmt(t.scanned_pages),
-                  TablePrinter::Fmt(t.fullscan_ms, 3),
-                  TablePrinter::Fmt(t.views_after),
-                  CandidateDecisionName(t.decision)});
+    table.AddRow(bench::WithScanConfigCells(
+        {TablePrinter::Fmt(static_cast<uint64_t>(i)),
+         TablePrinter::Fmt(t.adaptive_ms, 3),
+         TablePrinter::Fmt(t.scanned_pages),
+         TablePrinter::Fmt(t.fullscan_ms, 3),
+         TablePrinter::Fmt(t.views_after),
+         CandidateDecisionName(t.decision)},
+        env));
   }
   table.PrintCsv();
   std::fprintf(stdout,

@@ -57,17 +57,20 @@ int RunScenario(const bench::BenchEnv& env, const Scenario& scenario) {
 
   std::fprintf(stdout, "\n## sine distribution, selectivity %.0f%%, max %zu views\n",
                scenario.selectivity * 100.0, scenario.max_views);
-  TablePrinter table({"query", "adaptive_ms", "considered_views", "fullscan_ms",
-                      "views_after"});
+  TablePrinter table(bench::WithScanConfigHeaders(
+      {"query", "adaptive_ms", "considered_views", "fullscan_ms",
+       "views_after"}));
   uint64_t max_considered = 0;
   for (size_t i = 0; i < report.traces.size(); ++i) {
     const QueryTrace& t = report.traces[i];
     max_considered = std::max(max_considered, t.considered_views);
-    table.AddRow({TablePrinter::Fmt(static_cast<uint64_t>(i)),
-                  TablePrinter::Fmt(t.adaptive_ms, 3),
-                  TablePrinter::Fmt(t.considered_views),
-                  TablePrinter::Fmt(t.fullscan_ms, 3),
-                  TablePrinter::Fmt(t.views_after)});
+    table.AddRow(bench::WithScanConfigCells(
+        {TablePrinter::Fmt(static_cast<uint64_t>(i)),
+         TablePrinter::Fmt(t.adaptive_ms, 3),
+         TablePrinter::Fmt(t.considered_views),
+         TablePrinter::Fmt(t.fullscan_ms, 3),
+         TablePrinter::Fmt(t.views_after)},
+        env));
   }
   table.PrintCsv();
   std::fprintf(stdout,

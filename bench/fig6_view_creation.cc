@@ -58,8 +58,9 @@ int Main() {
       {"both optimizations", {true, true}},
   };
 
-  TablePrinter table({"distribution", "config", "create_ms", "view_pages",
-                      "mmap_calls"});
+  TablePrinter table(bench::WithScanConfigHeaders(
+      {"distribution", "config", "create_ms", "create_median_ms",
+       "view_pages", "mmap_calls"}));
   for (const Scenario& scenario : scenarios) {
     auto column_r =
         MakeColumn(scenario.spec, env.pages * kValuesPerPage, env.backend);
@@ -83,8 +84,14 @@ int Main() {
         view_pages = (*view_r)->num_pages();
         map_calls = (*view_r)->arena().map_call_count();
       }
-      table.AddRow({scenario.label, cfg.label, TablePrinter::Fmt(times.Mean(), 2),
-                    TablePrinter::Fmt(view_pages), TablePrinter::Fmt(map_calls)});
+      // create_ms keeps its mean semantics (trajectory continuity);
+      // create_median_ms is the outlier-robust primary (reps are few and
+      // mmap-heavy runs have outliers).
+      table.AddRow(bench::WithScanConfigCells(
+          {scenario.label, cfg.label, TablePrinter::Fmt(times.Mean(), 2),
+           TablePrinter::Fmt(times.Median(), 2), TablePrinter::Fmt(view_pages),
+           TablePrinter::Fmt(map_calls)},
+          env));
     }
   }
   table.PrintTable();

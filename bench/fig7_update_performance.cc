@@ -55,9 +55,9 @@ int RunDistribution(const bench::BenchEnv& env, DataDistribution kind) {
   const std::vector<uint64_t> batch_sizes = {100, 1000, 10000, 100000, 1000000};
 
   std::fprintf(stdout, "\n## %s distribution\n", DistributionName(kind));
-  TablePrinter table({"batch", "parse_ms", "update_views_ms", "total_ms",
-                      "rebuild_ms", "pages_added", "pages_removed",
-                      "view_pages_before"});
+  TablePrinter table(bench::WithScanConfigHeaders(
+      {"batch", "parse_ms", "update_views_ms", "total_ms", "rebuild_ms",
+       "pages_added", "pages_removed", "view_pages_before"}));
 
   for (const uint64_t batch_size : batch_sizes) {
     DistributionSpec spec;
@@ -106,14 +106,15 @@ int RunDistribution(const bench::BenchEnv& env, DataDistribution kind) {
       }
     }
 
-    table.AddRow({TablePrinter::Fmt(batch_size),
-                  TablePrinter::Fmt(stats.parse_ms, 2),
-                  TablePrinter::Fmt(stats.align_ms, 2),
-                  TablePrinter::Fmt(stats.parse_ms + stats.align_ms, 2),
-                  TablePrinter::Fmt(rebuild_ms, 2),
-                  TablePrinter::Fmt(stats.pages_added),
-                  TablePrinter::Fmt(stats.pages_removed),
-                  TablePrinter::Fmt(set.total_pages)});
+    table.AddRow(bench::WithScanConfigCells(
+        {TablePrinter::Fmt(batch_size), TablePrinter::Fmt(stats.parse_ms, 2),
+         TablePrinter::Fmt(stats.align_ms, 2),
+         TablePrinter::Fmt(stats.parse_ms + stats.align_ms, 2),
+         TablePrinter::Fmt(rebuild_ms, 2),
+         TablePrinter::Fmt(stats.pages_added),
+         TablePrinter::Fmt(stats.pages_removed),
+         TablePrinter::Fmt(set.total_pages)},
+        env));
   }
   table.PrintTable();
   std::fprintf(stdout, "\n# csv\n");

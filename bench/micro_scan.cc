@@ -1,80 +1,271 @@
 // Micro-benchmarks of the scan kernels and index lookup paths (extension
-// E9): per-page filtering and the five Figure-3 variants on a small column.
+// E9), plus the repo's perf-baseline harness:
+//
+//   micro_scan --sweep   runs {every available kernel} x {1, 2, 4, 8}
+//                        threads full-column scans and writes BENCH_scan.json
+//                        (per-configuration throughput in pages/s and GB/s,
+//                        per-rep timings, medians) — the machine-readable
+//                        perf trajectory later PRs regress against. The
+//                        sweep verifies every configuration returns
+//                        bit-identical match_count/sum before reporting.
+//
+// Without --sweep it is the usual Google-Benchmark binary; per-kernel scan
+// benchmarks are registered for each kernel available on the machine.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "bench_common.h"
 #include "core/adaptive_layer.h"
-#include "core/scan.h"
+#include "exec/parallel_scanner.h"
+#include "exec/scan_kernels.h"
 #include "index/bitmap_index.h"
 #include "index/page_id_vector_index.h"
 #include "index/physical_copy_index.h"
 #include "index/virtual_view_index.h"
 #include "index/zone_map_index.h"
+#include "util/histogram.h"
 #include "util/macros.h"
+#include "util/stopwatch.h"
 #include "workload/distribution.h"
 
 namespace vmsv {
 namespace {
 
-constexpr uint64_t kBenchPages = 4096;  // 16 MB column
 constexpr Value kMaxValue = 100'000'000;
 
-std::unique_ptr<PhysicalColumn> MakeBenchColumn() {
+std::unique_ptr<PhysicalColumn> MakeBenchColumn(uint64_t pages) {
   DistributionSpec spec;
   spec.kind = DataDistribution::kUniform;
   spec.max_value = kMaxValue;
-  spec.seed = 3;
-  auto column = MakeColumn(spec, kBenchPages * kValuesPerPage);
+  spec.seed = 42;  // the golden seed the ctest suites pin
+  auto column = MakeColumn(spec, pages * kValuesPerPage);
   VMSV_CHECK_OK(column.status());
   return std::move(column).ValueOrDie();
 }
 
-void BM_ScanPage(benchmark::State& state) {
-  auto column = MakeBenchColumn();
+// ---------------------------------------------------------------------------
+// Perf-baseline sweep (BENCH_scan.json)
+
+struct SweepConfig {
+  ScanKernel kernel;
+  unsigned threads;
+  std::vector<double> rep_ms;
+  double median_ms = 0;
+  double pages_per_s = 0;
+  double gb_per_s = 0;
+};
+
+int SweepMain() {
+  const bench::BenchEnv env = bench::LoadBenchEnv(
+      "micro_scan --sweep: kernel x thread scan baseline", 65536);
+  const std::string json_path = GetEnvString("VMSV_BENCH_JSON", "BENCH_scan.json");
+  auto column = MakeBenchColumn(env.pages);
+  const Value* base =
+      reinterpret_cast<const Value*>(column->base_arena().data());
+  const RangeQuery q{0, kMaxValue / 2};
+
+  std::vector<ScanKernel> kernels;
+  for (ScanKernel k :
+       {ScanKernel::kScalar, ScanKernel::kAvx2, ScanKernel::kAvx512}) {
+    if (ScanKernelAvailable(k)) kernels.push_back(k);
+  }
+  const std::vector<unsigned> thread_counts = {1, 2, 4, 8};
+
+  // Reference result from the scalar serial pass; every configuration must
+  // reproduce it bit-identically or the sweep aborts.
+  const PageScanResult ref =
+      ScanPageScalar(base, env.pages * kValuesPerPage, q);
+
+  const ScanKernel restore = ActiveScanKernel();
+  std::vector<SweepConfig> configs;
+  for (const ScanKernel kernel : kernels) {
+    VMSV_BENCH_CHECK_OK(SetActiveScanKernel(kernel));
+    for (const unsigned threads : thread_counts) {
+      SweepConfig cfg;
+      cfg.kernel = kernel;
+      cfg.threads = threads;
+      ParallelScanOptions options;
+      options.threads = threads;
+      options.serial_cutoff = 0;  // measure the sharded path even at smoke scale
+      const ParallelScanner scanner(options);
+      // Warm-up: touches every page (and spins up pool workers) untimed.
+      PageScanResult r = scanner.ScanPages(base, env.pages, q);
+      SampleStats times;
+      for (uint64_t rep = 0; rep < env.reps; ++rep) {
+        Stopwatch timer;
+        r = scanner.ScanPages(base, env.pages, q);
+        const double ms = timer.ElapsedMillis();
+        times.Add(ms);
+        cfg.rep_ms.push_back(ms);
+      }
+      if (r.match_count != ref.match_count || r.sum != ref.sum) {
+        std::fprintf(stderr,
+                     "[bench] RESULT MISMATCH kernel=%s threads=%u vs scalar "
+                     "serial reference\n",
+                     ScanKernelName(kernel), threads);
+        return 1;
+      }
+      cfg.median_ms = times.Median();
+      cfg.pages_per_s =
+          static_cast<double>(env.pages) / (cfg.median_ms / 1000.0);
+      cfg.gb_per_s = static_cast<double>(env.pages) * 4096.0 / 1e9 /
+                     (cfg.median_ms / 1000.0);
+      std::fprintf(stdout,
+                   "kernel=%-6s threads=%u  median=%9.3f ms  %12.0f pages/s  "
+                   "%6.2f GB/s\n",
+                   ScanKernelName(kernel), threads, cfg.median_ms,
+                   cfg.pages_per_s, cfg.gb_per_s);
+      configs.push_back(std::move(cfg));
+    }
+  }
+  VMSV_BENCH_CHECK_OK(SetActiveScanKernel(restore));
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"micro_scan\",\n");
+  std::fprintf(out, "  \"schema_version\": 1,\n");
+  std::fprintf(out, "  \"pages\": %llu,\n",
+               static_cast<unsigned long long>(env.pages));
+  std::fprintf(out, "  \"values_per_page\": %llu,\n",
+               static_cast<unsigned long long>(kValuesPerPage));
+  std::fprintf(out, "  \"reps\": %llu,\n",
+               static_cast<unsigned long long>(env.reps));
+  std::fprintf(out, "  \"query_selectivity\": 0.5,\n");
+  std::fprintf(out, "  \"distribution\": \"uniform\",\n");
+  std::fprintf(out, "  \"seed\": 42,\n");
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"default_kernel\": \"%s\",\n",
+               ScanKernelName(restore));
+  std::fprintf(out, "  \"configs\": [\n");
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const SweepConfig& cfg = configs[i];
+    std::fprintf(out, "    {\"kernel\": \"%s\", \"threads\": %u, ",
+                 ScanKernelName(cfg.kernel), cfg.threads);
+    std::fprintf(out, "\"median_ms\": %.6f, \"pages_per_s\": %.1f, "
+                 "\"gb_per_s\": %.4f, \"rep_ms\": [",
+                 cfg.median_ms, cfg.pages_per_s, cfg.gb_per_s);
+    for (size_t rep = 0; rep < cfg.rep_ms.size(); ++rep) {
+      std::fprintf(out, "%s%.6f", rep == 0 ? "" : ", ", cfg.rep_ms[rep]);
+    }
+    std::fprintf(out, "]}%s\n", i + 1 == configs.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::fprintf(stdout, "# wrote %s (%zu configurations)\n", json_path.c_str(),
+               configs.size());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Google-Benchmark microbenchmarks
+
+constexpr uint64_t kBenchPages = 4096;  // 16 MB column
+
+void BM_ScanPageKernel(benchmark::State& state) {
+  const auto kernel = static_cast<ScanKernel>(state.range(0));
+  const ScanKernelOps* ops = GetScanKernelOps(kernel);
+  if (ops == nullptr) {
+    state.SkipWithError("kernel unavailable on this machine/build");
+    return;
+  }
+  auto column = MakeBenchColumn(kBenchPages);
   const RangeQuery q{0, kMaxValue / 2};
   uint64_t page = 0;
   for (auto _ : state) {
-    const PageScanResult r = ScanPage(column->PageData(page), kValuesPerPage, q);
+    const PageScanResult r =
+        ops->scan_page(column->PageData(page), kValuesPerPage, q);
     benchmark::DoNotOptimize(r.sum);
     page = (page + 1) % kBenchPages;
   }
   state.SetBytesProcessed(state.iterations() * kPageSize);
+  state.SetLabel(ScanKernelName(kernel));
 }
-BENCHMARK(BM_ScanPage);
+BENCHMARK(BM_ScanPageKernel)
+    ->Arg(static_cast<int>(ScanKernel::kScalar))
+    ->Arg(static_cast<int>(ScanKernel::kAvx2))
+    ->Arg(static_cast<int>(ScanKernel::kAvx512));
 
-void BM_PageContainsAny(benchmark::State& state) {
-  auto column = MakeBenchColumn();
-  // A narrow range: most pages need a full inspection before reporting no.
+void BM_PageContainsAnyKernel(benchmark::State& state) {
+  const auto kernel = static_cast<ScanKernel>(state.range(0));
+  const ScanKernelOps* ops = GetScanKernelOps(kernel);
+  if (ops == nullptr) {
+    state.SkipWithError("kernel unavailable on this machine/build");
+    return;
+  }
+  auto column = MakeBenchColumn(kBenchPages);
+  // A narrow range above the domain: every page needs the full (blocked)
+  // inspection before reporting no — the worst case the block accumulator
+  // is built for.
   const RangeQuery q{kMaxValue + 1, kMaxValue + 2};
   uint64_t page = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        PageContainsAny(column->PageData(page), kValuesPerPage, q));
+        ops->page_contains_any(column->PageData(page), kValuesPerPage, q));
     page = (page + 1) % kBenchPages;
   }
   state.SetBytesProcessed(state.iterations() * kPageSize);
+  state.SetLabel(ScanKernelName(kernel));
 }
-BENCHMARK(BM_PageContainsAny);
+BENCHMARK(BM_PageContainsAnyKernel)
+    ->Arg(static_cast<int>(ScanKernel::kScalar))
+    ->Arg(static_cast<int>(ScanKernel::kAvx2))
+    ->Arg(static_cast<int>(ScanKernel::kAvx512));
 
-void BM_FullViewScan(benchmark::State& state) {
-  auto adaptive_r = AdaptiveColumn::Create(MakeBenchColumn(), {});
-  VMSV_CHECK(adaptive_r.ok());
-  auto& adaptive = *adaptive_r;
+void BM_ComputePageZoneKernel(benchmark::State& state) {
+  const auto kernel = static_cast<ScanKernel>(state.range(0));
+  const ScanKernelOps* ops = GetScanKernelOps(kernel);
+  if (ops == nullptr) {
+    state.SkipWithError("kernel unavailable on this machine/build");
+    return;
+  }
+  auto column = MakeBenchColumn(kBenchPages);
+  uint64_t page = 0;
+  for (auto _ : state) {
+    const PageZone zone =
+        ops->compute_page_zone(column->PageData(page), kValuesPerPage);
+    benchmark::DoNotOptimize(zone.min);
+    page = (page + 1) % kBenchPages;
+  }
+  state.SetBytesProcessed(state.iterations() * kPageSize);
+  state.SetLabel(ScanKernelName(kernel));
+}
+BENCHMARK(BM_ComputePageZoneKernel)
+    ->Arg(static_cast<int>(ScanKernel::kScalar))
+    ->Arg(static_cast<int>(ScanKernel::kAvx2))
+    ->Arg(static_cast<int>(ScanKernel::kAvx512));
+
+void BM_FullViewScanThreads(benchmark::State& state) {
+  auto column = MakeBenchColumn(kBenchPages);
+  const Value* base =
+      reinterpret_cast<const Value*>(column->base_arena().data());
+  ParallelScanOptions options;
+  options.threads = static_cast<unsigned>(state.range(0));
+  options.serial_cutoff = 0;
+  const ParallelScanner scanner(options);
   const RangeQuery q{0, 50'000};
   for (auto _ : state) {
-    auto result = adaptive->ExecuteFullScan(q);
-    VMSV_CHECK(result.ok());
-    benchmark::DoNotOptimize(result->sum);
+    const PageScanResult r = scanner.ScanPages(base, kBenchPages, q);
+    benchmark::DoNotOptimize(r.sum);
   }
   state.SetBytesProcessed(state.iterations() * kBenchPages * kPageSize);
 }
-BENCHMARK(BM_FullViewScan);
+BENCHMARK(BM_FullViewScanThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 template <typename Index>
 void BM_IndexLookup(benchmark::State& state) {
-  auto column = MakeBenchColumn();
+  auto column = MakeBenchColumn(kBenchPages);
   Index index;
   VMSV_CHECK_OK(index.Build(*column, 0, 100'000));  // ~40% of pages qualify
   const RangeQuery q{0, 50'000};
@@ -116,4 +307,15 @@ BENCHMARK(BM_AdaptiveSteadyState);
 }  // namespace
 }  // namespace vmsv
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sweep") == 0) {
+      return vmsv::SweepMain();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

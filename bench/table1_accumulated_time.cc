@@ -84,13 +84,15 @@ int Main() {
        true, 0.10},
   };
 
-  TablePrinter table(
-      {"config", "fullscan_only_s", "adaptive_s", "improvement_x"});
+  TablePrinter table(bench::WithScanConfigHeaders(
+      {"config", "fullscan_only_s", "adaptive_s", "improvement_x"}));
   for (const Config& cfg : configs) {
     const Totals totals = RunConfig(env, cfg);
-    table.AddRow({cfg.label, TablePrinter::Fmt(totals.fullscan_s, 2),
-                  TablePrinter::Fmt(totals.adaptive_s, 2),
-                  TablePrinter::Fmt(totals.fullscan_s / totals.adaptive_s, 2)});
+    table.AddRow(bench::WithScanConfigCells(
+        {cfg.label, TablePrinter::Fmt(totals.fullscan_s, 2),
+         TablePrinter::Fmt(totals.adaptive_s, 2),
+         TablePrinter::Fmt(totals.fullscan_s / totals.adaptive_s, 2)},
+        env));
   }
   table.PrintTable();
   std::fprintf(stdout, "\n# csv\n");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "exec/parallel_scanner.h"
 #include "util/macros.h"
 
 namespace vmsv {
@@ -111,9 +112,10 @@ StatusOr<QueryExecution> AdaptiveColumn::ExecuteFullScan(
   QueryExecution exec;
   // Whole pages, not num_rows: view scans operate page-wise, so the baseline
   // must treat any zero-filled tail identically for results to compare equal.
-  const PageScanResult r =
-      ScanPage(reinterpret_cast<const Value*>(column_->base_arena().data()),
-               column_->num_pages() * kValuesPerPage, q);
+  const ParallelScanner scanner;
+  const PageScanResult r = scanner.ScanPages(
+      reinterpret_cast<const Value*>(column_->base_arena().data()),
+      column_->num_pages(), q);
   exec.match_count = r.match_count;
   exec.sum = r.sum;
   exec.stats.scanned_pages = column_->num_pages();

@@ -1,6 +1,9 @@
-// Per-page scan kernels. Every query path — full scans, index probes,
-// view scans — funnels through these two loops, so they stay branch-light
-// and header-inline.
+// Per-page scan kernels — the SCALAR REFERENCE implementations. Every query
+// path — full scans, index probes, view scans — funnels through the
+// dispatched versions in exec/scan_kernels.h, which fall back to these loops
+// on hardware without SIMD support. The scalar loops stay branch-light and
+// header-inline; they define the semantics every vectorized kernel must
+// reproduce bit-identically (match_count, wrap-around sum, zone min/max).
 
 #ifndef VMSV_CORE_SCAN_H_
 #define VMSV_CORE_SCAN_H_
@@ -22,8 +25,8 @@ struct PageScanResult {
 };
 
 /// Filters `count` values against q, accumulating count and sum of matches.
-inline PageScanResult ScanPage(const Value* data, uint64_t count,
-                               const RangeQuery& q) {
+inline PageScanResult ScanPageScalar(const Value* data, uint64_t count,
+                                     const RangeQuery& q) {
   PageScanResult result;
   for (uint64_t i = 0; i < count; ++i) {
     const Value v = data[i];
@@ -36,12 +39,28 @@ inline PageScanResult ScanPage(const Value* data, uint64_t count,
   return result;
 }
 
-/// True when at least one of `count` values falls in q. Early-exits, so the
-/// common qualifying case is cheap; a non-qualifying page costs a full pass.
-inline bool PageContainsAny(const Value* data, uint64_t count,
-                            const RangeQuery& q) {
-  for (uint64_t i = 0; i < count; ++i) {
-    if (q.Contains(data[i])) return true;
+/// Number of values per early-exit block in PageContainsAny kernels. One
+/// 4 KiB page; large enough that the block accumulator stays branch-free,
+/// small enough that qualifying data is detected after a bounded overshoot.
+inline constexpr uint64_t kContainsBlockValues = 512;
+
+/// True when at least one of `count` values falls in q. Processes
+/// 512-value blocks with a branch-free OR-accumulator and early-exits per
+/// block, so a non-qualifying page costs one dependency-free pass instead of
+/// a chain of `count` data-dependent branches.
+inline bool PageContainsAnyScalar(const Value* data, uint64_t count,
+                                  const RangeQuery& q) {
+  uint64_t i = 0;
+  while (i < count) {
+    const uint64_t block_end =
+        (count - i < kContainsBlockValues) ? count : i + kContainsBlockValues;
+    uint64_t any = 0;
+    for (; i < block_end; ++i) {
+      const Value v = data[i];
+      any |= static_cast<uint64_t>(v >= q.lo) &
+             static_cast<uint64_t>(v <= q.hi);
+    }
+    if (any != 0) return true;
   }
   return false;
 }
@@ -54,7 +73,7 @@ struct PageZone {
   bool Intersects(const RangeQuery& q) const { return min <= q.hi && max >= q.lo; }
 };
 
-inline PageZone ComputePageZone(const Value* data, uint64_t count) {
+inline PageZone ComputePageZoneScalar(const Value* data, uint64_t count) {
   PageZone zone;
   for (uint64_t i = 0; i < count; ++i) {
     const Value v = data[i];

@@ -1,5 +1,6 @@
 #include "core/update_applier.h"
 
+#include "exec/scan_kernels.h"
 #include "rewiring/maps_parser.h"
 #include "util/macros.h"
 #include "util/stopwatch.h"

@@ -1,5 +1,6 @@
 #include "core/virtual_view.h"
 
+#include "exec/parallel_scanner.h"
 #include "util/macros.h"
 
 namespace vmsv {
@@ -155,9 +156,26 @@ Status VirtualView::RemovePage(uint64_t page) {
 
 PageScanResult VirtualView::Scan(const RangeQuery& q) const {
   // One pass over the contiguous virtual range — the whole point of
-  // rewiring: no indirection per page.
-  return ScanPage(reinterpret_cast<const Value*>(arena_->data()),
-                  pages_.size() * kValuesPerPage, q);
+  // rewiring: no indirection per page. Sharded across the scan pool above
+  // the serial cutoff.
+  const ParallelScanner scanner;
+  return scanner.ScanPages(reinterpret_cast<const Value*>(arena_->data()),
+                           pages_.size(), q);
+}
+
+PageScanResult VirtualView::ScanSelectedSlots(
+    const std::vector<uint64_t>& slots, const RangeQuery& q) const {
+  const ParallelScanner scanner;
+  return scanner.ScanShardsMerged(
+      slots.size(), [&](uint64_t begin, uint64_t end) {
+        PageScanResult r;
+        for (uint64_t i = begin; i < end; ++i) {
+          r.Merge(ScanPage(
+              reinterpret_cast<const Value*>(arena_->SlotData(slots[i])),
+              kValuesPerPage, q));
+        }
+        return r;
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -226,19 +244,53 @@ StatusOr<ViewBuildOutput> BuildViewAndAnswer(const PhysicalColumn& column,
   const RangeQuery view_range{lo, hi};
   const bool ranges_equal = view_range == query;
   const uint64_t num_pages = column.num_pages();
-  for (uint64_t page = 0; page < num_pages; ++page) {
-    const Value* data = column.PageData(page);
-    // One vectorized filter pass answers the query; on the adaptive path the
-    // candidate range IS the query range, so the same pass also decides page
-    // membership and creation rides on the answering scan for free. A wider
-    // view range needs a qualification probe only when the query found
-    // nothing on the page.
-    const PageScanResult r = ScanPage(data, kValuesPerPage, query);
-    out.query_result.Merge(r);
-    const bool qualifies =
-        r.match_count > 0 ||
-        (!ranges_equal && PageContainsAny(data, kValuesPerPage, view_range));
-    if (qualifies) state.AddPage(page);
+  // The data pass (filter + membership probe) shards across the scan pool;
+  // page membership and mmap work replay serially in page order afterwards,
+  // so view page order — and with it run coalescing and every result — is
+  // identical to the serial pass for any thread count.
+  const ParallelScanner scanner;
+  const unsigned shards = scanner.NumShards(num_pages);
+  if (shards <= 1) {
+    // Serial path: membership (and on the eager path, mapping) interleaves
+    // with the scan, so mmap work overlaps scanning as §2.3 describes.
+    for (uint64_t page = 0; page < num_pages; ++page) {
+      const Value* data = column.PageData(page);
+      // One vectorized filter pass answers the query; on the adaptive path
+      // the candidate range IS the query range, so the same pass also
+      // decides page membership and creation rides on the answering scan for
+      // free. A wider view range needs a qualification probe only when the
+      // query found nothing on the page.
+      const PageScanResult r = ScanPage(data, kValuesPerPage, query);
+      out.query_result.Merge(r);
+      const bool qualifies =
+          r.match_count > 0 ||
+          (!ranges_equal && PageContainsAny(data, kValuesPerPage, view_range));
+      if (qualifies) state.AddPage(page);
+    }
+  } else {
+    struct ShardScan {
+      PageScanResult result;
+      std::vector<uint64_t> qualifying;
+    };
+    std::vector<ShardScan> per_shard(shards);
+    scanner.ForShards(num_pages, [&](unsigned shard, uint64_t begin,
+                                     uint64_t end) {
+      ShardScan& s = per_shard[shard];
+      for (uint64_t page = begin; page < end; ++page) {
+        const Value* data = column.PageData(page);
+        const PageScanResult r = ScanPage(data, kValuesPerPage, query);
+        s.result.Merge(r);
+        const bool qualifies =
+            r.match_count > 0 ||
+            (!ranges_equal &&
+             PageContainsAny(data, kValuesPerPage, view_range));
+        if (qualifies) s.qualifying.push_back(page);
+      }
+    });
+    for (const ShardScan& s : per_shard) {
+      out.query_result.Merge(s.result);
+      for (const uint64_t page : s.qualifying) state.AddPage(page);
+    }
   }
   state.FlushRun();
   if (effective_mapper != nullptr) {

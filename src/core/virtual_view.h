@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/scan.h"
+#include "exec/scan_kernels.h"
 #include "rewiring/virtual_arena.h"
 #include "storage/column.h"
 #include "storage/types.h"
@@ -136,23 +137,27 @@ class VirtualView {
   /// slot unmapped; otherwise a list edit.
   Status RemovePage(uint64_t page);
 
-  /// Scans the view (virtually contiguous) filtered by q. The view must be
-  /// materialized.
+  /// Scans the view (virtually contiguous) filtered by q, sharded across
+  /// the scan thread pool. The view must be materialized.
   PageScanResult Scan(const RangeQuery& q) const;
 
   /// Scans only pages for which `include(physical_page)` is true — the
-  /// multi-view dedup hook.
+  /// multi-view dedup hook. Membership is decided serially in slot order
+  /// (the predicate may be stateful, e.g. an insert-into-seen-set); only
+  /// the selected slots' data scan is sharded across threads.
   template <typename Pred>
   PageScanResult ScanIf(const RangeQuery& q, Pred include) const {
-    PageScanResult result;
+    std::vector<uint64_t> slots;
+    slots.reserve(pages_.size());
     for (uint64_t slot = 0; slot < pages_.size(); ++slot) {
-      if (!include(pages_[slot])) continue;
-      result.Merge(ScanPage(
-          reinterpret_cast<const Value*>(arena_->SlotData(slot)),
-          kValuesPerPage, q));
+      if (include(pages_[slot])) slots.push_back(slot);
     }
-    return result;
+    return ScanSelectedSlots(slots, q);
   }
+
+  /// Sharded scan of an explicit slot list (ascending slot order).
+  PageScanResult ScanSelectedSlots(const std::vector<uint64_t>& slots,
+                                   const RangeQuery& q) const;
 
  private:
   VirtualView(std::shared_ptr<PhysicalMemoryFile> file, uint64_t arena_slots,

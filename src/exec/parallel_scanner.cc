@@ -1,0 +1,36 @@
+#include "exec/parallel_scanner.h"
+
+#include <vector>
+
+#include "exec/scan_kernels.h"
+#include "util/env.h"
+
+namespace vmsv {
+
+uint64_t DefaultSerialCutoffPages() {
+  static const uint64_t cached = GetEnvUint64("VMSV_SERIAL_CUTOFF", 2048);
+  return cached;
+}
+
+ParallelScanner::ParallelScanner(const ParallelScanOptions& options)
+    : threads_(options.threads > 0 ? options.threads : DefaultScanThreads()),
+      serial_cutoff_(options.serial_cutoff != ~uint64_t{0}
+                         ? options.serial_cutoff
+                         : DefaultSerialCutoffPages()) {}
+
+unsigned ParallelScanner::NumShards(uint64_t n_items) const {
+  if (threads_ <= 1 || n_items <= serial_cutoff_) return 1;
+  // Never more shards than items: empty shards would be wasted wakeups.
+  return n_items < threads_ ? static_cast<unsigned>(n_items) : threads_;
+}
+
+PageScanResult ParallelScanner::ScanPages(const Value* base,
+                                          uint64_t num_pages,
+                                          const RangeQuery& q) const {
+  return ScanShardsMerged(num_pages, [&](uint64_t begin, uint64_t end) {
+    return ScanPage(base + begin * kValuesPerPage,
+                    (end - begin) * kValuesPerPage, q);
+  });
+}
+
+}  // namespace vmsv

@@ -1,0 +1,132 @@
+// Kernel registry and runtime dispatch. This TU is compiled with
+// -fno-tree-vectorize (see CMakeLists) so the registered "scalar" kernel is
+// a genuinely scalar loop — the semantic reference the SIMD kernels are
+// verified against, and the honest baseline the perf harness compares them
+// to. The header-inline copies in core/scan.h that other TUs may inline
+// directly are unaffected.
+
+#include "exec/scan_kernels.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/env.h"
+
+namespace vmsv {
+
+namespace {
+
+PageScanResult ScanPageScalarThunk(const Value* data, uint64_t count,
+                                   const RangeQuery& q) {
+  return ScanPageScalar(data, count, q);
+}
+
+bool PageContainsAnyScalarThunk(const Value* data, uint64_t count,
+                                const RangeQuery& q) {
+  return PageContainsAnyScalar(data, count, q);
+}
+
+PageZone ComputePageZoneScalarThunk(const Value* data, uint64_t count) {
+  return ComputePageZoneScalar(data, count);
+}
+
+const ScanKernelOps kScalarOps = {
+    ScanKernel::kScalar,
+    &ScanPageScalarThunk,
+    &PageContainsAnyScalarThunk,
+    &ComputePageZoneScalarThunk,
+};
+
+/// Best kernel the CPU and build support, in descending preference.
+ScanKernel BestSupportedKernel() {
+  if (GetScanKernelOps(ScanKernel::kAvx512) != nullptr) {
+    return ScanKernel::kAvx512;
+  }
+  if (GetScanKernelOps(ScanKernel::kAvx2) != nullptr) {
+    return ScanKernel::kAvx2;
+  }
+  return ScanKernel::kScalar;
+}
+
+bool ParseKernelName(const std::string& name, ScanKernel* out) {
+  if (name == "scalar") {
+    *out = ScanKernel::kScalar;
+  } else if (name == "avx2") {
+    *out = ScanKernel::kAvx2;
+  } else if (name == "avx512") {
+    *out = ScanKernel::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* ScanKernelName(ScanKernel kernel) {
+  switch (kernel) {
+    case ScanKernel::kScalar: return "scalar";
+    case ScanKernel::kAvx2: return "avx2";
+    case ScanKernel::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+const ScanKernelOps* GetScanKernelOps(ScanKernel kernel) {
+  switch (kernel) {
+    case ScanKernel::kScalar: return &kScalarOps;
+    case ScanKernel::kAvx2: return GetAvx2KernelOpsIfCompiled();
+    case ScanKernel::kAvx512: return GetAvx512KernelOpsIfCompiled();
+  }
+  return nullptr;
+}
+
+bool ScanKernelAvailable(ScanKernel kernel) {
+  return GetScanKernelOps(kernel) != nullptr;
+}
+
+namespace exec_internal {
+
+std::atomic<const ScanKernelOps*> g_active_ops{nullptr};
+
+const ScanKernelOps* ResolveActiveOps() {
+  // Racing first calls both compute the same answer; the env read is
+  // idempotent, so publish-last-wins is harmless.
+  ScanKernel kernel = BestSupportedKernel();
+  const std::string requested = GetEnvString("VMSV_KERNEL", "auto");
+  if (requested != "auto" && !requested.empty()) {
+    ScanKernel forced;
+    if (!ParseKernelName(requested, &forced)) {
+      std::fprintf(stderr,
+                   "[vmsv] VMSV_KERNEL=%s unknown (scalar|avx2|avx512|auto); "
+                   "using %s\n",
+                   requested.c_str(), ScanKernelName(kernel));
+    } else if (!ScanKernelAvailable(forced)) {
+      std::fprintf(stderr,
+                   "[vmsv] VMSV_KERNEL=%s unavailable on this machine/build; "
+                   "falling back to %s\n",
+                   requested.c_str(), ScanKernelName(kernel));
+    } else {
+      kernel = forced;
+    }
+  }
+  const ScanKernelOps* ops = GetScanKernelOps(kernel);
+  g_active_ops.store(ops, std::memory_order_release);
+  return ops;
+}
+
+}  // namespace exec_internal
+
+ScanKernel ActiveScanKernel() { return exec_internal::ActiveOps().kernel; }
+
+Status SetActiveScanKernel(ScanKernel kernel) {
+  const ScanKernelOps* ops = GetScanKernelOps(kernel);
+  if (ops == nullptr) {
+    return InvalidArgument(std::string("scan kernel unavailable: ") +
+                           ScanKernelName(kernel));
+  }
+  exec_internal::g_active_ops.store(ops, std::memory_order_release);
+  return OkStatus();
+}
+
+}  // namespace vmsv

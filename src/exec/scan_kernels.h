@@ -1,0 +1,101 @@
+// Scan-kernel dispatch — the entry point of the scan execution engine.
+// Every query path calls the dispatched ScanPage / PageContainsAny /
+// ComputePageZone below, which route through a function-pointer table
+// resolved once at startup: AVX-512 when the CPU and build support it, else
+// AVX2, else the scalar reference loops of core/scan.h. The active kernel
+// can be pinned with VMSV_KERNEL=scalar|avx2|avx512 (tests force both
+// paths) or programmatically with SetActiveScanKernel.
+//
+// Contract: every kernel reproduces the scalar reference bit-identically —
+// match_count, the mod-2^64 wrap-around sum, and zone min/max — on any
+// input length (tails are handled scalar).
+
+#ifndef VMSV_EXEC_SCAN_KERNELS_H_
+#define VMSV_EXEC_SCAN_KERNELS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/scan.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace vmsv {
+
+enum class ScanKernel {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+const char* ScanKernelName(ScanKernel kernel);
+
+using ScanPageFn = PageScanResult (*)(const Value*, uint64_t,
+                                      const RangeQuery&);
+using PageContainsAnyFn = bool (*)(const Value*, uint64_t, const RangeQuery&);
+using ComputePageZoneFn = PageZone (*)(const Value*, uint64_t);
+
+/// One kernel implementation: the three per-page primitives.
+struct ScanKernelOps {
+  ScanKernel kernel;
+  ScanPageFn scan_page;
+  PageContainsAnyFn page_contains_any;
+  ComputePageZoneFn compute_page_zone;
+};
+
+/// Ops table for `kernel`, or nullptr when the kernel is unavailable (not
+/// compiled in, or the CPU lacks the instruction set).
+const ScanKernelOps* GetScanKernelOps(ScanKernel kernel);
+
+/// True when GetScanKernelOps(kernel) would return non-null.
+bool ScanKernelAvailable(ScanKernel kernel);
+
+/// The kernel the dispatched calls below currently use. Resolved on first
+/// use: VMSV_KERNEL when set (falling back with a warning if unsupported),
+/// otherwise the best available.
+ScanKernel ActiveScanKernel();
+
+/// Pins the dispatched calls to `kernel` (bench/test hook). Fails with
+/// InvalidArgument when the kernel is unavailable on this machine/build.
+Status SetActiveScanKernel(ScanKernel kernel);
+
+namespace exec_internal {
+/// Active ops pointer; never null after ResolveActiveOps.
+extern std::atomic<const ScanKernelOps*> g_active_ops;
+const ScanKernelOps* ResolveActiveOps();
+
+inline const ScanKernelOps& ActiveOps() {
+  const ScanKernelOps* ops = g_active_ops.load(std::memory_order_acquire);
+  if (ops == nullptr) ops = ResolveActiveOps();
+  return *ops;
+}
+}  // namespace exec_internal
+
+// ---------------------------------------------------------------------------
+// Dispatched kernels — the names the rest of the system calls.
+
+/// Filters `count` values against q, accumulating count and sum of matches.
+inline PageScanResult ScanPage(const Value* data, uint64_t count,
+                               const RangeQuery& q) {
+  return exec_internal::ActiveOps().scan_page(data, count, q);
+}
+
+/// True when at least one of `count` values falls in q.
+inline bool PageContainsAny(const Value* data, uint64_t count,
+                            const RangeQuery& q) {
+  return exec_internal::ActiveOps().page_contains_any(data, count, q);
+}
+
+/// Min/max of `count` values.
+inline PageZone ComputePageZone(const Value* data, uint64_t count) {
+  return exec_internal::ActiveOps().compute_page_zone(data, count);
+}
+
+// Implemented in scan_kernels_avx2.cc / scan_kernels_avx512.cc; return
+// nullptr when the TU was compiled without the instruction set.
+const ScanKernelOps* GetAvx2KernelOpsIfCompiled();
+const ScanKernelOps* GetAvx512KernelOpsIfCompiled();
+
+}  // namespace vmsv
+
+#endif  // VMSV_EXEC_SCAN_KERNELS_H_

@@ -1,0 +1,157 @@
+// AVX2 scan kernels. Compiled with -mavx2 when the toolchain supports it
+// (CMake VMSV_ENABLE_AVX2, default auto-detect); the whole TU degrades to a
+// nullptr registration otherwise, and the runtime additionally gates on
+// cpuid, so binaries stay portable across machines.
+//
+// uint64 has no unsigned compare in AVX2 — values and bounds are biased by
+// 2^63 (sign-bit XOR) so signed vpcmpgtq implements the unsigned range
+// test. Sums accumulate in 4 independent 64-bit lanes (wrap-around is
+// per-lane mod 2^64 and addition is commutative, so the horizontal reduce
+// is bit-identical to the scalar running sum). Tails are handled scalar.
+
+#include "exec/scan_kernels.h"
+
+#if defined(VMSV_COMPILE_AVX2)
+
+#include <immintrin.h>
+
+namespace vmsv {
+namespace {
+
+constexpr long long kSignBias = static_cast<long long>(0x8000000000000000ULL);
+
+inline __m256i BiasedLoad(const Value* p, __m256i sign) {
+  return _mm256_xor_si256(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)), sign);
+}
+
+PageScanResult ScanPageAvx2(const Value* data, uint64_t count,
+                            const RangeQuery& q) {
+  // match iff (v - lo) <=u (hi - lo): one subtract + one biased signed
+  // compare per vector (AVX2 has no unsigned vpcmpq) instead of two
+  // compares + an OR. Needs lo <= hi (hi - lo would underflow); an inverted
+  // range matches nothing, as in the scalar reference.
+  if (q.lo > q.hi) return PageScanResult{};
+  const __m256i lo = _mm256_set1_epi64x(static_cast<long long>(q.lo));
+  const __m256i biased_range =
+      _mm256_set1_epi64x(static_cast<long long>(q.hi - q.lo) ^ kSignBias);
+  const __m256i sign = _mm256_set1_epi64x(kSignBias);
+  __m256i sum0 = _mm256_setzero_si256();
+  __m256i sum1 = _mm256_setzero_si256();
+  __m256i miss0 = _mm256_setzero_si256();
+  __m256i miss1 = _mm256_setzero_si256();
+  uint64_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i + 4));
+    // out = (v - lo) >u (hi - lo): all-ones in non-matching lanes.
+    const __m256i outa = _mm256_cmpgt_epi64(
+        _mm256_xor_si256(_mm256_sub_epi64(a, lo), sign), biased_range);
+    const __m256i outb = _mm256_cmpgt_epi64(
+        _mm256_xor_si256(_mm256_sub_epi64(b, lo), sign), biased_range);
+    sum0 = _mm256_add_epi64(sum0, _mm256_andnot_si256(outa, a));
+    sum1 = _mm256_add_epi64(sum1, _mm256_andnot_si256(outb, b));
+    // Each non-matching lane adds -1; the lane totals count misses negated.
+    miss0 = _mm256_add_epi64(miss0, outa);
+    miss1 = _mm256_add_epi64(miss1, outb);
+  }
+  alignas(32) uint64_t sum_lanes[4];
+  alignas(32) uint64_t miss_lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(sum_lanes),
+                     _mm256_add_epi64(sum0, sum1));
+  _mm256_store_si256(reinterpret_cast<__m256i*>(miss_lanes),
+                     _mm256_add_epi64(miss0, miss1));
+  const uint64_t misses = static_cast<uint64_t>(
+      -static_cast<int64_t>(miss_lanes[0] + miss_lanes[1] + miss_lanes[2] +
+                            miss_lanes[3]));
+  PageScanResult result;
+  result.match_count = i - misses;
+  result.sum = sum_lanes[0] + sum_lanes[1] + sum_lanes[2] + sum_lanes[3];
+  const PageScanResult tail = ScanPageScalar(data + i, count - i, q);
+  result.Merge(tail);
+  return result;
+}
+
+bool PageContainsAnyAvx2(const Value* data, uint64_t count,
+                         const RangeQuery& q) {
+  if (q.lo > q.hi) return false;
+  const __m256i sign = _mm256_set1_epi64x(kSignBias);
+  const __m256i lo = _mm256_set1_epi64x(static_cast<long long>(q.lo));
+  const __m256i biased_range =
+      _mm256_set1_epi64x(static_cast<long long>(q.hi - q.lo) ^ kSignBias);
+  uint64_t i = 0;
+  while (i + 4 <= count) {
+    // One early-exit block: accumulate the AND of miss-masks branch-free,
+    // test once per block (mirrors the scalar blocked reference).
+    const uint64_t block_end =
+        (count - i < kContainsBlockValues) ? count : i + kContainsBlockValues;
+    __m256i all_out = _mm256_set1_epi64x(-1);
+    uint64_t j = i;
+    for (; j + 4 <= block_end; j += 4) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + j));
+      const __m256i out = _mm256_cmpgt_epi64(
+          _mm256_xor_si256(_mm256_sub_epi64(v, lo), sign), biased_range);
+      all_out = _mm256_and_si256(all_out, out);
+    }
+    // Any lane that stayed zero saw a match.
+    if (_mm256_movemask_epi8(all_out) != -1) return true;
+    i = j;
+  }
+  return PageContainsAnyScalar(data + i, count - i, q);
+}
+
+PageZone ComputePageZoneAvx2(const Value* data, uint64_t count) {
+  PageZone zone;
+  const __m256i sign = _mm256_set1_epi64x(kSignBias);
+  uint64_t i = 0;
+  if (count >= 4) {
+    __m256i mn = BiasedLoad(data, sign);
+    __m256i mx = mn;
+    for (i = 4; i + 4 <= count; i += 4) {
+      const __m256i vb = BiasedLoad(data + i, sign);
+      // Biased signed compare == unsigned compare on the raw values.
+      mn = _mm256_blendv_epi8(mn, vb, _mm256_cmpgt_epi64(mn, vb));
+      mx = _mm256_blendv_epi8(mx, vb, _mm256_cmpgt_epi64(vb, mx));
+    }
+    alignas(32) uint64_t mn_lanes[4];
+    alignas(32) uint64_t mx_lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(mn_lanes),
+                       _mm256_xor_si256(mn, sign));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(mx_lanes),
+                       _mm256_xor_si256(mx, sign));
+    for (int lane = 0; lane < 4; ++lane) {
+      if (mn_lanes[lane] < zone.min) zone.min = mn_lanes[lane];
+      if (mx_lanes[lane] > zone.max) zone.max = mx_lanes[lane];
+    }
+  }
+  const PageZone tail = ComputePageZoneScalar(data + i, count - i);
+  if (tail.min < zone.min) zone.min = tail.min;
+  if (tail.max > zone.max) zone.max = tail.max;
+  return zone;
+}
+
+const ScanKernelOps kAvx2Ops = {
+    ScanKernel::kAvx2,
+    &ScanPageAvx2,
+    &PageContainsAnyAvx2,
+    &ComputePageZoneAvx2,
+};
+
+}  // namespace
+
+const ScanKernelOps* GetAvx2KernelOpsIfCompiled() {
+  return __builtin_cpu_supports("avx2") ? &kAvx2Ops : nullptr;
+}
+
+}  // namespace vmsv
+
+#else  // !VMSV_COMPILE_AVX2
+
+namespace vmsv {
+const ScanKernelOps* GetAvx2KernelOpsIfCompiled() { return nullptr; }
+}  // namespace vmsv
+
+#endif  // VMSV_COMPILE_AVX2

@@ -1,0 +1,132 @@
+// AVX-512 scan kernels (F subset only — no DQ/BW dependence). Unlike AVX2,
+// AVX-512 has native unsigned 64-bit compares producing mask registers, so
+// the range test is two vpcmpuq + a kand, matches are counted by popcounting
+// the masks, and the sum uses a masked add. 8 values per vector, unrolled
+// 4x; sums accumulate per-lane mod 2^64 so the horizontal reduce is
+// bit-identical to the scalar running sum. Tails are handled scalar.
+
+#include "exec/scan_kernels.h"
+
+#if defined(VMSV_COMPILE_AVX512)
+
+#include <immintrin.h>
+
+namespace vmsv {
+namespace {
+
+PageScanResult ScanPageAvx512(const Value* data, uint64_t count,
+                              const RangeQuery& q) {
+  // match iff (v - lo) <=u (hi - lo): one subtract + one unsigned compare
+  // per vector instead of two compares. The trick needs lo <= hi (hi - lo
+  // would underflow); an inverted range matches nothing, as in the scalar
+  // reference.
+  if (q.lo > q.hi) return PageScanResult{};
+  const __m512i lo = _mm512_set1_epi64(static_cast<long long>(q.lo));
+  const __m512i range = _mm512_set1_epi64(static_cast<long long>(q.hi - q.lo));
+  __m512i s0 = _mm512_setzero_si512();
+  __m512i s1 = _mm512_setzero_si512();
+  __m512i s2 = _mm512_setzero_si512();
+  __m512i s3 = _mm512_setzero_si512();
+  uint64_t matches = 0;
+  uint64_t i = 0;
+  for (; i + 32 <= count; i += 32) {
+    const __m512i a = _mm512_loadu_si512(data + i);
+    const __m512i b = _mm512_loadu_si512(data + i + 8);
+    const __m512i c = _mm512_loadu_si512(data + i + 16);
+    const __m512i d = _mm512_loadu_si512(data + i + 24);
+    const __mmask8 ka =
+        _mm512_cmple_epu64_mask(_mm512_sub_epi64(a, lo), range);
+    const __mmask8 kb =
+        _mm512_cmple_epu64_mask(_mm512_sub_epi64(b, lo), range);
+    const __mmask8 kc =
+        _mm512_cmple_epu64_mask(_mm512_sub_epi64(c, lo), range);
+    const __mmask8 kd =
+        _mm512_cmple_epu64_mask(_mm512_sub_epi64(d, lo), range);
+    s0 = _mm512_mask_add_epi64(s0, ka, s0, a);
+    s1 = _mm512_mask_add_epi64(s1, kb, s1, b);
+    s2 = _mm512_mask_add_epi64(s2, kc, s2, c);
+    s3 = _mm512_mask_add_epi64(s3, kd, s3, d);
+    matches += static_cast<uint64_t>(__builtin_popcountll(
+        (static_cast<uint64_t>(ka) << 24) | (static_cast<uint64_t>(kb) << 16) |
+        (static_cast<uint64_t>(kc) << 8) | static_cast<uint64_t>(kd)));
+  }
+  for (; i + 8 <= count; i += 8) {
+    const __m512i a = _mm512_loadu_si512(data + i);
+    const __mmask8 ka =
+        _mm512_cmple_epu64_mask(_mm512_sub_epi64(a, lo), range);
+    s0 = _mm512_mask_add_epi64(s0, ka, s0, a);
+    matches += static_cast<uint64_t>(__builtin_popcount(ka));
+  }
+  PageScanResult result;
+  result.match_count = matches;
+  result.sum = static_cast<Value>(_mm512_reduce_add_epi64(
+      _mm512_add_epi64(_mm512_add_epi64(s0, s1), _mm512_add_epi64(s2, s3))));
+  const PageScanResult tail = ScanPageScalar(data + i, count - i, q);
+  result.Merge(tail);
+  return result;
+}
+
+bool PageContainsAnyAvx512(const Value* data, uint64_t count,
+                           const RangeQuery& q) {
+  if (q.lo > q.hi) return false;
+  const __m512i lo = _mm512_set1_epi64(static_cast<long long>(q.lo));
+  const __m512i range = _mm512_set1_epi64(static_cast<long long>(q.hi - q.lo));
+  uint64_t i = 0;
+  while (i + 8 <= count) {
+    // One early-exit block: OR the match masks branch-free, test per block.
+    const uint64_t block_end =
+        (count - i < kContainsBlockValues) ? count : i + kContainsBlockValues;
+    __mmask8 any = 0;
+    uint64_t j = i;
+    for (; j + 8 <= block_end; j += 8) {
+      const __m512i v = _mm512_loadu_si512(data + j);
+      any |= _mm512_cmple_epu64_mask(_mm512_sub_epi64(v, lo), range);
+    }
+    if (any != 0) return true;
+    i = j;
+  }
+  return PageContainsAnyScalar(data + i, count - i, q);
+}
+
+PageZone ComputePageZoneAvx512(const Value* data, uint64_t count) {
+  PageZone zone;
+  uint64_t i = 0;
+  if (count >= 8) {
+    __m512i mn = _mm512_loadu_si512(data);
+    __m512i mx = mn;
+    for (i = 8; i + 8 <= count; i += 8) {
+      const __m512i v = _mm512_loadu_si512(data + i);
+      mn = _mm512_min_epu64(mn, v);
+      mx = _mm512_max_epu64(mx, v);
+    }
+    zone.min = _mm512_reduce_min_epu64(mn);
+    zone.max = _mm512_reduce_max_epu64(mx);
+  }
+  const PageZone tail = ComputePageZoneScalar(data + i, count - i);
+  if (tail.min < zone.min) zone.min = tail.min;
+  if (tail.max > zone.max) zone.max = tail.max;
+  return zone;
+}
+
+const ScanKernelOps kAvx512Ops = {
+    ScanKernel::kAvx512,
+    &ScanPageAvx512,
+    &PageContainsAnyAvx512,
+    &ComputePageZoneAvx512,
+};
+
+}  // namespace
+
+const ScanKernelOps* GetAvx512KernelOpsIfCompiled() {
+  return __builtin_cpu_supports("avx512f") ? &kAvx512Ops : nullptr;
+}
+
+}  // namespace vmsv
+
+#else  // !VMSV_COMPILE_AVX512
+
+namespace vmsv {
+const ScanKernelOps* GetAvx512KernelOpsIfCompiled() { return nullptr; }
+}  // namespace vmsv
+
+#endif  // VMSV_COMPILE_AVX512

@@ -1,0 +1,119 @@
+#include "exec/thread_pool.h"
+
+#include "util/env.h"
+
+namespace vmsv {
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked on purpose: worker threads may outlive static destruction order.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+size_t ThreadPool::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+void ThreadPool::EnsureWorkers(unsigned n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (workers_.size() < n) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+bool ThreadPool::ClaimTask(uint64_t generation, uint64_t* task) {
+  // Claims go through mu_ so a straggler from a FINISHED job (one that is
+  // between tasks when the job completes) can never claim a task of the
+  // next job while holding the previous job's dangling fn pointer: its
+  // stale generation fails the check before any index is consumed. Claim
+  // frequency is one per shard, so the lock is noise next to shard work.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!job_open_ || job_generation_ != generation ||
+      next_task_ >= job_tasks_) {
+    return false;
+  }
+  *task = next_task_++;
+  return true;
+}
+
+void ThreadPool::FinishTask(uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (job_generation_ != generation) return;  // cannot happen; be safe
+  if (++completed_ == job_tasks_) done_cv_.notify_all();
+}
+
+void ThreadPool::Run(uint64_t n_tasks, unsigned parallelism,
+                     const std::function<void(uint64_t)>& fn) {
+  if (n_tasks == 0) return;
+  if (parallelism <= 1 || n_tasks == 1) {
+    for (uint64_t t = 0; t < n_tasks; ++t) fn(t);
+    return;
+  }
+  EnsureWorkers(parallelism - 1);
+  std::unique_lock<std::mutex> job_lock(job_mu_);  // one job at a time
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_tasks_ = n_tasks;
+    next_task_ = 0;
+    completed_ = 0;
+    generation = ++job_generation_;
+    job_open_ = true;
+  }
+  work_cv_.notify_all();
+  // The caller works too; pool workers race it for the remaining tasks.
+  uint64_t t;
+  while (ClaimTask(generation, &t)) {
+    fn(t);
+    FinishTask(generation);
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this, n_tasks] { return completed_ == n_tasks; });
+    job_open_ = false;
+    job_fn_ = nullptr;
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this, seen_generation] {
+      return stopping_ || (job_open_ && job_generation_ != seen_generation);
+    });
+    if (stopping_) return;
+    seen_generation = job_generation_;
+    const std::function<void(uint64_t)>* fn = job_fn_;
+    lock.unlock();
+    uint64_t t;
+    while (ClaimTask(seen_generation, &t)) {
+      (*fn)(t);
+      FinishTask(seen_generation);
+    }
+    lock.lock();
+  }
+}
+
+unsigned DefaultScanThreads() {
+  static const unsigned cached = [] {
+    const uint64_t from_env = GetEnvUint64("VMSV_THREADS", 0);
+    if (from_env > 0) return static_cast<unsigned>(from_env);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1u;
+  }();
+  return cached;
+}
+
+}  // namespace vmsv

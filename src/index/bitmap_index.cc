@@ -1,5 +1,7 @@
 #include "index/bitmap_index.h"
 
+#include "exec/parallel_scanner.h"
+
 namespace vmsv {
 
 Status BitmapIndex::Build(const PhysicalColumn& column, Value lo, Value hi) {
@@ -23,16 +25,27 @@ Status BitmapIndex::ApplyUpdate(const PhysicalColumn& column,
 
 IndexQueryResult BitmapIndex::Query(const PhysicalColumn& column,
                                     const RangeQuery& q) const {
-  IndexQueryResult result;
-  for (uint64_t word = 0; word < bits_.size(); ++word) {
-    uint64_t w = bits_[word];
-    while (w != 0) {
-      const uint64_t page = (word << 6) + static_cast<uint64_t>(__builtin_ctzll(w));
-      w &= w - 1;
-      result.Merge(ScanPage(column.PageData(page), kValuesPerPage, q));
-    }
-  }
-  return result;
+  // Sharded over bitmap WORDS (64 pages each) so shard boundaries stay
+  // word-aligned and the ctz set-bit walk is unchanged within a shard. The
+  // serial cutoff is configured in pages; convert it to words so the bitmap
+  // parallelizes at the same column size as the other probe paths.
+  ParallelScanOptions options;
+  options.serial_cutoff = (DefaultSerialCutoffPages() + 63) / 64;
+  const ParallelScanner scanner(options);
+  return scanner.ScanShardsMerged(
+      bits_.size(), [&](uint64_t begin, uint64_t end) {
+        IndexQueryResult r;
+        for (uint64_t word = begin; word < end; ++word) {
+          uint64_t w = bits_[word];
+          while (w != 0) {
+            const uint64_t page =
+                (word << 6) + static_cast<uint64_t>(__builtin_ctzll(w));
+            w &= w - 1;
+            r.Merge(ScanPage(column.PageData(page), kValuesPerPage, q));
+          }
+        }
+        return r;
+      });
 }
 
 }  // namespace vmsv

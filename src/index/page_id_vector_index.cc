@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/parallel_scanner.h"
+
 namespace vmsv {
 
 Status PageIdVectorIndex::Build(const PhysicalColumn& column, Value lo,
@@ -31,11 +33,15 @@ Status PageIdVectorIndex::ApplyUpdate(const PhysicalColumn& column,
 
 IndexQueryResult PageIdVectorIndex::Query(const PhysicalColumn& column,
                                           const RangeQuery& q) const {
-  IndexQueryResult result;
-  for (const uint64_t page : pages_) {
-    result.Merge(ScanPage(column.PageData(page), kValuesPerPage, q));
-  }
-  return result;
+  const ParallelScanner scanner;
+  return scanner.ScanShardsMerged(
+      pages_.size(), [&](uint64_t begin, uint64_t end) {
+        IndexQueryResult r;
+        for (uint64_t i = begin; i < end; ++i) {
+          r.Merge(ScanPage(column.PageData(pages_[i]), kValuesPerPage, q));
+        }
+        return r;
+      });
 }
 
 }  // namespace vmsv

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "core/scan.h"
+#include "exec/scan_kernels.h"
 #include "storage/column.h"
 #include "storage/types.h"
 #include "util/status.h"

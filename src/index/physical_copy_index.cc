@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "exec/parallel_scanner.h"
+
 namespace vmsv {
 
 void PhysicalCopyIndex::CopyPageIn(const PhysicalColumn& column, uint64_t page,
@@ -62,7 +64,9 @@ Status PhysicalCopyIndex::ApplyUpdate(const PhysicalColumn& column,
 
 IndexQueryResult PhysicalCopyIndex::Query(const PhysicalColumn& /*column*/,
                                           const RangeQuery& q) const {
-  return ScanPage(buffer_.data(), buffer_.size(), q);
+  // The copy buffer is dense and page-aligned by construction.
+  const ParallelScanner scanner;
+  return scanner.ScanPages(buffer_.data(), buffer_.size() / kValuesPerPage, q);
 }
 
 }  // namespace vmsv

@@ -1,34 +1,52 @@
 #include "index/zone_map_index.h"
 
+#include "exec/parallel_scanner.h"
+
 namespace vmsv {
 
 Status ZoneMapIndex::Build(const PhysicalColumn& column, Value lo, Value hi) {
   lo_ = lo;
   hi_ = hi;
-  zones_.resize(column.num_pages());
-  for (uint64_t page = 0; page < zones_.size(); ++page) {
-    zones_[page] = ComputePageZone(column.PageData(page), kValuesPerPage);
+  zones_.assign(column.num_pages(), PageZone{});
+  return RebuildRange(column, 0, zones_.size());
+}
+
+Status ZoneMapIndex::RebuildRange(const PhysicalColumn& column,
+                                  uint64_t first_page, uint64_t n_pages) {
+  // Overflow-safe: first_page + n_pages may wrap.
+  if (first_page > zones_.size() || n_pages > zones_.size() - first_page) {
+    return InvalidArgument("RebuildRange outside the built column");
   }
+  // Each shard writes a disjoint zones_ range — no merge step needed.
+  const ParallelScanner scanner;
+  scanner.ForShards(n_pages, [&](unsigned, uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      const uint64_t page = first_page + i;
+      zones_[page] = ComputePageZone(column.PageData(page), kValuesPerPage);
+    }
+  });
   return OkStatus();
 }
 
 Status ZoneMapIndex::ApplyUpdate(const PhysicalColumn& column,
                                  const RowUpdate& update) {
-  const uint64_t page = PhysicalColumn::PageOfRow(update.row);
   // Shrinking updates (old value was an extremum) need a rescan; growing
   // ones could be handled incrementally, but one page is cheap either way.
-  zones_[page] = ComputePageZone(column.PageData(page), kValuesPerPage);
-  return OkStatus();
+  return RebuildRange(column, PhysicalColumn::PageOfRow(update.row), 1);
 }
 
 IndexQueryResult ZoneMapIndex::Query(const PhysicalColumn& column,
                                      const RangeQuery& q) const {
-  IndexQueryResult result;
-  for (uint64_t page = 0; page < zones_.size(); ++page) {
-    if (!zones_[page].Intersects(q)) continue;
-    result.Merge(ScanPage(column.PageData(page), kValuesPerPage, q));
-  }
-  return result;
+  const ParallelScanner scanner;
+  return scanner.ScanShardsMerged(
+      zones_.size(), [&](uint64_t begin, uint64_t end) {
+        IndexQueryResult r;
+        for (uint64_t page = begin; page < end; ++page) {
+          if (!zones_[page].Intersects(q)) continue;
+          r.Merge(ScanPage(column.PageData(page), kValuesPerPage, q));
+        }
+        return r;
+      });
 }
 
 uint64_t ZoneMapIndex::num_indexed_pages() const {

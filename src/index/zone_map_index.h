@@ -1,6 +1,8 @@
 // Zone map (Figure 3 competitor): per-page min/max metadata for EVERY page
 // of the column. Queries inspect all zones — the paper's explanation for
-// why it is the slowest explicit representation at low selectivity.
+// why it is the slowest explicit representation at low selectivity. Zone
+// computation goes through the dispatched SIMD kernels and both build and
+// probe shard across the scan pool.
 
 #ifndef VMSV_INDEX_ZONE_MAP_INDEX_H_
 #define VMSV_INDEX_ZONE_MAP_INDEX_H_
@@ -21,6 +23,12 @@ class ZoneMapIndex : public PartialIndex {
   IndexQueryResult Query(const PhysicalColumn& column,
                          const RangeQuery& q) const override;
   uint64_t num_indexed_pages() const override;
+
+  /// Recomputes the zones of pages [first_page, first_page + n_pages) only,
+  /// so update alignment does not rescan untouched pages. The range must lie
+  /// within the built column.
+  Status RebuildRange(const PhysicalColumn& column, uint64_t first_page,
+                      uint64_t n_pages);
 
  private:
   std::vector<PageZone> zones_;  // one per column page

@@ -10,7 +10,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/scan.h"
+#include "exec/scan_kernels.h"
 #include "workload/query_generator.h"
 
 namespace vmsv {

@@ -1,0 +1,198 @@
+// Scalar-vs-SIMD kernel equivalence. Every available kernel must reproduce
+// the scalar reference BIT-IDENTICALLY: match_count, the mod-2^64
+// wrap-around sum, and zone min/max — on every tail length (SIMD kernels
+// process 4/8-value vectors with scalar tails, so lengths 0..65 cover all
+// vector/tail splits), on boundary queries, and on the seed-42 golden
+// distributions that pin the figure inputs.
+
+#include "exec/scan_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "workload/distribution.h"
+
+namespace vmsv {
+namespace {
+
+std::vector<ScanKernel> AvailableKernels() {
+  std::vector<ScanKernel> kernels;
+  for (ScanKernel k :
+       {ScanKernel::kScalar, ScanKernel::kAvx2, ScanKernel::kAvx512}) {
+    if (ScanKernelAvailable(k)) kernels.push_back(k);
+  }
+  return kernels;
+}
+
+void ExpectKernelMatchesScalar(const ScanKernelOps& ops, const Value* data,
+                               uint64_t count, const RangeQuery& q) {
+  const PageScanResult ref = ScanPageScalar(data, count, q);
+  const PageScanResult got = ops.scan_page(data, count, q);
+  EXPECT_EQ(ref.match_count, got.match_count)
+      << ScanKernelName(ops.kernel) << " count=" << count << " q=[" << q.lo
+      << "," << q.hi << "]";
+  EXPECT_EQ(ref.sum, got.sum)
+      << ScanKernelName(ops.kernel) << " count=" << count;
+
+  EXPECT_EQ(PageContainsAnyScalar(data, count, q),
+            ops.page_contains_any(data, count, q))
+      << ScanKernelName(ops.kernel) << " count=" << count;
+
+  const PageZone ref_zone = ComputePageZoneScalar(data, count);
+  const PageZone got_zone = ops.compute_page_zone(data, count);
+  EXPECT_EQ(ref_zone.min, got_zone.min)
+      << ScanKernelName(ops.kernel) << " count=" << count;
+  EXPECT_EQ(ref_zone.max, got_zone.max)
+      << ScanKernelName(ops.kernel) << " count=" << count;
+}
+
+TEST(ScanKernelTest, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(ScanKernelAvailable(ScanKernel::kScalar));
+  ASSERT_NE(GetScanKernelOps(ScanKernel::kScalar), nullptr);
+}
+
+TEST(ScanKernelTest, ActiveKernelHonorsEnvOverride) {
+  // ctest registers this suite once per VMSV_KERNEL value; when the forced
+  // kernel is available the dispatcher must pick exactly it (when it is
+  // not — e.g. avx512 on an older box — the dispatcher falls back and the
+  // equivalence tests below still cover every kernel that exists).
+  const char* requested = std::getenv("VMSV_KERNEL");
+  if (requested == nullptr || std::string(requested) == "auto") {
+    GTEST_SKIP() << "no VMSV_KERNEL forced";
+  }
+  const std::string name = requested;
+  for (ScanKernel k :
+       {ScanKernel::kScalar, ScanKernel::kAvx2, ScanKernel::kAvx512}) {
+    if (name == ScanKernelName(k) && ScanKernelAvailable(k)) {
+      EXPECT_EQ(ActiveScanKernel(), k);
+      return;
+    }
+  }
+  GTEST_SKIP() << "forced kernel " << name << " unavailable here";
+}
+
+TEST(ScanKernelTest, SetActiveScanKernelRejectsUnavailable) {
+  const ScanKernel original = ActiveScanKernel();
+  // At least one of the SIMD kernels is unavailable on SOME machine; fake
+  // it portably by probing both and checking the error shape when missing.
+  for (ScanKernel k : {ScanKernel::kAvx2, ScanKernel::kAvx512}) {
+    if (!ScanKernelAvailable(k)) {
+      EXPECT_FALSE(SetActiveScanKernel(k).ok());
+    }
+  }
+  EXPECT_TRUE(SetActiveScanKernel(ScanKernel::kScalar).ok());
+  EXPECT_EQ(ActiveScanKernel(), ScanKernel::kScalar);
+  ASSERT_TRUE(SetActiveScanKernel(original).ok());
+  EXPECT_EQ(ActiveScanKernel(), original);
+}
+
+TEST(ScanKernelTest, ExhaustiveTailLengths) {
+  // 0..65 covers every (whole-vector, tail) split of the 4-wide AVX2 and
+  // 8-wide (4x-unrolled: 32) AVX-512 kernels, including the empty input.
+  Rng rng(42);
+  std::vector<Value> data(65 + 1);
+  for (Value& v : data) v = rng.Below(1000);
+  const std::vector<RangeQuery> queries = {
+      {100, 899}, {0, 999}, {500, 500}, {950, 950}, {1000, 2000}};
+  for (const ScanKernel kernel : AvailableKernels()) {
+    const ScanKernelOps* ops = GetScanKernelOps(kernel);
+    ASSERT_NE(ops, nullptr);
+    for (uint64_t count = 0; count <= 65; ++count) {
+      for (const RangeQuery& q : queries) {
+        ExpectKernelMatchesScalar(*ops, data.data(), count, q);
+      }
+    }
+  }
+}
+
+TEST(ScanKernelTest, BoundaryQueries) {
+  Rng rng(7);
+  std::vector<Value> data(512);
+  for (Value& v : data) v = rng.Next();  // full 64-bit domain
+  data[17] = 0;
+  data[99] = ~Value{0};
+  const std::vector<RangeQuery> queries = {
+      {0, ~Value{0}},                  // full range: everything matches
+      {0, 0},                          // lo == hi at the domain floor
+      {~Value{0}, ~Value{0}},          // lo == hi at the domain ceiling
+      {data[256], data[256]},          // lo == hi on a present value
+      {1, 0},                          // inverted range: nothing matches
+      {~Value{0} - 1, ~Value{0} - 1},  // near-ceiling point query
+  };
+  for (const ScanKernel kernel : AvailableKernels()) {
+    const ScanKernelOps* ops = GetScanKernelOps(kernel);
+    ASSERT_NE(ops, nullptr);
+    for (const RangeQuery& q : queries) {
+      ExpectKernelMatchesScalar(*ops, data.data(), data.size(), q);
+    }
+  }
+}
+
+TEST(ScanKernelTest, WrapAroundSums) {
+  // Sums of near-2^64 values overflow many times over; kernels accumulate
+  // in independent lanes, so equality here proves mod-2^64 arithmetic is
+  // preserved through the horizontal reduce.
+  std::vector<Value> data(515);  // odd tail on purpose
+  Rng rng(13);
+  for (Value& v : data) v = ~Value{0} - rng.Below(1000);
+  const RangeQuery all{~Value{0} - 2000, ~Value{0}};
+  const PageScanResult ref = ScanPageScalar(data.data(), data.size(), all);
+  EXPECT_EQ(ref.match_count, data.size());  // sanity: everything matched
+  for (const ScanKernel kernel : AvailableKernels()) {
+    ExpectKernelMatchesScalar(*GetScanKernelOps(kernel), data.data(),
+                              data.size(), all);
+  }
+}
+
+TEST(ScanKernelTest, NonQualifyingPageEarlyExitStaysCorrect) {
+  // A page with no qualifying value must report false on every kernel
+  // (the blocked early-exit must not mis-report), and one qualifying value
+  // anywhere — including block boundaries — must flip it to true.
+  std::vector<Value> data(4 * kContainsBlockValues, 5);
+  const RangeQuery q{100, 200};
+  for (const ScanKernel kernel : AvailableKernels()) {
+    const ScanKernelOps* ops = GetScanKernelOps(kernel);
+    EXPECT_FALSE(ops->page_contains_any(data.data(), data.size(), q));
+    for (const uint64_t hit :
+         {uint64_t{0}, kContainsBlockValues - 1, kContainsBlockValues,
+          2 * kContainsBlockValues + 3, data.size() - 1}) {
+      data[hit] = 150;
+      EXPECT_TRUE(ops->page_contains_any(data.data(), data.size(), q))
+          << ScanKernelName(kernel) << " hit at " << hit;
+      data[hit] = 5;
+    }
+  }
+}
+
+TEST(ScanKernelTest, GoldenDistributionsAgreeAcrossKernels) {
+  // Full-column scans over the seed-42 distributions the figures use: the
+  // dispatched kernels must be interchangeable end to end.
+  for (const DataDistribution kind :
+       {DataDistribution::kUniform, DataDistribution::kSine,
+        DataDistribution::kSparse}) {
+    DistributionSpec spec;
+    spec.kind = kind;
+    spec.max_value = 100'000'000;
+    spec.seed = 42;
+    auto column_r = MakeColumn(spec, 64 * kValuesPerPage);
+    ASSERT_TRUE(column_r.ok());
+    auto column = std::move(column_r).ValueOrDie();
+    const std::vector<RangeQuery> queries = {
+        {0, 50'000'000}, {1'000'000, 1'001'000}, {99'999'999, 100'000'000}};
+    for (const RangeQuery& q : queries) {
+      for (uint64_t page = 0; page < column->num_pages(); ++page) {
+        for (const ScanKernel kernel : AvailableKernels()) {
+          ExpectKernelMatchesScalar(*GetScanKernelOps(kernel),
+                                    column->PageData(page), kValuesPerPage, q);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vmsv

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validates the schema of BENCH_scan.json (the perf-baseline trajectory).
+
+The perf trajectory is only useful if every PR's BENCH_scan.json stays
+machine-readable with stable semantics; CI runs this after the sweep and
+fails the build on drift. Usage: check_bench.py <path> [<path>...]
+"""
+
+import json
+import math
+import sys
+
+SCHEMA_VERSION = 1
+
+TOP_LEVEL_FIELDS = {
+    "bench": str,
+    "schema_version": int,
+    "pages": int,
+    "values_per_page": int,
+    "reps": int,
+    "query_selectivity": float,
+    "distribution": str,
+    "seed": int,
+    "hardware_concurrency": int,
+    "default_kernel": str,
+    "configs": list,
+}
+
+CONFIG_FIELDS = {
+    "kernel": str,
+    "threads": int,
+    "median_ms": float,
+    "pages_per_s": float,
+    "gb_per_s": float,
+    "rep_ms": list,
+}
+
+KNOWN_KERNELS = {"scalar", "avx2", "avx512"}
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect_type(obj, field, want, where):
+    if field not in obj:
+        fail(f"{where}: missing field '{field}'")
+    value = obj[field]
+    # ints are acceptable where floats are expected (JSON number).
+    if want is float and isinstance(value, int) and not isinstance(value, bool):
+        return value
+    if not isinstance(value, want) or isinstance(value, bool):
+        fail(f"{where}: field '{field}' is {type(value).__name__}, want {want.__name__}")
+    return value
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    for field, want in TOP_LEVEL_FIELDS.items():
+        expect_type(doc, field, want, path)
+    if doc["schema_version"] != SCHEMA_VERSION:
+        fail(f"{path}: schema_version {doc['schema_version']} != {SCHEMA_VERSION}")
+    if doc["bench"] != "micro_scan":
+        fail(f"{path}: bench '{doc['bench']}' != 'micro_scan'")
+    if doc["pages"] <= 0 or doc["reps"] <= 0:
+        fail(f"{path}: pages/reps must be positive")
+    if doc["default_kernel"] not in KNOWN_KERNELS:
+        fail(f"{path}: unknown default_kernel '{doc['default_kernel']}'")
+    configs = doc["configs"]
+    if not configs:
+        fail(f"{path}: configs is empty")
+
+    seen = set()
+    kernels = set()
+    for i, cfg in enumerate(configs):
+        where = f"{path}: configs[{i}]"
+        if not isinstance(cfg, dict):
+            fail(f"{where}: not an object")
+        for field, want in CONFIG_FIELDS.items():
+            expect_type(cfg, field, want, where)
+        if cfg["kernel"] not in KNOWN_KERNELS:
+            fail(f"{where}: unknown kernel '{cfg['kernel']}'")
+        if cfg["threads"] <= 0:
+            fail(f"{where}: threads must be positive")
+        key = (cfg["kernel"], cfg["threads"])
+        if key in seen:
+            fail(f"{where}: duplicate configuration {key}")
+        seen.add(key)
+        kernels.add(cfg["kernel"])
+        if cfg["median_ms"] <= 0 or cfg["pages_per_s"] <= 0 or cfg["gb_per_s"] <= 0:
+            fail(f"{where}: throughput fields must be positive")
+        if len(cfg["rep_ms"]) != doc["reps"]:
+            fail(f"{where}: {len(cfg['rep_ms'])} rep_ms entries, want reps={doc['reps']}")
+        if any(not isinstance(ms, (int, float)) or ms <= 0 for ms in cfg["rep_ms"]):
+            fail(f"{where}: rep_ms entries must be positive numbers")
+        # Derived-throughput consistency: pages_per_s must follow from
+        # median_ms within rounding tolerance.
+        derived = doc["pages"] / (cfg["median_ms"] / 1000.0)
+        if not math.isclose(derived, cfg["pages_per_s"], rel_tol=1e-3):
+            fail(f"{where}: pages_per_s {cfg['pages_per_s']} inconsistent "
+                 f"with median_ms (expected ~{derived:.1f})")
+    if "scalar" not in kernels:
+        fail(f"{path}: no scalar baseline configuration present")
+    print(f"check_bench: OK: {path} ({len(configs)} configurations, "
+          f"kernels: {', '.join(sorted(kernels))})")
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_bench.py <BENCH_scan.json> [...]")
+    for path in sys.argv[1:]:
+        check_file(path)
+
+
+if __name__ == "__main__":
+    main()
