@@ -26,6 +26,7 @@ const char* CandidateDecisionName(CandidateDecision decision) {
     case CandidateDecision::kInserted: return "inserted";
     case CandidateDecision::kDiscardedSubset: return "discarded_subset";
     case CandidateDecision::kReplacedExisting: return "replaced_existing";
+    case CandidateDecision::kEvictedExisting: return "evicted_existing";
     case CandidateDecision::kBudgetExhausted: return "budget_exhausted";
     case CandidateDecision::kNone: return "none";
   }
@@ -92,6 +93,16 @@ void PartialViewIndex::Replace(VirtualView* victim,
   VMSV_CHECK(false && "Replace victim not in pool");
 }
 
+void PartialViewIndex::Remove(VirtualView* view) {
+  for (auto it = views_.begin(); it != views_.end(); ++it) {
+    if (it->get() == view) {
+      views_.erase(it);
+      return;
+    }
+  }
+  VMSV_CHECK(false && "Remove target not in pool");
+}
+
 // ---------------------------------------------------------------------------
 // AdaptiveColumn
 
@@ -129,6 +140,19 @@ StatusOr<QueryExecution> AdaptiveColumn::Execute(const RangeQuery& q) {
   if (HasPendingUpdates()) {
     auto flushed = FlushUpdates();
     if (!flushed.ok()) return flushed.status();
+    if (flushed->pages_removed > 0) {
+      // Removals punch holes; re-densify any view that crossed the
+      // fragmentation threshold so its scans return to the dense fast path.
+      // A failed compaction leaves the view's mappings in an unspecified
+      // state (Compact's error contract) — DROP it rather than keep a view
+      // the next scan could fault on; its range full-scans and re-adapts.
+      for (VirtualView* view : view_index_.MutableViews()) {
+        if (!lifecycle_.ShouldCompact(*view)) continue;
+        if (!lifecycle_.CompactView(view).ok()) {
+          view_index_.Remove(view);
+        }
+      }
+    }
   }
 
   if (config_.mode == QueryMode::kSingleView) {
@@ -155,6 +179,7 @@ StatusOr<QueryExecution> AdaptiveColumn::AnswerFromSingleView(
     VirtualView* view, const RangeQuery& q) {
   QueryExecution exec;
   VMSV_RETURN_IF_ERROR(view->EnsureMaterialized(mapper_.get()));
+  view->RecordHit(metrics_.queries);
   const PageScanResult r = view->Scan(q);
   exec.match_count = r.match_count;
   exec.sum = r.sum;
@@ -176,6 +201,7 @@ StatusOr<QueryExecution> AdaptiveColumn::AnswerFromCover(
   PageScanResult total;
   for (VirtualView* view : cover) {
     VMSV_RETURN_IF_ERROR(view->EnsureMaterialized(mapper_.get()));
+    view->RecordHit(metrics_.queries);
     total.Merge(view->ScanIf(
         q, [&seen](uint64_t page) { return seen.insert(page).second; }));
   }
@@ -197,6 +223,7 @@ StatusOr<QueryExecution> AdaptiveColumn::FullScanAndAdapt(const RangeQuery& q) {
   auto built = BuildViewAndAnswer(*column_, q.lo, q.hi, q, config_.creation,
                                   mapper_.get());
   if (!built.ok()) return built.status();
+  built->view->SetCreationInfo(metrics_.queries, built->scanned_pages);
 
   QueryExecution exec;
   exec.match_count = built->query_result.match_count;
@@ -234,12 +261,7 @@ CandidateDecision AdaptiveColumn::DecideCandidate(
         return CandidateDecision::kDiscardedSubset;
       }
     }
-    if (view_index_.num_partial_views() >= config_.max_views) {
-      return CandidateDecision::kBudgetExhausted;
-    }
-    view_index_.Insert(std::move(candidate));
-    ++metrics_.views_created;
-    return CandidateDecision::kInserted;
+    return AdmitAtBudget(std::move(candidate));
   }
 
   // Discard: candidate pages are (nearly) contained in an existing view.
@@ -289,12 +311,50 @@ CandidateDecision AdaptiveColumn::DecideCandidate(
       return CandidateDecision::kReplacedExisting;
     }
   }
-  if (view_index_.num_partial_views() >= config_.max_views) {
-    return CandidateDecision::kBudgetExhausted;
+  return AdmitAtBudget(std::move(candidate));
+}
+
+CandidateDecision AdaptiveColumn::AdmitAtBudget(
+    std::unique_ptr<VirtualView> candidate) {
+  if (view_index_.num_partial_views() < config_.max_views) {
+    view_index_.Insert(std::move(candidate));
+    ++metrics_.views_created;
+    return CandidateDecision::kInserted;
   }
-  view_index_.Insert(std::move(candidate));
-  ++metrics_.views_created;
-  return CandidateDecision::kInserted;
+  // Budget pressure. The historical policy ("drop-newest") discarded every
+  // candidate here, freezing the pool on whatever ranges arrived first; the
+  // cost-aware policy instead evicts the coldest view when the fresh
+  // candidate outscores it, so the pool tracks the working set.
+  if (config_.lifecycle.eviction_policy == EvictionPolicy::kCostAware) {
+    const uint64_t now = metrics_.queries;
+    const uint64_t column_pages = column_->num_pages();
+    VirtualView* victim =
+        lifecycle_.PickEvictionVictim(view_index_.views(), now, column_pages);
+    const double margin = config_.lifecycle.eviction_margin > 0
+                              ? config_.lifecycle.eviction_margin
+                              : 1.0;
+    if (victim != nullptr &&
+        margin * lifecycle_.Score(*victim, now, column_pages) <
+            lifecycle_.Score(*candidate, now, column_pages)) {
+      if (mapper_ != nullptr) {
+        // The victim dies now; no queued background mapping may still point
+        // into its arena. (Every mapping path drains before returning, so
+        // this is a cheap no-op in practice — but the safety contract lives
+        // here, not in the callers.)
+        const Status drained = mapper_->Drain();
+        if (!drained.ok()) {
+          ++metrics_.candidates_dropped;
+          return CandidateDecision::kBudgetExhausted;
+        }
+      }
+      view_index_.Replace(victim, std::move(candidate));
+      ++metrics_.views_evicted;
+      lifecycle_.RecordEviction();
+      return CandidateDecision::kEvictedExisting;
+    }
+  }
+  ++metrics_.candidates_dropped;
+  return CandidateDecision::kBudgetExhausted;
 }
 
 void AdaptiveColumn::Update(uint64_t row, Value new_value) {

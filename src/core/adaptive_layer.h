@@ -13,6 +13,16 @@
 //     sets are deduplicated during the scan (Figure 5). With
 //     cost_based_routing, cover selection minimizes scanned pages and falls
 //     back to a full scan when the cover would be costlier.
+//
+// The pool is managed across the views' whole lifetime by a
+// ViewLifecycleManager (core/view_lifecycle.h): fragmented views are
+// re-densified after update flushes, and under budget pressure the
+// cost-aware eviction policy replaces the historical "drop every candidate
+// once max_views is reached" cliff.
+//
+// Thread-safety: AdaptiveColumn is externally synchronized — one query (or
+// update flush) at a time. The scan work inside a query is parallelized
+// internally via the exec/ thread pool.
 
 #ifndef VMSV_CORE_ADAPTIVE_LAYER_H_
 #define VMSV_CORE_ADAPTIVE_LAYER_H_
@@ -23,6 +33,7 @@
 
 #include "core/scan.h"
 #include "core/update_applier.h"
+#include "core/view_lifecycle.h"
 #include "core/virtual_view.h"
 #include "storage/column.h"
 #include "storage/types.h"
@@ -32,7 +43,10 @@
 namespace vmsv {
 
 enum class QueryMode {
+  /// Answer from the smallest single view covering the query (Figure 4).
   kSingleView,
+  /// Let several views jointly cover the query, deduplicating shared pages
+  /// during the scan (Figure 5).
   kMultiView,
 };
 
@@ -45,7 +59,11 @@ enum class CandidateDecision {
   kDiscardedSubset,
   /// An existing view was (a near-)subset of the candidate — swapped out.
   kReplacedExisting,
-  /// View pool at max_views; candidate dropped.
+  /// Pool at max_views and the candidate outscored the coldest view, which
+  /// was evicted to make room (EvictionPolicy::kCostAware).
+  kEvictedExisting,
+  /// Pool at max_views; candidate dropped (always under kDropNewest, or
+  /// when the candidate scored below every pool member).
   kBudgetExhausted,
   kNone,
 };
@@ -74,6 +92,9 @@ struct AdaptiveConfig {
                                /*lazy_materialize=*/true};
   /// Mapping source for update alignment (§2.5).
   MappingSource mapping_source = MappingSource::kUserSpaceTable;
+  /// Whole-lifetime view management: compaction triggers and the eviction
+  /// policy applied at the max_views budget (core/view_lifecycle.h).
+  LifecycleConfig lifecycle;
 };
 
 /// Per-query execution statistics.
@@ -99,6 +120,12 @@ struct CumulativeStats {
   uint64_t views_created = 0;
   uint64_t views_discarded = 0;
   uint64_t views_replaced = 0;
+  /// Pool members evicted by the cost-aware policy to admit a candidate.
+  uint64_t views_evicted = 0;
+  /// Candidates dropped at the max_views budget (the kBudgetExhausted
+  /// outcome) — previously a silent decision; benches and tests assert on
+  /// this counter.
+  uint64_t candidates_dropped = 0;
 
   /// Fraction of page reads avoided relative to answering every query with
   /// a full scan.
@@ -109,7 +136,10 @@ struct CumulativeStats {
   }
 };
 
-/// The pool of materialized partial views.
+/// The pool of partial views the adaptive layer routes queries against.
+/// Owned and externally synchronized by one AdaptiveColumn; Replace (the
+/// eviction/replacement hook) destroys the victim immediately, so callers
+/// must not hold scans or queued mapping work against it.
 class PartialViewIndex {
  public:
   size_t num_partial_views() const { return views_.size(); }
@@ -147,18 +177,28 @@ class PartialViewIndex {
   /// Swaps `victim` (must be in the pool) for `replacement`.
   void Replace(VirtualView* victim, std::unique_ptr<VirtualView> replacement);
 
+  /// Destroys `view` (must be in the pool) — the eviction /
+  /// failed-compaction drop.
+  void Remove(VirtualView* view);
+
  private:
   std::vector<std::unique_ptr<VirtualView>> views_;
 };
 
 class AdaptiveColumn {
  public:
+  /// Error contract: InvalidArgument when `column` is null or
+  /// config.max_views is 0.
   static StatusOr<std::unique_ptr<AdaptiveColumn>> Create(
       std::unique_ptr<PhysicalColumn> column, const AdaptiveConfig& config);
 
   /// Answers q adaptively (Listing 1): from views when covered, else full
-  /// scan + candidate materialization + insert/discard/replace decision.
-  /// Pending updates are flushed first.
+  /// scan + candidate materialization + insert/discard/replace/evict
+  /// decision. Pending updates are flushed first, and views left fragmented
+  /// by the flush are compacted per config().lifecycle.
+  /// Error contract: InvalidArgument when q.lo > q.hi; mapping-layer
+  /// failures (e.g. vm.max_map_count exhaustion) surface as the underlying
+  /// errno Status.
   StatusOr<QueryExecution> Execute(const RangeQuery& q);
 
   /// The non-adaptive baseline: scans the base column. Does not touch the
@@ -179,11 +219,14 @@ class AdaptiveColumn {
   const PartialViewIndex& view_index() const { return view_index_; }
   const CumulativeStats& metrics() const { return metrics_; }
   const AdaptiveConfig& config() const { return config_; }
+  /// Compaction/eviction counters accumulated by the lifecycle manager.
+  const LifecycleStats& lifecycle_stats() const { return lifecycle_.stats(); }
 
  private:
   AdaptiveColumn(std::unique_ptr<PhysicalColumn> column,
                  const AdaptiveConfig& config)
-      : column_(std::move(column)), config_(config) {}
+      : column_(std::move(column)), config_(config),
+        lifecycle_(config.lifecycle) {}
 
   StatusOr<QueryExecution> AnswerFromSingleView(VirtualView* view,
                                                 const RangeQuery& q);
@@ -194,11 +237,16 @@ class AdaptiveColumn {
   /// The insert/discard/replace decision of Listing 1.
   CandidateDecision DecideCandidate(std::unique_ptr<VirtualView> candidate);
 
+  /// The budget step: inserts when the pool has room; otherwise applies the
+  /// configured eviction policy (evict-coldest vs drop-candidate).
+  CandidateDecision AdmitAtBudget(std::unique_ptr<VirtualView> candidate);
+
   std::unique_ptr<PhysicalColumn> column_;
   AdaptiveConfig config_;
   PartialViewIndex view_index_;
   UpdateBatch pending_;
   CumulativeStats metrics_;
+  ViewLifecycleManager lifecycle_;
   std::unique_ptr<BackgroundMapper> mapper_;  // lazily created when enabled
 };
 

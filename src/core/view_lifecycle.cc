@@ -1,0 +1,86 @@
+#include "core/view_lifecycle.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace vmsv {
+
+const char* EvictionPolicyName(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kDropNewest: return "drop_newest";
+    case EvictionPolicy::kCostAware: return "cost_aware";
+  }
+  return "unknown";
+}
+
+bool ViewLifecycleManager::ShouldCompact(const VirtualView& view) const {
+  if (!config_.enable_compaction) return false;
+  if (!view.is_materialized() || view.num_pages() == 0) return false;
+  const uint64_t runs = view.num_slot_runs();
+  if (runs < config_.compaction_min_runs) return false;
+  // Holes are what compaction reclaims; a hole-free view is already as
+  // virtually dense as it can get (sorting alone is not worth a sweep
+  // trigger — CompactView remains callable directly for VMA consolidation).
+  if (view.hole_slots() == 0) return false;
+  return static_cast<double>(runs) >
+         config_.compaction_run_ratio * static_cast<double>(view.num_pages());
+}
+
+Status ViewLifecycleManager::CompactView(VirtualView* view) {
+  if (view == nullptr) return InvalidArgument("CompactView needs a view");
+  ViewCompactionStats result;
+  const Status st = view->Compact(config_.compaction, &result);
+  if (!st.ok()) {
+    // The view's mapping state is unspecified now (Compact's error
+    // contract); the caller must discard or rebuild it.
+    ++stats_.failed_compactions;
+    return st;
+  }
+  ++stats_.compactions;
+  stats_.compaction_mremap_moves += result.mremap_moves;
+  stats_.compaction_remap_moves += result.remap_moves;
+  stats_.holes_reclaimed += result.holes_reclaimed;
+  stats_.slot_runs_collapsed +=
+      result.slot_runs_before - result.slot_runs_after;
+  return OkStatus();
+}
+
+double ViewLifecycleManager::Score(const VirtualView& view, uint64_t now,
+                                   uint64_t column_pages) const {
+  const uint64_t last = view.usage().last_used_query;
+  const double age = now > last ? static_cast<double>(now - last) : 0.0;
+  const double half_life =
+      config_.recency_half_life > 0 ? config_.recency_half_life : 1.0;
+  const double recency = std::exp2(-age / half_life);
+  const double pages = static_cast<double>(column_pages > 0 ? column_pages : 1);
+  // Floor the cost factor: a view created from a cheap (e.g. covered) scan
+  // still carries some recreation cost, and a zero factor would make every
+  // other signal irrelevant.
+  const double cost = std::max(
+      0.0625, static_cast<double>(view.usage().creation_scanned_pages) / pages);
+  const double savings =
+      view.num_pages() >= column_pages
+          ? 0.0
+          : static_cast<double>(column_pages - view.num_pages()) / pages;
+  const double evidence =
+      1.0 + std::log2(1.0 + static_cast<double>(view.usage().hits));
+  return recency * cost * savings * evidence;
+}
+
+VirtualView* ViewLifecycleManager::PickEvictionVictim(
+    const std::vector<std::unique_ptr<VirtualView>>& pool, uint64_t now,
+    uint64_t column_pages) const {
+  VirtualView* victim = nullptr;
+  double victim_score = 0;
+  for (const auto& view : pool) {
+    const double score = Score(*view, now, column_pages);
+    if (victim == nullptr || score < victim_score) {
+      victim = view.get();
+      victim_score = score;
+    }
+  }
+  return victim;
+}
+
+}  // namespace vmsv

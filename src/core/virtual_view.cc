@@ -1,6 +1,7 @@
 #include "core/virtual_view.h"
 
-#include "exec/parallel_scanner.h"
+#include <algorithm>
+
 #include "util/macros.h"
 
 namespace vmsv {
@@ -61,11 +62,59 @@ void BackgroundMapper::WorkerLoop() {
 // ---------------------------------------------------------------------------
 // VirtualView
 
+namespace {
+
+/// Walks the maximal live slot runs of a slot table (kHoleSlot breaks a
+/// run; `can_extend(slot, len)` may bound it further, e.g. by file
+/// contiguity) and calls emit(slot_start, len) per run — the one
+/// run-detection loop behind LiveSlotRuns and the compaction move list.
+template <typename CanExtend, typename Emit>
+void ForEachLiveRun(const std::vector<uint64_t>& pages, CanExtend can_extend,
+                    Emit emit) {
+  uint64_t slot = 0;
+  while (slot < pages.size()) {
+    if (pages[slot] == VirtualView::kHoleSlot) {
+      ++slot;
+      continue;
+    }
+    uint64_t len = 1;
+    while (slot + len < pages.size() &&
+           pages[slot + len] != VirtualView::kHoleSlot &&
+           can_extend(slot, len)) {
+      ++len;
+    }
+    emit(slot, len);
+    slot += len;
+  }
+}
+
+}  // namespace
+
 StatusOr<std::unique_ptr<VirtualView>> VirtualView::CreateEmpty(
     const PhysicalColumn& column, Value lo, Value hi) {
   if (lo > hi) return InvalidArgument("view range lo > hi");
   return std::unique_ptr<VirtualView>(
       new VirtualView(column.file(), column.num_pages(), lo, hi));
+}
+
+void VirtualView::RecordPageAt(uint64_t slot, uint64_t page) {
+  if (slot >= pages_.size()) {
+    pages_.resize(slot + 1, kHoleSlot);
+  }
+  // Slot-run transitions: filling between two live neighbors merges their
+  // runs, filling next to one extends it, filling in isolation starts one.
+  const bool left_live = slot > 0 && pages_[slot - 1] != kHoleSlot;
+  const bool right_live =
+      slot + 1 < pages_.size() && pages_[slot + 1] != kHoleSlot;
+  if (left_live && right_live) {
+    --num_slot_runs_;
+  } else if (!left_live && !right_live) {
+    ++num_slot_runs_;
+  }
+  pages_[slot] = page;
+  page_to_slot_[page] = slot;
+  holes_.erase(slot);
+  ++num_live_;
 }
 
 Status VirtualView::EnsureMaterialized(BackgroundMapper* mapper) {
@@ -78,7 +127,8 @@ Status VirtualView::EnsureMaterialized(BackgroundMapper* mapper) {
   // half-mapped arena would make the next Scan fault instead of the caller
   // seeing this Status.
   std::unique_ptr<VirtualArena> arena = std::move(arena_r).ValueOrDie();
-  // Rewire the page list in coalesced runs of consecutive page ids.
+  // Rewire the page list in coalesced runs of consecutive page ids. The
+  // list is dense here: holes only ever exist while materialized.
   uint64_t slot = 0;
   while (slot < pages_.size()) {
     uint64_t run = 1;
@@ -101,19 +151,59 @@ Status VirtualView::EnsureMaterialized(BackgroundMapper* mapper) {
 }
 
 Status VirtualView::AppendPage(uint64_t page, BackgroundMapper* mapper) {
+  if (page_to_slot_.count(page) != 0) {
+    return FailedPrecondition("page already in view");
+  }
+  // A single page re-densifies: fill the lowest hole if one exists (the
+  // mmap cost is the same either way, and the arena stays short).
+  if (arena_ != nullptr && !holes_.empty()) {
+    const uint64_t slot = *holes_.begin();
+    if (mapper != nullptr) {
+      mapper->Enqueue(arena_.get(), slot, page, 1);
+    } else {
+      VMSV_RETURN_IF_ERROR(arena_->MapRange(slot, page, 1));
+    }
+    RecordPageAt(slot, page);
+    return OkStatus();
+  }
   return AppendPageRun(page, 1, mapper);
 }
 
 Status VirtualView::AppendPageRun(uint64_t first_page, uint64_t count,
                                   BackgroundMapper* mapper) {
-  const uint64_t slot_start = pages_.size();
-  if (slot_start + count > arena_slots_) {
-    return ResourceExhausted("view arena full");
-  }
   for (uint64_t i = 0; i < count; ++i) {
     if (page_to_slot_.count(first_page + i) != 0) {
       return FailedPrecondition("page already in view");
     }
+  }
+  const uint64_t slot_start = pages_.size();
+  if (slot_start + count > arena_slots_) {
+    // The tail reservation is exhausted (hole slots still count against it).
+    // Fall back to filling holes page-wise when they can absorb the run.
+    // Like the tail path below, ALL maps run before ANY membership is
+    // recorded: a mid-way mmap failure must not leave a half-applied run.
+    // (A failure can leave some hole slots physically mapped but still
+    // logically holes — benign: scans skip them by the slot-table sentinel,
+    // and a later fill or compaction reclaims the mapping.)
+    if (arena_ != nullptr && holes_.size() >= count) {
+      std::vector<uint64_t> targets;
+      targets.reserve(count);
+      for (auto it = holes_.begin(); targets.size() < count; ++it) {
+        targets.push_back(*it);
+      }
+      for (uint64_t i = 0; i < count; ++i) {
+        if (mapper != nullptr) {
+          mapper->Enqueue(arena_.get(), targets[i], first_page + i, 1);
+        } else {
+          VMSV_RETURN_IF_ERROR(arena_->MapRange(targets[i], first_page + i, 1));
+        }
+      }
+      for (uint64_t i = 0; i < count; ++i) {
+        RecordPageAt(targets[i], first_page + i);
+      }
+      return OkStatus();
+    }
+    return ResourceExhausted("view arena full");
   }
   // Map before recording membership: on mmap failure the view must not be
   // left listing pages whose slots are unmapped (a later Scan would fault).
@@ -127,9 +217,7 @@ Status VirtualView::AppendPageRun(uint64_t first_page, uint64_t count,
     }
   }
   for (uint64_t i = 0; i < count; ++i) {
-    const uint64_t page = first_page + i;
-    pages_.push_back(page);
-    page_to_slot_[page] = slot_start + i;
+    RecordPageAt(slot_start + i, first_page + i);
   }
   return OkStatus();
 }
@@ -138,44 +226,191 @@ Status VirtualView::RemovePage(uint64_t page) {
   auto it = page_to_slot_.find(page);
   if (it == page_to_slot_.end()) return NotFound("page not in view");
   const uint64_t slot = it->second;
-  const uint64_t last_slot = pages_.size() - 1;
-  if (slot != last_slot) {
-    // Rewire the last slot's physical page into the vacated position.
-    const uint64_t moved_page = pages_[last_slot];
-    if (arena_ != nullptr) {
-      VMSV_RETURN_IF_ERROR(arena_->MapRange(slot, moved_page, 1));
+
+  if (arena_ == nullptr) {
+    // Unmaterialized: plain list edit. Swap-remove keeps the list dense (the
+    // hole representation below exists to save mmap calls; there are none to
+    // save here).
+    const uint64_t last_slot = pages_.size() - 1;
+    if (slot != last_slot) {
+      const uint64_t moved_page = pages_[last_slot];
+      pages_[slot] = moved_page;
+      page_to_slot_[moved_page] = slot;
     }
-    pages_[slot] = moved_page;
-    page_to_slot_[moved_page] = slot;
+    pages_.pop_back();
+    page_to_slot_.erase(it);
+    --num_live_;
+    num_slot_runs_ = num_live_ > 0 ? 1 : 0;
+    return OkStatus();
   }
-  pages_.pop_back();
+
+  // Materialized: punch a PROT_NONE hole — one mmap call (the historical
+  // swap-remove paid two: rewire the tail page in, unmap the tail slot) and
+  // slot order survives, which keeps runs coalescible. The price is
+  // fragmentation, paid down by Compact().
+  VMSV_RETURN_IF_ERROR(arena_->UnmapRange(slot, 1));
+  const bool left_live = slot > 0 && pages_[slot - 1] != kHoleSlot;
+  const bool right_live =
+      slot + 1 < pages_.size() && pages_[slot + 1] != kHoleSlot;
+  if (left_live && right_live) {
+    ++num_slot_runs_;  // split one run into two
+  } else if (!left_live && !right_live) {
+    --num_slot_runs_;  // removed a singleton run
+  }
+  pages_[slot] = kHoleSlot;
+  holes_.insert(slot);
   page_to_slot_.erase(it);
-  if (arena_ == nullptr) return OkStatus();
-  return arena_->UnmapRange(last_slot, 1);
+  --num_live_;
+  // Trailing holes shrink the slot range for free (their slots are already
+  // back in the reserved state).
+  while (!pages_.empty() && pages_.back() == kHoleSlot) {
+    holes_.erase(pages_.size() - 1);
+    pages_.pop_back();
+  }
+  return OkStatus();
 }
 
-PageScanResult VirtualView::Scan(const RangeQuery& q) const {
-  // One pass over the contiguous virtual range — the whole point of
-  // rewiring: no indirection per page. Sharded across the scan pool above
-  // the serial cutoff.
-  const ParallelScanner scanner;
-  return scanner.ScanPages(reinterpret_cast<const Value*>(arena_->data()),
-                           pages_.size(), q);
+std::vector<uint64_t> VirtualView::physical_pages() const {
+  std::vector<uint64_t> live;
+  live.reserve(num_live_);
+  ForEachPage([&live](uint64_t page) { live.push_back(page); });
+  return live;
+}
+
+uint64_t VirtualView::CountFileRuns() const {
+  uint64_t runs = 0;
+  bool in_run = false;
+  uint64_t prev_page = 0;
+  for (const uint64_t page : pages_) {
+    if (page == kHoleSlot) {
+      in_run = false;
+      continue;
+    }
+    if (!in_run || page != prev_page + 1) ++runs;
+    in_run = true;
+    prev_page = page;
+  }
+  return runs;
+}
+
+std::vector<PageRun> VirtualView::LiveSlotRuns() const {
+  std::vector<PageRun> runs;
+  ForEachLiveRun(
+      pages_, [](uint64_t, uint64_t) { return true; },
+      [&runs](uint64_t slot, uint64_t len) {
+        runs.push_back(PageRun{slot, len});
+      });
+  return runs;
+}
+
+Status VirtualView::Compact(const ViewCompactionOptions& options,
+                            ViewCompactionStats* stats) {
+  ViewCompactionStats local;
+  ViewCompactionStats& out = stats != nullptr ? *stats : local;
+  out = ViewCompactionStats{};
+  out.live_pages = num_live_;
+  out.holes_reclaimed = holes_.size();
+  out.slot_runs_before = num_slot_runs_;
+  out.file_runs_before = CountFileRuns();
+  out.slot_runs_after = out.slot_runs_before;
+  out.file_runs_after = out.file_runs_before;
+  // Unmaterialized views are dense by invariant; empty ones have nothing to
+  // move. Either way there is no arena work.
+  if (arena_ == nullptr || num_live_ == 0) return OkStatus();
+
+  // Move units: maximal runs contiguous in BOTH slots and file pages — the
+  // granularity of one kernel VMA, which is what a single mremap can move.
+  struct MoveUnit {
+    uint64_t slot;
+    uint64_t page;
+    uint64_t len;
+  };
+  std::vector<MoveUnit> units;
+  ForEachLiveRun(
+      pages_,
+      [this](uint64_t slot, uint64_t len) {
+        return pages_[slot + len] == pages_[slot] + len;
+      },
+      [&](uint64_t slot, uint64_t len) {
+        units.push_back(MoveUnit{slot, pages_[slot], len});
+      });
+  const bool sorted_already = std::is_sorted(
+      units.begin(), units.end(),
+      [](const MoveUnit& a, const MoveUnit& b) { return a.page < b.page; });
+  if (holes_.empty() && (!options.sort_runs_by_page || sorted_already)) {
+    return OkStatus();  // already as dense as this view can get
+  }
+  if (options.sort_runs_by_page && !sorted_already) {
+    std::sort(units.begin(), units.end(),
+              [](const MoveUnit& a, const MoveUnit& b) { return a.page < b.page; });
+  }
+
+  auto arena_r = VirtualArena::Create(file_, arena_slots_);
+  if (!arena_r.ok()) return arena_r.status();
+  std::unique_ptr<VirtualArena> dense = std::move(arena_r).ValueOrDie();
+  const bool allow_mremap =
+      options.use_mremap && VirtualArena::MremapSupported();
+  uint64_t dst = 0;
+  for (const MoveUnit& unit : units) {
+    bool used_mremap = false;
+    VMSV_RETURN_IF_ERROR(dense->AdoptRange(arena_.get(), unit.slot, dst,
+                                           unit.len, allow_mremap,
+                                           &used_mremap));
+    if (used_mremap) {
+      ++out.mremap_moves;
+    } else {
+      ++out.remap_moves;
+    }
+    dst += unit.len;
+  }
+  arena_ = std::move(dense);
+
+  pages_.clear();
+  pages_.reserve(num_live_);
+  page_to_slot_.clear();
+  for (const MoveUnit& unit : units) {
+    for (uint64_t i = 0; i < unit.len; ++i) {
+      page_to_slot_[unit.page + i] = pages_.size();
+      pages_.push_back(unit.page + i);
+    }
+  }
+  holes_.clear();
+  num_slot_runs_ = pages_.empty() ? 0 : 1;
+  out.slot_runs_after = num_slot_runs_;
+  out.file_runs_after = CountFileRuns();
+  return OkStatus();
+}
+
+PageScanResult VirtualView::Scan(const RangeQuery& q,
+                                 const ParallelScanOptions& scan_options) const {
+  const ParallelScanner scanner(scan_options);
+  if (holes_.empty()) {
+    // Dense fast path — the whole point of rewiring (and of compaction): one
+    // contiguous sweep, no indirection per page, sharded above the cutoff.
+    return scanner.ScanPages(reinterpret_cast<const Value*>(arena_->data()),
+                             pages_.size(), q);
+  }
+  // Fragmented path: sweep each live run, skipping the PROT_NONE holes.
+  return scanner.ScanPageRuns(reinterpret_cast<const Value*>(arena_->data()),
+                              LiveSlotRuns(), q);
 }
 
 PageScanResult VirtualView::ScanSelectedSlots(
     const std::vector<uint64_t>& slots, const RangeQuery& q) const {
+  // Coalesce consecutive selected slots so one kernel call covers each
+  // virtually-contiguous block — on a compacted view a cover scan
+  // degenerates to a handful of long sweeps.
+  std::vector<PageRun> runs;
+  size_t i = 0;
+  while (i < slots.size()) {
+    uint64_t len = 1;
+    while (i + len < slots.size() && slots[i + len] == slots[i] + len) ++len;
+    runs.push_back(PageRun{slots[i], len});
+    i += len;
+  }
   const ParallelScanner scanner;
-  return scanner.ScanShardsMerged(
-      slots.size(), [&](uint64_t begin, uint64_t end) {
-        PageScanResult r;
-        for (uint64_t i = begin; i < end; ++i) {
-          r.Merge(ScanPage(
-              reinterpret_cast<const Value*>(arena_->SlotData(slots[i])),
-              kValuesPerPage, q));
-        }
-        return r;
-      });
+  return scanner.ScanPageRuns(reinterpret_cast<const Value*>(arena_->data()),
+                              runs, q);
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,20 @@
 //   - run coalescing: consecutive qualifying pages are mapped in one mmap,
 //   - concurrent mapping: mmap calls are shipped to a background thread so
 //     mapping overlaps the scan.
+//
+// Lifecycle (this layer + core/view_lifecycle.h): a view is born as a page
+// list (created), rewired into its arena on first use (mapped), fragments
+// under membership churn — removals punch PROT_NONE holes instead of paying
+// two mmaps for a swap-remove — and is periodically re-densified
+// (compacted) by moving its live slot runs into a fresh dense arena with
+// mremap(2). Views that stop earning their keep are dropped from the pool
+// entirely (evicted), freeing their slot table and mapping budget.
+//
+// Thread-safety: VirtualView is externally synchronized. Scans may run
+// concurrently with each other (they only read), but creation, membership
+// updates, Compact, and destruction must not overlap any other use. When a
+// BackgroundMapper is in play it holds raw arena pointers; Drain() it
+// before compacting or destroying the view.
 
 #ifndef VMSV_CORE_VIRTUAL_VIEW_H_
 #define VMSV_CORE_VIRTUAL_VIEW_H_
@@ -19,11 +33,13 @@
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <set>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "core/scan.h"
+#include "exec/parallel_scanner.h"
 #include "exec/scan_kernels.h"
 #include "rewiring/virtual_arena.h"
 #include "storage/column.h"
@@ -32,6 +48,7 @@
 
 namespace vmsv {
 
+/// View-creation optimizations (§2.3), chosen per AdaptiveConfig::creation.
 struct ViewCreationOptions {
   /// Map runs of consecutive qualifying pages with one mmap call.
   bool coalesce_runs = false;
@@ -43,8 +60,61 @@ struct ViewCreationOptions {
   bool lazy_materialize = false;
 };
 
+/// How VirtualView::Compact re-densifies a fragmented view.
+struct ViewCompactionOptions {
+  /// Move live runs with mremap(2) so page-table entries (and with them the
+  /// already-faulted residency) travel to the new arena. When false — or
+  /// when VirtualArena::MremapSupported() is false — every run is rewired
+  /// with a fresh mmap instead and its pages fault again on next touch.
+  /// This is the forced-fallback knob the lifecycle tests exercise.
+  bool use_mremap = true;
+  /// Order the compacted slots by physical page id. Adjacent file pages then
+  /// land in adjacent slots, so the kernel merges their mappings into fewer
+  /// VMAs (mapping-budget relief) and future re-materializations coalesce.
+  /// Scan results are order-insensitive, so this is always safe.
+  bool sort_runs_by_page = true;
+};
+
+/// What one Compact call did (all counts are pages/runs of this view).
+struct ViewCompactionStats {
+  uint64_t live_pages = 0;
+  /// PROT_NONE hole slots reclaimed (arena extent shrinks by this much).
+  uint64_t holes_reclaimed = 0;
+  /// Maximal virtually-contiguous live slot runs before/after. After a
+  /// compaction this is 1 (or 0 for an empty view): the dense-range scan
+  /// fast path applies again.
+  uint64_t slot_runs_before = 0;
+  uint64_t slot_runs_after = 0;
+  /// Maximal file-contiguous runs (≈ kernel VMAs) before/after.
+  uint64_t file_runs_before = 0;
+  uint64_t file_runs_after = 0;
+  /// Moves executed as mremap (PTEs preserved) vs rewire fallback.
+  uint64_t mremap_moves = 0;
+  uint64_t remap_moves = 0;
+};
+
+/// Per-view usage accounting consumed by the cost-aware eviction policy
+/// (core/view_lifecycle.h). The "clock" is a logical query sequence number
+/// maintained by the adaptive layer.
+struct ViewUsageStats {
+  /// Query sequence number at creation.
+  uint64_t created_at_query = 0;
+  /// Sequence number of the last query this view helped answer (creation
+  /// counts: the triggering query was answered by the creating scan).
+  uint64_t last_used_query = 0;
+  /// Number of queries answered (fully or as a cover member) from the view.
+  uint64_t hits = 0;
+  /// Pages the creating scan read to build the view — the cost to recreate
+  /// it if evicted too eagerly.
+  uint64_t creation_scanned_pages = 0;
+};
+
 /// A worker thread executing arena MapRange calls asynchronously. One mapper
 /// can be reused across several view creations; Drain() is the barrier.
+///
+/// Thread-safety: Enqueue/Drain may be called from any one producer thread;
+/// the queued tasks hold raw VirtualArena pointers, so the target arenas
+/// must outlive Drain().
 class BackgroundMapper {
  public:
   BackgroundMapper();
@@ -83,9 +153,21 @@ class BackgroundMapper {
 /// materialized either eagerly at creation (BuildViewByScan) or lazily on
 /// first scan (the adaptive path). While unmaterialized, membership updates
 /// are list edits and cost no syscalls.
+///
+/// Fragmentation model: while materialized, RemovePage punches a PROT_NONE
+/// hole into the slot range (one mmap) instead of rewiring the tail into the
+/// gap (two mmaps) — cheaper per removal and order-preserving, at the price
+/// of fragmenting the virtual range. Scans transparently switch from the
+/// dense fast path to a run-wise path while holes exist; Compact() restores
+/// density. Holes never exist on unmaterialized views (list removals
+/// swap-remove).
 class VirtualView {
  public:
-  /// An empty unmaterialized view over value range [lo, hi].
+  /// Slot-table sentinel: the slot is a hole (no physical page).
+  static constexpr uint64_t kHoleSlot = ~uint64_t{0};
+
+  /// Creates an empty unmaterialized view over value range [lo, hi].
+  /// Error contract: InvalidArgument when lo > hi.
   static StatusOr<std::unique_ptr<VirtualView>> CreateEmpty(
       const PhysicalColumn& column, Value lo, Value hi);
 
@@ -106,8 +188,37 @@ class VirtualView {
   /// every page holding any value in q.
   bool Covers(const RangeQuery& q) const { return lo_ <= q.lo && hi_ >= q.hi; }
 
-  uint64_t num_pages() const { return pages_.size(); }
-  const std::vector<uint64_t>& physical_pages() const { return pages_; }
+  /// Live (hole-free) page count.
+  uint64_t num_pages() const { return num_live_; }
+
+  /// Arena slots the view currently spans, INCLUDING holes. Equal to
+  /// num_pages() exactly when the view is dense.
+  uint64_t num_slots() const { return pages_.size(); }
+
+  /// Current hole count; > 0 only while materialized.
+  uint64_t hole_slots() const { return holes_.size(); }
+
+  /// Maximal virtually-contiguous live slot runs. 1 for a dense non-empty
+  /// view; grows as removals punch holes. The run-count/page-count ratio is
+  /// the lifecycle manager's compaction trigger.
+  uint64_t num_slot_runs() const { return num_slot_runs_; }
+
+  /// Maximal file-contiguous live runs (≈ kernel VMAs when materialized).
+  /// O(num_slots) walk.
+  uint64_t CountFileRuns() const;
+
+  /// The live physical pages in slot order (holes skipped). Materializes a
+  /// copy; use ForEachPage to iterate without allocating.
+  std::vector<uint64_t> physical_pages() const;
+
+  /// Invokes fn(physical_page) for every live page in slot order.
+  template <typename Fn>
+  void ForEachPage(Fn&& fn) const {
+    for (const uint64_t page : pages_) {
+      if (page != kHoleSlot) fn(page);
+    }
+  }
+
   bool ContainsPage(uint64_t page) const {
     return page_to_slot_.count(page) != 0;
   }
@@ -116,30 +227,70 @@ class VirtualView {
   bool is_materialized() const { return arena_ != nullptr; }
   const VirtualArena& arena() const { return *arena_; }
 
+  /// Usage accounting for the eviction policy.
+  const ViewUsageStats& usage() const { return usage_; }
+  void RecordHit(uint64_t query_seq) {
+    usage_.last_used_query = query_seq;
+    ++usage_.hits;
+  }
+  void SetCreationInfo(uint64_t query_seq, uint64_t scanned_pages) {
+    usage_.created_at_query = query_seq;
+    usage_.last_used_query = query_seq;
+    usage_.creation_scanned_pages = scanned_pages;
+  }
+
   /// Creates the arena and rewires the current page list into it (runs of
   /// consecutive page ids coalesce into single mmap calls). No-op when
   /// already materialized. `mapper` non-null ships the mmaps to the
   /// background thread (drained before returning).
+  /// Error contract: on failure the view stays consistently UNmaterialized.
   Status EnsureMaterialized(BackgroundMapper* mapper = nullptr);
 
-  /// Appends a physical page (and maps it at the next slot when
-  /// materialized). `mapper` non-null routes the mmap to the background
-  /// thread.
+  /// Appends a physical page. When materialized, a single page fills the
+  /// lowest hole if one exists (re-densifying as membership churns),
+  /// otherwise maps at the tail slot. `mapper` non-null routes the mmap to
+  /// the background thread.
+  /// Error contract: FailedPrecondition if the page is already a member;
+  /// ResourceExhausted when the arena reservation is full; on mmap failure
+  /// membership is NOT recorded.
   Status AppendPage(uint64_t page, BackgroundMapper* mapper = nullptr);
 
-  /// Appends `count` consecutive physical pages (one mmap call when
-  /// materialized).
+  /// Appends `count` consecutive physical pages at the tail (one mmap call
+  /// when materialized); falls back to filling holes page-wise when the tail
+  /// reservation is exhausted but holes can take the pages.
   Status AppendPageRun(uint64_t first_page, uint64_t count,
                        BackgroundMapper* mapper = nullptr);
 
-  /// Removes a physical page. When materialized, the last slot is rewired
-  /// into its position (swap-remove keeps the view contiguous) and the tail
-  /// slot unmapped; otherwise a list edit.
+  /// Removes a physical page. When materialized, the slot becomes a
+  /// PROT_NONE hole (one mmap; trailing holes are trimmed for free) — the
+  /// view fragments and Compact() is the cure. Unmaterialized removals are
+  /// plain list edits (swap-remove).
+  /// Error contract: NotFound when the page is not a member.
   Status RemovePage(uint64_t page);
 
-  /// Scans the view (virtually contiguous) filtered by q, sharded across
-  /// the scan thread pool. The view must be materialized.
-  PageScanResult Scan(const RangeQuery& q) const;
+  /// True when the dense-range scan fast path applies (no holes).
+  bool is_dense() const { return holes_.empty(); }
+
+  /// Re-densifies a materialized fragmented view: live slot runs move into
+  /// a fresh dense arena, holes vanish, and (with sort_runs_by_page)
+  /// adjacent file pages merge into fewer kernel VMAs. With
+  /// options.use_mremap the moves preserve page-table entries — no data is
+  /// copied and no refaults follow. No-op on dense unmaterialized or empty
+  /// views. `stats` (optional) receives what happened.
+  /// Error contract: on a mid-compaction syscall failure the view's mapping
+  /// state is unspecified; callers should discard the view. Not safe to run
+  /// concurrently with scans or a live BackgroundMapper (Drain first).
+  Status Compact(const ViewCompactionOptions& options = {},
+                 ViewCompactionStats* stats = nullptr);
+
+  /// Scans the view filtered by q, sharded across the scan thread pool:
+  /// dense views scan as one contiguous range; fragmented views scan their
+  /// live runs (slower — see Compact). The view must be materialized.
+  /// `scan_options` overrides thread count / serial cutoff (defaults follow
+  /// VMSV_THREADS / VMSV_SERIAL_CUTOFF); results are bit-identical for any
+  /// setting.
+  PageScanResult Scan(const RangeQuery& q,
+                      const ParallelScanOptions& scan_options = {}) const;
 
   /// Scans only pages for which `include(physical_page)` is true — the
   /// multi-view dedup hook. Membership is decided serially in slot order
@@ -150,12 +301,14 @@ class VirtualView {
     std::vector<uint64_t> slots;
     slots.reserve(pages_.size());
     for (uint64_t slot = 0; slot < pages_.size(); ++slot) {
+      if (pages_[slot] == kHoleSlot) continue;
       if (include(pages_[slot])) slots.push_back(slot);
     }
     return ScanSelectedSlots(slots, q);
   }
 
-  /// Sharded scan of an explicit slot list (ascending slot order).
+  /// Sharded scan of an explicit slot list (ascending slot order; every slot
+  /// must be live). Consecutive slots coalesce into multi-page kernel calls.
   PageScanResult ScanSelectedSlots(const std::vector<uint64_t>& slots,
                                    const RangeQuery& q) const;
 
@@ -164,13 +317,25 @@ class VirtualView {
               Value lo, Value hi)
       : file_(std::move(file)), arena_slots_(arena_slots), lo_(lo), hi_(hi) {}
 
+  /// Installs `page` at `slot` in the bookkeeping tables (slot-run counter,
+  /// membership maps, live count). The mapping itself must already be
+  /// arranged by the caller.
+  void RecordPageAt(uint64_t slot, uint64_t page);
+
+  /// Collects the maximal live slot runs in ascending slot order.
+  std::vector<PageRun> LiveSlotRuns() const;
+
   std::shared_ptr<PhysicalMemoryFile> file_;
   uint64_t arena_slots_;                    // reservation size (column pages)
   std::unique_ptr<VirtualArena> arena_;     // null until materialized
   Value lo_;
   Value hi_;
-  std::vector<uint64_t> pages_;                       // slot -> physical page
+  std::vector<uint64_t> pages_;             // slot -> physical page | kHoleSlot
   std::unordered_map<uint64_t, uint64_t> page_to_slot_;
+  std::set<uint64_t> holes_;                // hole slots, ascending
+  uint64_t num_live_ = 0;
+  uint64_t num_slot_runs_ = 0;
+  ViewUsageStats usage_;
 };
 
 /// Builds the view for [lo, hi] by scanning every column page (the paper's

@@ -1,5 +1,6 @@
 #include "exec/parallel_scanner.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "exec/scan_kernels.h"
@@ -30,6 +31,41 @@ PageScanResult ParallelScanner::ScanPages(const Value* base,
   return ScanShardsMerged(num_pages, [&](uint64_t begin, uint64_t end) {
     return ScanPage(base + begin * kValuesPerPage,
                     (end - begin) * kValuesPerPage, q);
+  });
+}
+
+PageScanResult ParallelScanner::ScanPageRuns(const Value* base,
+                                             const std::vector<PageRun>& runs,
+                                             const RangeQuery& q) const {
+  // Shard over the concatenated PAGE space, not the run list: one huge run
+  // must still spread across the pool, and a tail of tiny runs must not
+  // capsize one shard. prefix[i] = pages before run i.
+  std::vector<uint64_t> prefix(runs.size() + 1, 0);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    prefix[i + 1] = prefix[i] + runs[i].num_pages;
+  }
+  const uint64_t total_pages = prefix.back();
+  return ScanShardsMerged(total_pages, [&](uint64_t begin, uint64_t end) {
+    PageScanResult r;
+    size_t ri = static_cast<size_t>(
+        std::upper_bound(prefix.begin(), prefix.end(), begin) -
+        prefix.begin() - 1);
+    uint64_t pos = begin;
+    while (pos < end) {
+      const uint64_t run_end = prefix[ri + 1];
+      if (pos >= run_end) {  // skip empty runs
+        ++ri;
+        continue;
+      }
+      const uint64_t take = (end < run_end ? end : run_end) - pos;
+      const uint64_t run_offset = pos - prefix[ri];
+      r.Merge(ScanPage(
+          base + (runs[ri].start_page + run_offset) * kValuesPerPage,
+          take * kValuesPerPage, q));
+      pos += take;
+      ++ri;
+    }
+    return r;
   });
 }
 

@@ -32,6 +32,14 @@ struct ParallelScanOptions {
   uint64_t serial_cutoff = ~uint64_t{0};
 };
 
+/// A maximal run of contiguous pages, in page units relative to some base —
+/// the currency of fragmented-view scans (core/virtual_view.h) and of view
+/// compaction move lists.
+struct PageRun {
+  uint64_t start_page = 0;
+  uint64_t num_pages = 0;
+};
+
 class ParallelScanner {
  public:
   explicit ParallelScanner(const ParallelScanOptions& options = {});
@@ -82,6 +90,18 @@ class ParallelScanner {
   /// bit-identical to ScanPage(base, num_pages * kValuesPerPage, q).
   PageScanResult ScanPages(const Value* base, uint64_t num_pages,
                            const RangeQuery& q) const;
+
+  /// Sharded filter scan of discontiguous page runs at `base` (run offsets
+  /// in pages): the fragmented-view scan path. Shards over the TOTAL page
+  /// count — shard boundaries may split a long run, so a compacted view
+  /// (one run) parallelizes exactly like a dense column, and variable run
+  /// lengths stay load-balanced. A fragmented view still burns a kernel
+  /// call per small run within each shard and breaks hardware prefetch
+  /// streams at every hole. Results are bit-identical to the equivalent
+  /// dense scan for any thread count (sum wraps mod 2^64; grouping is
+  /// immaterial).
+  PageScanResult ScanPageRuns(const Value* base, const std::vector<PageRun>& runs,
+                              const RangeQuery& q) const;
 
   static uint64_t ShardBegin(uint64_t n_items, unsigned shards, uint64_t s) {
     return n_items * s / shards;

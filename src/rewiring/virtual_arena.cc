@@ -2,9 +2,21 @@
 
 #include <cerrno>
 
+// g++ predefines _GNU_SOURCE for C++, which is what exposes mremap(2) and
+// MREMAP_FIXED in <sys/mman.h> on glibc.
 #include <sys/mman.h>
 
+#include "util/macros.h"
+
 namespace vmsv {
+
+bool VirtualArena::MremapSupported() {
+#if defined(__linux__) && defined(MREMAP_FIXED)
+  return true;
+#else
+  return false;
+#endif
+}
 
 StatusOr<std::unique_ptr<VirtualArena>> VirtualArena::Create(
     std::shared_ptr<PhysicalMemoryFile> file, uint64_t num_slots) {
@@ -46,6 +58,12 @@ Status VirtualArena::MapRange(uint64_t slot_start, uint64_t file_page_start,
                         static_cast<off_t>(file_page_start * kPageSize));
   if (mapped == MAP_FAILED) return ErrnoError("mmap(rewire)", errno);
   ++map_calls_;
+  RecordMapped(slot_start, file_page_start, count);
+  return OkStatus();
+}
+
+void VirtualArena::RecordMapped(uint64_t slot_start, uint64_t file_page_start,
+                                uint64_t count) {
   if (slot_to_page_.size() < slot_start + count) {
     slot_to_page_.resize(slot_start + count, kUnmapped);
   }
@@ -54,7 +72,16 @@ Status VirtualArena::MapRange(uint64_t slot_start, uint64_t file_page_start,
     if (entry == kUnmapped) ++num_mapped_;
     entry = static_cast<int64_t>(file_page_start + i);
   }
-  return OkStatus();
+}
+
+void VirtualArena::RecordUnmapped(uint64_t slot_start, uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t slot = slot_start + i;
+    if (slot >= slot_to_page_.size()) continue;  // never mapped: table never grew
+    int64_t& entry = slot_to_page_[slot];
+    if (entry != kUnmapped) --num_mapped_;
+    entry = kUnmapped;
+  }
 }
 
 Status VirtualArena::UnmapRange(uint64_t slot_start, uint64_t count) {
@@ -69,14 +96,67 @@ Status VirtualArena::UnmapRange(uint64_t slot_start, uint64_t count) {
                         MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_FIXED,
                         -1, 0);
   if (mapped == MAP_FAILED) return ErrnoError("mmap(unreserve)", errno);
-  for (uint64_t i = 0; i < count; ++i) {
-    const uint64_t slot = slot_start + i;
-    if (slot >= slot_to_page_.size()) continue;  // never mapped: table never grew
-    int64_t& entry = slot_to_page_[slot];
-    if (entry != kUnmapped) --num_mapped_;
-    entry = kUnmapped;
-  }
+  RecordUnmapped(slot_start, count);
   return OkStatus();
+}
+
+Status VirtualArena::AdoptRange(VirtualArena* src, uint64_t src_slot,
+                                uint64_t dst_slot, uint64_t count,
+                                bool allow_mremap, bool* used_mremap) {
+  if (used_mremap != nullptr) *used_mremap = false;
+  if (count == 0) return OkStatus();
+  if (src == nullptr) return InvalidArgument("AdoptRange needs a source arena");
+  if (src->file_.get() != file_.get()) {
+    return InvalidArgument("AdoptRange across different files");
+  }
+  if (src_slot + count > src->num_slots_) {
+    return InvalidArgument("AdoptRange beyond source arena");
+  }
+  if (dst_slot + count > num_slots_) {
+    return InvalidArgument("AdoptRange beyond destination arena");
+  }
+  // The run must be one kernel VMA: consecutive file pages, all mapped.
+  // (MapRange only ever installs file-contiguous ranges, and the kernel
+  // merges adjacent compatible ones, so file contiguity <=> one VMA here.)
+  const int64_t first_page = src->SlotFilePage(src_slot);
+  if (first_page == kUnmapped) {
+    return FailedPrecondition("AdoptRange source slot unmapped");
+  }
+  for (uint64_t i = 1; i < count; ++i) {
+    if (src->SlotFilePage(src_slot + i) != first_page + static_cast<int64_t>(i)) {
+      return FailedPrecondition("AdoptRange source run not file-contiguous");
+    }
+  }
+  const uint64_t bytes = count * kPageSize;
+  void* src_addr = src->base_ + src_slot * kPageSize;
+  void* dst_addr = base_ + dst_slot * kPageSize;
+#if defined(__linux__) && defined(MREMAP_FIXED)
+  if (allow_mremap) {
+    void* moved = ::mremap(src_addr, bytes, bytes,
+                           MREMAP_MAYMOVE | MREMAP_FIXED, dst_addr);
+    if (moved != MAP_FAILED) {
+      ++mremap_calls_;
+      // mremap left the source range UNMAPPED (a hole any later allocation
+      // could land in, which the source arena's destructor would then tear
+      // down). Restore the PROT_NONE reservation immediately.
+      void* reserved =
+          ::mmap(src_addr, bytes, PROT_NONE,
+                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_FIXED, -1, 0);
+      if (reserved == MAP_FAILED) return ErrnoError("mmap(re-reserve)", errno);
+      src->RecordUnmapped(src_slot, count);
+      RecordMapped(dst_slot, static_cast<uint64_t>(first_page), count);
+      if (used_mremap != nullptr) *used_mremap = true;
+      return OkStatus();
+    }
+    // mremap refused (e.g. kernel restriction): fall through to the rewire
+    // fallback, which is always possible.
+  }
+#else
+  (void)allow_mremap;
+#endif
+  VMSV_RETURN_IF_ERROR(
+      MapRange(dst_slot, static_cast<uint64_t>(first_page), count));
+  return src->UnmapRange(src_slot, count);
 }
 
 }  // namespace vmsv

@@ -30,6 +30,11 @@ class VirtualArena {
   /// Sentinel in the slot table: slot is not backed by any file page.
   static constexpr int64_t kUnmapped = -1;
 
+  /// True when this build/kernel supports moving mappings with mremap(2)
+  /// (MREMAP_FIXED). When false, AdoptRange always takes the rewire-remap
+  /// fallback regardless of `allow_mremap`.
+  static bool MremapSupported();
+
   /// Reserves `num_slots` pages of virtual address space against `file`.
   static StatusOr<std::unique_ptr<VirtualArena>> Create(
       std::shared_ptr<PhysicalMemoryFile> file, uint64_t num_slots);
@@ -46,6 +51,25 @@ class VirtualArena {
   /// Returns `count` slots starting at `slot_start` to the inaccessible
   /// reserved state (one mmap call).
   Status UnmapRange(uint64_t slot_start, uint64_t count);
+
+  /// Moves `count` mapped slots from `src` (starting at `src_slot`) into this
+  /// arena at `dst_slot` — the view-compaction primitive. The source run must
+  /// be backed by CONSECUTIVE file pages (i.e. lie within one kernel VMA, the
+  /// granularity mremap can move); both arenas must share the same file.
+  ///
+  /// With `allow_mremap` (and MremapSupported()), the move is an mremap(2)
+  /// MREMAP_FIXED call: page-table entries travel with the mapping, so pages
+  /// the caller already faulted in stay resident and no data is copied. The
+  /// vacated source range is immediately re-reserved PROT_NONE to keep the
+  /// source arena's reservation invariant. Otherwise (or if mremap fails at
+  /// runtime) the fallback rewires via a fresh mmap + source unmap — correct,
+  /// but the destination pages fault again on next touch.
+  ///
+  /// `used_mremap` (optional) reports which path ran. Not thread-safe: the
+  /// caller must ensure no concurrent scan or mapping touches either range
+  /// (drain any BackgroundMapper first).
+  Status AdoptRange(VirtualArena* src, uint64_t src_slot, uint64_t dst_slot,
+                    uint64_t count, bool allow_mremap, bool* used_mremap = nullptr);
 
   /// Base address of the reservation.
   uint8_t* data() const { return base_; }
@@ -71,10 +95,22 @@ class VirtualArena {
   /// unmapping excluded) — the figure-6 "mmap_calls" metric.
   uint64_t map_call_count() const { return map_calls_; }
 
+  /// Total mremap(2) moves that installed file pages here via AdoptRange
+  /// (kept separate from map_call_count so the fig6 metric keeps its
+  /// "fresh rewire" meaning).
+  uint64_t mremap_call_count() const { return mremap_calls_; }
+
  private:
   VirtualArena(std::shared_ptr<PhysicalMemoryFile> file, uint8_t* base,
                uint64_t num_slots)
       : file_(std::move(file)), base_(base), num_slots_(num_slots) {}
+
+  /// Records `count` slots starting at `slot_start` as mapped onto
+  /// consecutive file pages from `file_page_start` (bookkeeping only).
+  void RecordMapped(uint64_t slot_start, uint64_t file_page_start,
+                    uint64_t count);
+  /// Records `count` slots starting at `slot_start` as unmapped.
+  void RecordUnmapped(uint64_t slot_start, uint64_t count);
 
   std::shared_ptr<PhysicalMemoryFile> file_;
   uint8_t* base_;
@@ -82,6 +118,7 @@ class VirtualArena {
   std::vector<int64_t> slot_to_page_;
   uint64_t num_mapped_ = 0;
   uint64_t map_calls_ = 0;
+  uint64_t mremap_calls_ = 0;
 };
 
 }  // namespace vmsv

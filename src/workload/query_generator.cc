@@ -60,6 +60,30 @@ std::vector<RangeQuery> MakeFixedSelectivityWorkload(
   return queries;
 }
 
+std::vector<RangeQuery> MakePhaseShiftWorkload(const QueryWorkloadSpec& spec,
+                                               double selectivity,
+                                               uint64_t phases) {
+  if (phases <= 1) return MakeFixedSelectivityWorkload(spec, selectivity);
+  Rng rng(spec.seed);
+  const Value width = static_cast<Value>(
+      selectivity * static_cast<double>(spec.domain_hi));
+  const Value slice = spec.domain_hi / phases;
+  std::vector<RangeQuery> queries;
+  queries.reserve(spec.num_queries);
+  for (uint64_t i = 0; i < spec.num_queries; ++i) {
+    const uint64_t phase = std::min(phases - 1, i * phases / spec.num_queries);
+    // Positions stay inside the phase's slice; the query itself keeps the
+    // full-domain width, so it may overhang into the next slice (harmless —
+    // the drift is what matters).
+    const Value slice_lo = phase * slice;
+    const Value max_offset = slice > width ? slice - width : 0;
+    const Value lo = slice_lo + rng.Below(max_offset + 1);
+    const Value hi = lo + width > spec.domain_hi ? spec.domain_hi : lo + width;
+    queries.push_back(RangeQuery{lo, hi});
+  }
+  return queries;
+}
+
 std::vector<RangeQuery> MakeZipfianWorkload(const QueryWorkloadSpec& spec,
                                             double selectivity, double skew) {
   Rng rng(spec.seed);

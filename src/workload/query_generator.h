@@ -38,6 +38,18 @@ std::vector<RangeQuery> MakeFixedSelectivityWorkload(
 std::vector<RangeQuery> MakeZipfianWorkload(const QueryWorkloadSpec& spec,
                                             double selectivity, double skew);
 
+/// The Figure-5 fixed-selectivity workload with a drifting working set: the
+/// sequence is split into `phases` equal parts and phase p draws its query
+/// positions only from the p-th slice of the value domain. Query widths
+/// stay `selectivity` of the FULL domain (same per-query shape as
+/// MakeFixedSelectivityWorkload); only the positions drift. Models an
+/// analyst moving between regions — the scenario where a bounded view pool
+/// must evict cold views to follow the workload. `phases` <= 1 degenerates
+/// to the plain fixed-selectivity workload.
+std::vector<RangeQuery> MakePhaseShiftWorkload(const QueryWorkloadSpec& spec,
+                                               double selectivity,
+                                               uint64_t phases);
+
 }  // namespace vmsv
 
 #endif  // VMSV_WORKLOAD_QUERY_GENERATOR_H_

@@ -94,6 +94,8 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(AdaptiveColumnTest, MaxViewsBudgetIsHardLimit) {
   AdaptiveConfig config;
   config.max_views = 3;
+  // Pin the historical cliff policy: every candidate at budget is dropped.
+  config.lifecycle.eviction_policy = EvictionPolicy::kDropNewest;
   auto adaptive = MakeAdaptive(DataDistribution::kSine, config);
 
   bool saw_budget_exhausted = false;
@@ -105,6 +107,25 @@ TEST(AdaptiveColumnTest, MaxViewsBudgetIsHardLimit) {
         exec->stats.decision == CandidateDecision::kBudgetExhausted;
   }
   EXPECT_TRUE(saw_budget_exhausted);
+  // Drops are no longer silent: the counter must match what we observed.
+  EXPECT_GT(adaptive->metrics().candidates_dropped, 0u);
+  EXPECT_EQ(adaptive->metrics().views_evicted, 0u);
+}
+
+TEST(AdaptiveColumnTest, CostAwareBudgetStaysWithinLimitToo) {
+  AdaptiveConfig config;
+  config.max_views = 3;
+  config.lifecycle.eviction_policy = EvictionPolicy::kCostAware;
+  auto adaptive = MakeAdaptive(DataDistribution::kSine, config);
+  for (const RangeQuery& q : TestWorkload(60, 11)) {
+    auto exec = adaptive->Execute(q);
+    ASSERT_TRUE(exec.ok());
+    EXPECT_LE(adaptive->view_index().num_partial_views(), 3u);
+  }
+  // Under budget pressure the pool adapted instead of freezing.
+  EXPECT_GT(adaptive->metrics().views_evicted +
+                adaptive->metrics().candidates_dropped,
+            0u);
 }
 
 TEST(AdaptiveColumnTest, CoveredQueryIsAnsweredFromView) {

@@ -1,0 +1,412 @@
+// Lifecycle coverage: hole-punch fragmentation, mremap compaction (and its
+// forced rewire fallback), bit-identical scans across kernels and thread
+// counts, cost-aware eviction, and the compaction trigger wiring in the
+// adaptive layer.
+
+#include "core/view_lifecycle.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_layer.h"
+#include "core/virtual_view.h"
+#include "exec/parallel_scanner.h"
+#include "exec/scan_kernels.h"
+#include "util/random.h"
+#include "workload/distribution.h"
+
+namespace vmsv {
+namespace {
+
+constexpr uint64_t kTestPages = 64;
+constexpr Value kMaxValue = 100'000'000;
+
+std::unique_ptr<PhysicalColumn> MakeTestColumn(DataDistribution kind) {
+  DistributionSpec spec;
+  spec.kind = kind;
+  spec.max_value = kMaxValue;
+  spec.seed = 42;
+  auto column_r = MakeColumn(spec, kTestPages * kValuesPerPage);
+  EXPECT_TRUE(column_r.ok()) << column_r.status().ToString();
+  return std::move(column_r).ValueOrDie();
+}
+
+// Scalar serial reference over exactly the pages the view holds.
+PageScanResult ReferenceScan(const PhysicalColumn& column,
+                             const VirtualView& view, const RangeQuery& q) {
+  PageScanResult ref;
+  view.ForEachPage([&](uint64_t page) {
+    ref.Merge(ScanPageScalar(column.PageData(page), kValuesPerPage, q));
+  });
+  return ref;
+}
+
+// A materialized full-column view with every odd page removed: the maximal
+// fragmentation shape (single-page live runs separated by single holes).
+std::unique_ptr<VirtualView> MakeFragmentedView(const PhysicalColumn& column) {
+  auto view_r = BuildViewByScan(column, 0, kMaxValue,
+                                ViewCreationOptions{/*coalesce_runs=*/true,
+                                                    /*background_mapping=*/false,
+                                                    /*lazy_materialize=*/false});
+  EXPECT_TRUE(view_r.ok()) << view_r.status().ToString();
+  auto view = std::move(view_r).ValueOrDie();
+  EXPECT_EQ(view->num_pages(), kTestPages);
+  for (uint64_t page = 1; page < kTestPages; page += 2) {
+    EXPECT_TRUE(view->RemovePage(page).ok());
+  }
+  return view;
+}
+
+TEST(ViewFragmentationTest, HolePunchRemovalKeepsScansCorrect) {
+  auto column = MakeTestColumn(DataDistribution::kUniform);
+  auto view = MakeFragmentedView(*column);
+
+  EXPECT_FALSE(view->is_dense());
+  EXPECT_EQ(view->num_pages(), kTestPages / 2);
+  // Last page (odd) was removed and its trailing hole trimmed; the interior
+  // holes remain.
+  EXPECT_EQ(view->num_slots(), kTestPages - 1);
+  EXPECT_EQ(view->hole_slots(), kTestPages / 2 - 1);
+  EXPECT_EQ(view->num_slot_runs(), kTestPages / 2);
+  for (uint64_t page = 0; page < kTestPages; ++page) {
+    EXPECT_EQ(view->ContainsPage(page), page % 2 == 0);
+  }
+
+  const RangeQuery q{0, kMaxValue / 3};
+  const PageScanResult ref = ReferenceScan(*column, *view, q);
+  const PageScanResult got = view->Scan(q);
+  EXPECT_EQ(got.match_count, ref.match_count);
+  EXPECT_EQ(got.sum, ref.sum);
+}
+
+TEST(ViewFragmentationTest, AppendFillsLowestHole) {
+  auto column = MakeTestColumn(DataDistribution::kUniform);
+  auto view = MakeFragmentedView(*column);
+  const uint64_t slots_before = view->num_slots();
+
+  ASSERT_TRUE(view->AppendPage(1).ok());  // page 1 was removed first (slot 1)
+  EXPECT_EQ(view->num_slots(), slots_before);  // filled a hole, no tail growth
+  EXPECT_EQ(view->hole_slots(), kTestPages / 2 - 2);
+  EXPECT_TRUE(view->ContainsPage(1));
+
+  const RangeQuery q{0, kMaxValue};
+  const PageScanResult ref = ReferenceScan(*column, *view, q);
+  const PageScanResult got = view->Scan(q);
+  EXPECT_EQ(got.match_count, ref.match_count);
+  EXPECT_EQ(got.sum, ref.sum);
+}
+
+TEST(ViewCompactionTest, CompactRestoresDenseLayout) {
+  auto column = MakeTestColumn(DataDistribution::kUniform);
+  auto view = MakeFragmentedView(*column);
+  const RangeQuery q{kMaxValue / 5, kMaxValue / 2};
+  const PageScanResult before = view->Scan(q);
+
+  ViewCompactionStats stats;
+  ASSERT_TRUE(view->Compact(ViewCompactionOptions{}, &stats).ok());
+
+  EXPECT_TRUE(view->is_dense());
+  EXPECT_EQ(view->num_slots(), view->num_pages());
+  EXPECT_EQ(view->num_pages(), kTestPages / 2);
+  EXPECT_EQ(view->num_slot_runs(), 1u);
+  EXPECT_EQ(stats.live_pages, kTestPages / 2);
+  EXPECT_EQ(stats.holes_reclaimed, kTestPages / 2 - 1);
+  EXPECT_EQ(stats.slot_runs_before, kTestPages / 2);
+  EXPECT_EQ(stats.slot_runs_after, 1u);
+  if (VirtualArena::MremapSupported()) {
+    EXPECT_EQ(stats.mremap_moves, kTestPages / 2);
+    EXPECT_EQ(stats.remap_moves, 0u);
+  }
+  // Membership survives compaction.
+  for (uint64_t page = 0; page < kTestPages; ++page) {
+    EXPECT_EQ(view->ContainsPage(page), page % 2 == 0);
+  }
+  // And the answer is bit-identical.
+  const PageScanResult after = view->Scan(q);
+  EXPECT_EQ(after.match_count, before.match_count);
+  EXPECT_EQ(after.sum, before.sum);
+}
+
+TEST(ViewCompactionTest, ForcedRemapFallbackMatchesMremap) {
+  auto column = MakeTestColumn(DataDistribution::kUniform);
+  auto view = MakeFragmentedView(*column);
+  const RangeQuery q{0, kMaxValue / 2};
+  const PageScanResult before = view->Scan(q);
+
+  ViewCompactionOptions options;
+  options.use_mremap = false;  // the forced mremap-unavailable path
+  ViewCompactionStats stats;
+  ASSERT_TRUE(view->Compact(options, &stats).ok());
+
+  EXPECT_EQ(stats.mremap_moves, 0u);
+  EXPECT_EQ(stats.remap_moves, kTestPages / 2);
+  EXPECT_TRUE(view->is_dense());
+  const PageScanResult after = view->Scan(q);
+  EXPECT_EQ(after.match_count, before.match_count);
+  EXPECT_EQ(after.sum, before.sum);
+}
+
+TEST(ViewCompactionTest, BitIdenticalAcrossKernelsAndThreadCounts) {
+  auto column = MakeTestColumn(DataDistribution::kUniform);
+  auto fragmented = MakeFragmentedView(*column);
+  auto compacted = MakeFragmentedView(*column);
+  ASSERT_TRUE(compacted->Compact().ok());
+
+  const RangeQuery q{kMaxValue / 10, kMaxValue / 2};
+  const PageScanResult ref = ReferenceScan(*column, *fragmented, q);
+
+  const ScanKernel restore = ActiveScanKernel();
+  for (const ScanKernel kernel :
+       {ScanKernel::kScalar, ScanKernel::kAvx2, ScanKernel::kAvx512}) {
+    if (!ScanKernelAvailable(kernel)) continue;
+    ASSERT_TRUE(SetActiveScanKernel(kernel).ok());
+    for (const unsigned threads : {1u, 2u, 5u}) {
+      ParallelScanOptions options;
+      options.threads = threads;
+      options.serial_cutoff = 0;  // force sharding even at test scale
+      const PageScanResult frag = fragmented->Scan(q, options);
+      const PageScanResult comp = compacted->Scan(q, options);
+      EXPECT_EQ(frag.match_count, ref.match_count)
+          << ScanKernelName(kernel) << " threads=" << threads;
+      EXPECT_EQ(frag.sum, ref.sum);
+      EXPECT_EQ(comp.match_count, ref.match_count);
+      EXPECT_EQ(comp.sum, ref.sum);
+    }
+  }
+  ASSERT_TRUE(SetActiveScanKernel(restore).ok());
+}
+
+TEST(ViewCompactionTest, SortRunsByPageConsolidatesFileRuns) {
+  auto column = MakeTestColumn(DataDistribution::kUniform);
+  auto view_r = VirtualView::CreateEmpty(*column, 0, kMaxValue);
+  ASSERT_TRUE(view_r.ok());
+  auto view = std::move(view_r).ValueOrDie();
+  ASSERT_TRUE(view->EnsureMaterialized().ok());
+  // Append in scrambled order: every append is its own file run.
+  std::vector<uint64_t> order;
+  for (uint64_t page = 0; page < kTestPages; ++page) order.push_back(page);
+  Rng rng(13);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Below(i)]);
+  }
+  for (const uint64_t page : order) {
+    ASSERT_TRUE(view->AppendPage(page).ok());
+  }
+  EXPECT_GT(view->CountFileRuns(), 1u);
+
+  const RangeQuery q{0, kMaxValue / 2};
+  const PageScanResult before = view->Scan(q);
+  ViewCompactionStats stats;
+  ASSERT_TRUE(view->Compact(ViewCompactionOptions{}, &stats).ok());
+  // The full-column page set is one consecutive range once sorted.
+  EXPECT_EQ(stats.file_runs_after, 1u);
+  EXPECT_LT(stats.file_runs_after, stats.file_runs_before);
+  const std::vector<uint64_t> pages = view->physical_pages();
+  EXPECT_TRUE(std::is_sorted(pages.begin(), pages.end()));
+  const PageScanResult after = view->Scan(q);
+  EXPECT_EQ(after.match_count, before.match_count);
+  EXPECT_EQ(after.sum, before.sum);
+}
+
+TEST(ViewCompactionTest, DenseAndUnmaterializedViewsAreNoops) {
+  auto column = MakeTestColumn(DataDistribution::kUniform);
+  // Dense materialized view: nothing to do.
+  auto dense = BuildViewByScan(*column, 0, kMaxValue);
+  ASSERT_TRUE(dense.ok());
+  ViewCompactionStats stats;
+  ASSERT_TRUE((*dense)->Compact(ViewCompactionOptions{}, &stats).ok());
+  EXPECT_EQ(stats.mremap_moves + stats.remap_moves, 0u);
+
+  // Unmaterialized (lazy) view: list only, no arena work possible.
+  ViewCreationOptions lazy;
+  lazy.lazy_materialize = true;
+  auto lazy_view = BuildViewByScan(*column, 0, kMaxValue, lazy);
+  ASSERT_TRUE(lazy_view.ok());
+  ASSERT_FALSE((*lazy_view)->is_materialized());
+  ASSERT_TRUE((*lazy_view)->Compact(ViewCompactionOptions{}, &stats).ok());
+  EXPECT_FALSE((*lazy_view)->is_materialized());
+  EXPECT_EQ(stats.mremap_moves + stats.remap_moves, 0u);
+}
+
+TEST(ViewLifecycleManagerTest, ShouldCompactFollowsRunRatioThreshold) {
+  auto column = MakeTestColumn(DataDistribution::kUniform);
+  LifecycleConfig config;
+  config.compaction_run_ratio = 0.25;
+  config.compaction_min_runs = 4;
+  ViewLifecycleManager manager(config);
+
+  auto dense = BuildViewByScan(*column, 0, kMaxValue);
+  ASSERT_TRUE(dense.ok());
+  EXPECT_FALSE(manager.ShouldCompact(**dense));  // 1 run, no holes
+
+  auto fragmented = MakeFragmentedView(*column);
+  // 32 single-page runs over 32 live pages: ratio 1.0 > 0.25.
+  EXPECT_TRUE(manager.ShouldCompact(*fragmented));
+
+  ASSERT_TRUE(manager.CompactView(fragmented.get()).ok());
+  EXPECT_FALSE(manager.ShouldCompact(*fragmented));
+  EXPECT_EQ(manager.stats().compactions, 1u);
+  EXPECT_GT(manager.stats().holes_reclaimed, 0u);
+  EXPECT_GT(manager.stats().slot_runs_collapsed, 0u);
+}
+
+TEST(ViewLifecycleManagerTest, ScorePrefersRecentCheapCoverage) {
+  auto column = MakeTestColumn(DataDistribution::kSine);
+  ViewLifecycleManager manager(LifecycleConfig{});
+
+  auto narrow = BuildViewByScan(*column, 10'000'000, 20'000'000);
+  auto wide = BuildViewByScan(*column, 0, kMaxValue);
+  ASSERT_TRUE(narrow.ok() && wide.ok());
+  (*narrow)->SetCreationInfo(/*query_seq=*/0, kTestPages);
+  (*wide)->SetCreationInfo(/*query_seq=*/0, kTestPages);
+
+  // Same recency: the narrow view saves more pages per hit.
+  EXPECT_GT(manager.Score(**narrow, 0, kTestPages),
+            manager.Score(**wide, 0, kTestPages));
+  // Recency decays: the same view scores lower when long unused.
+  const double fresh_score = manager.Score(**narrow, 0, kTestPages);
+  const double stale_score = manager.Score(**narrow, 100, kTestPages);
+  EXPECT_GT(fresh_score, stale_score);
+  // A hit restores recency AND adds reuse evidence: with one hit the
+  // evidence weight is 1 + log2(2) = 2 on top of the fresh score.
+  (*narrow)->RecordHit(100);
+  EXPECT_DOUBLE_EQ(manager.Score(**narrow, 100, kTestPages), 2.0 * fresh_score);
+}
+
+TEST(AdaptiveEvictionTest, CostAwareEvictsColdViewAndStaysCorrect) {
+  AdaptiveConfig config;
+  config.max_views = 2;
+  config.lifecycle.eviction_policy = EvictionPolicy::kCostAware;
+  config.lifecycle.recency_half_life = 2.0;
+  auto adaptive_r =
+      AdaptiveColumn::Create(MakeTestColumn(DataDistribution::kSine), config);
+  ASSERT_TRUE(adaptive_r.ok());
+  auto& adaptive = *adaptive_r;
+
+  const RangeQuery hot{10'000'000, 20'000'000};
+  const RangeQuery cold{40'000'000, 50'000'000};
+  const RangeQuery fresh{70'000'000, 80'000'000};
+  ASSERT_TRUE(adaptive->Execute(hot).ok());   // view 1
+  ASSERT_TRUE(adaptive->Execute(cold).ok());  // view 2 — pool now full
+  for (int i = 0; i < 6; ++i) {
+    auto exec = adaptive->Execute(hot);  // keep view 1 hot
+    ASSERT_TRUE(exec.ok());
+    EXPECT_EQ(exec->stats.decision, CandidateDecision::kAnsweredFromView);
+  }
+
+  auto exec = adaptive->Execute(fresh);
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ(exec->stats.decision, CandidateDecision::kEvictedExisting);
+  EXPECT_EQ(adaptive->metrics().views_evicted, 1u);
+  EXPECT_EQ(adaptive->lifecycle_stats().evictions, 1u);
+  EXPECT_EQ(adaptive->view_index().num_partial_views(), 2u);
+
+  // The hot view must have survived; the cold one is gone.
+  auto hot_again = adaptive->Execute(hot);
+  ASSERT_TRUE(hot_again.ok());
+  EXPECT_EQ(hot_again->stats.decision, CandidateDecision::kAnsweredFromView);
+
+  // Everything stays correct, including re-querying the evicted range.
+  for (const RangeQuery& q : {hot, cold, fresh}) {
+    auto got = adaptive->Execute(q);
+    ASSERT_TRUE(got.ok());
+    auto baseline = adaptive->ExecuteFullScan(q);
+    ASSERT_TRUE(baseline.ok());
+    EXPECT_EQ(got->match_count, baseline->match_count);
+    EXPECT_EQ(got->sum, baseline->sum);
+  }
+}
+
+TEST(AdaptiveEvictionTest, DropNewestSurfacesDropCounter) {
+  AdaptiveConfig config;
+  config.max_views = 1;
+  config.lifecycle.eviction_policy = EvictionPolicy::kDropNewest;
+  auto adaptive_r =
+      AdaptiveColumn::Create(MakeTestColumn(DataDistribution::kSine), config);
+  ASSERT_TRUE(adaptive_r.ok());
+  auto& adaptive = *adaptive_r;
+
+  ASSERT_TRUE(adaptive->Execute(RangeQuery{10'000'000, 20'000'000}).ok());
+  auto exec = adaptive->Execute(RangeQuery{60'000'000, 70'000'000});
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ(exec->stats.decision, CandidateDecision::kBudgetExhausted);
+  // The satellite fix: the silent drop is now a counter.
+  EXPECT_EQ(adaptive->metrics().candidates_dropped, 1u);
+  EXPECT_EQ(adaptive->metrics().views_evicted, 0u);
+}
+
+TEST(AdaptiveEvictionTest, EvictionUnderBackgroundMappingStaysCorrect) {
+  // The eviction path must drain the background mapper before destroying a
+  // victim (queued tasks hold raw arena pointers). An eviction-heavy
+  // workload with background mapping on would crash or corrupt if it did
+  // not; result verification doubles as the "never drops a view mid-scan"
+  // check.
+  AdaptiveConfig config;
+  config.max_views = 2;
+  config.creation.background_mapping = true;
+  config.creation.lazy_materialize = false;
+  config.lifecycle.eviction_policy = EvictionPolicy::kCostAware;
+  config.lifecycle.recency_half_life = 1.0;
+  auto adaptive_r =
+      AdaptiveColumn::Create(MakeTestColumn(DataDistribution::kSine), config);
+  ASSERT_TRUE(adaptive_r.ok());
+  auto& adaptive = *adaptive_r;
+
+  Rng rng(23);
+  for (int i = 0; i < 40; ++i) {
+    const Value lo = rng.Below(kMaxValue - 10'000'000);
+    const RangeQuery q{lo, lo + 10'000'000};
+    auto exec = adaptive->Execute(q);
+    ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+    auto baseline = adaptive->ExecuteFullScan(q);
+    ASSERT_TRUE(baseline.ok());
+    EXPECT_EQ(exec->match_count, baseline->match_count);
+    EXPECT_EQ(exec->sum, baseline->sum);
+    EXPECT_LE(adaptive->view_index().num_partial_views(), 2u);
+  }
+  EXPECT_GT(adaptive->metrics().views_evicted, 0u);
+}
+
+TEST(AdaptiveCompactionTest, UpdateChurnTriggersCompaction) {
+  AdaptiveConfig config;
+  config.lifecycle.compaction_min_runs = 4;
+  config.lifecycle.compaction_run_ratio = 0.2;
+  config.creation.lazy_materialize = false;
+  auto narrow_r = AdaptiveColumn::Create(
+      MakeTestColumn(DataDistribution::kUniform), config);
+  ASSERT_TRUE(narrow_r.ok());
+  auto& narrow = *narrow_r;
+  const RangeQuery low{0, kMaxValue / 4};
+  ASSERT_TRUE(narrow->Execute(low).ok());
+  const VirtualView* view = narrow->view_index().views().front().get();
+  const uint64_t pages_before = view->num_pages();
+  ASSERT_GT(pages_before, 8u);
+
+  // Push every value of alternating member pages above the view range:
+  // alignment must remove those pages (holes), and the flush-triggered
+  // sweep must compact the view back to density.
+  const std::vector<uint64_t> members = view->physical_pages();
+  for (size_t i = 0; i < members.size(); i += 2) {
+    const uint64_t page = members[i];
+    for (uint64_t row = page * kValuesPerPage; row < (page + 1) * kValuesPerPage;
+         ++row) {
+      narrow->Update(row, kMaxValue / 2);
+    }
+  }
+  auto exec = narrow->Execute(low);
+  ASSERT_TRUE(exec.ok());
+  EXPECT_GE(narrow->lifecycle_stats().compactions, 1u);
+  view = narrow->view_index().views().front().get();
+  EXPECT_TRUE(view->is_dense());
+
+  auto baseline = narrow->ExecuteFullScan(low);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(exec->match_count, baseline->match_count);
+  EXPECT_EQ(exec->sum, baseline->sum);
+}
+
+}  // namespace
+}  // namespace vmsv

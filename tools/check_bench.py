@@ -1,9 +1,14 @@
 #!/usr/bin/env python3
-"""Validates the schema of BENCH_scan.json (the perf-baseline trajectory).
+"""Validates the schema of the BENCH_*.json perf-trajectory files.
 
-The perf trajectory is only useful if every PR's BENCH_scan.json stays
-machine-readable with stable semantics; CI runs this after the sweep and
-fails the build on drift. Usage: check_bench.py <path> [<path>...]
+The perf trajectory is only useful if every PR's BENCH_*.json stays
+machine-readable with stable semantics; CI runs this after each harness and
+fails the build on drift. The `bench` field selects the schema:
+
+  micro_scan       kernel x thread full-scan sweep      (BENCH_scan.json)
+  micro_lifecycle  view compaction + eviction ablation  (BENCH_lifecycle.json)
+
+Usage: check_bench.py <path> [<path>...]
 """
 
 import json
@@ -11,29 +16,6 @@ import math
 import sys
 
 SCHEMA_VERSION = 1
-
-TOP_LEVEL_FIELDS = {
-    "bench": str,
-    "schema_version": int,
-    "pages": int,
-    "values_per_page": int,
-    "reps": int,
-    "query_selectivity": float,
-    "distribution": str,
-    "seed": int,
-    "hardware_concurrency": int,
-    "default_kernel": str,
-    "configs": list,
-}
-
-CONFIG_FIELDS = {
-    "kernel": str,
-    "threads": int,
-    "median_ms": float,
-    "pages_per_s": float,
-    "gb_per_s": float,
-    "rep_ms": list,
-}
 
 KNOWN_KERNELS = {"scalar", "avx2", "avx512"}
 
@@ -50,24 +32,51 @@ def expect_type(obj, field, want, where):
     # ints are acceptable where floats are expected (JSON number).
     if want is float and isinstance(value, int) and not isinstance(value, bool):
         return value
-    if not isinstance(value, want) or isinstance(value, bool):
+    if not isinstance(value, want) or (want is not bool and isinstance(value, bool)):
         fail(f"{where}: field '{field}' is {type(value).__name__}, want {want.__name__}")
     return value
 
 
-def check_file(path):
-    try:
-        with open(path, "r", encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"{path}: {e}")
+def expect_fields(obj, fields, where):
+    for field, want in fields.items():
+        expect_type(obj, field, want, where)
 
-    for field, want in TOP_LEVEL_FIELDS.items():
-        expect_type(doc, field, want, path)
-    if doc["schema_version"] != SCHEMA_VERSION:
-        fail(f"{path}: schema_version {doc['schema_version']} != {SCHEMA_VERSION}")
-    if doc["bench"] != "micro_scan":
-        fail(f"{path}: bench '{doc['bench']}' != 'micro_scan'")
+
+def check_rep_array(cfg, field, reps, where):
+    if len(cfg[field]) != reps:
+        fail(f"{where}: {len(cfg[field])} {field} entries, want reps={reps}")
+    if any(not isinstance(ms, (int, float)) or isinstance(ms, bool) or ms <= 0
+           for ms in cfg[field]):
+        fail(f"{where}: {field} entries must be positive numbers")
+
+
+# ---------------------------------------------------------------------------
+# micro_scan (BENCH_scan.json)
+
+SCAN_TOP_LEVEL_FIELDS = {
+    "pages": int,
+    "values_per_page": int,
+    "reps": int,
+    "query_selectivity": float,
+    "distribution": str,
+    "seed": int,
+    "hardware_concurrency": int,
+    "default_kernel": str,
+    "configs": list,
+}
+
+SCAN_CONFIG_FIELDS = {
+    "kernel": str,
+    "threads": int,
+    "median_ms": float,
+    "pages_per_s": float,
+    "gb_per_s": float,
+    "rep_ms": list,
+}
+
+
+def check_micro_scan(doc, path):
+    expect_fields(doc, SCAN_TOP_LEVEL_FIELDS, path)
     if doc["pages"] <= 0 or doc["reps"] <= 0:
         fail(f"{path}: pages/reps must be positive")
     if doc["default_kernel"] not in KNOWN_KERNELS:
@@ -82,8 +91,7 @@ def check_file(path):
         where = f"{path}: configs[{i}]"
         if not isinstance(cfg, dict):
             fail(f"{where}: not an object")
-        for field, want in CONFIG_FIELDS.items():
-            expect_type(cfg, field, want, where)
+        expect_fields(cfg, SCAN_CONFIG_FIELDS, where)
         if cfg["kernel"] not in KNOWN_KERNELS:
             fail(f"{where}: unknown kernel '{cfg['kernel']}'")
         if cfg["threads"] <= 0:
@@ -95,10 +103,7 @@ def check_file(path):
         kernels.add(cfg["kernel"])
         if cfg["median_ms"] <= 0 or cfg["pages_per_s"] <= 0 or cfg["gb_per_s"] <= 0:
             fail(f"{where}: throughput fields must be positive")
-        if len(cfg["rep_ms"]) != doc["reps"]:
-            fail(f"{where}: {len(cfg['rep_ms'])} rep_ms entries, want reps={doc['reps']}")
-        if any(not isinstance(ms, (int, float)) or ms <= 0 for ms in cfg["rep_ms"]):
-            fail(f"{where}: rep_ms entries must be positive numbers")
+        check_rep_array(cfg, "rep_ms", doc["reps"], where)
         # Derived-throughput consistency: pages_per_s must follow from
         # median_ms within rounding tolerance.
         derived = doc["pages"] / (cfg["median_ms"] / 1000.0)
@@ -107,13 +112,213 @@ def check_file(path):
                  f"with median_ms (expected ~{derived:.1f})")
     if "scalar" not in kernels:
         fail(f"{path}: no scalar baseline configuration present")
-    print(f"check_bench: OK: {path} ({len(configs)} configurations, "
-          f"kernels: {', '.join(sorted(kernels))})")
+    return f"{len(configs)} configurations, kernels: {', '.join(sorted(kernels))}"
+
+
+# ---------------------------------------------------------------------------
+# micro_lifecycle (BENCH_lifecycle.json)
+
+LIFECYCLE_TOP_LEVEL_FIELDS = {
+    "pages": int,
+    "values_per_page": int,
+    "reps": int,
+    "seed": int,
+    "hardware_concurrency": int,
+    "default_kernel": str,
+    "threads": int,
+    "mremap_supported": bool,
+    "compaction": dict,
+    "eviction": dict,
+}
+
+COMPACTION_FIELDS = {
+    "view_pages": int,
+    "runs_before": int,
+    "holes_before": int,
+    "fragmented_median_ms": float,
+    "fragmented_rep_ms": list,
+    "scan_speedup": float,
+    "strategies": list,
+}
+
+STRATEGY_FIELDS = {
+    "strategy": str,
+    "compact_ms": float,
+    "first_scan_ms": float,
+    "median_ms": float,
+    "mremap_moves": int,
+    "remap_moves": int,
+    "runs_after": int,
+    "file_runs_after": int,
+    "arena_vmas_before": int,
+    "arena_vmas_after": int,
+    "rep_ms": list,
+}
+
+EVICTION_FIELDS = {
+    "max_views": int,
+    "selectivity": float,
+    "distribution": str,
+    "workload_seed": int,
+    "scenarios": list,
+}
+
+SCENARIO_FIELDS = {
+    "scenario": str,
+    "phases": int,
+    "queries": int,
+    "speedup_vs_drop_newest": float,
+    "policies": list,
+}
+
+KNOWN_SCENARIOS = {"fig5_static", "fig5_phase_shift"}
+
+POLICY_FIELDS = {
+    "policy": str,
+    "accumulated_ms": float,
+    "scanned_pages": int,
+    "views_created": int,
+    "views_evicted": int,
+    "candidates_dropped": int,
+    "pages_saved_ratio": float,
+}
+
+KNOWN_STRATEGIES = {"mremap", "remap_fallback"}
+KNOWN_POLICIES = {"drop_newest", "cost_aware"}
+
+
+def check_micro_lifecycle(doc, path):
+    expect_fields(doc, LIFECYCLE_TOP_LEVEL_FIELDS, path)
+    if doc["pages"] <= 0 or doc["reps"] <= 0:
+        fail(f"{path}: pages/reps must be positive")
+    if doc["default_kernel"] not in KNOWN_KERNELS:
+        fail(f"{path}: unknown default_kernel '{doc['default_kernel']}'")
+
+    comp = doc["compaction"]
+    where = f"{path}: compaction"
+    expect_fields(comp, COMPACTION_FIELDS, where)
+    if comp["view_pages"] <= 0 or comp["runs_before"] <= 0:
+        fail(f"{where}: view_pages/runs_before must be positive")
+    if comp["fragmented_median_ms"] <= 0 or comp["scan_speedup"] <= 0:
+        fail(f"{where}: timings must be positive")
+    check_rep_array(comp, "fragmented_rep_ms", doc["reps"], where)
+
+    strategies = {}
+    for i, s in enumerate(comp["strategies"]):
+        swhere = f"{where}: strategies[{i}]"
+        if not isinstance(s, dict):
+            fail(f"{swhere}: not an object")
+        expect_fields(s, STRATEGY_FIELDS, swhere)
+        if s["strategy"] not in KNOWN_STRATEGIES:
+            fail(f"{swhere}: unknown strategy '{s['strategy']}'")
+        if s["strategy"] in strategies:
+            fail(f"{swhere}: duplicate strategy '{s['strategy']}'")
+        if s["compact_ms"] <= 0 or s["first_scan_ms"] <= 0 or s["median_ms"] <= 0:
+            fail(f"{swhere}: timings must be positive")
+        if s["mremap_moves"] + s["remap_moves"] == 0:
+            fail(f"{swhere}: no moves recorded")
+        if s["runs_after"] > comp["runs_before"]:
+            fail(f"{swhere}: compaction increased run count")
+        check_rep_array(s, "rep_ms", doc["reps"], swhere)
+        strategies[s["strategy"]] = s
+    if set(strategies) != KNOWN_STRATEGIES:
+        fail(f"{where}: need exactly strategies {sorted(KNOWN_STRATEGIES)}, "
+             f"got {sorted(strategies)}")
+    if strategies["remap_fallback"]["mremap_moves"] != 0:
+        fail(f"{where}: remap_fallback used mremap")
+    # NOTE: mremap_supported=true with mremap_moves=0 is NOT an error — the
+    # build may support mremap while the kernel refuses MREMAP_FIXED at
+    # runtime (seccomp/gVisor), in which case AdoptRange falls back.
+    # Consistency: scan_speedup is fragmented/compacted of the mremap strategy.
+    derived = comp["fragmented_median_ms"] / strategies["mremap"]["median_ms"]
+    if not math.isclose(derived, comp["scan_speedup"], rel_tol=1e-3):
+        fail(f"{where}: scan_speedup {comp['scan_speedup']} inconsistent "
+             f"(expected ~{derived:.4f})")
+
+    ev = doc["eviction"]
+    where = f"{path}: eviction"
+    expect_fields(ev, EVICTION_FIELDS, where)
+    if ev["max_views"] <= 0:
+        fail(f"{where}: max_views must be positive")
+    if not 0 < ev["selectivity"] <= 1:
+        fail(f"{where}: selectivity out of (0, 1]")
+    scenarios = {}
+    for si, scenario in enumerate(ev["scenarios"]):
+        swhere = f"{where}: scenarios[{si}]"
+        if not isinstance(scenario, dict):
+            fail(f"{swhere}: not an object")
+        expect_fields(scenario, SCENARIO_FIELDS, swhere)
+        if scenario["scenario"] not in KNOWN_SCENARIOS:
+            fail(f"{swhere}: unknown scenario '{scenario['scenario']}'")
+        if scenario["scenario"] in scenarios:
+            fail(f"{swhere}: duplicate scenario '{scenario['scenario']}'")
+        if scenario["queries"] <= 0 or scenario["phases"] <= 0:
+            fail(f"{swhere}: queries/phases must be positive")
+        policies = {}
+        for i, p in enumerate(scenario["policies"]):
+            pwhere = f"{swhere}: policies[{i}]"
+            if not isinstance(p, dict):
+                fail(f"{pwhere}: not an object")
+            expect_fields(p, POLICY_FIELDS, pwhere)
+            if p["policy"] not in KNOWN_POLICIES:
+                fail(f"{pwhere}: unknown policy '{p['policy']}'")
+            if p["policy"] in policies:
+                fail(f"{pwhere}: duplicate policy '{p['policy']}'")
+            if p["accumulated_ms"] <= 0:
+                fail(f"{pwhere}: accumulated_ms must be positive")
+            if not -1.0 <= p["pages_saved_ratio"] <= 1.0:
+                fail(f"{pwhere}: pages_saved_ratio out of range")
+            policies[p["policy"]] = p
+        if set(policies) != KNOWN_POLICIES:
+            fail(f"{swhere}: need exactly policies {sorted(KNOWN_POLICIES)}, "
+                 f"got {sorted(policies)}")
+        if policies["drop_newest"]["views_evicted"] != 0:
+            fail(f"{swhere}: drop_newest must never evict")
+        derived = (policies["drop_newest"]["accumulated_ms"] /
+                   policies["cost_aware"]["accumulated_ms"])
+        if not math.isclose(derived, scenario["speedup_vs_drop_newest"],
+                            rel_tol=1e-3):
+            fail(f"{swhere}: speedup_vs_drop_newest "
+                 f"{scenario['speedup_vs_drop_newest']} inconsistent "
+                 f"(expected ~{derived:.4f})")
+        scenarios[scenario["scenario"]] = scenario
+    if set(scenarios) != KNOWN_SCENARIOS:
+        fail(f"{where}: need exactly scenarios {sorted(KNOWN_SCENARIOS)}, "
+             f"got {sorted(scenarios)}")
+    shift = scenarios["fig5_phase_shift"]["speedup_vs_drop_newest"]
+    return (f"compaction {comp['runs_before']} runs -> "
+            f"{strategies['mremap']['runs_after']}, speedup {comp['scan_speedup']:.2f}x; "
+            f"eviction {shift:.2f}x vs drop_newest on the phase-shift workload")
+
+
+CHECKERS = {
+    "micro_scan": check_micro_scan,
+    "micro_lifecycle": check_micro_lifecycle,
+}
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    expect_type(doc, "bench", str, path)
+    expect_type(doc, "schema_version", int, path)
+    if doc["schema_version"] != SCHEMA_VERSION:
+        fail(f"{path}: schema_version {doc['schema_version']} != {SCHEMA_VERSION}")
+    checker = CHECKERS.get(doc["bench"])
+    if checker is None:
+        fail(f"{path}: unknown bench '{doc['bench']}' "
+             f"(known: {', '.join(sorted(CHECKERS))})")
+    summary = checker(doc, path)
+    print(f"check_bench: OK: {path} ({summary})")
 
 
 def main():
     if len(sys.argv) < 2:
-        fail("usage: check_bench.py <BENCH_scan.json> [...]")
+        fail("usage: check_bench.py <BENCH_*.json> [...]")
     for path in sys.argv[1:]:
         check_file(path)
 

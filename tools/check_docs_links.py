@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Fails when documentation cross-links rot.
+
+Checks every markdown file in the repo root:
+  - relative links [text](path) must point at files that exist
+    (external http(s)/mailto links and pure #anchors are skipped);
+  - README.md must link both ARCHITECTURE.md and EXPERIMENTS.md (the docs
+    entry points this repo promises).
+
+Usage: check_docs_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+REQUIRED_README_LINKS = {"ARCHITECTURE.md", "EXPERIMENTS.md"}
+
+# [text](target) — excluding images is unnecessary: image targets must exist
+# too. Nested parens are not used in our docs.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    errors = []
+    readme_targets = set()
+
+    md_files = sorted(f for f in os.listdir(root) if f.endswith(".md"))
+    if not md_files:
+        errors.append(f"{root}: no markdown files found")
+    for name in md_files:
+        path = os.path.join(root, name)
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                continue  # intra-document anchor
+            bare = target.split("#", 1)[0]
+            if not bare:
+                continue
+            resolved = os.path.normpath(os.path.join(root, bare))
+            if not os.path.exists(resolved):
+                errors.append(f"{name}: broken link -> {target}")
+            elif name == "README.md":
+                readme_targets.add(os.path.basename(bare))
+
+    if "README.md" in md_files:
+        for required in sorted(REQUIRED_README_LINKS):
+            if required not in readme_targets:
+                errors.append(f"README.md: missing required link -> {required}")
+    else:
+        errors.append("README.md not found")
+
+    if errors:
+        for e in errors:
+            print(f"check_docs_links: FAIL: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_docs_links: OK: {len(md_files)} markdown files, "
+          f"README links {', '.join(sorted(REQUIRED_README_LINKS))}")
+
+
+if __name__ == "__main__":
+    main()
