@@ -1,8 +1,10 @@
 #include "core/adaptive_layer.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "exec/batch_executor.h"
 #include "exec/parallel_scanner.h"
 #include "util/macros.h"
 
@@ -82,25 +84,29 @@ bool PartialViewIndex::FindCover(const RangeQuery& q, bool cost_based,
   }
 }
 
-void PartialViewIndex::Replace(VirtualView* victim,
-                               std::unique_ptr<VirtualView> replacement) {
+std::unique_ptr<VirtualView> PartialViewIndex::Replace(
+    VirtualView* victim, std::unique_ptr<VirtualView> replacement) {
   for (auto& slot : views_) {
     if (slot.get() == victim) {
+      std::unique_ptr<VirtualView> displaced = std::move(slot);
       slot = std::move(replacement);
-      return;
+      return displaced;
     }
   }
   VMSV_CHECK(false && "Replace victim not in pool");
+  return nullptr;
 }
 
-void PartialViewIndex::Remove(VirtualView* view) {
+std::unique_ptr<VirtualView> PartialViewIndex::Remove(VirtualView* view) {
   for (auto it = views_.begin(); it != views_.end(); ++it) {
     if (it->get() == view) {
+      std::unique_ptr<VirtualView> detached = std::move(*it);
       views_.erase(it);
-      return;
+      return detached;
     }
   }
   VMSV_CHECK(false && "Remove target not in pool");
+  return nullptr;
 }
 
 // ---------------------------------------------------------------------------
@@ -118,9 +124,32 @@ StatusOr<std::unique_ptr<AdaptiveColumn>> AdaptiveColumn::Create(
   return adaptive;
 }
 
+CumulativeStats AdaptiveColumn::metrics() const {
+  CumulativeStats s;
+  s.queries = metrics_.queries.load(std::memory_order_relaxed);
+  s.scanned_pages = metrics_.scanned_pages.load(std::memory_order_relaxed);
+  s.fullscan_equivalent_pages =
+      metrics_.fullscan_equivalent_pages.load(std::memory_order_relaxed);
+  s.views_created = metrics_.views_created.load(std::memory_order_relaxed);
+  s.views_discarded = metrics_.views_discarded.load(std::memory_order_relaxed);
+  s.views_replaced = metrics_.views_replaced.load(std::memory_order_relaxed);
+  s.views_evicted = metrics_.views_evicted.load(std::memory_order_relaxed);
+  s.candidates_dropped =
+      metrics_.candidates_dropped.load(std::memory_order_relaxed);
+  return s;
+}
+
 StatusOr<QueryExecution> AdaptiveColumn::ExecuteFullScan(
     const RangeQuery& q) const {
   QueryExecution exec;
+  // Epoch entry under the shared lock: a concurrent Update's quiescence
+  // wait then covers this scan, so it never reads a torn value.
+  EpochManager::Guard guard;
+  {
+    std::shared_lock<std::shared_mutex> lock(views_mu_);
+    exec.stats.views_after = view_index_.num_partial_views();
+    guard = epoch_.Enter();
+  }
   // Whole pages, not num_rows: view scans operate page-wise, so the baseline
   // must treat any zero-filled tail identically for results to compare equal.
   const ParallelScanner scanner;
@@ -130,111 +159,155 @@ StatusOr<QueryExecution> AdaptiveColumn::ExecuteFullScan(
   exec.match_count = r.match_count;
   exec.sum = r.sum;
   exec.stats.scanned_pages = column_->num_pages();
-  exec.stats.views_after = view_index_.num_partial_views();
   exec.stats.decision = CandidateDecision::kNone;
   return exec;
 }
 
+bool AdaptiveColumn::RouteQuery(const RangeQuery& q, VirtualView** view,
+                                std::vector<VirtualView*>* cover) const {
+  *view = nullptr;
+  cover->clear();
+  if (config_.mode == QueryMode::kSingleView) {
+    *view = view_index_.FindSmallestCovering(q);
+    return *view != nullptr;
+  }
+  if (!view_index_.FindCover(q, config_.cost_based_routing, cover)) {
+    return false;
+  }
+  if (config_.cost_based_routing) {
+    uint64_t cover_pages = 0;
+    for (const VirtualView* v : *cover) cover_pages += v->num_pages();
+    if (cover_pages >= column_->num_pages()) {
+      // Cover costlier than a full scan: route to the scan path instead.
+      cover->clear();
+      return false;
+    }
+  }
+  return true;
+}
+
 StatusOr<QueryExecution> AdaptiveColumn::Execute(const RangeQuery& q) {
   if (q.lo > q.hi) return InvalidArgument("query lo > hi");
-  if (HasPendingUpdates()) {
-    auto flushed = FlushUpdates();
-    if (!flushed.ok()) return flushed.status();
-    if (flushed->pages_removed > 0) {
-      // Removals punch holes; re-densify any view that crossed the
-      // fragmentation threshold so its scans return to the dense fast path.
-      // A failed compaction leaves the view's mappings in an unspecified
-      // state (Compact's error contract) — DROP it rather than keep a view
-      // the next scan could fault on; its range full-scans and re-adapts.
-      for (VirtualView* view : view_index_.MutableViews()) {
-        if (!lifecycle_.ShouldCompact(*view)) continue;
-        if (!lifecycle_.CompactView(view).ok()) {
-          view_index_.Remove(view);
+  // Reader fast path: route under the shared index lock; a hit scans
+  // lock-free under an epoch guard. Pending updates force the maintenance
+  // path first — results must always reflect an ALIGNED state (the
+  // pending_count_ store happens before the updater releases the exclusive
+  // lock, so a shared holder sees either the pre-update pool or the flag).
+  {
+    std::shared_lock<std::shared_mutex> lock(views_mu_);
+    if (pending_count_.load(std::memory_order_acquire) == 0) {
+      VirtualView* view = nullptr;
+      std::vector<VirtualView*> cover;
+      if (RouteQuery(q, &view, &cover)) {
+        if (view != nullptr) {
+          return AnswerFromSingleView(view, q, std::move(lock));
         }
+        return AnswerFromCover(cover, q, std::move(lock));
       }
     }
   }
+  return ExecuteMaintenance(q);
+}
 
-  if (config_.mode == QueryMode::kSingleView) {
-    if (VirtualView* view = view_index_.FindSmallestCovering(q)) {
-      return AnswerFromSingleView(view, q);
-    }
-  } else {
+StatusOr<QueryExecution> AdaptiveColumn::ExecuteMaintenance(
+    const RangeQuery& q) {
+  std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+  if (!pending_.empty()) {
+    auto flushed = FlushUpdatesLocked(/*compact_after=*/true);
+    if (!flushed.ok()) return flushed.status();
+  }
+  // Re-route: another maintenance pass may have covered q while we waited
+  // for the mutex (or the flush may have changed the pool). Answering here,
+  // with maintenance_mu_ still held, keeps the code loop-free; the lock
+  // order (maintenance -> views) is the global one.
+  {
+    std::shared_lock<std::shared_mutex> lock(views_mu_);
+    VirtualView* view = nullptr;
     std::vector<VirtualView*> cover;
-    if (view_index_.FindCover(q, config_.cost_based_routing, &cover)) {
-      if (config_.cost_based_routing) {
-        uint64_t cover_pages = 0;
-        for (const VirtualView* v : cover) cover_pages += v->num_pages();
-        if (cover_pages < column_->num_pages()) return AnswerFromCover(cover, q);
-        // Cover costlier than a full scan: fall through to the scan path.
-      } else {
-        return AnswerFromCover(cover, q);
+    if (RouteQuery(q, &view, &cover)) {
+      if (view != nullptr) {
+        return AnswerFromSingleView(view, q, std::move(lock));
       }
+      return AnswerFromCover(cover, q, std::move(lock));
     }
   }
   return FullScanAndAdapt(q);
 }
 
 StatusOr<QueryExecution> AdaptiveColumn::AnswerFromSingleView(
-    VirtualView* view, const RangeQuery& q) {
+    VirtualView* view, const RangeQuery& q,
+    std::shared_lock<std::shared_mutex> lock) {
   QueryExecution exec;
+  exec.stats.considered_views = 1;
+  exec.stats.views_after = view_index_.num_partial_views();
+  EpochManager::Guard guard = epoch_.Enter();
+  lock.unlock();
+  // From here the view is pinned by the guard: eviction would only park it
+  // on the limbo list, and in-place mutation waits for our exit.
   VMSV_RETURN_IF_ERROR(view->EnsureMaterialized(mapper_.get()));
-  view->RecordHit(metrics_.queries);
+  view->RecordHit(metrics_.queries.load(std::memory_order_relaxed));
   const PageScanResult r = view->Scan(q);
   exec.match_count = r.match_count;
   exec.sum = r.sum;
   exec.stats.scanned_pages = view->num_pages();
-  exec.stats.considered_views = 1;
-  exec.stats.views_after = view_index_.num_partial_views();
   exec.stats.decision = CandidateDecision::kAnsweredFromView;
-  ++metrics_.queries;
-  metrics_.scanned_pages += exec.stats.scanned_pages;
-  metrics_.fullscan_equivalent_pages += column_->num_pages();
+  RecordQuery(exec.stats.scanned_pages);
   return exec;
 }
 
 StatusOr<QueryExecution> AdaptiveColumn::AnswerFromCover(
-    const std::vector<VirtualView*>& cover, const RangeQuery& q) {
+    const std::vector<VirtualView*>& cover, const RangeQuery& q,
+    std::shared_lock<std::shared_mutex> lock) {
   QueryExecution exec;
+  exec.stats.considered_views = cover.size();
+  exec.stats.views_after = view_index_.num_partial_views();
+  EpochManager::Guard guard = epoch_.Enter();
+  lock.unlock();
   // Views in a cover may share physical pages; each page is scanned once.
   std::unordered_set<uint64_t> seen;
   PageScanResult total;
+  const uint64_t seq = metrics_.queries.load(std::memory_order_relaxed);
   for (VirtualView* view : cover) {
     VMSV_RETURN_IF_ERROR(view->EnsureMaterialized(mapper_.get()));
-    view->RecordHit(metrics_.queries);
+    view->RecordHit(seq);
     total.Merge(view->ScanIf(
         q, [&seen](uint64_t page) { return seen.insert(page).second; }));
   }
   exec.match_count = total.match_count;
   exec.sum = total.sum;
   exec.stats.scanned_pages = seen.size();
-  exec.stats.considered_views = cover.size();
-  exec.stats.views_after = view_index_.num_partial_views();
   exec.stats.decision = CandidateDecision::kAnsweredFromView;
-  ++metrics_.queries;
-  metrics_.scanned_pages += exec.stats.scanned_pages;
-  metrics_.fullscan_equivalent_pages += column_->num_pages();
+  RecordQuery(exec.stats.scanned_pages);
   return exec;
 }
 
 StatusOr<QueryExecution> AdaptiveColumn::FullScanAndAdapt(const RangeQuery& q) {
+  // Caller holds maintenance_mu_: the base column's content is frozen (the
+  // update path needs the same mutex) and this is the only candidate being
+  // built, so the scan runs without any lock or guard.
   // The full scan doubles as candidate materialization (§2.3): one pass
   // answers the query and rewires the qualifying pages into a new view.
   auto built = BuildViewAndAnswer(*column_, q.lo, q.hi, q, config_.creation,
                                   mapper_.get());
   if (!built.ok()) return built.status();
-  built->view->SetCreationInfo(metrics_.queries, built->scanned_pages);
+  built->view->SetCreationInfo(metrics_.queries.load(std::memory_order_relaxed),
+                               built->scanned_pages);
 
   QueryExecution exec;
   exec.match_count = built->query_result.match_count;
   exec.sum = built->query_result.sum;
   exec.stats.scanned_pages = built->scanned_pages;
   exec.stats.considered_views = 0;
-  exec.stats.decision = DecideCandidate(std::move(built->view));
-  exec.stats.views_after = view_index_.num_partial_views();
-  ++metrics_.queries;
-  metrics_.scanned_pages += exec.stats.scanned_pages;
-  metrics_.fullscan_equivalent_pages += column_->num_pages();
+  {
+    // The pool edit is the only part that needs to fence readers out of
+    // ROUTING; their scans keep running (displaced views go to the limbo
+    // list, not the destructor).
+    std::unique_lock<std::shared_mutex> xlock(views_mu_);
+    exec.stats.decision = DecideCandidate(std::move(built->view));
+    exec.stats.views_after = view_index_.num_partial_views();
+  }
+  epoch_.TryReclaim();
+  RecordQuery(exec.stats.scanned_pages);
   return exec;
 }
 
@@ -249,7 +322,7 @@ CandidateDecision AdaptiveColumn::DecideCandidate(
     const RangeQuery cand_range = candidate->value_range();
     for (const auto& view : view_index_.views()) {
       if (view->Covers(cand_range)) {
-        ++metrics_.views_discarded;
+        metrics_.views_discarded.fetch_add(1, std::memory_order_relaxed);
         return CandidateDecision::kDiscardedSubset;
       }
     }
@@ -257,7 +330,7 @@ CandidateDecision AdaptiveColumn::DecideCandidate(
       if (view->num_pages() == 0 &&
           RangesTouch(view->lo(), view->hi(), cand_range.lo, cand_range.hi)) {
         view->ExtendRange(cand_range.lo, cand_range.hi);
-        ++metrics_.views_discarded;
+        metrics_.views_discarded.fetch_add(1, std::memory_order_relaxed);
         return CandidateDecision::kDiscardedSubset;
       }
     }
@@ -286,7 +359,7 @@ CandidateDecision AdaptiveColumn::DecideCandidate(
                                       candidate->hi())) {
         view->ExtendRange(candidate->lo(), candidate->hi());
       }
-      ++metrics_.views_discarded;
+      metrics_.views_discarded.fetch_add(1, std::memory_order_relaxed);
       return CandidateDecision::kDiscardedSubset;
     }
   }
@@ -306,8 +379,9 @@ CandidateDecision AdaptiveColumn::DecideCandidate(
       }
     }
     if (missing <= config_.replace_tolerance) {
-      view_index_.Replace(view.get(), std::move(candidate));
-      ++metrics_.views_replaced;
+      epoch_.RetireObject(
+          view_index_.Replace(view.get(), std::move(candidate)));
+      metrics_.views_replaced.fetch_add(1, std::memory_order_relaxed);
       return CandidateDecision::kReplacedExisting;
     }
   }
@@ -318,7 +392,7 @@ CandidateDecision AdaptiveColumn::AdmitAtBudget(
     std::unique_ptr<VirtualView> candidate) {
   if (view_index_.num_partial_views() < config_.max_views) {
     view_index_.Insert(std::move(candidate));
-    ++metrics_.views_created;
+    metrics_.views_created.fetch_add(1, std::memory_order_relaxed);
     return CandidateDecision::kInserted;
   }
   // Budget pressure. The historical policy ("drop-newest") discarded every
@@ -326,7 +400,7 @@ CandidateDecision AdaptiveColumn::AdmitAtBudget(
   // cost-aware policy instead evicts the coldest view when the fresh
   // candidate outscores it, so the pool tracks the working set.
   if (config_.lifecycle.eviction_policy == EvictionPolicy::kCostAware) {
-    const uint64_t now = metrics_.queries;
+    const uint64_t now = metrics_.queries.load(std::memory_order_relaxed);
     const uint64_t column_pages = column_->num_pages();
     VirtualView* victim =
         lifecycle_.PickEvictionVictim(view_index_.views(), now, column_pages);
@@ -337,36 +411,208 @@ CandidateDecision AdaptiveColumn::AdmitAtBudget(
         margin * lifecycle_.Score(*victim, now, column_pages) <
             lifecycle_.Score(*candidate, now, column_pages)) {
       if (mapper_ != nullptr) {
-        // The victim dies now; no queued background mapping may still point
-        // into its arena. (Every mapping path drains before returning, so
-        // this is a cheap no-op in practice — but the safety contract lives
-        // here, not in the callers.)
+        // The victim leaves the pool now; no queued background mapping may
+        // still point into its arena when it is eventually reclaimed.
+        // (Every mapping path drains before returning, so this is a cheap
+        // no-op in practice — but the safety contract lives here, not in
+        // the callers.) Taken as a producer session so it cannot consume a
+        // concurrent lazy materialization's pending error.
+        std::lock_guard<std::mutex> session(mapper_->producer_mutex());
         const Status drained = mapper_->Drain();
         if (!drained.ok()) {
-          ++metrics_.candidates_dropped;
+          metrics_.candidates_dropped.fetch_add(1, std::memory_order_relaxed);
           return CandidateDecision::kBudgetExhausted;
         }
       }
-      view_index_.Replace(victim, std::move(candidate));
-      ++metrics_.views_evicted;
+      // Concurrent scans may still be inside the victim: park it on the
+      // epoch limbo list; reclamation happens once they all exited.
+      epoch_.RetireObject(view_index_.Replace(victim, std::move(candidate)));
+      metrics_.views_evicted.fetch_add(1, std::memory_order_relaxed);
       lifecycle_.RecordEviction();
       return CandidateDecision::kEvictedExisting;
     }
   }
-  ++metrics_.candidates_dropped;
+  metrics_.candidates_dropped.fetch_add(1, std::memory_order_relaxed);
   return CandidateDecision::kBudgetExhausted;
 }
 
+// ---------------------------------------------------------------------------
+// Batch execution (shared scans)
+
+StatusOr<BatchExecution> AdaptiveColumn::ExecuteBatch(
+    const std::vector<RangeQuery>& queries) {
+  for (const RangeQuery& q : queries) {
+    if (q.lo > q.hi) return InvalidArgument("query lo > hi");
+  }
+  BatchExecution out;
+  out.queries.resize(queries.size());
+  if (queries.empty()) return out;
+
+  // Route every query under ONE shared-lock hold, pin the routed views with
+  // one guard, then scan the whole batch lock-free. The flush-first rule is
+  // the same as Execute's; like Execute, a batch that had to flush routes
+  // while still holding maintenance_mu_ (updates need the same mutex), so a
+  // sustained writer cannot starve it.
+  std::vector<VirtualView*> routed(queries.size(), nullptr);
+  EpochManager::Guard guard;
+  {
+    std::unique_lock<std::mutex> maintenance(maintenance_mu_, std::defer_lock);
+    if (HasPendingUpdates()) {
+      maintenance.lock();
+      if (!pending_.empty()) {
+        auto flushed = FlushUpdatesLocked(/*compact_after=*/true);
+        if (!flushed.ok()) return flushed.status();
+      }
+    }
+    std::shared_lock<std::shared_mutex> lock(views_mu_);
+    if (!maintenance.owns_lock() &&
+        pending_count_.load(std::memory_order_acquire) > 0) {
+      // An updater slipped in between the lock-free check and the shared
+      // acquisition: take the maintenance path after all.
+      lock.unlock();
+      maintenance.lock();
+      if (!pending_.empty()) {
+        auto flushed = FlushUpdatesLocked(/*compact_after=*/true);
+        if (!flushed.ok()) return flushed.status();
+      }
+      lock.lock();
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      routed[i] = view_index_.FindSmallestCovering(queries[i]);
+    }
+    const uint64_t views_after = view_index_.num_partial_views();
+    for (QueryExecution& exec : out.queries) {
+      exec.stats.views_after = views_after;
+    }
+    guard = epoch_.Enter();
+    // The guard (entered under the shared lock) now pins the routed views;
+    // both locks release here and the scans below run lock-free.
+  }
+
+  const uint64_t column_pages = column_->num_pages();
+  const uint64_t seq = metrics_.queries.load(std::memory_order_relaxed);
+
+  // Group the covered queries per view: one shared pass per view.
+  std::unordered_map<VirtualView*, std::vector<size_t>> by_view;
+  std::vector<size_t> missed;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (routed[i] != nullptr) {
+      by_view[routed[i]].push_back(i);
+    } else {
+      missed.push_back(i);
+    }
+  }
+
+  for (auto& [view, members] : by_view) {
+    VMSV_RETURN_IF_ERROR(view->EnsureMaterialized(mapper_.get()));
+    std::vector<RangeQuery> group;
+    group.reserve(members.size());
+    for (const size_t i : members) group.push_back(queries[i]);
+    const std::vector<PageScanResult> results = view->ScanMany(group);
+    for (size_t m = 0; m < members.size(); ++m) {
+      QueryExecution& exec = out.queries[members[m]];
+      exec.match_count = results[m].match_count;
+      exec.sum = results[m].sum;
+      exec.stats.considered_views = 1;
+      exec.stats.decision = CandidateDecision::kAnsweredFromView;
+      // The shared pass's cost lands on the group leader; followers rode
+      // along for free.
+      exec.stats.scanned_pages = m == 0 ? view->num_pages() : 0;
+      view->RecordHit(seq);
+      out.individual_equivalent_pages += view->num_pages();
+    }
+    out.shared_scanned_pages += view->num_pages();
+    out.view_answered += members.size();
+  }
+
+  if (!missed.empty()) {
+    // ONE pass over the base column answers every uncovered query; the
+    // overlap groups bound the per-page hull tests inside the executor.
+    std::vector<RangeQuery> group;
+    group.reserve(missed.size());
+    for (const size_t i : missed) group.push_back(queries[i]);
+    out.overlap_groups = GroupOverlappingQueries(group).size();
+    const BatchExecutor executor;
+    const std::vector<PageScanResult> results = executor.SharedScanPages(
+        reinterpret_cast<const Value*>(column_->base_arena().data()),
+        column_pages, group);
+    for (size_t m = 0; m < missed.size(); ++m) {
+      QueryExecution& exec = out.queries[missed[m]];
+      exec.match_count = results[m].match_count;
+      exec.sum = results[m].sum;
+      exec.stats.decision = CandidateDecision::kNone;
+      exec.stats.scanned_pages = m == 0 ? column_pages : 0;
+      out.individual_equivalent_pages += column_pages;
+    }
+    out.shared_scanned_pages += column_pages;
+    out.base_answered = missed.size();
+  }
+
+  metrics_.queries.fetch_add(queries.size(), std::memory_order_relaxed);
+  metrics_.scanned_pages.fetch_add(out.shared_scanned_pages,
+                                   std::memory_order_relaxed);
+  metrics_.fullscan_equivalent_pages.fetch_add(
+      column_pages * queries.size(), std::memory_order_relaxed);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Updates
+
 void AdaptiveColumn::Update(uint64_t row, Value new_value) {
+  std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+  std::unique_lock<std::shared_mutex> xlock(views_mu_);
+  // In-place mutation: block new readers (exclusive lock), wait out the
+  // in-flight ones (quiescence), then write. No scan ever sees the torn
+  // value or an unaligned state — pending_count_ is published before any
+  // new reader can route.
+  epoch_.WaitQuiescent();
   const Value old_value = column_->Set(row, new_value);
   pending_.Add(row, old_value, new_value);
+  pending_count_.store(pending_.size(), std::memory_order_release);
 }
 
 StatusOr<UpdateApplyStats> AdaptiveColumn::FlushUpdates() {
+  std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+  return FlushUpdatesLocked(/*compact_after=*/false);
+}
+
+StatusOr<UpdateApplyStats> AdaptiveColumn::FlushUpdatesLocked(
+    bool compact_after) {
+  std::unique_lock<std::shared_mutex> xlock(views_mu_);
+  // Alignment unmaps/remaps view slots in place; fence all readers off.
+  epoch_.WaitQuiescent();
   auto views = view_index_.MutableViews();
   auto stats = AlignPartialViews(*column_, views, pending_,
                                  config_.mapping_source);
-  if (stats.ok()) pending_.clear();
+  if (!stats.ok()) return stats;
+  pending_.clear();
+  pending_count_.store(0, std::memory_order_release);
+  bool reclaim_after = false;
+  if (compact_after && stats->pages_removed + stats->pages_added > 0) {
+    // Removals punch holes and adds can scatter file runs; re-densify any
+    // view a lifecycle trigger trips so its scans return to the dense fast
+    // path. A failed compaction leaves the view's mappings in an
+    // unspecified state (Compact's error contract) — DROP it rather than
+    // keep a view the next scan could fault on; its range full-scans and
+    // re-adapts. We already waited for quiescence, so in-place mremap
+    // compaction is safe; superseded arenas still go through the limbo
+    // list for uniform lifetime handling.
+    for (VirtualView* view : view_index_.MutableViews()) {
+      if (!lifecycle_.ShouldCompact(*view)) continue;
+      std::unique_ptr<VirtualArena> retired;
+      if (lifecycle_.CompactView(view, &retired).ok()) {
+        if (retired != nullptr) epoch_.RetireObject(std::move(retired));
+      } else {
+        epoch_.RetireObject(view_index_.Remove(view));
+      }
+      reclaim_after = true;
+    }
+  }
+  // Reclamation unmaps whole arenas — run it after readers are unblocked,
+  // not inside the exclusive section.
+  xlock.unlock();
+  if (reclaim_after) epoch_.TryReclaim();
   return stats;
 }
 

@@ -1,10 +1,10 @@
 // AdaptiveColumn — the adaptive query-processing layer (paper §2.2,
-// Listing 1). Every range query is answered either from partial virtual
-// views that cover it, or by a full scan that simultaneously materializes a
-// candidate view for the queried range. A bounded pool of views
-// (`max_views`) adapts to the workload: candidates that are (near-)subsets
-// of existing views are discarded, views that are (near-)subsets of a
-// candidate are replaced.
+// Listing 1), now a CONCURRENT query engine. Every range query is answered
+// either from partial virtual views that cover it, or by a full scan that
+// simultaneously materializes a candidate view for the queried range. A
+// bounded pool of views (`max_views`) adapts to the workload: candidates
+// that are (near-)subsets of existing views are discarded, views that are
+// (near-)subsets of a candidate are replaced.
 //
 // Two routing modes:
 //   - kSingleView: a query is answered from the SMALLEST single view whose
@@ -20,15 +20,45 @@
 // cost-aware eviction policy replaces the historical "drop every candidate
 // once max_views is reached" cliff.
 //
-// Thread-safety: AdaptiveColumn is externally synchronized — one query (or
-// update flush) at a time. The scan work inside a query is parallelized
-// internally via the exec/ thread pool.
+// CONCURRENCY MODEL (full walkthrough in ARCHITECTURE.md):
+//
+// Execute / ExecuteBatch / ExecuteFullScan are safe to call from any number
+// of threads, concurrently with Update / FlushUpdates from any thread.
+// Three mechanisms divide the work:
+//
+//   1. View-index shared mutex (`views_mu_`). Routing — picking the views
+//      that answer a query — holds it SHARED and briefly; structural pool
+//      edits (insert / replace / evict) hold it EXCLUSIVE and briefly. The
+//      actual page scans run under NO lock.
+//   2. Epoch-based reclamation (`util/epoch.h`). A reader pins the views it
+//      routed to with an epoch guard (entered while still holding the
+//      shared lock — that ordering is the protocol's linchpin). Writers
+//      that displace a view or an arena hand it to the epoch limbo list
+//      instead of destroying it, so its mappings survive until every
+//      possible referencing reader has exited; writers that must mutate
+//      mappings IN PLACE (update application, hole punching, compaction)
+//      first take the index lock exclusively — blocking new readers — and
+//      then wait for epoch quiescence, so no scan ever observes a torn
+//      value or a vanishing mapping.
+//   3. A single maintenance path (`maintenance_mu_`). Everything that
+//      mutates engine state — update application, flush + compaction, the
+//      full-scan-and-adapt path that builds candidates — is serialized
+//      through one mutex, so all the adaptation logic stays effectively
+//      single-writer. Lock order is maintenance_mu_ -> views_mu_;
+//      epoch guards never block on either, which is what makes the
+//      quiescence wait deadlock-free.
+//
+// Cumulative metrics are relaxed atomics (see metrics()); per-view usage
+// stats likewise (core/virtual_view.h).
 
 #ifndef VMSV_CORE_ADAPTIVE_LAYER_H_
 #define VMSV_CORE_ADAPTIVE_LAYER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "core/scan.h"
@@ -38,6 +68,7 @@
 #include "storage/column.h"
 #include "storage/types.h"
 #include "storage/update.h"
+#include "util/epoch.h"
 #include "util/status.h"
 
 namespace vmsv {
@@ -112,7 +143,32 @@ struct QueryExecution {
   ExecStats stats;
 };
 
-/// Workload-accumulated counters.
+/// Result of ExecuteBatch: per-query answers plus the batch-level page
+/// accounting that makes the shared-scan win measurable.
+struct BatchExecution {
+  /// Per-query results, batch order. Result i is bit-identical (match_count
+  /// and sum) to Execute(queries[i]). A shared pass's page cost is charged
+  /// to the FIRST query of its group (scanned_pages = group pages) and 0 to
+  /// the rest, so summing per-query stats matches the batch totals.
+  std::vector<QueryExecution> queries;
+  /// Unique pages scanned across the whole batch (each page of a shared
+  /// pass counted once).
+  uint64_t shared_scanned_pages = 0;
+  /// What answering each query individually would have scanned (view pages
+  /// per covered query, whole column per uncovered one).
+  uint64_t individual_equivalent_pages = 0;
+  /// Overlap groups among the uncovered queries (1 shared base pass serves
+  /// them all; the groups bound the hull pre-tests).
+  uint64_t overlap_groups = 0;
+  /// Queries answered from views / from the shared base pass.
+  uint64_t view_answered = 0;
+  uint64_t base_answered = 0;
+};
+
+/// Workload-accumulated counters. AdaptiveColumn::metrics() returns a
+/// point-in-time SNAPSHOT of its internal relaxed atomics: individual
+/// fields are exact once the workload quiesces, and only approximately
+/// consistent with each other while queries are in flight.
 struct CumulativeStats {
   uint64_t queries = 0;
   uint64_t scanned_pages = 0;
@@ -137,9 +193,9 @@ struct CumulativeStats {
 };
 
 /// The pool of partial views the adaptive layer routes queries against.
-/// Owned and externally synchronized by one AdaptiveColumn; Replace (the
-/// eviction/replacement hook) destroys the victim immediately, so callers
-/// must not hold scans or queued mapping work against it.
+/// Owned by one AdaptiveColumn and guarded by its view-index mutex; Replace
+/// and Remove RETURN the displaced view so the caller can park it on the
+/// epoch limbo list instead of destroying it under a concurrent scan.
 class PartialViewIndex {
  public:
   size_t num_partial_views() const { return views_.size(); }
@@ -174,12 +230,14 @@ class PartialViewIndex {
     views_.push_back(std::move(view));
   }
 
-  /// Swaps `victim` (must be in the pool) for `replacement`.
-  void Replace(VirtualView* victim, std::unique_ptr<VirtualView> replacement);
+  /// Swaps `victim` (must be in the pool) for `replacement`, returning the
+  /// displaced view for deferred destruction.
+  std::unique_ptr<VirtualView> Replace(VirtualView* victim,
+                                       std::unique_ptr<VirtualView> replacement);
 
-  /// Destroys `view` (must be in the pool) — the eviction /
-  /// failed-compaction drop.
-  void Remove(VirtualView* view);
+  /// Detaches `view` (must be in the pool) and returns it — the eviction /
+  /// failed-compaction drop, destruction deferred to the caller.
+  std::unique_ptr<VirtualView> Remove(VirtualView* view);
 
  private:
   std::vector<std::unique_ptr<VirtualView>> views_;
@@ -195,32 +253,58 @@ class AdaptiveColumn {
   /// Answers q adaptively (Listing 1): from views when covered, else full
   /// scan + candidate materialization + insert/discard/replace/evict
   /// decision. Pending updates are flushed first, and views left fragmented
-  /// by the flush are compacted per config().lifecycle.
+  /// (or file-scattered) by the flush are compacted per config().lifecycle.
+  /// Thread-safe; view-answered queries from different threads proceed in
+  /// parallel, maintenance (flush/adapt) serializes.
   /// Error contract: InvalidArgument when q.lo > q.hi; mapping-layer
   /// failures (e.g. vm.max_map_count exhaustion) surface as the underlying
   /// errno Status.
   StatusOr<QueryExecution> Execute(const RangeQuery& q);
 
+  /// Answers N in-flight queries with shared scans: queries covered by the
+  /// same view share one pass over that view's pages, and ALL uncovered
+  /// queries share ONE pass over the base column (each page is faulted and
+  /// scanned once for the whole batch; per-overlap-group hulls skip pages
+  /// no group member can match). Results are bit-identical to Execute-ing
+  /// each query individually. The batch path only READS — it builds no
+  /// candidate views (adaptation stays on the single-query path) — so it
+  /// runs concurrently with other readers. Routing uses single-view
+  /// covering in both modes. Pending updates are flushed first.
+  StatusOr<BatchExecution> ExecuteBatch(const std::vector<RangeQuery>& queries);
+
   /// The non-adaptive baseline: scans the base column. Does not touch the
-  /// view pool or the cumulative metrics.
+  /// view pool or the cumulative metrics. Thread-safe (epoch-protected
+  /// against concurrent updates).
   StatusOr<QueryExecution> ExecuteFullScan(const RangeQuery& q) const;
 
-  /// Applies an update to the base column immediately and logs it for view
-  /// alignment at the next flush/query.
+  /// Applies an update to the base column and logs it for view alignment at
+  /// the next flush/query. Excludes every in-flight reader (exclusive index
+  /// lock + epoch quiescence) so no scan observes a torn write; between the
+  /// update and the next flush, queries flush first — results always
+  /// reflect an aligned state.
   void Update(uint64_t row, Value new_value);
 
-  /// Aligns all views with the logged updates (§2.4/§2.5).
+  /// Aligns all views with the logged updates (§2.4/§2.5). Thread-safe.
   StatusOr<UpdateApplyStats> FlushUpdates();
 
-  bool HasPendingUpdates() const { return !pending_.empty(); }
+  bool HasPendingUpdates() const {
+    return pending_count_.load(std::memory_order_acquire) > 0;
+  }
 
   const PhysicalColumn& column() const { return *column_; }
   PhysicalColumn* mutable_column() { return column_.get(); }
+  /// The live pool. Do not call while other threads are querying — pool
+  /// membership is guarded by the engine's internal locks.
   const PartialViewIndex& view_index() const { return view_index_; }
-  const CumulativeStats& metrics() const { return metrics_; }
+  /// Snapshot of the workload counters (see CumulativeStats).
+  CumulativeStats metrics() const;
   const AdaptiveConfig& config() const { return config_; }
   /// Compaction/eviction counters accumulated by the lifecycle manager.
+  /// Maintenance-path data: read after the workload quiesces.
   const LifecycleStats& lifecycle_stats() const { return lifecycle_.stats(); }
+  /// The engine's reclamation domain (test/introspection hook: limbo_size
+  /// shows how many displaced views/arenas await quiescence).
+  EpochManager& epoch_manager() const { return epoch_; }
 
  private:
   AdaptiveColumn(std::unique_ptr<PhysicalColumn> column,
@@ -228,25 +312,79 @@ class AdaptiveColumn {
       : column_(std::move(column)), config_(config),
         lifecycle_(config.lifecycle) {}
 
-  StatusOr<QueryExecution> AnswerFromSingleView(VirtualView* view,
-                                                const RangeQuery& q);
+  /// Reader-path answers. Both take the HELD shared index lock, record
+  /// pool-shape stats, pin an epoch guard, release the lock, and scan
+  /// lock-free.
+  StatusOr<QueryExecution> AnswerFromSingleView(
+      VirtualView* view, const RangeQuery& q,
+      std::shared_lock<std::shared_mutex> lock);
   StatusOr<QueryExecution> AnswerFromCover(
-      const std::vector<VirtualView*>& cover, const RangeQuery& q);
+      const std::vector<VirtualView*>& cover, const RangeQuery& q,
+      std::shared_lock<std::shared_mutex> lock);
+
+  /// The slow path: flush pending updates, re-route (another thread may
+  /// have covered q meanwhile), else full-scan-and-adapt. Serialized by
+  /// maintenance_mu_.
+  StatusOr<QueryExecution> ExecuteMaintenance(const RangeQuery& q);
   StatusOr<QueryExecution> FullScanAndAdapt(const RangeQuery& q);
 
-  /// The insert/discard/replace decision of Listing 1.
+  /// Routes q per config().mode against the pool. Caller holds views_mu_
+  /// (any mode). Returns true and fills exactly one of view/cover when the
+  /// pool can answer q.
+  bool RouteQuery(const RangeQuery& q, VirtualView** view,
+                  std::vector<VirtualView*>* cover) const;
+
+  /// Flush + (optionally) the post-flush compaction sweep. Caller holds
+  /// maintenance_mu_; takes views_mu_ exclusive + epoch quiescence inside.
+  StatusOr<UpdateApplyStats> FlushUpdatesLocked(bool compact_after);
+
+  /// The insert/discard/replace decision of Listing 1. Caller holds
+  /// maintenance_mu_ AND views_mu_ exclusive; displaced views are retired
+  /// to the epoch manager, never destroyed inline.
   CandidateDecision DecideCandidate(std::unique_ptr<VirtualView> candidate);
 
   /// The budget step: inserts when the pool has room; otherwise applies the
   /// configured eviction policy (evict-coldest vs drop-candidate).
   CandidateDecision AdmitAtBudget(std::unique_ptr<VirtualView> candidate);
 
+  /// Internal counters behind metrics().
+  struct AtomicStats {
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> scanned_pages{0};
+    std::atomic<uint64_t> fullscan_equivalent_pages{0};
+    std::atomic<uint64_t> views_created{0};
+    std::atomic<uint64_t> views_discarded{0};
+    std::atomic<uint64_t> views_replaced{0};
+    std::atomic<uint64_t> views_evicted{0};
+    std::atomic<uint64_t> candidates_dropped{0};
+  };
+
+  /// Bumps the per-query workload counters (relaxed).
+  void RecordQuery(uint64_t scanned_pages) {
+    metrics_.queries.fetch_add(1, std::memory_order_relaxed);
+    metrics_.scanned_pages.fetch_add(scanned_pages, std::memory_order_relaxed);
+    metrics_.fullscan_equivalent_pages.fetch_add(column_->num_pages(),
+                                                 std::memory_order_relaxed);
+  }
+
   std::unique_ptr<PhysicalColumn> column_;
   AdaptiveConfig config_;
+  /// Guards pool STRUCTURE (routing vs insert/replace/evict) and, held
+  /// exclusively together with an epoch quiescence wait, fences readers off
+  /// in-place mutations. Mutable: the const baseline scan is a reader too.
+  mutable std::shared_mutex views_mu_;
+  /// Serializes all engine mutation: update application, flushes,
+  /// candidate-building full scans. Ordered BEFORE views_mu_.
+  std::mutex maintenance_mu_;
   PartialViewIndex view_index_;
-  UpdateBatch pending_;
-  CumulativeStats metrics_;
-  ViewLifecycleManager lifecycle_;
+  UpdateBatch pending_;                     // guarded by maintenance_mu_
+  std::atomic<size_t> pending_count_{0};    // lock-free mirror of pending_
+  AtomicStats metrics_;
+  ViewLifecycleManager lifecycle_;          // driven from maintenance_mu_
+  /// Reclamation domain for displaced views/arenas. Declared after the
+  /// members retired objects may reference; destroyed first, draining the
+  /// limbo list while everything it points into is still alive.
+  mutable EpochManager epoch_;
   std::unique_ptr<BackgroundMapper> mapper_;  // lazily created when enabled
 };
 

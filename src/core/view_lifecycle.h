@@ -57,6 +57,15 @@ struct LifecycleConfig {
   /// ... and the view has at least this many slot runs (tiny views are not
   /// worth a syscall burst, fragmented or not).
   uint64_t compaction_min_runs = 16;
+  /// Second trigger, for views that are slot-DENSE but file-SCATTERED (e.g.
+  /// membership grown out of page order by update alignment): when a
+  /// hole-free view's file-run count exceeds this ratio × num_pages (and at
+  /// least compaction_min_runs), a sort-only compaction consolidates its
+  /// kernel VMAs (compaction.sort_runs_by_page must be on, as it is by
+  /// default). Fires only when sorting would actually reduce the file-run
+  /// count — an inherently scattered page SET (e.g. every other column
+  /// page) cannot be consolidated and is left alone. 0 disables.
+  double sort_compaction_file_run_ratio = 0.5;
   /// How Compact moves runs (mremap vs forced rewire fallback, run sorting).
   ViewCompactionOptions compaction;
   /// Budget-pressure policy. kCostAware is the default: hot views survive.
@@ -75,8 +84,13 @@ struct LifecycleConfig {
 };
 
 /// Cumulative lifecycle counters (one manager = one AdaptiveColumn).
+/// Mutated only from the adaptive layer's serialized maintenance path;
+/// read them after the workload (or from that same path), not concurrently.
 struct LifecycleStats {
   uint64_t compactions = 0;
+  /// Subset of `compactions` triggered on hole-free views purely to
+  /// consolidate scattered file runs (the sort-only trigger).
+  uint64_t sort_compactions = 0;
   uint64_t compaction_mremap_moves = 0;
   uint64_t compaction_remap_moves = 0;
   uint64_t holes_reclaimed = 0;
@@ -97,17 +111,25 @@ class ViewLifecycleManager {
   const LifecycleConfig& config() const { return config_; }
   const LifecycleStats& stats() const { return stats_; }
 
-  /// True when `view` is materialized and fragmented past the configured
-  /// run-ratio threshold — the compaction trigger. Always false when
-  /// enable_compaction is off, so every trigger site honors the master
+  /// True when `view` is materialized and either fragmented past the
+  /// run-ratio threshold, or hole-free but file-scattered past the
+  /// sort-compaction threshold — the two compaction triggers. Always false
+  /// when enable_compaction is off, so every trigger site honors the master
   /// switch.
   bool ShouldCompact(const VirtualView& view) const;
 
+  /// The sort-only half of ShouldCompact: hole-free, file-scattered past
+  /// sort_compaction_file_run_ratio, and sorting would actually consolidate.
+  bool ShouldSortCompact(const VirtualView& view) const;
+
   /// Compacts one view with the configured options, folding the outcome
-  /// into stats(). Error contract: forwards VirtualView::Compact failures —
+  /// into stats(). `retired_arena` non-null receives the superseded arena
+  /// for epoch-deferred destruction (see VirtualView::Compact).
+  /// Error contract: forwards VirtualView::Compact failures —
   /// the caller must then discard or rebuild the view (see the trigger
   /// sites in AdaptiveColumn::Execute and VirtualViewIndex::ApplyUpdate).
-  Status CompactView(VirtualView* view);
+  Status CompactView(VirtualView* view,
+                     std::unique_ptr<VirtualArena>* retired_arena = nullptr);
 
   /// Eviction score: hit-recency × creation-cost × coverage-savings,
   /// weighted by hit evidence. Higher = more worth keeping.

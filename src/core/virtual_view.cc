@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/batch_executor.h"
 #include "util/macros.h"
 
 namespace vmsv {
@@ -111,14 +112,45 @@ void VirtualView::RecordPageAt(uint64_t slot, uint64_t page) {
   } else if (!left_live && !right_live) {
     ++num_slot_runs_;
   }
+  // File-run transitions (slot order): same merge/extend/start logic, but
+  // adjacency additionally requires consecutive file pages.
+  if (!file_runs_dirty_) {
+    const bool left_adj = left_live && pages_[slot - 1] + 1 == page;
+    const bool right_adj = right_live && page + 1 == pages_[slot + 1];
+    if (left_adj && right_adj) {
+      --num_file_runs_;
+    } else if (!left_adj && !right_adj) {
+      ++num_file_runs_;
+    }
+  }
+  // Set-run transitions (sorted page order): membership of page±1 decides.
+  const bool set_left = page > 0 && page_to_slot_.count(page - 1) != 0;
+  const bool set_right = page_to_slot_.count(page + 1) != 0;
+  if (set_left && set_right) {
+    --num_set_runs_;
+  } else if (!set_left && !set_right) {
+    ++num_set_runs_;
+  }
   pages_[slot] = page;
   page_to_slot_[page] = slot;
   holes_.erase(slot);
   ++num_live_;
+  InvalidateRunCache();
 }
 
 Status VirtualView::EnsureMaterialized(BackgroundMapper* mapper) {
-  if (arena_ != nullptr) return OkStatus();
+  if (is_materialized()) return OkStatus();
+  // Lazy materialization happens on first use, and under the concurrent
+  // engine several readers can hit an unmaterialized view at once; the
+  // per-view mutex makes exactly one of them build the arena. The mapper's
+  // producer-session lock additionally keeps a concurrent materialization
+  // of a DIFFERENT view from consuming this one's mapping errors at Drain.
+  std::lock_guard<std::mutex> lock(materialize_mu_);
+  if (is_materialized()) return OkStatus();
+  std::unique_lock<std::mutex> session;
+  if (mapper != nullptr) {
+    session = std::unique_lock<std::mutex>(mapper->producer_mutex());
+  }
   auto arena_r = VirtualArena::Create(file_, arena_slots_);
   if (!arena_r.ok()) return arena_r.status();
   // Materialization is transactional: the arena is installed only once every
@@ -146,7 +178,7 @@ Status VirtualView::EnsureMaterialized(BackgroundMapper* mapper) {
   if (mapper != nullptr) {
     VMSV_RETURN_IF_ERROR(mapper->Drain());
   }
-  arena_ = std::move(arena);
+  PublishArena(std::move(arena));
   return OkStatus();
 }
 
@@ -227,10 +259,23 @@ Status VirtualView::RemovePage(uint64_t page) {
   if (it == page_to_slot_.end()) return NotFound("page not in view");
   const uint64_t slot = it->second;
 
+  // Set-run transitions mirror RecordPageAt's, inverted: removing a page
+  // that bridged both neighbors splits a run, removing an isolated page
+  // ends one. Order-independent, so shared by both branches below.
+  const bool set_left = page > 0 && page_to_slot_.count(page - 1) != 0;
+  const bool set_right = page_to_slot_.count(page + 1) != 0;
+  if (set_left && set_right) {
+    ++num_set_runs_;
+  } else if (!set_left && !set_right) {
+    --num_set_runs_;
+  }
+
   if (arena_ == nullptr) {
     // Unmaterialized: plain list edit. Swap-remove keeps the list dense (the
     // hole representation below exists to save mmap calls; there are none to
-    // save here).
+    // save here). It reorders the list, so the slot-order file-run cache
+    // goes dirty rather than being patched.
+    file_runs_dirty_ = true;
     const uint64_t last_slot = pages_.size() - 1;
     if (slot != last_slot) {
       const uint64_t moved_page = pages_[last_slot];
@@ -241,6 +286,7 @@ Status VirtualView::RemovePage(uint64_t page) {
     page_to_slot_.erase(it);
     --num_live_;
     num_slot_runs_ = num_live_ > 0 ? 1 : 0;
+    InvalidateRunCache();
     return OkStatus();
   }
 
@@ -257,6 +303,15 @@ Status VirtualView::RemovePage(uint64_t page) {
   } else if (!left_live && !right_live) {
     --num_slot_runs_;  // removed a singleton run
   }
+  if (!file_runs_dirty_) {
+    const bool left_adj = left_live && pages_[slot - 1] + 1 == page;
+    const bool right_adj = right_live && page + 1 == pages_[slot + 1];
+    if (left_adj && right_adj) {
+      ++num_file_runs_;
+    } else if (!left_adj && !right_adj) {
+      --num_file_runs_;
+    }
+  }
   pages_[slot] = kHoleSlot;
   holes_.insert(slot);
   page_to_slot_.erase(it);
@@ -267,6 +322,7 @@ Status VirtualView::RemovePage(uint64_t page) {
     holes_.erase(pages_.size() - 1);
     pages_.pop_back();
   }
+  InvalidateRunCache();
   return OkStatus();
 }
 
@@ -278,6 +334,7 @@ std::vector<uint64_t> VirtualView::physical_pages() const {
 }
 
 uint64_t VirtualView::CountFileRuns() const {
+  if (!file_runs_dirty_) return num_file_runs_;
   uint64_t runs = 0;
   bool in_run = false;
   uint64_t prev_page = 0;
@@ -290,6 +347,8 @@ uint64_t VirtualView::CountFileRuns() const {
     in_run = true;
     prev_page = page;
   }
+  num_file_runs_ = runs;
+  file_runs_dirty_ = false;
   return runs;
 }
 
@@ -304,7 +363,8 @@ std::vector<PageRun> VirtualView::LiveSlotRuns() const {
 }
 
 Status VirtualView::Compact(const ViewCompactionOptions& options,
-                            ViewCompactionStats* stats) {
+                            ViewCompactionStats* stats,
+                            std::unique_ptr<VirtualArena>* retired_arena) {
   ViewCompactionStats local;
   ViewCompactionStats& out = stats != nullptr ? *stats : local;
   out = ViewCompactionStats{};
@@ -363,7 +423,10 @@ Status VirtualView::Compact(const ViewCompactionOptions& options,
     }
     dst += unit.len;
   }
-  arena_ = std::move(dense);
+  if (retired_arena != nullptr) {
+    *retired_arena = std::move(arena_);
+  }
+  PublishArena(std::move(dense));
 
   pages_.clear();
   pages_.reserve(num_live_);
@@ -376,23 +439,50 @@ Status VirtualView::Compact(const ViewCompactionOptions& options,
   }
   holes_.clear();
   num_slot_runs_ = pages_.empty() ? 0 : 1;
+  InvalidateRunCache();
+  file_runs_dirty_ = true;  // slot order changed wholesale; rebuild below
   out.slot_runs_after = num_slot_runs_;
   out.file_runs_after = CountFileRuns();
   return OkStatus();
 }
 
+std::shared_ptr<const std::vector<PageRun>> VirtualView::SlotRunsCached()
+    const {
+  auto cached = std::atomic_load(&runs_cache_);
+  if (cached != nullptr) return cached;
+  auto built =
+      std::make_shared<const std::vector<PageRun>>(LiveSlotRuns());
+  // Racing readers rebuild identical lists (membership is frozen while any
+  // reader scans); last store wins and both copies are valid.
+  std::atomic_store(&runs_cache_,
+                    std::shared_ptr<const std::vector<PageRun>>(built));
+  return built;
+}
+
 PageScanResult VirtualView::Scan(const RangeQuery& q,
                                  const ParallelScanOptions& scan_options) const {
   const ParallelScanner scanner(scan_options);
+  const Value* base = reinterpret_cast<const Value*>(arena().data());
   if (holes_.empty()) {
     // Dense fast path — the whole point of rewiring (and of compaction): one
     // contiguous sweep, no indirection per page, sharded above the cutoff.
-    return scanner.ScanPages(reinterpret_cast<const Value*>(arena_->data()),
-                             pages_.size(), q);
+    return scanner.ScanPages(base, pages_.size(), q);
   }
   // Fragmented path: sweep each live run, skipping the PROT_NONE holes.
-  return scanner.ScanPageRuns(reinterpret_cast<const Value*>(arena_->data()),
-                              LiveSlotRuns(), q);
+  const auto runs = SlotRunsCached();
+  return scanner.ScanPageRuns(base, *runs, q);
+}
+
+std::vector<PageScanResult> VirtualView::ScanMany(
+    const std::vector<RangeQuery>& queries,
+    const ParallelScanOptions& scan_options) const {
+  const BatchExecutor executor(scan_options);
+  const Value* base = reinterpret_cast<const Value*>(arena().data());
+  if (holes_.empty()) {
+    return executor.SharedScanPages(base, pages_.size(), queries);
+  }
+  const auto runs = SlotRunsCached();
+  return executor.SharedScanPageRuns(base, *runs, queries);
 }
 
 PageScanResult VirtualView::ScanSelectedSlots(
@@ -409,7 +499,7 @@ PageScanResult VirtualView::ScanSelectedSlots(
     i += len;
   }
   const ParallelScanner scanner;
-  return scanner.ScanPageRuns(reinterpret_cast<const Value*>(arena_->data()),
+  return scanner.ScanPageRuns(reinterpret_cast<const Value*>(arena().data()),
                               runs, q);
 }
 
@@ -467,6 +557,13 @@ StatusOr<ViewBuildOutput> BuildViewAndAnswer(const PhysicalColumn& column,
 
   BackgroundMapper* effective_mapper =
       options.background_mapping ? mapper : nullptr;
+  // Producer session (see BackgroundMapper): this whole scan is one
+  // Enqueue...Drain window; a concurrent lazy materialization on another
+  // thread must not interleave its Drain with ours.
+  std::unique_lock<std::mutex> session;
+  if (effective_mapper != nullptr) {
+    session = std::unique_lock<std::mutex>(effective_mapper->producer_mutex());
+  }
   if (!options.lazy_materialize) {
     // Eager creation: the arena exists up front and pages are rewired as the
     // scan discovers them (§2.3). Lazy creation records the list only.

@@ -19,15 +19,21 @@
 // mremap(2). Views that stop earning their keep are dropped from the pool
 // entirely (evicted), freeing their slot table and mapping budget.
 //
-// Thread-safety: VirtualView is externally synchronized. Scans may run
-// concurrently with each other (they only read), but creation, membership
-// updates, Compact, and destruction must not overlap any other use. When a
-// BackgroundMapper is in play it holds raw arena pointers; Drain() it
-// before compacting or destroying the view.
+// Thread-safety: scans, ScanMany, ContainsPage, RecordHit, and lazy
+// EnsureMaterialized may run concurrently from any number of reader threads
+// (materialization is internally serialized per view; usage counters are
+// relaxed atomics). Membership updates, Compact, and destruction mutate
+// mappings IN PLACE and must not overlap any reader — the concurrent engine
+// (core/adaptive_layer.h) excludes readers with an epoch quiescence wait
+// before running them, and hands displaced arenas/views to the epoch limbo
+// list instead of destroying them under readers. When a BackgroundMapper is
+// in play it holds raw arena pointers; Drain() it before compacting or
+// destroying the view.
 
 #ifndef VMSV_CORE_VIRTUAL_VIEW_H_
 #define VMSV_CORE_VIRTUAL_VIEW_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -95,32 +101,45 @@ struct ViewCompactionStats {
 
 /// Per-view usage accounting consumed by the cost-aware eviction policy
 /// (core/view_lifecycle.h). The "clock" is a logical query sequence number
-/// maintained by the adaptive layer.
+/// maintained by the adaptive layer. Fields are relaxed-consistency atomics:
+/// concurrent readers RecordHit while the maintenance path scores views, and
+/// an approximately-fresh recency is all the policy needs.
 struct ViewUsageStats {
   /// Query sequence number at creation.
-  uint64_t created_at_query = 0;
+  std::atomic<uint64_t> created_at_query{0};
   /// Sequence number of the last query this view helped answer (creation
   /// counts: the triggering query was answered by the creating scan).
-  uint64_t last_used_query = 0;
+  std::atomic<uint64_t> last_used_query{0};
   /// Number of queries answered (fully or as a cover member) from the view.
-  uint64_t hits = 0;
+  std::atomic<uint64_t> hits{0};
   /// Pages the creating scan read to build the view — the cost to recreate
   /// it if evicted too eagerly.
-  uint64_t creation_scanned_pages = 0;
+  std::atomic<uint64_t> creation_scanned_pages{0};
 };
 
 /// A worker thread executing arena MapRange calls asynchronously. One mapper
 /// can be reused across several view creations; Drain() is the barrier.
 ///
-/// Thread-safety: Enqueue/Drain may be called from any one producer thread;
-/// the queued tasks hold raw VirtualArena pointers, so the target arenas
-/// must outlive Drain().
+/// Thread-safety: the queue itself is internally synchronized, but a
+/// PRODUCER SESSION — the Enqueue...Drain window of one view creation or
+/// materialization — must hold producer_mutex() for its whole span.
+/// Drain() returns-and-clears one shared first-error slot; without the
+/// session lock, two concurrent materializations could steal each other's
+/// mapping failures and publish a half-mapped view (the concurrent engine's
+/// reader path materializes lazily from many threads). The queued tasks
+/// hold raw VirtualArena pointers, so the target arenas must outlive
+/// Drain().
 class BackgroundMapper {
  public:
   BackgroundMapper();
   ~BackgroundMapper();
   BackgroundMapper(const BackgroundMapper&) = delete;
   BackgroundMapper& operator=(const BackgroundMapper&) = delete;
+
+  /// Serializes producer sessions (see class comment). Lock it around every
+  /// Enqueue...Drain window; acquired after any view/index lock, before the
+  /// mapper's internal queue mutex.
+  std::mutex& producer_mutex() { return producer_mu_; }
 
   /// Enqueues arena->MapRange(slot_start, file_page_start, count).
   void Enqueue(VirtualArena* arena, uint64_t slot_start,
@@ -139,6 +158,7 @@ class BackgroundMapper {
 
   void WorkerLoop();
 
+  std::mutex producer_mu_;  // serializes producer sessions, never the worker
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
@@ -204,8 +224,16 @@ class VirtualView {
   uint64_t num_slot_runs() const { return num_slot_runs_; }
 
   /// Maximal file-contiguous live runs (≈ kernel VMAs when materialized).
-  /// O(num_slots) walk.
+  /// Served from an incrementally-maintained cache (O(1)); list-order
+  /// swap-removes on unmaterialized views dirty it, after which one
+  /// O(num_slots) walk rebuilds it lazily.
   uint64_t CountFileRuns() const;
+
+  /// Runs of the SORTED page set — the file-run count a sort-by-page
+  /// compaction would achieve. Maintained incrementally (order-independent,
+  /// so never dirty); the sort-only compaction trigger compares it against
+  /// CountFileRuns in O(1).
+  uint64_t MinimalFileRuns() const { return num_set_runs_; }
 
   /// The live physical pages in slot order (holes skipped). Materializes a
   /// copy; use ForEachPage to iterate without allocating.
@@ -223,9 +251,15 @@ class VirtualView {
     return page_to_slot_.count(page) != 0;
   }
 
-  /// True once the arena mapping exists. arena() is only valid then.
-  bool is_materialized() const { return arena_ != nullptr; }
-  const VirtualArena& arena() const { return *arena_; }
+  /// True once the arena mapping exists. arena() is only valid then. The
+  /// acquire load pairs with EnsureMaterialized's release publish, so a
+  /// reader that sees true also sees every mapping the materialization made.
+  bool is_materialized() const {
+    return arena_ptr_.load(std::memory_order_acquire) != nullptr;
+  }
+  const VirtualArena& arena() const {
+    return *arena_ptr_.load(std::memory_order_acquire);
+  }
 
   /// Usage accounting for the eviction policy.
   const ViewUsageStats& usage() const { return usage_; }
@@ -242,7 +276,9 @@ class VirtualView {
   /// Creates the arena and rewires the current page list into it (runs of
   /// consecutive page ids coalesce into single mmap calls). No-op when
   /// already materialized. `mapper` non-null ships the mmaps to the
-  /// background thread (drained before returning).
+  /// background thread (drained before returning). Safe to race from
+  /// several reader threads: a per-view mutex serializes the build and the
+  /// arena is published last.
   /// Error contract: on failure the view stays consistently UNmaterialized.
   Status EnsureMaterialized(BackgroundMapper* mapper = nullptr);
 
@@ -279,9 +315,15 @@ class VirtualView {
   /// views. `stats` (optional) receives what happened.
   /// Error contract: on a mid-compaction syscall failure the view's mapping
   /// state is unspecified; callers should discard the view. Not safe to run
-  /// concurrently with scans or a live BackgroundMapper (Drain first).
+  /// concurrently with scans or a live BackgroundMapper (Drain first; the
+  /// concurrent engine excludes readers via epoch quiescence).
+  /// `retired_arena` non-null receives the superseded arena instead of
+  /// destroying it inline — the concurrent engine parks it on the epoch
+  /// limbo list. (With use_mremap its mappings were already moved out, so
+  /// deferral is about uniform object lifetime, not page protection.)
   Status Compact(const ViewCompactionOptions& options = {},
-                 ViewCompactionStats* stats = nullptr);
+                 ViewCompactionStats* stats = nullptr,
+                 std::unique_ptr<VirtualArena>* retired_arena = nullptr);
 
   /// Scans the view filtered by q, sharded across the scan thread pool:
   /// dense views scan as one contiguous range; fragmented views scan their
@@ -291,6 +333,14 @@ class VirtualView {
   /// setting.
   PageScanResult Scan(const RangeQuery& q,
                       const ParallelScanOptions& scan_options = {}) const;
+
+  /// Answers several queries in ONE pass over the view's pages (exec/
+  /// batch_executor.h): each page's data is read once and evaluated against
+  /// every query. Result i is bit-identical to Scan(queries[i]). The view
+  /// must be materialized.
+  std::vector<PageScanResult> ScanMany(
+      const std::vector<RangeQuery>& queries,
+      const ParallelScanOptions& scan_options = {}) const;
 
   /// Scans only pages for which `include(physical_page)` is true — the
   /// multi-view dedup hook. Membership is decided serially in slot order
@@ -325,9 +375,33 @@ class VirtualView {
   /// Collects the maximal live slot runs in ascending slot order.
   std::vector<PageRun> LiveSlotRuns() const;
 
+  /// The live slot runs, served from a cache rebuilt at most once per
+  /// membership change (scans used to rebuild the list on EVERY fragmented
+  /// scan). Concurrent readers may both build the cache after an
+  /// invalidation — they build identical lists and either store wins.
+  std::shared_ptr<const std::vector<PageRun>> SlotRunsCached() const;
+
+  /// Drops the run cache; every membership-changing path calls this.
+  void InvalidateRunCache() {
+    std::atomic_store(&runs_cache_,
+                      std::shared_ptr<const std::vector<PageRun>>());
+  }
+
+  /// Installs `arena` as the view's mapping (owner + published pointer).
+  void PublishArena(std::unique_ptr<VirtualArena> arena) {
+    arena_ = std::move(arena);
+    arena_ptr_.store(arena_.get(), std::memory_order_release);
+  }
+
   std::shared_ptr<PhysicalMemoryFile> file_;
   uint64_t arena_slots_;                    // reservation size (column pages)
   std::unique_ptr<VirtualArena> arena_;     // null until materialized
+  /// Readers' view of arena_: published with release AFTER every mapping of
+  /// a materialization exists, so lock-free scans never see a half-built
+  /// arena.
+  std::atomic<VirtualArena*> arena_ptr_{nullptr};
+  /// Serializes racing lazy materializations.
+  std::mutex materialize_mu_;
   Value lo_;
   Value hi_;
   std::vector<uint64_t> pages_;             // slot -> physical page | kHoleSlot
@@ -335,6 +409,17 @@ class VirtualView {
   std::set<uint64_t> holes_;                // hole slots, ascending
   uint64_t num_live_ = 0;
   uint64_t num_slot_runs_ = 0;
+  /// Maximal file-contiguous runs in SLOT order; valid when !dirty.
+  /// Swap-removes reorder the list arbitrarily, so they dirty the cache
+  /// instead of patching it; CountFileRuns rebuilds lazily.
+  mutable uint64_t num_file_runs_ = 0;
+  mutable bool file_runs_dirty_ = false;
+  /// Maximal runs of the page SET in sorted order (order-independent, so
+  /// exact under every mutation path).
+  uint64_t num_set_runs_ = 0;
+  /// Cached LiveSlotRuns; null = invalidated. Accessed with the atomic
+  /// shared_ptr free functions.
+  mutable std::shared_ptr<const std::vector<PageRun>> runs_cache_;
   ViewUsageStats usage_;
 };
 

@@ -21,7 +21,17 @@ Status VirtualViewIndex::ApplyUpdate(const PhysicalColumn& column,
   const uint64_t page = PhysicalColumn::PageOfRow(update.row);
   const bool qualifies = PageQualifies(column, page);
   const bool member = view_->ContainsPage(page);
-  if (qualifies && !member) return view_->AppendPage(page);
+  if (qualifies && !member) {
+    VMSV_RETURN_IF_ERROR(view_->AppendPage(page));
+    // Appends land wherever a hole or the tail slot is, so sustained adds
+    // can leave the view slot-dense but file-scattered (one kernel VMA per
+    // out-of-order page); the sort-only trigger consolidates it.
+    if (lifecycle_.ShouldSortCompact(*view_) &&
+        !lifecycle_.CompactView(view_.get()).ok()) {
+      return Build(column, lo_, hi_);
+    }
+    return OkStatus();
+  }
   if (!qualifies && member) {
     VMSV_RETURN_IF_ERROR(view_->RemovePage(page));
     // Removals fragment the arena; re-densify once the run ratio trips so

@@ -12,6 +12,15 @@
 // already has the truth and /proc/self/maps exposes it; both mapping sources
 // are implemented (see maps_parser.h / update_applier.h) so their costs can
 // be compared.
+//
+// Thread-safety: the arena is NOT internally synchronized. Concurrent scans
+// of mapped slots are fine; MapRange/UnmapRange/AdoptRange and destruction
+// tear mappings down in place and must never overlap a reader of the
+// affected range. The concurrent engine (core/adaptive_layer.h) enforces
+// this with epoch-based reclamation: arenas superseded by compaction or
+// eviction are RETIRED to an epoch limbo list (util/epoch.h) — mappings
+// intact until every possibly-referencing reader exited — and in-place
+// mutation runs only after an epoch quiescence wait.
 
 #ifndef VMSV_REWIRING_VIRTUAL_ARENA_H_
 #define VMSV_REWIRING_VIRTUAL_ARENA_H_

@@ -1,0 +1,97 @@
+#include "util/epoch.h"
+
+#include <thread>
+
+namespace vmsv {
+
+EpochManager::~EpochManager() {
+  WaitQuiescent();
+  // WaitQuiescent reclaimed everything retired before it ran; nothing can
+  // retire afterwards (no clients outlive the manager), so limbo_ is empty.
+}
+
+EpochManager::Guard EpochManager::Enter() {
+  // Start the claim probe at a per-thread offset so concurrent readers do
+  // not all contend on slot 0's cache line.
+  static thread_local size_t preferred_slot =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kMaxSlots;
+  for (;;) {
+    const uint64_t epoch = global_epoch_.load();
+    for (size_t probe = 0; probe < kMaxSlots; ++probe) {
+      const size_t slot = (preferred_slot + probe) % kMaxSlots;
+      uint64_t expected = kIdle;
+      if (slots_[slot].epoch.compare_exchange_strong(expected, epoch)) {
+        preferred_slot = slot;
+        return Guard(this, slot);
+      }
+    }
+    // Every slot busy: more than kMaxSlots concurrent readers. Guards are
+    // held for one query each, so a slot frees quickly.
+    std::this_thread::yield();
+  }
+}
+
+void EpochManager::Retire(std::function<void()> reclaim) {
+  // fetch_add, not load: the tag must be strictly below the epoch any LATER
+  // Enter can observe, so a guard entered after this retire never delays —
+  // and can never be charged with — this entry.
+  const uint64_t tag = global_epoch_.fetch_add(1);
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  limbo_.push_back(LimboEntry{tag, std::move(reclaim)});
+}
+
+uint64_t EpochManager::MinActiveEpoch() const {
+  uint64_t min_active = ~uint64_t{0};
+  for (size_t slot = 0; slot < kMaxSlots; ++slot) {
+    const uint64_t epoch = slots_[slot].epoch.load();
+    if (epoch != kIdle && epoch < min_active) min_active = epoch;
+  }
+  return min_active;
+}
+
+std::vector<EpochManager::LimboEntry> EpochManager::DetachReclaimable(
+    uint64_t min_active) {
+  std::vector<LimboEntry> reclaimable;
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  size_t kept = 0;
+  for (LimboEntry& entry : limbo_) {
+    // An entry tagged r is reachable only from guards entered at epochs
+    // <= r; once every active guard is past r it is unreferenced.
+    if (entry.retired_epoch < min_active) {
+      reclaimable.push_back(std::move(entry));
+    } else {
+      limbo_[kept++] = std::move(entry);
+    }
+  }
+  limbo_.resize(kept);
+  return reclaimable;
+}
+
+size_t EpochManager::TryReclaim() {
+  // Run the deleters outside limbo_mu_: they unmap arenas and may be slow.
+  std::vector<LimboEntry> reclaimable = DetachReclaimable(MinActiveEpoch());
+  for (LimboEntry& entry : reclaimable) entry.reclaim();
+  return reclaimable.size();
+}
+
+void EpochManager::WaitQuiescent() {
+  const uint64_t target = global_epoch_.fetch_add(1);
+  for (size_t slot = 0; slot < kMaxSlots; ++slot) {
+    for (;;) {
+      const uint64_t epoch = slots_[slot].epoch.load();
+      if (epoch == kIdle || epoch > target) break;
+      std::this_thread::yield();
+    }
+  }
+  // Every guard entered at <= target has exited; everything they could
+  // reference is free to go.
+  std::vector<LimboEntry> reclaimable = DetachReclaimable(target + 1);
+  for (LimboEntry& entry : reclaimable) entry.reclaim();
+}
+
+size_t EpochManager::limbo_size() const {
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  return limbo_.size();
+}
+
+}  // namespace vmsv

@@ -2,6 +2,12 @@
 // each adaptive answer against the full-scan baseline and (optionally)
 // verifying that both agree. All figure harnesses and the adaptive tests
 // share this loop.
+//
+// With num_clients > 1 the runner becomes a multi-threaded CLOSED LOOP:
+// each client thread issues its share of the sequence back to back (query
+// i goes to client i % num_clients), exercising the engine's concurrent
+// reader path. Per-query traces land in their sequence slot regardless of
+// which client ran them, and the report adds wall-clock throughput.
 
 #ifndef VMSV_WORKLOAD_RUNNER_H_
 #define VMSV_WORKLOAD_RUNNER_H_
@@ -20,10 +26,15 @@ struct RunnerOptions {
   bool run_baseline = true;
   /// Compare adaptive result against the baseline and fail on mismatch.
   /// Implies the baseline scan runs even if run_baseline is false.
+  /// Valid with num_clients > 1 as long as no thread mutates the column
+  /// concurrently (the runner itself only reads).
   bool verify_results = false;
   /// One untimed full scan before the sequence, so the first measured query
   /// is not polluted by cold caches/TLBs.
   bool warmup = true;
+  /// Closed-loop client threads. 1 = the classic serial runner; N > 1
+  /// round-robins the sequence across N threads running concurrently.
+  uint64_t num_clients = 1;
 };
 
 struct QueryTrace {
@@ -36,12 +47,21 @@ struct QueryTrace {
   CandidateDecision decision = CandidateDecision::kNone;
   uint64_t match_count = 0;
   Value sum = 0;
+  /// Which closed-loop client executed the query (0 when serial).
+  uint64_t client = 0;
 };
 
 struct WorkloadReport {
   std::vector<QueryTrace> traces;
+  /// Sums of per-query timings ACROSS clients (≈ total busy time; with one
+  /// client this is the classic accumulated latency).
   double adaptive_total_ms = 0;
   double fullscan_total_ms = 0;
+  /// Wall-clock time of the whole (possibly concurrent) sequence and the
+  /// resulting closed-loop throughput.
+  double wall_ms = 0;
+  double queries_per_sec = 0;
+  uint64_t num_clients = 1;
 };
 
 StatusOr<WorkloadReport> RunWorkload(AdaptiveColumn* adaptive,

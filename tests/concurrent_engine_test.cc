@@ -1,0 +1,621 @@
+// Concurrent-engine coverage: epoch reclamation, shared-scan batch
+// execution (grouping + bit-identity vs individual execution), N reader
+// threads racing an updater and lifecycle maintenance against a serial
+// oracle, the cached fragmented-view run list, the sort-only compaction
+// trigger, and the multi-client workload runner. The whole suite also runs
+// under ThreadSanitizer in CI.
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_layer.h"
+#include "core/virtual_view.h"
+#include "exec/batch_executor.h"
+#include "exec/parallel_scanner.h"
+#include "exec/scan_kernels.h"
+#include "util/epoch.h"
+#include "util/random.h"
+#include "workload/distribution.h"
+#include "workload/query_generator.h"
+#include "workload/runner.h"
+
+namespace vmsv {
+namespace {
+
+constexpr uint64_t kTestPages = 64;
+constexpr Value kMaxValue = 100'000'000;
+
+std::unique_ptr<PhysicalColumn> MakeTestColumn(DataDistribution kind,
+                                               double noise = 0.10) {
+  DistributionSpec spec;
+  spec.kind = kind;
+  spec.max_value = kMaxValue;
+  spec.seed = 42;
+  spec.noise = noise;
+  auto column_r = MakeColumn(spec, kTestPages * kValuesPerPage);
+  EXPECT_TRUE(column_r.ok()) << column_r.status().ToString();
+  return std::move(column_r).ValueOrDie();
+}
+
+// ---------------------------------------------------------------------------
+// EpochManager
+
+TEST(EpochManagerTest, RetireDefersUntilGuardsExit) {
+  EpochManager epoch;
+  std::atomic<int> freed{0};
+  {
+    EpochManager::Guard guard = epoch.Enter();
+    epoch.Retire([&freed] { ++freed; });
+    EXPECT_EQ(epoch.limbo_size(), 1u);
+    // The pre-retire guard pins the entry...
+    EXPECT_EQ(epoch.TryReclaim(), 0u);
+    EXPECT_EQ(freed.load(), 0);
+    // ...and a guard entered AFTER the retire does not (it can never have
+    // seen the retired object).
+    EpochManager::Guard later = epoch.Enter();
+    EXPECT_EQ(epoch.TryReclaim(), 0u);  // first guard still active
+  }
+  EXPECT_EQ(epoch.TryReclaim(), 1u);
+  EXPECT_EQ(freed.load(), 1);
+  EXPECT_EQ(epoch.limbo_size(), 0u);
+}
+
+TEST(EpochManagerTest, LaterGuardDoesNotPinEarlierRetire) {
+  EpochManager epoch;
+  std::atomic<int> freed{0};
+  epoch.Retire([&freed] { ++freed; });
+  EpochManager::Guard later = epoch.Enter();  // entered after the retire
+  EXPECT_EQ(epoch.TryReclaim(), 1u);
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(EpochManagerTest, WaitQuiescentCoversConcurrentGuards) {
+  EpochManager epoch;
+  std::atomic<bool> reader_in{false};
+  std::atomic<bool> reader_may_exit{false};
+  std::atomic<int> freed{0};
+  std::thread reader([&] {
+    EpochManager::Guard guard = epoch.Enter();
+    reader_in.store(true);
+    while (!reader_may_exit.load()) std::this_thread::yield();
+  });
+  while (!reader_in.load()) std::this_thread::yield();
+  epoch.Retire([&freed] { ++freed; });
+  std::thread releaser([&] { reader_may_exit.store(true); });
+  // Must block until the reader's guard exits, then reclaim.
+  epoch.WaitQuiescent();
+  EXPECT_EQ(freed.load(), 1);
+  reader.join();
+  releaser.join();
+}
+
+TEST(EpochManagerTest, RetireObjectRunsDestructorOnReclaim) {
+  struct Token {
+    std::atomic<int>* counter;
+    explicit Token(std::atomic<int>* c) : counter(c) {}
+    ~Token() { ++*counter; }
+  };
+  EpochManager epoch;
+  std::atomic<int> destroyed{0};
+  epoch.RetireObject(std::make_unique<Token>(&destroyed));
+  EXPECT_EQ(destroyed.load(), 0);
+  epoch.WaitQuiescent();
+  EXPECT_EQ(destroyed.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// BatchExecutor
+
+TEST(BatchExecutorTest, GroupsOverlapComponents) {
+  const std::vector<RangeQuery> queries = {
+      {0, 10}, {5, 20}, {30, 40}, {15, 18}, {41, 50}};
+  const std::vector<BatchGroup> groups = GroupOverlappingQueries(queries);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].members, (std::vector<size_t>{0, 1, 3}));
+  EXPECT_EQ(groups[0].hull.lo, 0u);
+  EXPECT_EQ(groups[0].hull.hi, 20u);
+  EXPECT_EQ(groups[1].members, (std::vector<size_t>{2}));
+  EXPECT_EQ(groups[2].members, (std::vector<size_t>{4}));
+}
+
+TEST(BatchExecutorTest, SharedScanBitIdenticalAcrossKernelsAndThreads) {
+  auto column = MakeTestColumn(DataDistribution::kUniform);
+  const Value* base =
+      reinterpret_cast<const Value*>(column->base_arena().data());
+  const std::vector<RangeQuery> queries = {
+      {0, kMaxValue / 2},
+      {kMaxValue / 4, (3 * kMaxValue) / 4},
+      {kMaxValue / 3, kMaxValue / 2},
+      {(9 * kMaxValue) / 10, kMaxValue},  // second overlap component
+      {kMaxValue + 1, kMaxValue + 2},     // matches nothing
+  };
+
+  const ScanKernel restore = ActiveScanKernel();
+  for (const ScanKernel kernel :
+       {ScanKernel::kScalar, ScanKernel::kAvx2, ScanKernel::kAvx512}) {
+    if (!ScanKernelAvailable(kernel)) continue;
+    ASSERT_TRUE(SetActiveScanKernel(kernel).ok());
+    for (const unsigned threads : {1u, 2u, 5u}) {
+      ParallelScanOptions options;
+      options.threads = threads;
+      options.serial_cutoff = 0;  // force sharding even at test scale
+      const ParallelScanner scanner(options);
+      const BatchExecutor executor(options);
+      const std::vector<PageScanResult> shared =
+          executor.SharedScanPages(base, kTestPages, queries);
+      ASSERT_EQ(shared.size(), queries.size());
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const PageScanResult individual =
+            scanner.ScanPages(base, kTestPages, queries[i]);
+        EXPECT_EQ(shared[i].match_count, individual.match_count)
+            << ScanKernelName(kernel) << " threads=" << threads << " q=" << i;
+        EXPECT_EQ(shared[i].sum, individual.sum);
+      }
+
+      // Run-wise variant over a fragmented shape (every other page).
+      std::vector<PageRun> runs;
+      for (uint64_t page = 0; page < kTestPages; page += 2) {
+        runs.push_back(PageRun{page, 1});
+      }
+      const std::vector<PageScanResult> shared_runs =
+          executor.SharedScanPageRuns(base, runs, queries);
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const PageScanResult individual =
+            scanner.ScanPageRuns(base, runs, queries[i]);
+        EXPECT_EQ(shared_runs[i].match_count, individual.match_count);
+        EXPECT_EQ(shared_runs[i].sum, individual.sum);
+      }
+    }
+  }
+  ASSERT_TRUE(SetActiveScanKernel(restore).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent readers vs serial oracle
+
+TEST(ConcurrentEngineTest, ConcurrentReadersMatchSerialOracle) {
+  AdaptiveConfig config;
+  config.max_views = 4;  // force budget pressure under concurrent adaptation
+  auto adaptive_r =
+      AdaptiveColumn::Create(MakeTestColumn(DataDistribution::kSine), config);
+  ASSERT_TRUE(adaptive_r.ok());
+  auto& adaptive = *adaptive_r;
+
+  std::vector<RangeQuery> queries;
+  for (uint64_t i = 0; i < 8; ++i) {
+    const Value lo = i * (kMaxValue / 10);
+    queries.push_back(RangeQuery{lo, lo + kMaxValue / 8});
+  }
+  // Readers-only: the data never changes, so every result must equal the
+  // serial full-scan oracle no matter how adaptation interleaves.
+  std::vector<QueryExecution> oracle;
+  for (const RangeQuery& q : queries) {
+    auto r = adaptive->ExecuteFullScan(q);
+    ASSERT_TRUE(r.ok());
+    oracle.push_back(*r);
+  }
+
+  constexpr int kReaders = 4;
+  constexpr int kIterations = 40;
+  std::vector<std::thread> readers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const size_t qi = (t + i) % queries.size();
+        auto exec = adaptive->Execute(queries[qi]);
+        if (!exec.ok() || exec->match_count != oracle[qi].match_count ||
+            exec->sum != oracle[qi].sum) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(failures.load(), 0);
+  // 8 distinct ranges through a 4-view budget: the engine had to exercise
+  // the eviction/drop path concurrently.
+  const CumulativeStats m = adaptive->metrics();
+  EXPECT_GT(m.views_evicted + m.candidates_dropped, 0u);
+  // With no reader in flight, the limbo list must drain completely.
+  adaptive->epoch_manager().TryReclaim();
+  EXPECT_EQ(adaptive->epoch_manager().limbo_size(), 0u);
+}
+
+TEST(ConcurrentEngineTest, ConcurrentLazyMaterializationWithSharedMapper) {
+  // Many reader threads lazily materializing DIFFERENT views through the
+  // one shared BackgroundMapper: the producer-session lock must keep their
+  // Enqueue...Drain windows (and any mapping errors) from interleaving.
+  AdaptiveConfig config;
+  config.creation.background_mapping = true;
+  config.creation.lazy_materialize = true;
+  auto adaptive_r =
+      AdaptiveColumn::Create(MakeTestColumn(DataDistribution::kSine), config);
+  ASSERT_TRUE(adaptive_r.ok());
+  auto& adaptive = *adaptive_r;
+
+  std::vector<RangeQuery> queries;
+  for (uint64_t i = 0; i < 8; ++i) {
+    const Value lo = i * (kMaxValue / 10);
+    queries.push_back(RangeQuery{lo, lo + kMaxValue / 12});
+  }
+  std::vector<QueryExecution> oracle;
+  for (const RangeQuery& q : queries) {
+    auto r = adaptive->ExecuteFullScan(q);
+    ASSERT_TRUE(r.ok());
+    oracle.push_back(*r);
+    // Create the candidate (lazy: page list only) so the concurrent phase
+    // below starts with 8 unmaterialized views to race on.
+    ASSERT_TRUE(adaptive->Execute(q).ok());
+  }
+
+  constexpr int kReaders = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      for (int i = 0; i < 24; ++i) {
+        const size_t qi = (t + i) % queries.size();
+        auto exec = adaptive->Execute(queries[qi]);
+        if (!exec.ok() || exec->match_count != oracle[qi].match_count ||
+            exec->sum != oracle[qi].sum) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ConcurrentEngineTest, ReadersRaceUpdaterAndLifecycleMaintenance) {
+  AdaptiveConfig config;
+  config.max_views = 4;
+  config.lifecycle.compaction_min_runs = 2;
+  config.lifecycle.compaction_run_ratio = 0.05;
+  // Clean page-value bands so whole-page rewrites change view membership.
+  auto column = MakeTestColumn(DataDistribution::kLinear, /*noise=*/0.0);
+
+  // The deterministic update script: fully rewrite two pages to a far value
+  // (page-membership churn: holes + compaction triggers), plus scattered
+  // single-row updates.
+  struct ScriptedUpdate {
+    uint64_t row;
+    Value value;
+  };
+  std::vector<ScriptedUpdate> script;
+  for (const uint64_t page : {uint64_t{3}, uint64_t{9}}) {
+    for (uint64_t row = page * kValuesPerPage; row < (page + 1) * kValuesPerPage;
+         ++row) {
+      script.push_back(ScriptedUpdate{row, (9 * kMaxValue) / 10});
+    }
+  }
+  Rng rng(7);
+  for (int i = 0; i < 64; ++i) {
+    script.push_back(ScriptedUpdate{rng.Below(kTestPages * kValuesPerPage),
+                                    rng.Below(kMaxValue + 1)});
+  }
+
+  std::vector<RangeQuery> queries;
+  for (uint64_t i = 0; i < 6; ++i) {
+    const Value lo = i * (kMaxValue / 8);
+    queries.push_back(RangeQuery{lo, lo + kMaxValue / 6});
+  }
+
+  // Serial oracle: the engine linearizes every read against a PREFIX of the
+  // update script (updates exclude readers; queries flush before
+  // answering), so each observed (count, sum) must equal the full-scan
+  // result after some prefix. Built incrementally: one value changes per
+  // step, so each query's aggregate adjusts in O(1).
+  std::vector<Value> shadow(kTestPages * kValuesPerPage);
+  for (uint64_t row = 0; row < shadow.size(); ++row) {
+    shadow[row] = column->Get(row);
+  }
+  std::vector<std::set<std::pair<uint64_t, Value>>> valid(queries.size());
+  std::vector<std::pair<uint64_t, Value>> current(queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    uint64_t count = 0;
+    Value sum = 0;
+    for (const Value v : shadow) {
+      if (queries[qi].Contains(v)) {
+        ++count;
+        sum += v;
+      }
+    }
+    current[qi] = {count, sum};
+    valid[qi].insert(current[qi]);
+  }
+  for (const ScriptedUpdate& update : script) {
+    const Value old_value = shadow[update.row];
+    shadow[update.row] = update.value;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      auto& [count, sum] = current[qi];
+      if (queries[qi].Contains(old_value)) {
+        --count;
+        sum -= old_value;
+      }
+      if (queries[qi].Contains(update.value)) {
+        ++count;
+        sum += update.value;
+      }
+      valid[qi].insert(current[qi]);
+    }
+  }
+
+  auto adaptive_r = AdaptiveColumn::Create(std::move(column), config);
+  ASSERT_TRUE(adaptive_r.ok());
+  auto& adaptive = *adaptive_r;
+
+  constexpr int kReaders = 3;
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      int i = 0;
+      // Keep reading until the writer finished, then one final sweep so
+      // every reader also observes the terminal state.
+      while (true) {
+        const bool finish = writer_done.load();
+        const size_t qi = (t + i++) % queries.size();
+        auto exec = adaptive->Execute(queries[qi]);
+        if (!exec.ok() ||
+            valid[qi].count({exec->match_count, exec->sum}) == 0) {
+          ++failures;
+          return;
+        }
+        if (finish && i > 2 * static_cast<int>(queries.size())) return;
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (size_t u = 0; u < script.size(); ++u) {
+      adaptive->Update(script[u].row, script[u].value);
+      // Periodic explicit flushes exercise the writer-driven maintenance
+      // path; in between, readers flush for themselves.
+      if (u % 200 == 199) {
+        auto flushed = adaptive->FlushUpdates();
+        if (!flushed.ok()) ++failures;
+      }
+    }
+    writer_done.store(true);
+  });
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Terminal state must equal the final oracle prefix exactly.
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    auto exec = adaptive->Execute(queries[qi]);
+    ASSERT_TRUE(exec.ok());
+    EXPECT_EQ(exec->match_count, current[qi].first) << "query " << qi;
+    EXPECT_EQ(exec->sum, current[qi].second);
+    auto baseline = adaptive->ExecuteFullScan(queries[qi]);
+    ASSERT_TRUE(baseline.ok());
+    EXPECT_EQ(exec->match_count, baseline->match_count);
+    EXPECT_EQ(exec->sum, baseline->sum);
+  }
+  adaptive->epoch_manager().TryReclaim();
+  EXPECT_EQ(adaptive->epoch_manager().limbo_size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Batch vs individual execution
+
+TEST(ConcurrentEngineTest, BatchBitIdenticalToIndividualAndScansFewerPages) {
+  // Heavily overlapping workload: every query windows the same half of the
+  // domain.
+  std::vector<RangeQuery> queries;
+  Rng rng(5);
+  for (int i = 0; i < 12; ++i) {
+    const Value lo = rng.Below(kMaxValue / 2);
+    queries.push_back(RangeQuery{lo, lo + kMaxValue / 3});
+  }
+
+  AdaptiveConfig config;
+  auto individual_r =
+      AdaptiveColumn::Create(MakeTestColumn(DataDistribution::kSine), config);
+  auto batch_r =
+      AdaptiveColumn::Create(MakeTestColumn(DataDistribution::kSine), config);
+  ASSERT_TRUE(individual_r.ok() && batch_r.ok());
+  auto& individual = *individual_r;
+  auto& batch = *batch_r;
+
+  std::vector<QueryExecution> individual_results;
+  for (const RangeQuery& q : queries) {
+    auto exec = individual->Execute(q);
+    ASSERT_TRUE(exec.ok());
+    individual_results.push_back(*exec);
+  }
+  const uint64_t individual_pages = individual->metrics().scanned_pages;
+
+  auto batch_exec = batch->ExecuteBatch(queries);
+  ASSERT_TRUE(batch_exec.ok());
+  ASSERT_EQ(batch_exec->queries.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batch_exec->queries[i].match_count,
+              individual_results[i].match_count)
+        << "query " << i;
+    EXPECT_EQ(batch_exec->queries[i].sum, individual_results[i].sum);
+  }
+  // The shared pass reads each base page once for the whole batch; the
+  // individual engine paid for (at least) one full scan plus a view scan
+  // per subsequent query.
+  EXPECT_LT(batch_exec->shared_scanned_pages, individual_pages);
+  EXPECT_LT(batch_exec->shared_scanned_pages,
+            batch_exec->individual_equivalent_pages);
+  EXPECT_GE(batch_exec->overlap_groups, 1u);
+  // Per-query accounting must add up to the batch totals.
+  uint64_t charged = 0;
+  for (const QueryExecution& exec : batch_exec->queries) {
+    charged += exec.stats.scanned_pages;
+  }
+  EXPECT_EQ(charged, batch_exec->shared_scanned_pages);
+
+  // A warmed pool routes batch members through shared VIEW passes; results
+  // must still match the full-scan oracle.
+  auto warm_batch = batch->ExecuteBatch(queries);
+  ASSERT_TRUE(warm_batch.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto baseline = batch->ExecuteFullScan(queries[i]);
+    ASSERT_TRUE(baseline.ok());
+    EXPECT_EQ(warm_batch->queries[i].match_count, baseline->match_count);
+    EXPECT_EQ(warm_batch->queries[i].sum, baseline->sum);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: cached fragmented-view run list
+
+TEST(ConcurrentEngineTest, RunListCacheStaysCorrectAcrossMembershipChanges) {
+  auto column = MakeTestColumn(DataDistribution::kUniform);
+  auto view_r = BuildViewByScan(*column, 0, kMaxValue,
+                                ViewCreationOptions{/*coalesce_runs=*/true,
+                                                    /*background_mapping=*/false,
+                                                    /*lazy_materialize=*/false});
+  ASSERT_TRUE(view_r.ok());
+  auto view = std::move(view_r).ValueOrDie();
+  for (uint64_t page = 1; page < kTestPages; page += 2) {
+    ASSERT_TRUE(view->RemovePage(page).ok());
+  }
+  const RangeQuery q{0, kMaxValue};
+
+  auto reference = [&](const VirtualView& v) {
+    PageScanResult ref;
+    v.ForEachPage([&](uint64_t page) {
+      ref.Merge(ScanPageScalar(column->PageData(page), kValuesPerPage, q));
+    });
+    return ref;
+  };
+
+  // First scan builds the cache; every membership change must invalidate it
+  // (a stale cache would scan a removed page or miss an added one).
+  PageScanResult ref = reference(*view);
+  PageScanResult got = view->Scan(q);
+  EXPECT_EQ(got.match_count, ref.match_count);
+  EXPECT_EQ(got.sum, ref.sum);
+
+  ASSERT_TRUE(view->RemovePage(2).ok());
+  ref = reference(*view);
+  got = view->Scan(q);
+  EXPECT_EQ(got.match_count, ref.match_count);
+  EXPECT_EQ(got.sum, ref.sum);
+
+  ASSERT_TRUE(view->AppendPage(1).ok());  // fills the lowest hole
+  ref = reference(*view);
+  got = view->Scan(q);
+  EXPECT_EQ(got.match_count, ref.match_count);
+  EXPECT_EQ(got.sum, ref.sum);
+
+  ASSERT_TRUE(view->Compact().ok());
+  ref = reference(*view);
+  got = view->Scan(q);
+  EXPECT_EQ(got.match_count, ref.match_count);
+  EXPECT_EQ(got.sum, ref.sum);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: sort-only compaction trigger
+
+TEST(ConcurrentEngineTest, SortCompactionTriggerConsolidatesScatteredViews) {
+  auto column = MakeTestColumn(DataDistribution::kUniform);
+  auto view_r = VirtualView::CreateEmpty(*column, 0, kMaxValue);
+  ASSERT_TRUE(view_r.ok());
+  auto view = std::move(view_r).ValueOrDie();
+  ASSERT_TRUE(view->EnsureMaterialized().ok());
+  // Scrambled appends: slot-dense, hole-free, but one kernel VMA per page.
+  std::vector<uint64_t> order;
+  for (uint64_t page = 0; page < kTestPages; ++page) order.push_back(page);
+  Rng rng(13);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Below(i)]);
+  }
+  for (const uint64_t page : order) {
+    ASSERT_TRUE(view->AppendPage(page).ok());
+  }
+  ASSERT_TRUE(view->is_dense());
+  ASSERT_GT(view->CountFileRuns(), kTestPages / 2);
+
+  LifecycleConfig config;
+  config.compaction_min_runs = 4;
+  ViewLifecycleManager manager(config);
+  EXPECT_TRUE(manager.ShouldSortCompact(*view));
+  EXPECT_TRUE(manager.ShouldCompact(*view));  // folded into the main trigger
+
+  ASSERT_TRUE(manager.CompactView(view.get()).ok());
+  EXPECT_EQ(manager.stats().sort_compactions, 1u);
+  EXPECT_EQ(view->CountFileRuns(), 1u);
+  EXPECT_FALSE(manager.ShouldCompact(*view));
+
+  // Knob off => never triggers, even on a scattered view.
+  LifecycleConfig off = config;
+  off.sort_compaction_file_run_ratio = 0;
+  ViewLifecycleManager disabled(off);
+  auto scattered_r = VirtualView::CreateEmpty(*column, 0, kMaxValue);
+  ASSERT_TRUE(scattered_r.ok());
+  auto scattered = std::move(scattered_r).ValueOrDie();
+  ASSERT_TRUE(scattered->EnsureMaterialized().ok());
+  for (const uint64_t page : order) {
+    ASSERT_TRUE(scattered->AppendPage(page).ok());
+  }
+  EXPECT_FALSE(disabled.ShouldCompact(*scattered));
+
+  // An inherently scattered page SET (every other page) cannot be improved
+  // by sorting: no trigger, no useless compaction loop.
+  auto inherent_r = VirtualView::CreateEmpty(*column, 0, kMaxValue);
+  ASSERT_TRUE(inherent_r.ok());
+  auto inherent = std::move(inherent_r).ValueOrDie();
+  ASSERT_TRUE(inherent->EnsureMaterialized().ok());
+  for (uint64_t page = 0; page < kTestPages; page += 2) {
+    ASSERT_TRUE(inherent->AppendPage(page).ok());
+  }
+  ViewLifecycleManager manager2(config);
+  EXPECT_FALSE(manager2.ShouldSortCompact(*inherent));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-client workload runner
+
+TEST(ConcurrentEngineTest, MultiClientRunnerMergesTracesAndVerifies) {
+  AdaptiveConfig config;
+  auto adaptive_r =
+      AdaptiveColumn::Create(MakeTestColumn(DataDistribution::kSine), config);
+  ASSERT_TRUE(adaptive_r.ok());
+  auto& adaptive = *adaptive_r;
+
+  QueryWorkloadSpec spec;
+  spec.num_queries = 30;
+  spec.domain_hi = kMaxValue;
+  spec.seed = 11;
+  const auto queries = MakeFixedSelectivityWorkload(spec, 0.10);
+
+  RunnerOptions options;
+  options.run_baseline = false;
+  options.verify_results = true;  // every client checks its own answers
+  options.num_clients = 3;
+  auto report_r = RunWorkload(adaptive.get(), queries, options);
+  ASSERT_TRUE(report_r.ok()) << report_r.status().ToString();
+  const WorkloadReport& report = *report_r;
+
+  EXPECT_EQ(report.num_clients, 3u);
+  EXPECT_GT(report.queries_per_sec, 0.0);
+  EXPECT_GT(report.wall_ms, 0.0);
+  ASSERT_EQ(report.traces.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    // Traces land in sequence slots regardless of executing client.
+    EXPECT_EQ(report.traces[i].query, queries[i]);
+    EXPECT_EQ(report.traces[i].client, i % 3);
+  }
+  EXPECT_GT(report.adaptive_total_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace vmsv

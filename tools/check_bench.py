@@ -5,8 +5,9 @@ The perf trajectory is only useful if every PR's BENCH_*.json stays
 machine-readable with stable semantics; CI runs this after each harness and
 fails the build on drift. The `bench` field selects the schema:
 
-  micro_scan       kernel x thread full-scan sweep      (BENCH_scan.json)
-  micro_lifecycle  view compaction + eviction ablation  (BENCH_lifecycle.json)
+  micro_scan        kernel x thread full-scan sweep       (BENCH_scan.json)
+  micro_lifecycle   view compaction + eviction ablation   (BENCH_lifecycle.json)
+  micro_concurrent  client scaling + shared-scan batching (BENCH_concurrent.json)
 
 Usage: check_bench.py <path> [<path>...]
 """
@@ -291,9 +292,104 @@ def check_micro_lifecycle(doc, path):
             f"eviction {shift:.2f}x vs drop_newest on the phase-shift workload")
 
 
+# ---------------------------------------------------------------------------
+# micro_concurrent (BENCH_concurrent.json)
+
+CONCURRENT_TOP_LEVEL_FIELDS = {
+    "pages": int,
+    "values_per_page": int,
+    "queries": int,
+    "reps": int,
+    "seed": int,
+    "workload_seed": int,
+    "selectivity": float,
+    "distribution": str,
+    "hardware_concurrency": int,
+    "default_kernel": str,
+    "threads": int,
+    "scaling": dict,
+    "batch": dict,
+}
+
+SCALING_POINT_FIELDS = {
+    "clients": int,
+    "readers_only_qps": float,
+    "readers_only_wall_ms": float,
+    "readers_rep_qps": list,
+    "readers_writer_qps": float,
+    "readers_writer_wall_ms": float,
+    "writer_updates": int,
+    "writer_flushes": int,
+}
+
+BATCH_FIELDS = {
+    "queries": int,
+    "overlap_groups": int,
+    "individual_scanned_pages": int,
+    "batch_scanned_pages": int,
+    "page_reduction": float,
+    "identical_results": bool,
+    "individual_ms": float,
+    "batch_ms": float,
+    "view_answered": int,
+    "base_answered": int,
+}
+
+
+def check_micro_concurrent(doc, path):
+    expect_fields(doc, CONCURRENT_TOP_LEVEL_FIELDS, path)
+    if doc["pages"] <= 0 or doc["reps"] <= 0 or doc["queries"] <= 0:
+        fail(f"{path}: pages/reps/queries must be positive")
+    if doc["default_kernel"] not in KNOWN_KERNELS:
+        fail(f"{path}: unknown default_kernel '{doc['default_kernel']}'")
+    if not 0 < doc["selectivity"] <= 1:
+        fail(f"{path}: selectivity out of (0, 1]")
+
+    points = doc["scaling"].get("client_counts")
+    if not isinstance(points, list) or not points:
+        fail(f"{path}: scaling.client_counts missing or empty")
+    prev_clients = 0
+    for i, p in enumerate(points):
+        where = f"{path}: scaling.client_counts[{i}]"
+        if not isinstance(p, dict):
+            fail(f"{where}: not an object")
+        expect_fields(p, SCALING_POINT_FIELDS, where)
+        if p["clients"] <= prev_clients:
+            fail(f"{where}: clients must be strictly increasing")
+        prev_clients = p["clients"]
+        if p["readers_only_qps"] <= 0 or p["readers_writer_qps"] <= 0:
+            fail(f"{where}: throughput fields must be positive")
+        check_rep_array(p, "readers_rep_qps", doc["reps"], where)
+    if points[0]["clients"] != 1:
+        fail(f"{path}: scaling must include the 1-client baseline first")
+
+    batch = doc["batch"]
+    where = f"{path}: batch"
+    expect_fields(batch, BATCH_FIELDS, where)
+    if batch["identical_results"] is not True:
+        fail(f"{where}: batch execution diverged from individual results")
+    if batch["batch_scanned_pages"] <= 0:
+        fail(f"{where}: batch_scanned_pages must be positive")
+    if batch["batch_scanned_pages"] > batch["individual_scanned_pages"]:
+        fail(f"{where}: batch scanned MORE pages than individual execution")
+    if batch["view_answered"] + batch["base_answered"] != batch["queries"]:
+        fail(f"{where}: view_answered + base_answered != queries")
+    derived = batch["individual_scanned_pages"] / batch["batch_scanned_pages"]
+    if not math.isclose(derived, batch["page_reduction"], rel_tol=1e-3):
+        fail(f"{where}: page_reduction {batch['page_reduction']} inconsistent "
+             f"(expected ~{derived:.4f})")
+
+    top = points[-1]
+    return (f"{len(points)} client counts (1->{top['clients']}: "
+            f"{points[0]['readers_only_qps']:.0f} -> "
+            f"{top['readers_only_qps']:.0f} qps); batch scans "
+            f"{batch['page_reduction']:.2f}x fewer pages, bit-identical")
+
+
 CHECKERS = {
     "micro_scan": check_micro_scan,
     "micro_lifecycle": check_micro_lifecycle,
+    "micro_concurrent": check_micro_concurrent,
 }
 
 
