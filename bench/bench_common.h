@@ -17,12 +17,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exec/parallel_scanner.h"
 #include "exec/scan_kernels.h"
 #include "exec/thread_pool.h"
 #include "rewiring/physical_memory_file.h"
+#include "storage/types.h"
 #include "util/env.h"
 
 namespace vmsv {
@@ -96,6 +98,144 @@ inline std::vector<std::string> WithScanConfigCells(
   cells.push_back(env.kernel);
   cells.push_back(std::to_string(env.threads));
   return cells;
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_*.json emission — shared by every perf harness.
+//
+// Convention: each harness resolves its output path through BenchJsonPath
+// (VMSV_BENCH_JSON overrides the harness default) and emits the common
+// header fields through WriteBenchJsonCommon, so tools/check_bench.py can
+// rely on one header shape across the whole BENCH_*.json family. The
+// JsonWriter centralizes the comma/indent bookkeeping that each harness
+// used to hand-roll.
+
+/// Output path per the shared VMSV_BENCH_JSON convention.
+inline std::string BenchJsonPath(const char* default_filename) {
+  return GetEnvString("VMSV_BENCH_JSON", default_filename);
+}
+
+/// Minimal streaming JSON writer: objects print one member per line
+/// (indented), arrays print inline. No escaping — emitted strings are
+/// identifiers from this codebase, never user data.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* out) : out_(out) {}
+
+  void BeginObject() {
+    Separate();
+    std::fputc('{', out_);
+    stack_.push_back(Frame{true, false});
+  }
+  void EndObject() {
+    const bool empty = stack_.back().first;
+    stack_.pop_back();
+    if (!empty) {
+      std::fputc('\n', out_);
+      Indent();
+    }
+    std::fputc('}', out_);
+  }
+  void BeginArray() {
+    Separate();
+    std::fputc('[', out_);
+    stack_.push_back(Frame{true, true});
+  }
+  void EndArray() {
+    stack_.pop_back();
+    std::fputc(']', out_);
+  }
+
+  void Key(const char* name) {
+    Separate();
+    std::fprintf(out_, "\"%s\": ", name);
+    pending_value_ = true;
+  }
+
+  void String(const char* v) {
+    Separate();
+    std::fprintf(out_, "\"%s\"", v);
+  }
+  void U64(uint64_t v) {
+    Separate();
+    std::fprintf(out_, "%llu", static_cast<unsigned long long>(v));
+  }
+  void Double(double v, int precision = 6) {
+    Separate();
+    std::fprintf(out_, "%.*f", precision, v);
+  }
+  void Bool(bool v) {
+    Separate();
+    std::fputs(v ? "true" : "false", out_);
+  }
+
+  void Field(const char* key, const char* v) { Key(key); String(v); }
+  void Field(const char* key, const std::string& v) { Key(key); String(v.c_str()); }
+  void Field(const char* key, uint64_t v) { Key(key); U64(v); }
+  void Field(const char* key, unsigned v) { Key(key); U64(v); }
+  void Field(const char* key, int v) { Key(key); U64(static_cast<uint64_t>(v)); }
+  void Field(const char* key, double v, int precision = 6) {
+    Key(key);
+    Double(v, precision);
+  }
+  void FieldBool(const char* key, bool v) { Key(key); Bool(v); }
+
+  /// `"key": [v, v, ...]` — the per-rep timing arrays every schema carries.
+  void FieldArray(const char* key, const std::vector<double>& values,
+                  int precision = 6) {
+    Key(key);
+    BeginArray();
+    for (const double v : values) Double(v, precision);
+    EndArray();
+  }
+
+ private:
+  struct Frame {
+    bool first;
+    bool array;
+  };
+
+  void Indent() {
+    for (size_t i = 0; i < stack_.size(); ++i) std::fputs("  ", out_);
+  }
+
+  /// Comma/newline bookkeeping before any token: a value directly after its
+  /// key attaches in place; otherwise array members separate inline and
+  /// object members one per line.
+  void Separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    Frame& top = stack_.back();
+    if (top.array) {
+      if (!top.first) std::fputs(", ", out_);
+    } else {
+      std::fputs(top.first ? "\n" : ",\n", out_);
+      Indent();
+    }
+    top.first = false;
+  }
+
+  std::FILE* out_;
+  std::vector<Frame> stack_;
+  bool pending_value_ = false;
+};
+
+/// The header fields shared by every BENCH_*.json schema (check_bench.py
+/// validates them uniformly).
+inline void WriteBenchJsonCommon(JsonWriter* w, const char* bench_name,
+                                 const BenchEnv& env, uint64_t seed) {
+  w->Field("bench", bench_name);
+  w->Field("schema_version", 1);
+  w->Field("pages", env.pages);
+  w->Field("values_per_page", kValuesPerPage);
+  w->Field("reps", env.reps);
+  w->Field("seed", seed);
+  w->Field("hardware_concurrency", std::thread::hardware_concurrency());
+  w->Field("default_kernel", env.kernel);
+  w->Field("threads", env.threads);
 }
 
 /// Aborts with a readable message when a Status is not OK.

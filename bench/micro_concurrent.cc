@@ -329,69 +329,48 @@ int WriteJson(const std::string& path, const bench::BenchEnv& env,
     std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"bench\": \"micro_concurrent\",\n");
-  std::fprintf(out, "  \"schema_version\": 1,\n");
-  std::fprintf(out, "  \"pages\": %llu,\n",
-               static_cast<unsigned long long>(env.pages));
-  std::fprintf(out, "  \"values_per_page\": %llu,\n",
-               static_cast<unsigned long long>(kValuesPerPage));
-  std::fprintf(out, "  \"queries\": %llu,\n",
-               static_cast<unsigned long long>(scaling.queries));
-  std::fprintf(out, "  \"reps\": %llu,\n",
-               static_cast<unsigned long long>(env.reps));
-  std::fprintf(out, "  \"seed\": 42,\n");
-  std::fprintf(out, "  \"workload_seed\": %llu,\n",
-               static_cast<unsigned long long>(kWorkloadSeed));
-  std::fprintf(out, "  \"selectivity\": %.2f,\n", kSelectivity);
-  std::fprintf(out, "  \"distribution\": \"sine\",\n");
-  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(out, "  \"default_kernel\": \"%s\",\n", env.kernel);
-  std::fprintf(out, "  \"threads\": %llu,\n",
-               static_cast<unsigned long long>(env.threads));
-  std::fprintf(out, "  \"scaling\": {\n");
-  std::fprintf(out, "    \"client_counts\": [\n");
-  for (size_t i = 0; i < scaling.points.size(); ++i) {
-    const ScalingPoint& p = scaling.points[i];
-    std::fprintf(out,
-                 "      {\"clients\": %llu, \"readers_only_qps\": %.3f, "
-                 "\"readers_only_wall_ms\": %.6f, ",
-                 static_cast<unsigned long long>(p.clients), p.readers_qps,
-                 p.readers_wall_ms);
-    std::fprintf(out, "\"readers_rep_qps\": [");
-    for (size_t r = 0; r < p.readers_rep_qps.size(); ++r) {
-      std::fprintf(out, "%s%.3f", r == 0 ? "" : ", ", p.readers_rep_qps[r]);
+  {
+    bench::JsonWriter w(out);
+    w.BeginObject();
+    bench::WriteBenchJsonCommon(&w, "micro_concurrent", env, /*seed=*/42);
+    w.Field("queries", scaling.queries);
+    w.Field("workload_seed", kWorkloadSeed);
+    w.Field("selectivity", kSelectivity, 2);
+    w.Field("distribution", "sine");
+    w.Key("scaling");
+    w.BeginObject();
+    w.Key("client_counts");
+    w.BeginArray();
+    for (const ScalingPoint& p : scaling.points) {
+      w.BeginObject();
+      w.Field("clients", p.clients);
+      w.Field("readers_only_qps", p.readers_qps, 3);
+      w.Field("readers_only_wall_ms", p.readers_wall_ms);
+      w.FieldArray("readers_rep_qps", p.readers_rep_qps, 3);
+      w.Field("readers_writer_qps", p.rw_qps, 3);
+      w.Field("readers_writer_wall_ms", p.rw_wall_ms);
+      w.Field("writer_updates", p.writer_updates);
+      w.Field("writer_flushes", p.writer_flushes);
+      w.EndObject();
     }
-    std::fprintf(out,
-                 "], \"readers_writer_qps\": %.3f, "
-                 "\"readers_writer_wall_ms\": %.6f, "
-                 "\"writer_updates\": %llu, \"writer_flushes\": %llu}%s\n",
-                 p.rw_qps, p.rw_wall_ms,
-                 static_cast<unsigned long long>(p.writer_updates),
-                 static_cast<unsigned long long>(p.writer_flushes),
-                 i + 1 == scaling.points.size() ? "" : ",");
+    w.EndArray();
+    w.EndObject();
+    w.Key("batch");
+    w.BeginObject();
+    w.Field("queries", batch.queries);
+    w.Field("overlap_groups", batch.overlap_groups);
+    w.Field("individual_scanned_pages", batch.individual_scanned_pages);
+    w.Field("batch_scanned_pages", batch.batch_scanned_pages);
+    w.Field("page_reduction", batch.page_reduction, 4);
+    w.FieldBool("identical_results", batch.identical_results);
+    w.Field("individual_ms", batch.individual_ms);
+    w.Field("batch_ms", batch.batch_ms);
+    w.Field("view_answered", batch.view_answered);
+    w.Field("base_answered", batch.base_answered);
+    w.EndObject();
+    w.EndObject();
+    std::fputc('\n', out);
   }
-  std::fprintf(out, "    ]\n  },\n");
-  std::fprintf(out, "  \"batch\": {\n");
-  std::fprintf(out, "    \"queries\": %llu,\n",
-               static_cast<unsigned long long>(batch.queries));
-  std::fprintf(out, "    \"overlap_groups\": %llu,\n",
-               static_cast<unsigned long long>(batch.overlap_groups));
-  std::fprintf(out, "    \"individual_scanned_pages\": %llu,\n",
-               static_cast<unsigned long long>(batch.individual_scanned_pages));
-  std::fprintf(out, "    \"batch_scanned_pages\": %llu,\n",
-               static_cast<unsigned long long>(batch.batch_scanned_pages));
-  std::fprintf(out, "    \"page_reduction\": %.4f,\n", batch.page_reduction);
-  std::fprintf(out, "    \"identical_results\": %s,\n",
-               batch.identical_results ? "true" : "false");
-  std::fprintf(out, "    \"individual_ms\": %.6f,\n", batch.individual_ms);
-  std::fprintf(out, "    \"batch_ms\": %.6f,\n", batch.batch_ms);
-  std::fprintf(out, "    \"view_answered\": %llu,\n",
-               static_cast<unsigned long long>(batch.view_answered));
-  std::fprintf(out, "    \"base_answered\": %llu\n",
-               static_cast<unsigned long long>(batch.base_answered));
-  std::fprintf(out, "  }\n}\n");
   std::fclose(out);
   std::fprintf(stdout, "# wrote %s\n", path.c_str());
   return batch.identical_results ? 0 : 1;
@@ -404,8 +383,7 @@ int Main() {
   ::setenv("VMSV_SERIAL_CUTOFF", "1000000000", /*overwrite=*/0);
   const bench::BenchEnv env = bench::LoadBenchEnv(
       "micro_concurrent: client scaling + shared-scan batch execution", 4096);
-  const std::string json_path =
-      GetEnvString("VMSV_BENCH_JSON", "BENCH_concurrent.json");
+  const std::string json_path = bench::BenchJsonPath("BENCH_concurrent.json");
 
   QueryWorkloadSpec wspec;
   wspec.domain_hi = kMaxValue;

@@ -325,97 +325,73 @@ int WriteJson(const std::string& path, const bench::BenchEnv& env,
     std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
     return 1;
   }
-  auto write_reps = [out](const std::vector<double>& reps) {
-    for (size_t i = 0; i < reps.size(); ++i) {
-      std::fprintf(out, "%s%.6f", i == 0 ? "" : ", ", reps[i]);
+  {
+    bench::JsonWriter w(out);
+    w.BeginObject();
+    bench::WriteBenchJsonCommon(&w, "micro_lifecycle", env, /*seed=*/42);
+    w.FieldBool("mremap_supported", VirtualArena::MremapSupported());
+    w.Key("compaction");
+    w.BeginObject();
+    w.Field("view_pages", comp.view_pages);
+    w.Field("runs_before", comp.runs_before);
+    w.Field("holes_before", comp.holes_before);
+    w.Field("fragmented_median_ms", comp.fragmented_median_ms);
+    w.FieldArray("fragmented_rep_ms", comp.fragmented_rep_ms);
+    w.Field("scan_speedup", comp.scan_speedup, 4);
+    w.Key("strategies");
+    w.BeginArray();
+    for (const StrategyResult& s : comp.strategies) {
+      w.BeginObject();
+      w.Field("strategy", s.name);
+      w.Field("compact_ms", s.compact_ms);
+      w.Field("first_scan_ms", s.first_scan_ms);
+      w.Field("median_ms", s.median_ms);
+      w.Field("mremap_moves", s.stats.mremap_moves);
+      w.Field("remap_moves", s.stats.remap_moves);
+      w.Field("runs_after", s.stats.slot_runs_after);
+      w.Field("file_runs_after", s.stats.file_runs_after);
+      w.Field("arena_vmas_before", s.vmas_before);
+      w.Field("arena_vmas_after", s.vmas_after);
+      w.FieldArray("rep_ms", s.rep_ms);
+      w.EndObject();
     }
-  };
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"bench\": \"micro_lifecycle\",\n");
-  std::fprintf(out, "  \"schema_version\": 1,\n");
-  std::fprintf(out, "  \"pages\": %llu,\n",
-               static_cast<unsigned long long>(env.pages));
-  std::fprintf(out, "  \"values_per_page\": %llu,\n",
-               static_cast<unsigned long long>(kValuesPerPage));
-  std::fprintf(out, "  \"reps\": %llu,\n",
-               static_cast<unsigned long long>(env.reps));
-  std::fprintf(out, "  \"seed\": 42,\n");
-  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(out, "  \"default_kernel\": \"%s\",\n", env.kernel);
-  std::fprintf(out, "  \"threads\": %llu,\n",
-               static_cast<unsigned long long>(env.threads));
-  std::fprintf(out, "  \"mremap_supported\": %s,\n",
-               VirtualArena::MremapSupported() ? "true" : "false");
-  std::fprintf(out, "  \"compaction\": {\n");
-  std::fprintf(out, "    \"view_pages\": %llu,\n",
-               static_cast<unsigned long long>(comp.view_pages));
-  std::fprintf(out, "    \"runs_before\": %llu,\n",
-               static_cast<unsigned long long>(comp.runs_before));
-  std::fprintf(out, "    \"holes_before\": %llu,\n",
-               static_cast<unsigned long long>(comp.holes_before));
-  std::fprintf(out, "    \"fragmented_median_ms\": %.6f,\n",
-               comp.fragmented_median_ms);
-  std::fprintf(out, "    \"fragmented_rep_ms\": [");
-  write_reps(comp.fragmented_rep_ms);
-  std::fprintf(out, "],\n");
-  std::fprintf(out, "    \"scan_speedup\": %.4f,\n", comp.scan_speedup);
-  std::fprintf(out, "    \"strategies\": [\n");
-  for (size_t i = 0; i < comp.strategies.size(); ++i) {
-    const StrategyResult& s = comp.strategies[i];
-    std::fprintf(out, "      {\"strategy\": \"%s\", ", s.name);
-    std::fprintf(out, "\"compact_ms\": %.6f, \"first_scan_ms\": %.6f, ",
-                 s.compact_ms, s.first_scan_ms);
-    std::fprintf(out, "\"median_ms\": %.6f, ", s.median_ms);
-    std::fprintf(out,
-                 "\"mremap_moves\": %llu, \"remap_moves\": %llu, "
-                 "\"runs_after\": %llu, \"file_runs_after\": %llu, "
-                 "\"arena_vmas_before\": %llu, \"arena_vmas_after\": %llu, ",
-                 static_cast<unsigned long long>(s.stats.mremap_moves),
-                 static_cast<unsigned long long>(s.stats.remap_moves),
-                 static_cast<unsigned long long>(s.stats.slot_runs_after),
-                 static_cast<unsigned long long>(s.stats.file_runs_after),
-                 static_cast<unsigned long long>(s.vmas_before),
-                 static_cast<unsigned long long>(s.vmas_after));
-    std::fprintf(out, "\"rep_ms\": [");
-    write_reps(s.rep_ms);
-    std::fprintf(out, "]}%s\n", i + 1 == comp.strategies.size() ? "" : ",");
-  }
-  std::fprintf(out, "    ]\n  },\n");
-  std::fprintf(out, "  \"eviction\": {\n");
-  std::fprintf(out, "    \"max_views\": %zu,\n", kEvictionMaxViews);
-  std::fprintf(out, "    \"selectivity\": %.2f,\n", kEvictionSelectivity);
-  std::fprintf(out, "    \"distribution\": \"sine\",\n");
-  std::fprintf(out, "    \"workload_seed\": 11,\n");
-  std::fprintf(out, "    \"scenarios\": [\n");
-  for (size_t si = 0; si < evict.scenarios.size(); ++si) {
-    const EvictionScenario& scenario = evict.scenarios[si];
-    std::fprintf(out, "      {\"scenario\": \"%s\", \"phases\": %llu, ",
-                 scenario.name,
-                 static_cast<unsigned long long>(scenario.phases));
-    std::fprintf(out, "\"queries\": %llu, \"speedup_vs_drop_newest\": %.4f,\n",
-                 static_cast<unsigned long long>(scenario.queries),
-                 scenario.speedup_vs_drop_newest);
-    std::fprintf(out, "       \"policies\": [\n");
-    for (size_t i = 0; i < scenario.policies.size(); ++i) {
-      const PolicyResult& p = scenario.policies[i];
-      std::fprintf(out,
-                   "        {\"policy\": \"%s\", \"accumulated_ms\": %.6f, "
-                   "\"scanned_pages\": %llu, \"views_created\": %llu, "
-                   "\"views_evicted\": %llu, \"candidates_dropped\": %llu, "
-                   "\"pages_saved_ratio\": %.6f}%s\n",
-                   EvictionPolicyName(p.policy), p.accumulated_ms,
-                   static_cast<unsigned long long>(p.scanned_pages),
-                   static_cast<unsigned long long>(p.views_created),
-                   static_cast<unsigned long long>(p.views_evicted),
-                   static_cast<unsigned long long>(p.candidates_dropped),
-                   p.pages_saved_ratio,
-                   i + 1 == scenario.policies.size() ? "" : ",");
+    w.EndArray();
+    w.EndObject();
+    w.Key("eviction");
+    w.BeginObject();
+    w.Field("max_views", static_cast<uint64_t>(kEvictionMaxViews));
+    w.Field("selectivity", kEvictionSelectivity, 2);
+    w.Field("distribution", "sine");
+    w.Field("workload_seed", 11);
+    w.Key("scenarios");
+    w.BeginArray();
+    for (const EvictionScenario& scenario : evict.scenarios) {
+      w.BeginObject();
+      w.Field("scenario", scenario.name);
+      w.Field("phases", scenario.phases);
+      w.Field("queries", scenario.queries);
+      w.Field("speedup_vs_drop_newest", scenario.speedup_vs_drop_newest, 4);
+      w.Key("policies");
+      w.BeginArray();
+      for (const PolicyResult& p : scenario.policies) {
+        w.BeginObject();
+        w.Field("policy", EvictionPolicyName(p.policy));
+        w.Field("accumulated_ms", p.accumulated_ms);
+        w.Field("scanned_pages", p.scanned_pages);
+        w.Field("views_created", p.views_created);
+        w.Field("views_evicted", p.views_evicted);
+        w.Field("candidates_dropped", p.candidates_dropped);
+        w.Field("pages_saved_ratio", p.pages_saved_ratio);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
     }
-    std::fprintf(out, "       ]}%s\n",
-                 si + 1 == evict.scenarios.size() ? "" : ",");
+    w.EndArray();
+    w.EndObject();
+    w.EndObject();
+    std::fputc('\n', out);
   }
-  std::fprintf(out, "    ]\n  }\n}\n");
   std::fclose(out);
   std::fprintf(stdout, "# wrote %s\n", path.c_str());
   return 0;
@@ -424,8 +400,7 @@ int WriteJson(const std::string& path, const bench::BenchEnv& env,
 int Main() {
   const bench::BenchEnv env = bench::LoadBenchEnv(
       "micro_lifecycle: view compaction + eviction-policy ablation", 16384);
-  const std::string json_path =
-      GetEnvString("VMSV_BENCH_JSON", "BENCH_lifecycle.json");
+  const std::string json_path = bench::BenchJsonPath("BENCH_lifecycle.json");
   const CompactionReport comp = RunCompactionExperiment(env);
   const EvictionReport evict = RunEvictionExperiment(env);
   PrintReports(env, comp, evict);

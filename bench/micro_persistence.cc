@@ -1,0 +1,380 @@
+// micro_persistence — the durable-backend perf harness, fourth member of
+// the BENCH_*.json perf-trajectory family (schema guarded by
+// tools/check_bench.py, wired into ctest and CI like its siblings).
+//
+// Setup: a durable column (file-backed, journaled, manifested) is created
+// under VMSV_PERSIST_DIR, populated with the sine distribution, adapted to a
+// covered query workload, updated, and checkpointed — the state a storage
+// engine would restart into.
+//
+// Part A, restart modes (the tentpole measurement): the same query sequence
+// is answered three ways, reps times each —
+//   - rebuild:    attach to the data file with NO manifest knowledge; every
+//                 view is rebuilt by adaptation full scans (what restart
+//                 cost before durability existed);
+//   - cold_open:  AdaptiveColumn::Open (manifest read + journal replay) plus
+//                 the first pass, which lazily re-materializes each restored
+//                 view on first use;
+//   - warm:       steady-state pass on an already-open, materialized column.
+// Every mode's results are verified bit-identical to the pre-restart
+// reference before any timing is reported.
+//
+// Part B, fsync-policy sweep: update bursts + FlushUpdates under each
+// FlushPolicy (none / async / sync), timing the full durable flush path
+// (journal fsync -> alignment -> data writeback -> manifest -> journal
+// reset) so the cost of each durability level is a committed number.
+//
+// Plain executable — no google-benchmark dependency, so it always builds
+// and the smoke tier can emit BENCH_persistence.json on every ctest run.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/adaptive_layer.h"
+#include "util/histogram.h"
+#include "util/macros.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+#include "workload/distribution.h"
+#include "workload/query_generator.h"
+#include "workload/runner.h"
+
+namespace vmsv {
+namespace {
+
+constexpr Value kMaxValue = 100'000'000;
+constexpr double kSelectivity = 0.10;
+constexpr uint64_t kWorkloadSeed = 11;
+/// Distinct ranges, tiled to the sequence length; kept below max_views so
+/// the warmed pool covers every query and restart cost — not adaptation
+/// churn — is what each mode measures.
+constexpr uint64_t kMaxDistinctRanges = 32;
+constexpr uint64_t kUpdatesPerFlush = 128;
+
+struct RestartReport {
+  uint64_t views_persisted = 0;
+  bool identical_results = true;
+  std::vector<double> rebuild_rep_ms;
+  std::vector<double> cold_open_rep_ms;
+  std::vector<double> open_recover_rep_ms;
+  std::vector<double> warm_rep_ms;
+  double rebuild_median_ms = 0;
+  double cold_open_median_ms = 0;
+  double open_recover_median_ms = 0;
+  double warm_median_ms = 0;
+  double cold_vs_rebuild_speedup = 0;
+};
+
+struct PolicyResult {
+  FlushPolicy policy;
+  std::vector<double> rep_ms;
+  double flush_median_ms = 0;
+};
+
+struct FsyncReport {
+  uint64_t updates_per_flush = kUpdatesPerFlush;
+  std::vector<PolicyResult> policies;
+};
+
+struct QueryResult {
+  uint64_t match_count;
+  Value sum;
+  bool operator==(const QueryResult& o) const {
+    return match_count == o.match_count && sum == o.sum;
+  }
+  bool operator!=(const QueryResult& o) const { return !(*this == o); }
+};
+
+std::vector<RangeQuery> MakeQueries(const bench::BenchEnv& env) {
+  QueryWorkloadSpec wspec;
+  wspec.domain_hi = kMaxValue;
+  wspec.seed = kWorkloadSeed;
+  wspec.num_queries = std::min(env.queries, kMaxDistinctRanges);
+  const auto distinct = MakeFixedSelectivityWorkload(wspec, kSelectivity);
+  std::vector<RangeQuery> queries;
+  queries.reserve(env.queries);
+  for (uint64_t i = 0; i < env.queries; ++i) {
+    queries.push_back(distinct[i % distinct.size()]);
+  }
+  return queries;
+}
+
+/// Runs the sequence, returning per-query (count, sum); aborts on error.
+std::vector<QueryResult> ExecuteAll(AdaptiveColumn* adaptive,
+                                    const std::vector<RangeQuery>& queries) {
+  std::vector<QueryResult> out;
+  out.reserve(queries.size());
+  for (const RangeQuery& q : queries) {
+    auto exec = adaptive->Execute(q);
+    VMSV_BENCH_CHECK_OK(exec.status());
+    out.push_back(QueryResult{exec->match_count, exec->sum});
+  }
+  return out;
+}
+
+AdaptiveConfig BenchConfig() {
+  AdaptiveConfig config;
+  config.max_views = 64;
+  return config;
+}
+
+/// Creates + populates + adapts + updates + checkpoints the durable column,
+/// returning the reference results every restart mode must reproduce.
+std::vector<QueryResult> SetUpDurableColumn(
+    const bench::BenchEnv& env, const std::string& dir,
+    const std::vector<RangeQuery>& queries) {
+  std::filesystem::remove_all(dir);
+  auto adaptive_r = AdaptiveColumn::CreateDurable(
+      dir, env.pages * kValuesPerPage, BenchConfig());
+  VMSV_BENCH_CHECK_OK(adaptive_r.status());
+  auto adaptive = std::move(adaptive_r).ValueOrDie();
+
+  DistributionSpec spec;
+  spec.kind = DataDistribution::kSine;
+  spec.max_value = kMaxValue;
+  spec.seed = 42;
+  FillColumn(spec, adaptive->mutable_column());
+
+  ExecuteAll(adaptive.get(), queries);  // adapt: build + materialize views
+  // A batch of updates so the journal/alignment path is part of the
+  // persisted state (checkpoint flushes + realigns + snapshots).
+  for (uint64_t i = 0; i < kUpdatesPerFlush; ++i) {
+    const uint64_t row = (i * 7919) % adaptive->column().num_rows();
+    VMSV_BENCH_CHECK_OK(
+        adaptive->Update(row, (row * 104729 + i) % kMaxValue));
+  }
+  const auto reference = ExecuteAll(adaptive.get(), queries);
+  VMSV_BENCH_CHECK_OK(adaptive->Checkpoint());
+  return reference;
+}
+
+RestartReport RunRestartExperiment(const bench::BenchEnv& env,
+                                   const std::string& dir,
+                                   const std::vector<RangeQuery>& queries,
+                                   const std::vector<QueryResult>& reference) {
+  RestartReport report;
+  auto check = [&](const std::vector<QueryResult>& got, const char* mode) {
+    if (got != reference) {
+      report.identical_results = false;
+      std::fprintf(stderr, "[bench] RESULT MISMATCH after %s restart\n", mode);
+    }
+  };
+
+  SampleStats rebuild, cold, recover, warm;
+  for (uint64_t rep = 0; rep < env.reps; ++rep) {
+    // Rebuild-from-scratch: the data file without its manifest knowledge.
+    {
+      auto file_r = PhysicalMemoryFile::OpenAt(dir + "/column.dat", env.pages);
+      VMSV_BENCH_CHECK_OK(file_r.status());
+      auto file =
+          std::make_shared<PhysicalMemoryFile>(std::move(file_r).ValueOrDie());
+      auto column_r =
+          PhysicalColumn::Attach(file, env.pages * kValuesPerPage);
+      VMSV_BENCH_CHECK_OK(column_r.status());
+      auto adaptive_r = AdaptiveColumn::Create(
+          std::move(column_r).ValueOrDie(), BenchConfig());
+      VMSV_BENCH_CHECK_OK(adaptive_r.status());
+      Stopwatch timer;
+      const auto got = ExecuteAll(adaptive_r->get(), queries);
+      const double ms = timer.ElapsedMillis();
+      rebuild.Add(ms);
+      report.rebuild_rep_ms.push_back(ms);
+      check(got, "rebuild");
+    }
+    // Cold open: manifest + journal recovery, then the first (lazily
+    // re-materializing) pass.
+    {
+      Stopwatch timer;
+      auto adaptive_r = AdaptiveColumn::Open(dir, BenchConfig());
+      VMSV_BENCH_CHECK_OK(adaptive_r.status());
+      const auto got = ExecuteAll(adaptive_r->get(), queries);
+      const double ms = timer.ElapsedMillis();
+      cold.Add(ms);
+      report.cold_open_rep_ms.push_back(ms);
+      const DurabilityStats stats = (*adaptive_r)->durability_stats();
+      recover.Add(stats.open_recover_ms);
+      report.open_recover_rep_ms.push_back(stats.open_recover_ms);
+      report.views_persisted = stats.views_restored;
+      check(got, "cold_open");
+    }
+  }
+  // Warm: one open, one untimed materializing pass, then the steady state.
+  {
+    auto adaptive_r = AdaptiveColumn::Open(dir, BenchConfig());
+    VMSV_BENCH_CHECK_OK(adaptive_r.status());
+    check(ExecuteAll(adaptive_r->get(), queries), "warm(materialize)");
+    for (uint64_t rep = 0; rep < env.reps; ++rep) {
+      Stopwatch timer;
+      const auto got = ExecuteAll(adaptive_r->get(), queries);
+      const double ms = timer.ElapsedMillis();
+      warm.Add(ms);
+      report.warm_rep_ms.push_back(ms);
+      check(got, "warm");
+    }
+  }
+  report.rebuild_median_ms = rebuild.Median();
+  report.cold_open_median_ms = cold.Median();
+  report.open_recover_median_ms = recover.Median();
+  report.warm_median_ms = warm.Median();
+  report.cold_vs_rebuild_speedup =
+      report.rebuild_median_ms / report.cold_open_median_ms;
+  return report;
+}
+
+FsyncReport RunFsyncExperiment(const bench::BenchEnv& env,
+                               const std::string& dir) {
+  FsyncReport report;
+  for (const FlushPolicy policy :
+       {FlushPolicy::kNone, FlushPolicy::kAsync, FlushPolicy::kSync}) {
+    AdaptiveConfig config = BenchConfig();
+    config.storage.data_flush = policy;
+    auto adaptive_r = AdaptiveColumn::Open(dir, config);
+    VMSV_BENCH_CHECK_OK(adaptive_r.status());
+    auto adaptive = std::move(adaptive_r).ValueOrDie();
+    const uint64_t rows = adaptive->column().num_rows();
+
+    PolicyResult result;
+    result.policy = policy;
+    SampleStats times;
+    // One untimed warm-up flush: the FIRST flush after an Open pays one-off
+    // costs (realigning freshly restored views, faulting update pages) that
+    // would otherwise pollute whichever policy runs first.
+    VMSV_BENCH_CHECK_OK(adaptive->Update(0, adaptive->column().Get(0) ^ 1));
+    VMSV_BENCH_CHECK_OK(adaptive->FlushUpdates().status());
+    for (uint64_t rep = 0; rep < env.reps; ++rep) {
+      // Jittered in-place rewrites: values change (journal + alignment do
+      // real work) while the distribution stays stationary.
+      for (uint64_t i = 0; i < kUpdatesPerFlush; ++i) {
+        const uint64_t row = (rep * kUpdatesPerFlush + i * 31) % rows;
+        const Value old_value = adaptive->column().Get(row);
+        VMSV_BENCH_CHECK_OK(adaptive->Update(
+            row, old_value ^ (1u << (rep % 10))));
+      }
+      Stopwatch timer;
+      VMSV_BENCH_CHECK_OK(adaptive->FlushUpdates().status());
+      const double ms = timer.ElapsedMillis();
+      times.Add(ms);
+      result.rep_ms.push_back(ms);
+    }
+    result.flush_median_ms = times.Median();
+    report.policies.push_back(std::move(result));
+  }
+  return report;
+}
+
+void PrintReports(const bench::BenchEnv& env, const RestartReport& restart,
+                  const FsyncReport& fsync) {
+  std::fprintf(stdout, "\n## restart modes (%llu-query sequence, %llu views)\n",
+               static_cast<unsigned long long>(env.queries),
+               static_cast<unsigned long long>(restart.views_persisted));
+  TablePrinter table(bench::WithScanConfigHeaders(
+      {"mode", "median_ms", "identical"}));
+  const char* ok = restart.identical_results ? "yes" : "NO";
+  table.AddRow(bench::WithScanConfigCells(
+      {"rebuild", TablePrinter::Fmt(restart.rebuild_median_ms, 3), ok}, env));
+  table.AddRow(bench::WithScanConfigCells(
+      {"cold_open", TablePrinter::Fmt(restart.cold_open_median_ms, 3), ok},
+      env));
+  table.AddRow(bench::WithScanConfigCells(
+      {"open_recover", TablePrinter::Fmt(restart.open_recover_median_ms, 3),
+       "-"},
+      env));
+  table.AddRow(bench::WithScanConfigCells(
+      {"warm", TablePrinter::Fmt(restart.warm_median_ms, 3), ok}, env));
+  table.PrintCsv();
+  std::fprintf(stdout,
+               "# cold open answers the sequence %.2fx faster than "
+               "rebuild-from-scratch\n",
+               restart.cold_vs_rebuild_speedup);
+
+  std::fprintf(stdout, "\n## fsync policies (%llu updates per flush)\n",
+               static_cast<unsigned long long>(fsync.updates_per_flush));
+  TablePrinter ftable(
+      bench::WithScanConfigHeaders({"policy", "flush_median_ms"}));
+  for (const PolicyResult& p : fsync.policies) {
+    ftable.AddRow(bench::WithScanConfigCells(
+        {FlushPolicyName(p.policy), TablePrinter::Fmt(p.flush_median_ms, 3)},
+        env));
+  }
+  ftable.PrintCsv();
+}
+
+int WriteJson(const std::string& path, const bench::BenchEnv& env,
+              const RestartReport& restart, const FsyncReport& fsync) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    return 1;
+  }
+  {
+    bench::JsonWriter w(out);
+    w.BeginObject();
+    bench::WriteBenchJsonCommon(&w, "micro_persistence", env, /*seed=*/42);
+    w.Field("queries", env.queries);
+    w.Field("workload_seed", kWorkloadSeed);
+    w.Field("selectivity", kSelectivity, 2);
+    w.Field("distribution", "sine");
+    w.Key("restart");
+    w.BeginObject();
+    w.Field("views_persisted", restart.views_persisted);
+    w.FieldBool("identical_results", restart.identical_results);
+    w.Field("rebuild_median_ms", restart.rebuild_median_ms);
+    w.FieldArray("rebuild_rep_ms", restart.rebuild_rep_ms);
+    w.Field("cold_open_median_ms", restart.cold_open_median_ms);
+    w.FieldArray("cold_open_rep_ms", restart.cold_open_rep_ms);
+    w.Field("open_recover_median_ms", restart.open_recover_median_ms);
+    w.FieldArray("open_recover_rep_ms", restart.open_recover_rep_ms);
+    w.Field("warm_median_ms", restart.warm_median_ms);
+    w.FieldArray("warm_rep_ms", restart.warm_rep_ms);
+    w.Field("cold_vs_rebuild_speedup", restart.cold_vs_rebuild_speedup, 4);
+    w.EndObject();
+    w.Key("fsync");
+    w.BeginObject();
+    w.Field("updates_per_flush", fsync.updates_per_flush);
+    w.Key("policies");
+    w.BeginArray();
+    for (const PolicyResult& p : fsync.policies) {
+      w.BeginObject();
+      w.Field("policy", FlushPolicyName(p.policy));
+      w.Field("flush_median_ms", p.flush_median_ms);
+      w.FieldArray("rep_ms", p.rep_ms);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    w.EndObject();
+    std::fputc('\n', out);
+  }
+  std::fclose(out);
+  std::fprintf(stdout, "# wrote %s\n", path.c_str());
+  return restart.identical_results ? 0 : 1;
+}
+
+int Main() {
+  const bench::BenchEnv env = bench::LoadBenchEnv(
+      "micro_persistence: restart recovery + fsync-policy sweep", 4096);
+  const std::string json_path = bench::BenchJsonPath("BENCH_persistence.json");
+  const std::string dir =
+      GetEnvString("VMSV_PERSIST_DIR", "vmsv_persist_bench");
+
+  const auto queries = MakeQueries(env);
+  const auto reference = SetUpDurableColumn(env, dir, queries);
+  const RestartReport restart =
+      RunRestartExperiment(env, dir, queries, reference);
+  const FsyncReport fsync = RunFsyncExperiment(env, dir);
+  PrintReports(env, restart, fsync);
+  const int rc = WriteJson(json_path, env, restart, fsync);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);  // scratch state; the JSON is the output
+  return rc;
+}
+
+}  // namespace
+}  // namespace vmsv
+
+int main() { return vmsv::Main(); }

@@ -65,7 +65,7 @@ struct SweepConfig {
 int SweepMain() {
   const bench::BenchEnv env = bench::LoadBenchEnv(
       "micro_scan --sweep: kernel x thread scan baseline", 65536);
-  const std::string json_path = GetEnvString("VMSV_BENCH_JSON", "BENCH_scan.json");
+  const std::string json_path = bench::BenchJsonPath("BENCH_scan.json");
   auto column = MakeBenchColumn(env.pages);
   const Value* base =
       reinterpret_cast<const Value*>(column->base_arena().data());
@@ -132,36 +132,28 @@ int SweepMain() {
     std::fprintf(stderr, "[bench] cannot write %s\n", json_path.c_str());
     return 1;
   }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"bench\": \"micro_scan\",\n");
-  std::fprintf(out, "  \"schema_version\": 1,\n");
-  std::fprintf(out, "  \"pages\": %llu,\n",
-               static_cast<unsigned long long>(env.pages));
-  std::fprintf(out, "  \"values_per_page\": %llu,\n",
-               static_cast<unsigned long long>(kValuesPerPage));
-  std::fprintf(out, "  \"reps\": %llu,\n",
-               static_cast<unsigned long long>(env.reps));
-  std::fprintf(out, "  \"query_selectivity\": 0.5,\n");
-  std::fprintf(out, "  \"distribution\": \"uniform\",\n");
-  std::fprintf(out, "  \"seed\": 42,\n");
-  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(out, "  \"default_kernel\": \"%s\",\n",
-               ScanKernelName(restore));
-  std::fprintf(out, "  \"configs\": [\n");
-  for (size_t i = 0; i < configs.size(); ++i) {
-    const SweepConfig& cfg = configs[i];
-    std::fprintf(out, "    {\"kernel\": \"%s\", \"threads\": %u, ",
-                 ScanKernelName(cfg.kernel), cfg.threads);
-    std::fprintf(out, "\"median_ms\": %.6f, \"pages_per_s\": %.1f, "
-                 "\"gb_per_s\": %.4f, \"rep_ms\": [",
-                 cfg.median_ms, cfg.pages_per_s, cfg.gb_per_s);
-    for (size_t rep = 0; rep < cfg.rep_ms.size(); ++rep) {
-      std::fprintf(out, "%s%.6f", rep == 0 ? "" : ", ", cfg.rep_ms[rep]);
+  {
+    bench::JsonWriter w(out);
+    w.BeginObject();
+    bench::WriteBenchJsonCommon(&w, "micro_scan", env, /*seed=*/42);
+    w.Field("query_selectivity", 0.5, 1);
+    w.Field("distribution", "uniform");
+    w.Key("configs");
+    w.BeginArray();
+    for (const SweepConfig& cfg : configs) {
+      w.BeginObject();
+      w.Field("kernel", ScanKernelName(cfg.kernel));
+      w.Field("threads", cfg.threads);
+      w.Field("median_ms", cfg.median_ms);
+      w.Field("pages_per_s", cfg.pages_per_s, 1);
+      w.Field("gb_per_s", cfg.gb_per_s, 4);
+      w.FieldArray("rep_ms", cfg.rep_ms);
+      w.EndObject();
     }
-    std::fprintf(out, "]}%s\n", i + 1 == configs.size() ? "" : ",");
+    w.EndArray();
+    w.EndObject();
+    std::fputc('\n', out);
   }
-  std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::fprintf(stdout, "# wrote %s (%zu configurations)\n", json_path.c_str(),
                configs.size());

@@ -1,12 +1,15 @@
 #include "core/adaptive_layer.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "exec/batch_executor.h"
 #include "exec/parallel_scanner.h"
+#include "storage/manifest.h"
 #include "util/macros.h"
+#include "util/stopwatch.h"
 
 namespace vmsv {
 
@@ -122,6 +125,192 @@ StatusOr<std::unique_ptr<AdaptiveColumn>> AdaptiveColumn::Create(
     adaptive->mapper_ = std::make_unique<BackgroundMapper>();
   }
   return adaptive;
+}
+
+StatusOr<std::unique_ptr<AdaptiveColumn>> AdaptiveColumn::CreateDurable(
+    const std::string& dir, uint64_t num_rows, AdaptiveConfig config) {
+  if (dir.empty()) return InvalidArgument("CreateDurable needs a directory");
+  config.storage.persist_dir = dir;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return IoError("create_directories " + dir + ": " + ec.message());
+  if (std::filesystem::exists(ManifestPath(dir))) {
+    return FailedPrecondition(dir + " already holds a column (use Open)");
+  }
+  const uint64_t pages = (num_rows + kValuesPerPage - 1) / kValuesPerPage;
+  auto file_r = PhysicalMemoryFile::CreateAt(dir + "/column.dat", pages);
+  if (!file_r.ok()) return file_r.status();
+  auto file =
+      std::make_shared<PhysicalMemoryFile>(std::move(file_r).ValueOrDie());
+  auto column_r = PhysicalColumn::Attach(std::move(file), num_rows);
+  if (!column_r.ok()) return column_r.status();
+  auto adaptive_r = Create(std::move(column_r).ValueOrDie(), config);
+  if (!adaptive_r.ok()) return adaptive_r.status();
+  auto adaptive = std::move(adaptive_r).ValueOrDie();
+
+  auto journal_r = WriteAheadJournal::Open(dir + "/journal.wal");
+  if (!journal_r.ok()) return journal_r.status();
+  adaptive->durable_ = std::make_unique<DurableState>();
+  adaptive->durable_->dir = dir;
+  adaptive->durable_->journal = std::make_unique<WriteAheadJournal>(
+      std::move(journal_r.ValueOrDie().journal));
+  // The initial (empty-pool) manifest makes the directory openable from the
+  // first moment — a kill before any flush recovers to a fresh column.
+  VMSV_RETURN_IF_ERROR(adaptive->WriteManifestSnapshotLocked());
+  return adaptive;
+}
+
+StatusOr<std::unique_ptr<AdaptiveColumn>> AdaptiveColumn::Open(
+    const std::string& dir, AdaptiveConfig config) {
+  if (dir.empty()) return InvalidArgument("Open needs a directory");
+  config.storage.persist_dir = dir;
+  Stopwatch recover_timer;
+  auto manifest_r = ReadManifest(dir);
+  if (!manifest_r.ok()) return manifest_r.status();
+  const ViewManifest manifest = std::move(manifest_r).ValueOrDie();
+
+  auto file_r =
+      PhysicalMemoryFile::OpenAt(dir + "/column.dat", manifest.num_pages);
+  if (!file_r.ok()) return file_r.status();
+  auto file =
+      std::make_shared<PhysicalMemoryFile>(std::move(file_r).ValueOrDie());
+  auto column_r = PhysicalColumn::Attach(std::move(file), manifest.num_rows);
+  if (!column_r.ok()) return column_r.status();
+  auto adaptive_r = Create(std::move(column_r).ValueOrDie(), config);
+  if (!adaptive_r.ok()) return adaptive_r.status();
+  auto adaptive = std::move(adaptive_r).ValueOrDie();
+  adaptive->durable_ = std::make_unique<DurableState>();
+  DurableState& durable = *adaptive->durable_;
+  durable.dir = dir;
+
+  // Rebuild views as unmaterialized page lists; the first scan pays the
+  // rewiring lazily, so Open stays proportional to the manifest size.
+  // The restore respects THIS configuration's budget: a column
+  // checkpointed under a larger max_views must not pin the pool over the
+  // reopening process's limit (nothing below ever shrinks the pool, so an
+  // over-budget restore would persist for the process lifetime). Views
+  // beyond the budget are simply not restored — their ranges re-adapt on
+  // demand like any cold range.
+  for (const ManifestView& mview : manifest.views) {
+    if (adaptive->view_index_.num_partial_views() >= config.max_views) break;
+    auto view_r =
+        VirtualView::CreateEmpty(adaptive->column(), mview.lo, mview.hi);
+    if (!view_r.ok()) return view_r.status();
+    auto view = std::move(view_r).ValueOrDie();
+    VMSV_RETURN_IF_ERROR(
+        view->RestorePages(mview.pages, adaptive->column().num_pages()));
+    // Hit history does not survive a restart; the recorded creation cost
+    // does, so eviction scoring stays calibrated from the first query.
+    view->SetCreationInfo(/*query_seq=*/0, mview.creation_scanned_pages);
+    adaptive->view_index_.Insert(std::move(view));
+    ++durable.stats.views_restored;
+  }
+  durable.persisted_pool_mutations = adaptive->lifecycle_.pool_mutations();
+  // A budget-clamped restore leaves the on-disk manifest listing views the
+  // pool no longer holds; dirty it so the next flush/checkpoint converges.
+  if (durable.stats.views_restored < manifest.views.size()) {
+    durable.manifest_dirty = true;
+  }
+
+  // Journal replay: re-apply every journaled value (idempotent — absolute
+  // values) and queue the records as pending, so the flush-first rule
+  // realigns the restored views before any post-restart query answers.
+  auto journal_r = WriteAheadJournal::Open(dir + "/journal.wal");
+  if (!journal_r.ok()) return journal_r.status();
+  auto opened = std::move(journal_r).ValueOrDie();
+  durable.journal =
+      std::make_unique<WriteAheadJournal>(std::move(opened.journal));
+  durable.stats.journal_tail_truncated = opened.tail_truncated;
+  for (const RowUpdate& update : opened.replayed) {
+    if (update.row >= adaptive->column().num_rows()) {
+      return IoError("journal record for row " + std::to_string(update.row) +
+                     " beyond column (" +
+                     std::to_string(adaptive->column().num_rows()) + " rows)");
+    }
+    adaptive->mutable_column()->Set(update.row, update.new_value);
+    // The RECORDED old value feeds net-effect filtering; the current cell
+    // holds the new value already after the Set above (or after a previous
+    // replay), so re-reading it would drop the record as a no-op.
+    adaptive->pending_.Add(update);
+    ++durable.stats.journal_replayed;
+  }
+  adaptive->pending_count_.store(adaptive->pending_.size(),
+                                 std::memory_order_release);
+  durable.stats.open_recover_ms = recover_timer.ElapsedMillis();
+  return adaptive;
+}
+
+Status AdaptiveColumn::Checkpoint() {
+  if (durable_ == nullptr) return OkStatus();
+  std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+  if (!pending_.empty()) {
+    // The flush path runs the whole checkpoint sequence itself.
+    auto flushed = FlushUpdatesLocked(/*compact_after=*/true);
+    return flushed.ok() ? OkStatus() : flushed.status();
+  }
+  return PersistCheckpointLocked();
+}
+
+Status AdaptiveColumn::WriteManifestSnapshotLocked() {
+  DurableState& durable = *durable_;
+  ViewManifest manifest;
+  manifest.num_rows = column_->num_rows();
+  manifest.num_pages = column_->num_pages();
+  manifest.pool_generation = lifecycle_.pool_mutations();
+  manifest.views.reserve(view_index_.views().size());
+  for (const auto& view : view_index_.views()) {
+    ManifestView mview;
+    mview.lo = view->lo();
+    mview.hi = view->hi();
+    mview.creation_scanned_pages = view->usage().creation_scanned_pages.load(
+        std::memory_order_relaxed);
+    mview.pages = view->physical_pages();
+    manifest.views.push_back(std::move(mview));
+  }
+  VMSV_RETURN_IF_ERROR(
+      WriteManifest(durable.dir, manifest,
+                    config_.storage.data_flush == FlushPolicy::kSync));
+  ++durable.stats.manifest_writes;
+  durable.manifest_dirty = false;
+  durable.persisted_pool_mutations = lifecycle_.pool_mutations();
+  return OkStatus();
+}
+
+Status AdaptiveColumn::PersistCheckpointLocked() {
+  DurableState& durable = *durable_;
+  switch (config_.storage.data_flush) {
+    case FlushPolicy::kNone:
+      break;
+    case FlushPolicy::kAsync:
+      VMSV_RETURN_IF_ERROR(column_->file()->Sync(/*wait=*/false));
+      break;
+    case FlushPolicy::kSync:
+      VMSV_RETURN_IF_ERROR(column_->file()->Sync(/*wait=*/true));
+      break;
+  }
+  if (durable.manifest_dirty ||
+      lifecycle_.pool_mutations() != durable.persisted_pool_mutations) {
+    VMSV_RETURN_IF_ERROR(WriteManifestSnapshotLocked());
+  }
+  // Only after the manifest (and policy-dependent data) are down may the
+  // journal forget the batch — the write-ahead invariant.
+  if (durable.journal->record_count() > 0) {
+    VMSV_RETURN_IF_ERROR(durable.journal->Reset());
+  }
+  return OkStatus();
+}
+
+void AdaptiveColumn::PersistPoolChangeLocked() {
+  DurableState& durable = *durable_;
+  durable.manifest_dirty = true;
+  const Status st = WriteManifestSnapshotLocked();
+  if (!st.ok()) {
+    // Soft failure: the old manifest plus the journal still recover
+    // correctly (restored views just predate this pool change); the dirty
+    // flag makes the next flush/checkpoint retry.
+    durable.manifest_dirty = true;
+    ++durable.stats.manifest_write_failures;
+  }
 }
 
 CumulativeStats AdaptiveColumn::metrics() const {
@@ -307,6 +496,25 @@ StatusOr<QueryExecution> AdaptiveColumn::FullScanAndAdapt(const RangeQuery& q) {
     exec.stats.views_after = view_index_.num_partial_views();
   }
   epoch_.TryReclaim();
+  if (durable_ != nullptr) {
+    switch (exec.stats.decision) {
+      case CandidateDecision::kInserted:
+      case CandidateDecision::kReplacedExisting:
+      case CandidateDecision::kEvictedExisting:
+        // Pool membership changed: refresh the on-disk snapshot now so a
+        // kill right after this query reopens with the new view.
+        PersistPoolChangeLocked();
+        break;
+      case CandidateDecision::kDiscardedSubset:
+        // A discard may have widened an existing view's range (ExtendRange)
+        // — cheap to defer: the stale (narrower) range is conservative, so
+        // only the next flush/checkpoint snapshots it.
+        durable_->manifest_dirty = true;
+        break;
+      default:
+        break;
+    }
+  }
   RecordQuery(exec.stats.scanned_pages);
   return exec;
 }
@@ -559,17 +767,30 @@ StatusOr<BatchExecution> AdaptiveColumn::ExecuteBatch(
 // ---------------------------------------------------------------------------
 // Updates
 
-void AdaptiveColumn::Update(uint64_t row, Value new_value) {
+Status AdaptiveColumn::Update(uint64_t row, Value new_value) {
   std::lock_guard<std::mutex> maintenance(maintenance_mu_);
-  std::unique_lock<std::shared_mutex> xlock(views_mu_);
-  // In-place mutation: block new readers (exclusive lock), wait out the
-  // in-flight ones (quiescence), then write. No scan ever sees the torn
-  // value or an unaligned state — pending_count_ is published before any
-  // new reader can route.
-  epoch_.WaitQuiescent();
-  const Value old_value = column_->Set(row, new_value);
-  pending_.Add(row, old_value, new_value);
-  pending_count_.store(pending_.size(), std::memory_order_release);
+  RowUpdate logged;
+  {
+    std::unique_lock<std::shared_mutex> xlock(views_mu_);
+    // In-place mutation: block new readers (exclusive lock), wait out the
+    // in-flight ones (quiescence), then write. No scan ever sees the torn
+    // value or an unaligned state — pending_count_ is published before any
+    // new reader can route.
+    epoch_.WaitQuiescent();
+    const Value old_value = column_->Set(row, new_value);
+    logged = RowUpdate{row, old_value, new_value};
+    pending_.Add(logged);
+    pending_count_.store(pending_.size(), std::memory_order_release);
+  }
+  // The journal append runs after readers are unblocked: it needs only
+  // maintenance_mu_ (its fd is maintenance-path state), and a slow fsync
+  // must not extend the reader-exclusion window.
+  if (durable_ != nullptr) {
+    VMSV_RETURN_IF_ERROR(durable_->journal->Append(
+        logged, config_.storage.journal_sync_every_update));
+    ++durable_->stats.journal_appends;
+  }
+  return OkStatus();
 }
 
 StatusOr<UpdateApplyStats> AdaptiveColumn::FlushUpdates() {
@@ -579,6 +800,13 @@ StatusOr<UpdateApplyStats> AdaptiveColumn::FlushUpdates() {
 
 StatusOr<UpdateApplyStats> AdaptiveColumn::FlushUpdatesLocked(
     bool compact_after) {
+  // Durable commit point: every journaled record of this batch is on
+  // stable storage before alignment consumes the batch. (With
+  // journal_sync_every_update each append already synced; this is then a
+  // cheap no-op fdatasync.)
+  if (durable_ != nullptr && !pending_.empty()) {
+    VMSV_RETURN_IF_ERROR(durable_->journal->Sync());
+  }
   std::unique_lock<std::shared_mutex> xlock(views_mu_);
   // Alignment unmaps/remaps view slots in place; fence all readers off.
   epoch_.WaitQuiescent();
@@ -586,8 +814,13 @@ StatusOr<UpdateApplyStats> AdaptiveColumn::FlushUpdatesLocked(
   auto stats = AlignPartialViews(*column_, views, pending_,
                                  config_.mapping_source);
   if (!stats.ok()) return stats;
+  const bool had_updates = !pending_.empty();
   pending_.clear();
   pending_count_.store(0, std::memory_order_release);
+  if (durable_ != nullptr &&
+      stats->pages_added + stats->pages_removed > 0) {
+    durable_->manifest_dirty = true;
+  }
   bool reclaim_after = false;
   if (compact_after && stats->pages_removed + stats->pages_added > 0) {
     // Removals punch holes and adds can scatter file runs; re-densify any
@@ -604,7 +837,10 @@ StatusOr<UpdateApplyStats> AdaptiveColumn::FlushUpdatesLocked(
       if (lifecycle_.CompactView(view, &retired).ok()) {
         if (retired != nullptr) epoch_.RetireObject(std::move(retired));
       } else {
+        // A dropped view changes the pool shape (CompactView's own counter
+        // only moves on success).
         epoch_.RetireObject(view_index_.Remove(view));
+        if (durable_ != nullptr) durable_->manifest_dirty = true;
       }
       reclaim_after = true;
     }
@@ -613,6 +849,15 @@ StatusOr<UpdateApplyStats> AdaptiveColumn::FlushUpdatesLocked(
   // not inside the exclusive section.
   xlock.unlock();
   if (reclaim_after) epoch_.TryReclaim();
+  // Checkpoint sequence: data writeback per policy, manifest if the pool
+  // changed (alignment/compaction/eviction since the last snapshot), then
+  // journal reset. Runs outside views_mu_ — maintenance_mu_ alone keeps the
+  // pool stable — so readers are not blocked on fsync.
+  if (durable_ != nullptr && (had_updates || durable_->manifest_dirty ||
+                              lifecycle_.pool_mutations() !=
+                                  durable_->persisted_pool_mutations)) {
+    VMSV_RETURN_IF_ERROR(PersistCheckpointLocked());
+  }
   return stats;
 }
 

@@ -66,6 +66,8 @@
 #include "core/view_lifecycle.h"
 #include "core/virtual_view.h"
 #include "storage/column.h"
+#include "storage/journal.h"
+#include "storage/storage_config.h"
 #include "storage/types.h"
 #include "storage/update.h"
 #include "util/epoch.h"
@@ -126,6 +128,11 @@ struct AdaptiveConfig {
   /// Whole-lifetime view management: compaction triggers and the eviction
   /// policy applied at the max_views budget (core/view_lifecycle.h).
   LifecycleConfig lifecycle;
+  /// Durability: with a persist_dir the column lives in a real file, every
+  /// Update is journaled, and view memberships are snapshotted to a
+  /// manifest so Open() restores the whole engine state after a restart
+  /// (storage/storage_config.h; ARCHITECTURE.md "Durability model").
+  StorageConfig storage;
 };
 
 /// Per-query execution statistics.
@@ -243,12 +250,65 @@ class PartialViewIndex {
   std::vector<std::unique_ptr<VirtualView>> views_;
 };
 
+/// Restart-visible durability counters (snapshot; maintenance-path data —
+/// read after the workload quiesces).
+struct DurabilityStats {
+  /// Journal records appended since open (Update calls in durable mode).
+  uint64_t journal_appends = 0;
+  /// Records replayed from the journal by Open (0 after a clean shutdown).
+  uint64_t journal_replayed = 0;
+  /// True when Open found and truncated a torn journal tail.
+  bool journal_tail_truncated = false;
+  /// Manifest snapshots written (flushes, checkpoints, pool changes).
+  uint64_t manifest_writes = 0;
+  /// Manifest writes that failed softly on the adaptation path (the
+  /// snapshot stays dirty and the next flush retries).
+  uint64_t manifest_write_failures = 0;
+  /// Views rebuilt from the manifest by Open.
+  uint64_t views_restored = 0;
+  /// Wall time Open spent reading the manifest + replaying the journal.
+  double open_recover_ms = 0;
+};
+
 class AdaptiveColumn {
  public:
   /// Error contract: InvalidArgument when `column` is null or
   /// config.max_views is 0.
   static StatusOr<std::unique_ptr<AdaptiveColumn>> Create(
       std::unique_ptr<PhysicalColumn> column, const AdaptiveConfig& config);
+
+  /// Creates a DURABLE column of `num_rows` zeroed values under `dir`
+  /// (created if missing): column.dat + journal.wal + an initial MANIFEST.
+  /// `config.storage.persist_dir` is overridden by `dir`.
+  /// Error contract: FailedPrecondition when `dir` already holds a column
+  /// (Open it instead); IoError on filesystem failures.
+  static StatusOr<std::unique_ptr<AdaptiveColumn>> CreateDurable(
+      const std::string& dir, uint64_t num_rows, AdaptiveConfig config);
+
+  /// Reopens the durable column in `dir`: rebuilds the column over
+  /// column.dat, restores every manifest view as an UNMATERIALIZED page
+  /// list (first use lazily rewires it), and replays the journal — replayed
+  /// updates become pending, so the flush-first rule realigns views before
+  /// the first post-restart query answers. Scans after Open are
+  /// bit-identical to pre-restart scans. Replay is idempotent: killing the
+  /// process after Open and reopening replays the same journal to the same
+  /// state (the journal only resets at the next flush/checkpoint). At most
+  /// config.max_views views are restored — a column checkpointed under a
+  /// larger budget reopens clamped, the rest re-adapt on demand. The
+  /// journal fd carries an exclusive flock for the column's lifetime, so a
+  /// second Open of a live column fails instead of corrupting it.
+  /// Error contract: NotFound when `dir` has no manifest; IoError on a
+  /// corrupt manifest/journal header; FailedPrecondition when the column
+  /// is already open elsewhere.
+  static StatusOr<std::unique_ptr<AdaptiveColumn>> Open(const std::string& dir,
+                                                        AdaptiveConfig config);
+
+  /// Durable only (no-op OK otherwise): flush pending updates, push data
+  /// per the flush policy, re-snapshot the manifest if the pool changed,
+  /// and reset the journal. There is deliberately NO destructor checkpoint:
+  /// a process that exits without one is exactly the crash case recovery
+  /// is tested against.
+  Status Checkpoint();
 
   /// Answers q adaptively (Listing 1): from views when covered, else full
   /// scan + candidate materialization + insert/discard/replace/evict
@@ -281,8 +341,12 @@ class AdaptiveColumn {
   /// the next flush/query. Excludes every in-flight reader (exclusive index
   /// lock + epoch quiescence) so no scan observes a torn write; between the
   /// update and the next flush, queries flush first — results always
-  /// reflect an aligned state.
-  void Update(uint64_t row, Value new_value);
+  /// reflect an aligned state. In durable mode the update is additionally
+  /// appended to the write-ahead journal (fdatasync'ed per
+  /// StorageConfig::journal_sync_every_update).
+  /// Error contract: OK for in-memory columns; journal I/O failures surface
+  /// here in durable mode (the in-memory update still took effect).
+  Status Update(uint64_t row, Value new_value);
 
   /// Aligns all views with the logged updates (§2.4/§2.5). Thread-safe.
   StatusOr<UpdateApplyStats> FlushUpdates();
@@ -302,6 +366,12 @@ class AdaptiveColumn {
   /// Compaction/eviction counters accumulated by the lifecycle manager.
   /// Maintenance-path data: read after the workload quiesces.
   const LifecycleStats& lifecycle_stats() const { return lifecycle_.stats(); }
+  /// True when this column persists under a directory.
+  bool is_durable() const { return durable_ != nullptr; }
+  /// Durability counters (default-constructed zeros for in-memory columns).
+  DurabilityStats durability_stats() const {
+    return durable_ != nullptr ? durable_->stats : DurabilityStats{};
+  }
   /// The engine's reclamation domain (test/introspection hook: limbo_size
   /// shows how many displaced views/arenas await quiescence).
   EpochManager& epoch_manager() const { return epoch_; }
@@ -336,7 +406,39 @@ class AdaptiveColumn {
 
   /// Flush + (optionally) the post-flush compaction sweep. Caller holds
   /// maintenance_mu_; takes views_mu_ exclusive + epoch quiescence inside.
+  /// Durable mode: syncs the journal first (the batch's commit point), then
+  /// after alignment runs the checkpoint sequence (data writeback per
+  /// policy → manifest snapshot if the pool changed → journal reset).
   StatusOr<UpdateApplyStats> FlushUpdatesLocked(bool compact_after);
+
+  /// The durable state of one persisted column (null in-memory).
+  struct DurableState {
+    std::string dir;
+    std::unique_ptr<WriteAheadJournal> journal;
+    DurabilityStats stats;
+    /// Pool shape (memberships/ranges/members) diverged from the last
+    /// manifest snapshot.
+    bool manifest_dirty = false;
+    /// lifecycle_.pool_mutations() at the last snapshot — compactions and
+    /// evictions dirty the manifest through this counter.
+    uint64_t persisted_pool_mutations = 0;
+  };
+
+  /// Snapshots the current pool into dir/MANIFEST (atomic replace). Caller
+  /// holds maintenance_mu_ (pool mutators all do, so the snapshot is
+  /// consistent without views_mu_).
+  Status WriteManifestSnapshotLocked();
+
+  /// Data writeback per flush policy → manifest snapshot if dirty →
+  /// journal reset. The write-ahead ordering lives here: the journal only
+  /// resets after the manifest (and, under kSync, the data) made it down.
+  /// Caller holds maintenance_mu_.
+  Status PersistCheckpointLocked();
+
+  /// Best-effort manifest refresh after an adaptation decision changed the
+  /// pool: failures are counted and leave the manifest dirty for the next
+  /// flush instead of failing the query that triggered adaptation.
+  void PersistPoolChangeLocked();
 
   /// The insert/discard/replace decision of Listing 1. Caller holds
   /// maintenance_mu_ AND views_mu_ exclusive; displaced views are retired
@@ -381,6 +483,7 @@ class AdaptiveColumn {
   std::atomic<size_t> pending_count_{0};    // lock-free mirror of pending_
   AtomicStats metrics_;
   ViewLifecycleManager lifecycle_;          // driven from maintenance_mu_
+  std::unique_ptr<DurableState> durable_;   // guarded by maintenance_mu_
   /// Reclamation domain for displaced views/arenas. Declared after the
   /// members retired objects may reference; destroyed first, draining the
   /// limbo list while everything it points into is still alive.

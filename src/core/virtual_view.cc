@@ -254,6 +254,26 @@ Status VirtualView::AppendPageRun(uint64_t first_page, uint64_t count,
   return OkStatus();
 }
 
+Status VirtualView::RestorePages(const std::vector<uint64_t>& pages,
+                                 uint64_t column_pages) {
+  if (!pages_.empty() || arena_ != nullptr) {
+    return FailedPrecondition("RestorePages needs an empty unmaterialized view");
+  }
+  pages_.reserve(pages.size());
+  for (const uint64_t page : pages) {
+    if (page >= column_pages) {
+      return InvalidArgument("restored page " + std::to_string(page) +
+                             " beyond column (" + std::to_string(column_pages) +
+                             " pages)");
+    }
+    if (page_to_slot_.count(page) != 0) {
+      return InvalidArgument("duplicate restored page " + std::to_string(page));
+    }
+    RecordPageAt(pages_.size(), page);
+  }
+  return OkStatus();
+}
+
 Status VirtualView::RemovePage(uint64_t page) {
   auto it = page_to_slot_.find(page);
   if (it == page_to_slot_.end()) return NotFound("page not in view");

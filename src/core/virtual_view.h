@@ -297,6 +297,15 @@ class VirtualView {
   Status AppendPageRun(uint64_t first_page, uint64_t count,
                        BackgroundMapper* mapper = nullptr);
 
+  /// Installs a recovered page membership (manifest slot order) into an
+  /// EMPTY, unmaterialized view — the durable reopen path. Pure
+  /// bookkeeping: no mmap happens until the first scan materializes the
+  /// view lazily.
+  /// Error contract: FailedPrecondition when the view already has pages or
+  /// an arena; InvalidArgument on duplicate or out-of-range page ids.
+  Status RestorePages(const std::vector<uint64_t>& pages,
+                      uint64_t column_pages);
+
   /// Removes a physical page. When materialized, the slot becomes a
   /// PROT_NONE hole (one mmap; trailing holes are trimmed for free) — the
   /// view fragments and Compact() is the cure. Unmaterialized removals are

@@ -6,22 +6,33 @@
 
 #include <fcntl.h>
 #include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 namespace vmsv {
 
 MemoryFileBackend MemoryFileBackendFromString(const std::string& name) {
   if (name == "shm") return MemoryFileBackend::kShm;
+  if (name == "file") return MemoryFileBackend::kFile;
   return MemoryFileBackend::kMemfd;
 }
 
 const char* MemoryFileBackendName(MemoryFileBackend backend) {
-  return backend == MemoryFileBackend::kShm ? "shm" : "memfd";
+  switch (backend) {
+    case MemoryFileBackend::kShm: return "shm";
+    case MemoryFileBackend::kFile: return "file";
+    case MemoryFileBackend::kMemfd: return "memfd";
+  }
+  return "unknown";
 }
 
 StatusOr<PhysicalMemoryFile> PhysicalMemoryFile::Create(
     uint64_t pages, MemoryFileBackend backend) {
   if (pages == 0) return InvalidArgument("PhysicalMemoryFile needs >= 1 page");
+  if (backend == MemoryFileBackend::kFile) {
+    return InvalidArgument(
+        "file backend needs a path: use CreateAt/OpenAt, not Create");
+  }
   int fd = -1;
   if (backend == MemoryFileBackend::kMemfd) {
     fd = static_cast<int>(memfd_create("vmsv-column", MFD_CLOEXEC));
@@ -45,10 +56,53 @@ StatusOr<PhysicalMemoryFile> PhysicalMemoryFile::Create(
   return PhysicalMemoryFile(fd, pages, backend);
 }
 
+StatusOr<PhysicalMemoryFile> PhysicalMemoryFile::CreateAt(
+    const std::string& path, uint64_t pages) {
+  if (pages == 0) return InvalidArgument("PhysicalMemoryFile needs >= 1 page");
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return ErrnoError(("open " + path).c_str(), errno);
+  if (::ftruncate(fd, static_cast<off_t>(pages * kPageSize)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    return ErrnoError("ftruncate", saved);
+  }
+  return PhysicalMemoryFile(fd, pages, MemoryFileBackend::kFile, path);
+}
+
+StatusOr<PhysicalMemoryFile> PhysicalMemoryFile::OpenAt(
+    const std::string& path, uint64_t expected_pages) {
+  if (expected_pages == 0) {
+    return InvalidArgument("PhysicalMemoryFile needs >= 1 page");
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) {
+    const int saved = errno;
+    if (saved == ENOENT) return NotFound("no column file at " + path);
+    return ErrnoError(("open " + path).c_str(), saved);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    return ErrnoError("fstat", saved);
+  }
+  if (static_cast<uint64_t>(st.st_size) != expected_pages * kPageSize) {
+    ::close(fd);
+    return FailedPrecondition(
+        path + " is " + std::to_string(st.st_size) + " bytes, expected " +
+        std::to_string(expected_pages * kPageSize) +
+        " (column geometry mismatch with the manifest)");
+  }
+  return PhysicalMemoryFile(fd, expected_pages, MemoryFileBackend::kFile, path);
+}
+
 PhysicalMemoryFile::PhysicalMemoryFile(PhysicalMemoryFile&& other) noexcept
-    : fd_(other.fd_), num_pages_(other.num_pages_), backend_(other.backend_) {
+    : fd_(other.fd_), num_pages_(other.num_pages_), backend_(other.backend_),
+      path_(std::move(other.path_)) {
   other.fd_ = -1;
   other.num_pages_ = 0;
+  other.path_.clear();
 }
 
 PhysicalMemoryFile& PhysicalMemoryFile::operator=(
@@ -58,14 +112,31 @@ PhysicalMemoryFile& PhysicalMemoryFile::operator=(
     fd_ = other.fd_;
     num_pages_ = other.num_pages_;
     backend_ = other.backend_;
+    path_ = std::move(other.path_);
     other.fd_ = -1;
     other.num_pages_ = 0;
+    other.path_.clear();
   }
   return *this;
 }
 
 PhysicalMemoryFile::~PhysicalMemoryFile() {
   if (fd_ >= 0) ::close(fd_);
+}
+
+Status PhysicalMemoryFile::Sync(bool wait) {
+  if (backend_ != MemoryFileBackend::kFile) return OkStatus();
+  if (wait) {
+    if (::fdatasync(fd_) != 0) return ErrnoError("fdatasync", errno);
+    return OkStatus();
+  }
+#if defined(__linux__)
+  // Kick off writeback of everything dirty without waiting for completion.
+  if (::sync_file_range(fd_, 0, 0, SYNC_FILE_RANGE_WRITE) != 0) {
+    return ErrnoError("sync_file_range", errno);
+  }
+#endif
+  return OkStatus();
 }
 
 Status PhysicalMemoryFile::Grow(uint64_t new_pages) {

@@ -1,12 +1,18 @@
 // PhysicalMemoryFile — the main-memory file whose pages back every storage
 // view (paper §2.1). Rewiring maps page ranges of this file into virtual
-// address ranges; two backends are supported:
+// address ranges; three backends are supported:
 //
 //   - memfd:  anonymous memory file via memfd_create(2) (default),
-//   - shm:    POSIX shared memory object via shm_open(3).
+//   - shm:    POSIX shared memory object via shm_open(3),
+//   - file:   a named file on a real filesystem (the durable backend) —
+//             identical rewiring semantics, since VirtualArena maps the fd
+//             MAP_SHARED either way, but the pages survive the process and
+//             Sync() can force them to stable storage.
 //
 // The file itself owns only the descriptor and its size. All address-space
-// manipulation lives in VirtualArena.
+// manipulation lives in VirtualArena. The anonymous backends go through
+// Create(); the durable backend through CreateAt()/OpenAt(), which take a
+// path.
 
 #ifndef VMSV_REWIRING_PHYSICAL_MEMORY_FILE_H_
 #define VMSV_REWIRING_PHYSICAL_MEMORY_FILE_H_
@@ -25,17 +31,34 @@ inline constexpr uint64_t kPageSize = 4096;
 enum class MemoryFileBackend {
   kMemfd,
   kShm,
+  /// A named file on a real filesystem; needs a path (CreateAt/OpenAt).
+  kFile,
 };
 
-/// "memfd" / "shm" (case-sensitive); anything else falls back to memfd.
+/// "memfd" / "shm" / "file" (case-sensitive); anything else falls back to
+/// memfd.
 MemoryFileBackend MemoryFileBackendFromString(const std::string& name);
 const char* MemoryFileBackendName(MemoryFileBackend backend);
 
 class PhysicalMemoryFile {
  public:
-  /// Creates a main-memory file of `pages` zero-filled pages.
+  /// Creates an anonymous main-memory file of `pages` zero-filled pages.
+  /// Error contract: InvalidArgument for kFile (a path is required there —
+  /// use CreateAt/OpenAt).
   static StatusOr<PhysicalMemoryFile> Create(
       uint64_t pages, MemoryFileBackend backend = MemoryFileBackend::kMemfd);
+
+  /// Creates (O_CREAT | O_TRUNC) a file-backed memory file of `pages`
+  /// zero-filled pages at `path`. The parent directory must exist.
+  static StatusOr<PhysicalMemoryFile> CreateAt(const std::string& path,
+                                               uint64_t pages);
+
+  /// Opens an existing file-backed memory file. Its size must be exactly
+  /// `expected_pages` whole pages (the manifest's geometry record).
+  /// Error contract: NotFound when the file does not exist, IoError /
+  /// FailedPrecondition on size mismatch.
+  static StatusOr<PhysicalMemoryFile> OpenAt(const std::string& path,
+                                             uint64_t expected_pages);
 
   PhysicalMemoryFile(PhysicalMemoryFile&& other) noexcept;
   PhysicalMemoryFile& operator=(PhysicalMemoryFile&& other) noexcept;
@@ -47,17 +70,29 @@ class PhysicalMemoryFile {
   uint64_t num_pages() const { return num_pages_; }
   uint64_t size_bytes() const { return num_pages_ * kPageSize; }
   MemoryFileBackend backend() const { return backend_; }
+  /// Backing path; empty for the anonymous backends.
+  const std::string& path() const { return path_; }
 
   /// Grows the file to `new_pages` (no-op if already at least that large).
   Status Grow(uint64_t new_pages);
 
+  /// Pushes dirty pages toward stable storage. `wait` blocks until the data
+  /// is durable (fdatasync); otherwise writeback is merely initiated
+  /// (sync_file_range where available, else a no-op). MAP_SHARED mappings
+  /// dirty the page cache directly, so syncing the fd covers every arena
+  /// mapped over this file — no per-arena msync needed. No-op (OK) for the
+  /// anonymous backends, which have no stable storage to reach.
+  Status Sync(bool wait);
+
  private:
-  PhysicalMemoryFile(int fd, uint64_t pages, MemoryFileBackend backend)
-      : fd_(fd), num_pages_(pages), backend_(backend) {}
+  PhysicalMemoryFile(int fd, uint64_t pages, MemoryFileBackend backend,
+                     std::string path = {})
+      : fd_(fd), num_pages_(pages), backend_(backend), path_(std::move(path)) {}
 
   int fd_ = -1;
   uint64_t num_pages_ = 0;
   MemoryFileBackend backend_ = MemoryFileBackend::kMemfd;
+  std::string path_;
 };
 
 }  // namespace vmsv

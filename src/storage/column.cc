@@ -9,6 +9,19 @@ StatusOr<std::unique_ptr<PhysicalColumn>> PhysicalColumn::Create(
   auto file_r = PhysicalMemoryFile::Create(pages, backend);
   if (!file_r.ok()) return file_r.status();
   auto file = std::make_shared<PhysicalMemoryFile>(std::move(file_r).ValueOrDie());
+  return Attach(std::move(file), num_rows);
+}
+
+StatusOr<std::unique_ptr<PhysicalColumn>> PhysicalColumn::Attach(
+    std::shared_ptr<PhysicalMemoryFile> file, uint64_t num_rows) {
+  if (file == nullptr) return InvalidArgument("Attach needs a file");
+  if (num_rows == 0) return InvalidArgument("column needs >= 1 row");
+  const uint64_t pages = (num_rows + kValuesPerPage - 1) / kValuesPerPage;
+  if (file->num_pages() != pages) {
+    return FailedPrecondition(
+        "file holds " + std::to_string(file->num_pages()) + " pages, " +
+        std::to_string(num_rows) + " rows need " + std::to_string(pages));
+  }
   auto arena_r = VirtualArena::Create(file, pages);
   if (!arena_r.ok()) return arena_r.status();
   auto arena = std::move(arena_r).ValueOrDie();

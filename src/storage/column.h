@@ -24,6 +24,14 @@ class PhysicalColumn {
   static StatusOr<std::unique_ptr<PhysicalColumn>> Create(
       uint64_t num_rows, MemoryFileBackend backend = MemoryFileBackend::kMemfd);
 
+  /// Wraps an EXISTING memory file (typically file-backed, reopened by the
+  /// durable recovery path) in a column of `num_rows` values, identity-
+  /// mapping its pages without zeroing them — the file's content IS the
+  /// column. The file must hold exactly ceil(num_rows / kValuesPerPage)
+  /// pages.
+  static StatusOr<std::unique_ptr<PhysicalColumn>> Attach(
+      std::shared_ptr<PhysicalMemoryFile> file, uint64_t num_rows);
+
   uint64_t num_rows() const { return num_rows_; }
   uint64_t num_pages() const { return file_->num_pages(); }
 

@@ -1,0 +1,209 @@
+#include "storage/journal.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+namespace vmsv {
+
+namespace {
+
+constexpr char kHeaderMagic[8] = {'V', 'M', 'S', 'V', 'W', 'A', 'L', '1'};
+constexpr uint32_t kRecordMagic = 0x4C41u;
+constexpr size_t kHeaderSize = sizeof(kHeaderMagic);
+constexpr size_t kRecordSize = 3 * sizeof(uint64_t) + 2 * sizeof(uint32_t);
+
+/// Serialized record layout. Fixed-width little-endian fields written as one
+/// contiguous buffer so a record append is a single write(2).
+struct RecordBuf {
+  unsigned char bytes[kRecordSize];
+
+  static RecordBuf From(const RowUpdate& u) {
+    RecordBuf buf;
+    std::memcpy(buf.bytes + 0, &u.row, 8);
+    std::memcpy(buf.bytes + 8, &u.old_value, 8);
+    std::memcpy(buf.bytes + 16, &u.new_value, 8);
+    const uint32_t crc = Crc32(buf.bytes, 24);
+    std::memcpy(buf.bytes + 24, &crc, 4);
+    std::memcpy(buf.bytes + 28, &kRecordMagic, 4);
+    return buf;
+  }
+
+  /// Returns false when crc or record magic fail (torn/corrupt record).
+  bool To(RowUpdate* u) const {
+    uint32_t crc = 0, magic = 0;
+    std::memcpy(&crc, bytes + 24, 4);
+    std::memcpy(&magic, bytes + 28, 4);
+    if (magic != kRecordMagic || crc != Crc32(bytes, 24)) return false;
+    std::memcpy(&u->row, bytes + 0, 8);
+    std::memcpy(&u->old_value, bytes + 8, 8);
+    std::memcpy(&u->new_value, bytes + 16, 8);
+    return true;
+  }
+};
+
+Status WriteAll(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("write(journal)", errno);
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len) {
+  // Bitwise reflected CRC-32; journal records are 24 bytes, so a lookup
+  // table buys nothing worth its footprint.
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc ^= p[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+    }
+  }
+  return ~crc;
+}
+
+StatusOr<JournalOpenResult> WriteAheadJournal::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoError(("open " + path).c_str(), errno);
+
+  // The journal fd doubles as the column directory's single-writer lock:
+  // a second process (or a second handle in THIS process — flock is
+  // per-open-file-description) opening the same column would race journal
+  // resets and manifest rewrites against the first one's state. Held until
+  // the journal closes.
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    if (saved == EWOULDBLOCK) {
+      return FailedPrecondition(path +
+                                " is locked: the column is already open in "
+                                "another process or handle");
+    }
+    return ErrnoError("flock(journal)", saved);
+  }
+
+  JournalOpenResult result{WriteAheadJournal(fd, path, 0), {}, false};
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) return ErrnoError("lseek(journal)", errno);
+
+  if (size == 0) {
+    // Fresh journal: stamp the header.
+    Status st = WriteAll(fd, kHeaderMagic, kHeaderSize);
+    if (!st.ok()) return st;
+    if (::fdatasync(fd) != 0) return ErrnoError("fdatasync(journal)", errno);
+    return result;
+  }
+
+  // Existing journal: verify header, replay records up to the first bad one.
+  char header[kHeaderSize];
+  if (::pread(fd, header, kHeaderSize, 0) !=
+          static_cast<ssize_t>(kHeaderSize) ||
+      std::memcmp(header, kHeaderMagic, kHeaderSize) != 0) {
+    return IoError(path + " is not a vmsv journal (bad header)");
+  }
+  off_t offset = static_cast<off_t>(kHeaderSize);
+  while (offset + static_cast<off_t>(kRecordSize) <= size) {
+    RecordBuf buf;
+    const ssize_t n = ::pread(fd, buf.bytes, kRecordSize, offset);
+    if (n != static_cast<ssize_t>(kRecordSize)) {
+      return ErrnoError("pread(journal)", errno);
+    }
+    RowUpdate update;
+    if (!buf.To(&update)) break;  // torn or corrupt: replay ends here
+    result.replayed.push_back(update);
+    offset += static_cast<off_t>(kRecordSize);
+  }
+  if (offset < size) {
+    // Torn tail (partial or corrupt record): drop it so future appends are
+    // never shadowed by garbage during the next replay.
+    if (::ftruncate(fd, offset) != 0) {
+      return ErrnoError("ftruncate(journal tail)", errno);
+    }
+    if (::fdatasync(fd) != 0) return ErrnoError("fdatasync(journal)", errno);
+    result.tail_truncated = true;
+  }
+  if (::lseek(fd, offset, SEEK_SET) < 0) {
+    return ErrnoError("lseek(journal)", errno);
+  }
+  result.journal.record_count_ = result.replayed.size();
+  return result;
+}
+
+WriteAheadJournal::WriteAheadJournal(WriteAheadJournal&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)),
+      record_count_(other.record_count_) {
+  other.fd_ = -1;
+  other.record_count_ = 0;
+}
+
+WriteAheadJournal& WriteAheadJournal::operator=(
+    WriteAheadJournal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    record_count_ = other.record_count_;
+    other.fd_ = -1;
+    other.record_count_ = 0;
+  }
+  return *this;
+}
+
+WriteAheadJournal::~WriteAheadJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WriteAheadJournal::Append(const RowUpdate& update, bool sync) {
+  const RecordBuf buf = RecordBuf::From(update);
+  Status st = WriteAll(fd_, buf.bytes, kRecordSize);
+  if (!st.ok()) {
+    // A PARTIAL write would leave torn bytes at the tail; a later
+    // successful Append would then sit BEHIND them and replay — which
+    // stops at the first bad record — would silently discard it. Rewind
+    // to the last whole-record boundary so the journal stays well-framed
+    // even across failed appends (best effort: if the truncate itself
+    // fails we still report the original error, and replay's torn-tail
+    // handling remains the backstop).
+    const off_t good =
+        static_cast<off_t>(kHeaderSize + record_count_ * kRecordSize);
+    if (::ftruncate(fd_, good) == 0) {
+      ::lseek(fd_, good, SEEK_SET);
+    }
+    return st;
+  }
+  ++record_count_;
+  if (sync) return Sync();
+  return OkStatus();
+}
+
+Status WriteAheadJournal::Sync() {
+  if (::fdatasync(fd_) != 0) return ErrnoError("fdatasync(journal)", errno);
+  return OkStatus();
+}
+
+Status WriteAheadJournal::Reset() {
+  if (::ftruncate(fd_, static_cast<off_t>(kHeaderSize)) != 0) {
+    return ErrnoError("ftruncate(journal reset)", errno);
+  }
+  if (::lseek(fd_, static_cast<off_t>(kHeaderSize), SEEK_SET) < 0) {
+    return ErrnoError("lseek(journal reset)", errno);
+  }
+  record_count_ = 0;
+  return Sync();
+}
+
+}  // namespace vmsv

@@ -1,0 +1,93 @@
+// WriteAheadJournal — the durable log of row updates between manifest
+// checkpoints (ARCHITECTURE.md "Durability model").
+//
+// The journal answers one question after a restart: which updates did the
+// column accept that the last MANIFEST snapshot does not reflect? Every
+// AdaptiveColumn::Update appends one fixed-size record; FlushUpdates makes
+// the batch durable (fdatasync), realigns the views, snapshots the manifest,
+// and only then resets the journal. Replay is IDEMPOTENT by construction:
+// records carry absolute new values (re-applying a record writes the same
+// bytes) and the recorded old_value — not the current cell content — feeds
+// net-effect filtering, so a second replay drives the same view realignment.
+//
+// On-disk format (little-endian, fixed width):
+//   header   8 B magic "VMSVWAL1"
+//   record   u64 row | u64 old_value | u64 new_value | u32 crc32 of the
+//            preceding 24 bytes | u32 record magic 0x4C41u ("AL" guard)
+// A torn tail (crash mid-append) fails the crc of the last record; Open
+// stops replay there and truncates the tail so later appends never hide
+// behind garbage.
+
+#ifndef VMSV_STORAGE_JOURNAL_H_
+#define VMSV_STORAGE_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace vmsv {
+
+/// CRC-32 (IEEE 802.3, reflected) over `len` bytes — the record checksum.
+/// Exposed for tests that construct torn/corrupt journals by hand.
+uint32_t Crc32(const void* data, size_t len);
+
+struct JournalOpenResult;
+
+class WriteAheadJournal {
+ public:
+  /// Opens (creating if absent) the journal at `path`, replaying every valid
+  /// record. A bad header fails (the file is not a journal); a bad record
+  /// crc ends replay and the tail is truncated in place. The fd is flock'ed
+  /// exclusively for the journal's lifetime — it is the column directory's
+  /// single-writer lock, so a second Open of a live column (from another
+  /// process OR another handle in this one) fails with FailedPrecondition
+  /// instead of corrupting shared durability state.
+  static StatusOr<JournalOpenResult> Open(const std::string& path);
+
+  WriteAheadJournal(WriteAheadJournal&& other) noexcept;
+  WriteAheadJournal& operator=(WriteAheadJournal&& other) noexcept;
+  WriteAheadJournal(const WriteAheadJournal&) = delete;
+  WriteAheadJournal& operator=(const WriteAheadJournal&) = delete;
+  ~WriteAheadJournal();
+
+  /// Appends one record (buffered write; durable after the next Sync).
+  /// `sync` additionally fdatasyncs before returning.
+  Status Append(const RowUpdate& update, bool sync);
+
+  /// fdatasync: every appended record is on stable storage after this.
+  Status Sync();
+
+  /// Truncates back to the bare header (the checkpoint "commit": the
+  /// manifest now reflects everything the journal held) and syncs.
+  Status Reset();
+
+  /// Records appended (or replayed) since the last Reset.
+  uint64_t record_count() const { return record_count_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WriteAheadJournal(int fd, std::string path, uint64_t record_count)
+      : fd_(fd), path_(std::move(path)), record_count_(record_count) {}
+
+  int fd_ = -1;
+  std::string path_;
+  uint64_t record_count_ = 0;
+};
+
+/// What WriteAheadJournal::Open recovered.
+struct JournalOpenResult {
+  WriteAheadJournal journal;
+  /// Records recovered from the existing file, append order. Empty for a
+  /// fresh journal.
+  std::vector<RowUpdate> replayed;
+  /// True when a torn tail record was found (and truncated away).
+  bool tail_truncated = false;
+};
+
+}  // namespace vmsv
+
+#endif  // VMSV_STORAGE_JOURNAL_H_

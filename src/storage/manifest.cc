@@ -1,0 +1,199 @@
+#include "storage/manifest.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "storage/journal.h"  // Crc32
+
+namespace vmsv {
+
+namespace {
+
+constexpr char kManifestMagic[8] = {'V', 'M', 'S', 'V', 'M', 'A', 'N', '1'};
+constexpr uint32_t kManifestVersion = 1;
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// Cursor over the serialized form; Get* return false past the end.
+struct Reader {
+  const unsigned char* p;
+  size_t left;
+
+  bool GetU32(uint32_t* v) {
+    if (left < sizeof(*v)) return false;
+    std::memcpy(v, p, sizeof(*v));
+    p += sizeof(*v);
+    left -= sizeof(*v);
+    return true;
+  }
+
+  bool GetU64(uint64_t* v) {
+    if (left < sizeof(*v)) return false;
+    std::memcpy(v, p, sizeof(*v));
+    p += sizeof(*v);
+    left -= sizeof(*v);
+    return true;
+  }
+};
+
+Status WriteAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("write(manifest)", errno);
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status SyncDir(const std::string& dir) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) return ErrnoError(("open dir " + dir).c_str(), errno);
+  const int rc = ::fsync(dfd);
+  const int saved = errno;
+  ::close(dfd);
+  if (rc != 0) return ErrnoError("fsync(dir)", saved);
+  return OkStatus();
+}
+
+}  // namespace
+
+std::string ManifestPath(const std::string& dir) { return dir + "/MANIFEST"; }
+
+Status WriteManifest(const std::string& dir, const ViewManifest& manifest,
+                     bool sync) {
+  std::string buf;
+  buf.append(kManifestMagic, sizeof(kManifestMagic));
+  PutU32(&buf, kManifestVersion);
+  PutU32(&buf, 0);  // reserved
+  PutU64(&buf, manifest.num_rows);
+  PutU64(&buf, manifest.num_pages);
+  PutU64(&buf, manifest.pool_generation);
+  PutU64(&buf, manifest.views.size());
+  for (const ManifestView& view : manifest.views) {
+    PutU64(&buf, view.lo);
+    PutU64(&buf, view.hi);
+    PutU64(&buf, view.creation_scanned_pages);
+    PutU64(&buf, view.pages.size());
+    for (const uint64_t page : view.pages) PutU64(&buf, page);
+  }
+  PutU32(&buf, Crc32(buf.data(), buf.size()));
+
+  const std::string tmp_path = ManifestPath(dir) + ".tmp";
+  const int fd =
+      ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoError(("open " + tmp_path).c_str(), errno);
+  Status st = WriteAll(fd, buf.data(), buf.size());
+  if (st.ok() && sync && ::fdatasync(fd) != 0) {
+    st = ErrnoError("fdatasync(manifest)", errno);
+  }
+  ::close(fd);
+  if (!st.ok()) {
+    ::unlink(tmp_path.c_str());
+    return st;
+  }
+  if (::rename(tmp_path.c_str(), ManifestPath(dir).c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp_path.c_str());
+    return ErrnoError("rename(manifest)", saved);
+  }
+  // The rename must itself be durable for the snapshot to survive power
+  // loss; against mere process kill it already is.
+  if (sync) return SyncDir(dir);
+  return OkStatus();
+}
+
+StatusOr<ViewManifest> ReadManifest(const std::string& dir) {
+  const std::string path = ManifestPath(dir);
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    const int saved = errno;
+    if (saved == ENOENT) return NotFound("no manifest at " + path);
+    return ErrnoError(("open " + path).c_str(), saved);
+  }
+  std::string buf;
+  char chunk[1 << 16];
+  ssize_t n;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+  const int saved = errno;
+  ::close(fd);
+  if (n < 0) return ErrnoError("read(manifest)", saved);
+
+  const size_t min_size = sizeof(kManifestMagic) + 2 * sizeof(uint32_t) +
+                          4 * sizeof(uint64_t) + sizeof(uint32_t);
+  if (buf.size() < min_size ||
+      std::memcmp(buf.data(), kManifestMagic, sizeof(kManifestMagic)) != 0) {
+    return IoError(path + " is not a vmsv manifest (bad magic)");
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buf.data() + buf.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  if (Crc32(buf.data(), buf.size() - sizeof(uint32_t)) != stored_crc) {
+    return IoError(path + " failed its checksum (torn or corrupt manifest)");
+  }
+
+  Reader reader{
+      reinterpret_cast<const unsigned char*>(buf.data()) +
+          sizeof(kManifestMagic),
+      buf.size() - sizeof(kManifestMagic) - sizeof(uint32_t)};
+  uint32_t version = 0, reserved = 0;
+  ViewManifest manifest;
+  uint64_t view_count = 0;
+  if (!reader.GetU32(&version) || !reader.GetU32(&reserved) ||
+      !reader.GetU64(&manifest.num_rows) ||
+      !reader.GetU64(&manifest.num_pages) ||
+      !reader.GetU64(&manifest.pool_generation) ||
+      !reader.GetU64(&view_count)) {
+    return IoError(path + ": truncated manifest header");
+  }
+  if (version != kManifestVersion) {
+    return IoError(path + ": manifest version " + std::to_string(version) +
+                   ", expected " + std::to_string(kManifestVersion));
+  }
+  // Bound counts by the bytes that could possibly back them BEFORE any
+  // allocation, with division (not multiplication) so a hostile count
+  // cannot overflow the check into passing: the CRC protects against
+  // corruption, not against a crafted file, and the contract is IoError —
+  // never bad_alloc — on anything malformed.
+  constexpr size_t kViewRecordMinBytes = 4 * sizeof(uint64_t);
+  if (view_count > reader.left / kViewRecordMinBytes) {
+    return IoError(path + ": view count " + std::to_string(view_count) +
+                   " exceeds what the file could hold");
+  }
+  manifest.views.reserve(view_count);
+  for (uint64_t vi = 0; vi < view_count; ++vi) {
+    ManifestView view;
+    uint64_t page_count = 0;
+    if (!reader.GetU64(&view.lo) || !reader.GetU64(&view.hi) ||
+        !reader.GetU64(&view.creation_scanned_pages) ||
+        !reader.GetU64(&page_count) ||
+        page_count > reader.left / sizeof(uint64_t)) {
+      return IoError(path + ": truncated view record " + std::to_string(vi));
+    }
+    view.pages.resize(page_count);
+    for (uint64_t i = 0; i < page_count; ++i) {
+      reader.GetU64(&view.pages[i]);
+    }
+    manifest.views.push_back(std::move(view));
+  }
+  if (reader.left != 0) {
+    return IoError(path + ": trailing bytes after last view record");
+  }
+  return manifest;
+}
+
+}  // namespace vmsv

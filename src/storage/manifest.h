@@ -1,0 +1,71 @@
+// ViewManifest — the atomically-replaced snapshot that makes partial views
+// RECONSTRUCTIBLE state (paper §2.5 argues views can be recovered rather
+// than owned; the durable backend takes that to its conclusion: a restart
+// rebuilds every view from this snapshot without rescanning the column).
+//
+// The manifest records the column geometry plus, per view, its value range,
+// creation cost (so the eviction policy keeps scoring sensibly after a
+// restart), and page membership in slot order. Views are rebuilt
+// UNMATERIALIZED: the page lists are pure bookkeeping, and the first scan of
+// each view lazily rewires its arena — reopening a column costs I/O
+// proportional to the manifest, not to the data.
+//
+// On-disk format (little-endian):
+//   u8[8]  magic "VMSVMAN1"
+//   u32    version (1)
+//   u32    reserved (0)
+//   u64    num_rows | u64 num_pages | u64 pool_generation | u64 view_count
+//   per view: u64 lo | u64 hi | u64 creation_scanned_pages |
+//             u64 page_count | page_count * u64 page ids (slot order)
+//   u32    crc32 over everything before it
+//
+// Writes go to MANIFEST.tmp, are fsynced, renamed over MANIFEST, and the
+// directory is fsynced: a crash leaves either the old or the new snapshot,
+// never a torn one.
+
+#ifndef VMSV_STORAGE_MANIFEST_H_
+#define VMSV_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace vmsv {
+
+struct ManifestView {
+  Value lo = 0;
+  Value hi = 0;
+  /// Pages the creating scan read — feeds eviction scoring after reopen.
+  uint64_t creation_scanned_pages = 0;
+  /// Physical page membership in slot order (dense: holes never persist —
+  /// a manifest is only written from aligned, flush-consistent states).
+  std::vector<uint64_t> pages;
+};
+
+struct ViewManifest {
+  uint64_t num_rows = 0;
+  uint64_t num_pages = 0;
+  /// Monotonic pool-mutation counter at snapshot time (diagnostics only).
+  uint64_t pool_generation = 0;
+  std::vector<ManifestView> views;
+};
+
+/// Atomically replaces `dir`/MANIFEST with `manifest` (tmp + rename + dir
+/// fsync). `sync` false skips the file fsync (FlushPolicy::kNone economics);
+/// the rename is still atomic against process kill.
+Status WriteManifest(const std::string& dir, const ViewManifest& manifest,
+                     bool sync);
+
+/// Reads and validates `dir`/MANIFEST.
+/// Error contract: NotFound when absent, IoError on bad magic/crc/truncation.
+StatusOr<ViewManifest> ReadManifest(const std::string& dir);
+
+/// "<dir>/MANIFEST" — exposed so tests can corrupt it deliberately.
+std::string ManifestPath(const std::string& dir);
+
+}  // namespace vmsv
+
+#endif  // VMSV_STORAGE_MANIFEST_H_

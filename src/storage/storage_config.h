@@ -1,0 +1,76 @@
+// StorageConfig — the durability policy of one column (ROADMAP workload
+// item: "persistence (file-backed instead of memfd)").
+//
+// With an empty persist_dir the engine behaves exactly as before: the
+// column lives in anonymous memfd/shm memory and vanishes with the process.
+// With a persist_dir, three files make the column a restartable storage
+// engine (full walkthrough in ARCHITECTURE.md "Durability model"):
+//
+//   column.dat   the data pages themselves, mmap'ed MAP_SHARED — every
+//                write through the column lands in the page cache and is
+//                written back by the kernel (or forced by the flush policy);
+//   journal.wal  a write-ahead journal of row updates, appended on every
+//                AdaptiveColumn::Update and replayed on Open;
+//   MANIFEST     an atomically-replaced snapshot of the column geometry and
+//                every partial view's page membership, rewritten whenever a
+//                flush, adaptation decision, compaction, or eviction changes
+//                the pool.
+//
+// Crash-safety contract: process kill (SIGKILL mid-anything) is always
+// recoverable — the page cache survives the process, the journal covers
+// unflushed updates, and manifest replacement is atomic. Power-loss safety
+// additionally requires FlushPolicy::kSync (fdatasync on flush) and
+// journal_sync_every_update for updates between flushes.
+
+#ifndef VMSV_STORAGE_STORAGE_CONFIG_H_
+#define VMSV_STORAGE_STORAGE_CONFIG_H_
+
+#include <string>
+
+namespace vmsv {
+
+/// How FlushUpdates/Checkpoint push column data out of the page cache.
+enum class FlushPolicy {
+  /// No explicit writeback: rely on kernel dirty-page writeback. Survives
+  /// process kill, not power loss.
+  kNone,
+  /// Initiate asynchronous writeback (sync_file_range on Linux) without
+  /// waiting for completion. Narrows the power-loss window cheaply.
+  kAsync,
+  /// fdatasync: the flush returns only after the data is on stable storage.
+  kSync,
+};
+
+/// "none" / "async" / "sync" (case-sensitive); anything else maps to kSync,
+/// the conservative default.
+inline FlushPolicy FlushPolicyFromString(const std::string& name) {
+  if (name == "none") return FlushPolicy::kNone;
+  if (name == "async") return FlushPolicy::kAsync;
+  return FlushPolicy::kSync;
+}
+
+inline const char* FlushPolicyName(FlushPolicy policy) {
+  switch (policy) {
+    case FlushPolicy::kNone: return "none";
+    case FlushPolicy::kAsync: return "async";
+    case FlushPolicy::kSync: return "sync";
+  }
+  return "unknown";
+}
+
+/// Durability knobs, carried by AdaptiveConfig::storage.
+struct StorageConfig {
+  /// Directory holding column.dat / journal.wal / MANIFEST. Empty keeps the
+  /// column in anonymous memory (the historical behavior).
+  std::string persist_dir;
+  /// Data writeback policy applied at FlushUpdates/Checkpoint.
+  FlushPolicy data_flush = FlushPolicy::kSync;
+  /// fdatasync the journal on EVERY Update append (power-loss-safe updates)
+  /// instead of once per FlushUpdates (the default: the flush fsync is the
+  /// commit point, matching group-commit economics).
+  bool journal_sync_every_update = false;
+};
+
+}  // namespace vmsv
+
+#endif  // VMSV_STORAGE_STORAGE_CONFIG_H_

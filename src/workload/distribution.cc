@@ -89,16 +89,20 @@ Value ValueGenerator::operator()(uint64_t row) const {
   return 0;
 }
 
+void FillColumn(const DistributionSpec& spec, PhysicalColumn* column) {
+  const ValueGenerator gen(spec, column->num_rows());
+  for (uint64_t row = 0; row < column->num_rows(); ++row) {
+    column->Set(row, gen(row));
+  }
+}
+
 StatusOr<std::unique_ptr<PhysicalColumn>> MakeColumn(
     const DistributionSpec& spec, uint64_t num_rows,
     MemoryFileBackend backend) {
   auto column_r = PhysicalColumn::Create(num_rows, backend);
   if (!column_r.ok()) return column_r.status();
   auto column = std::move(column_r).ValueOrDie();
-  const ValueGenerator gen(spec, num_rows);
-  for (uint64_t row = 0; row < num_rows; ++row) {
-    column->Set(row, gen(row));
-  }
+  FillColumn(spec, column.get());
   return column;
 }
 

@@ -78,6 +78,10 @@ StatusOr<WorkloadReport> RunWorkload(AdaptiveColumn* adaptive,
       VMSV_RETURN_IF_ERROR(RunOneQuery(adaptive, queries[i], need_baseline,
                                        options.verify_results, i,
                                        &report.traces[i]));
+      if (options.checkpoint_every != 0 &&
+          (i + 1) % options.checkpoint_every == 0) {
+        VMSV_RETURN_IF_ERROR(adaptive->Checkpoint());
+      }
     }
   } else {
     // Closed loop: client c owns sequence slots c, c+clients, ... — disjoint

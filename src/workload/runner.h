@@ -35,6 +35,13 @@ struct RunnerOptions {
   /// Closed-loop client threads. 1 = the classic serial runner; N > 1
   /// round-robins the sequence across N threads running concurrently.
   uint64_t num_clients = 1;
+  /// Durable persist mode: checkpoint the column (flush + data writeback +
+  /// manifest snapshot + journal reset) every N queries, so a kill at any
+  /// point of the sequence loses at most N queries' worth of adaptation.
+  /// 0 disables; no-op on in-memory columns; serial (num_clients == 1) only
+  /// — the closed loop would interleave checkpoints with in-flight clients
+  /// nondeterministically.
+  uint64_t checkpoint_every = 0;
 };
 
 struct QueryTrace {

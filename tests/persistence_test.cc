@@ -1,0 +1,570 @@
+// Durable-backend test suite: journal round-trip + idempotent replay,
+// manifest atomicity, file-backed memory files, and the acceptance contract
+// — a restart round-trip whose post-reopen scans are bit-identical to the
+// pre-restart execution (ISSUE 5 / ARCHITECTURE.md "Durability model").
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_layer.h"
+#include "storage/journal.h"
+#include "storage/manifest.h"
+#include "util/env.h"
+#include "workload/distribution.h"
+#include "workload/query_generator.h"
+#include "workload/runner.h"
+
+namespace vmsv {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr Value kMaxValue = 100'000'000;
+
+uint64_t TestPages() { return GetEnvUint64("VMSV_PAGES", 64); }
+
+/// A fresh scratch directory per test, removed on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const char* tag) {
+    dir_ = (fs::temp_directory_path() /
+            (std::string("vmsv_") + tag + "_" +
+             std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++)))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  const std::string& path() const { return dir_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::string dir_;
+};
+
+DistributionSpec SineSpec() {
+  DistributionSpec spec;
+  spec.kind = DataDistribution::kSine;
+  spec.max_value = kMaxValue;
+  spec.seed = 42;
+  return spec;
+}
+
+std::vector<RangeQuery> TestQueries(uint64_t n, uint64_t seed) {
+  QueryWorkloadSpec wspec;
+  wspec.num_queries = n;
+  wspec.domain_hi = kMaxValue;
+  wspec.seed = seed;
+  return MakeFixedSelectivityWorkload(wspec, 0.10);
+}
+
+/// Creates a populated durable column under `dir`.
+std::unique_ptr<AdaptiveColumn> MakeDurable(const std::string& dir,
+                                            const AdaptiveConfig& config = {}) {
+  auto adaptive_r = AdaptiveColumn::CreateDurable(
+      dir, TestPages() * kValuesPerPage, config);
+  EXPECT_TRUE(adaptive_r.ok()) << adaptive_r.status().ToString();
+  auto adaptive = std::move(adaptive_r).ValueOrDie();
+  FillColumn(SineSpec(), adaptive->mutable_column());
+  return adaptive;
+}
+
+struct QueryResult {
+  uint64_t match_count;
+  Value sum;
+  bool operator==(const QueryResult& o) const {
+    return match_count == o.match_count && sum == o.sum;
+  }
+};
+
+std::vector<QueryResult> ExecuteAll(AdaptiveColumn* adaptive,
+                                    const std::vector<RangeQuery>& queries) {
+  std::vector<QueryResult> out;
+  out.reserve(queries.size());
+  for (const RangeQuery& q : queries) {
+    auto exec = adaptive->Execute(q);
+    EXPECT_TRUE(exec.ok()) << exec.status().ToString();
+    out.push_back(QueryResult{exec->match_count, exec->sum});
+  }
+  return out;
+}
+
+std::vector<QueryResult> FullScanAll(AdaptiveColumn* adaptive,
+                                     const std::vector<RangeQuery>& queries) {
+  std::vector<QueryResult> out;
+  out.reserve(queries.size());
+  for (const RangeQuery& q : queries) {
+    auto exec = adaptive->ExecuteFullScan(q);
+    EXPECT_TRUE(exec.ok()) << exec.status().ToString();
+    out.push_back(QueryResult{exec->match_count, exec->sum});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+
+TEST(JournalTest, AppendReplayRoundTrip) {
+  ScratchDir scratch("journal");
+  const std::string path = scratch.path() + "/journal.wal";
+  const std::vector<RowUpdate> updates = {
+      {7, 100, 200}, {7, 200, 300}, {4096, 0, 1}, {0, ~Value{0}, 0}};
+  {
+    auto open_r = WriteAheadJournal::Open(path);
+    ASSERT_TRUE(open_r.ok()) << open_r.status().ToString();
+    ASSERT_TRUE(open_r->replayed.empty());
+    WriteAheadJournal journal = std::move(open_r.ValueOrDie().journal);
+    for (const RowUpdate& u : updates) {
+      ASSERT_TRUE(journal.Append(u, /*sync=*/false).ok());
+    }
+    ASSERT_TRUE(journal.Sync().ok());
+    EXPECT_EQ(journal.record_count(), updates.size());
+  }
+  auto reopen_r = WriteAheadJournal::Open(path);
+  ASSERT_TRUE(reopen_r.ok()) << reopen_r.status().ToString();
+  EXPECT_FALSE(reopen_r->tail_truncated);
+  ASSERT_EQ(reopen_r->replayed.size(), updates.size());
+  for (size_t i = 0; i < updates.size(); ++i) {
+    EXPECT_EQ(reopen_r->replayed[i].row, updates[i].row);
+    EXPECT_EQ(reopen_r->replayed[i].old_value, updates[i].old_value);
+    EXPECT_EQ(reopen_r->replayed[i].new_value, updates[i].new_value);
+  }
+}
+
+TEST(JournalTest, ReplayIsIdempotentAcrossReopens) {
+  ScratchDir scratch("journal_idem");
+  const std::string path = scratch.path() + "/journal.wal";
+  {
+    auto open_r = WriteAheadJournal::Open(path);
+    ASSERT_TRUE(open_r.ok());
+    WriteAheadJournal journal = std::move(open_r.ValueOrDie().journal);
+    ASSERT_TRUE(journal.Append({1, 10, 20}, true).ok());
+    ASSERT_TRUE(journal.Append({2, 30, 40}, true).ok());
+  }
+  // Opening replays but does NOT consume: a second open (the kill-between-
+  // open-and-flush case) must replay the identical record sequence.
+  for (int round = 0; round < 3; ++round) {
+    auto open_r = WriteAheadJournal::Open(path);
+    ASSERT_TRUE(open_r.ok());
+    ASSERT_EQ(open_r->replayed.size(), 2u) << "round " << round;
+    EXPECT_EQ(open_r->replayed[0].row, 1u);
+    EXPECT_EQ(open_r->replayed[1].new_value, 40u);
+    EXPECT_EQ(open_r->journal.record_count(), 2u);
+  }
+}
+
+TEST(JournalTest, TornTailIsDroppedOnce) {
+  ScratchDir scratch("journal_torn");
+  const std::string path = scratch.path() + "/journal.wal";
+  {
+    auto open_r = WriteAheadJournal::Open(path);
+    ASSERT_TRUE(open_r.ok());
+    WriteAheadJournal journal = std::move(open_r.ValueOrDie().journal);
+    ASSERT_TRUE(journal.Append({1, 10, 20}, true).ok());
+    ASSERT_TRUE(journal.Append({2, 30, 40}, true).ok());
+  }
+  {
+    // Simulate a crash mid-append: a partial garbage record at the tail.
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f.write("torngarbage", 11);
+  }
+  auto open_r = WriteAheadJournal::Open(path);
+  ASSERT_TRUE(open_r.ok()) << open_r.status().ToString();
+  EXPECT_TRUE(open_r->tail_truncated);
+  ASSERT_EQ(open_r->replayed.size(), 2u);
+  {
+    // The tail was truncated away: appends after recovery replay cleanly.
+    WriteAheadJournal journal = std::move(open_r.ValueOrDie().journal);
+    ASSERT_TRUE(journal.Append({3, 50, 60}, true).ok());
+  }
+  auto again_r = WriteAheadJournal::Open(path);
+  ASSERT_TRUE(again_r.ok());
+  EXPECT_FALSE(again_r->tail_truncated);
+  ASSERT_EQ(again_r->replayed.size(), 3u);
+  EXPECT_EQ(again_r->replayed[2].row, 3u);
+}
+
+TEST(JournalTest, ResetForgetsAndRejectsForeignFiles) {
+  ScratchDir scratch("journal_reset");
+  const std::string path = scratch.path() + "/journal.wal";
+  {
+    auto open_r = WriteAheadJournal::Open(path);
+    ASSERT_TRUE(open_r.ok());
+    WriteAheadJournal journal = std::move(open_r.ValueOrDie().journal);
+    ASSERT_TRUE(journal.Append({1, 10, 20}, true).ok());
+    ASSERT_TRUE(journal.Reset().ok());
+    EXPECT_EQ(journal.record_count(), 0u);
+    ASSERT_TRUE(journal.Append({5, 1, 2}, true).ok());
+  }
+  auto open_r = WriteAheadJournal::Open(path);
+  ASSERT_TRUE(open_r.ok());
+  ASSERT_EQ(open_r->replayed.size(), 1u);  // only the post-reset record
+  EXPECT_EQ(open_r->replayed[0].row, 5u);
+
+  const std::string bogus = scratch.path() + "/not_a_journal";
+  {
+    std::ofstream f(bogus, std::ios::binary);
+    f.write("DEADBEEFDEADBEEF", 16);
+  }
+  EXPECT_FALSE(WriteAheadJournal::Open(bogus).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+
+TEST(ManifestTest, RoundTrip) {
+  ScratchDir scratch("manifest");
+  ViewManifest manifest;
+  manifest.num_rows = 12345;
+  manifest.num_pages = 25;
+  manifest.pool_generation = 7;
+  manifest.views.push_back(ManifestView{100, 200, 25, {3, 4, 5, 9}});
+  manifest.views.push_back(ManifestView{0, 50, 10, {}});
+  ASSERT_TRUE(WriteManifest(scratch.path(), manifest, /*sync=*/true).ok());
+
+  auto read_r = ReadManifest(scratch.path());
+  ASSERT_TRUE(read_r.ok()) << read_r.status().ToString();
+  EXPECT_EQ(read_r->num_rows, 12345u);
+  EXPECT_EQ(read_r->num_pages, 25u);
+  EXPECT_EQ(read_r->pool_generation, 7u);
+  ASSERT_EQ(read_r->views.size(), 2u);
+  EXPECT_EQ(read_r->views[0].lo, 100u);
+  EXPECT_EQ(read_r->views[0].hi, 200u);
+  EXPECT_EQ(read_r->views[0].creation_scanned_pages, 25u);
+  EXPECT_EQ(read_r->views[0].pages, (std::vector<uint64_t>{3, 4, 5, 9}));
+  EXPECT_TRUE(read_r->views[1].pages.empty());
+}
+
+TEST(ManifestTest, ReplaceIsAtomicAndCorruptionIsDetected) {
+  ScratchDir scratch("manifest_atomic");
+  EXPECT_EQ(ReadManifest(scratch.path()).status().code(), StatusCode::kNotFound);
+
+  ViewManifest manifest;
+  manifest.num_rows = 10;
+  manifest.num_pages = 1;
+  ASSERT_TRUE(WriteManifest(scratch.path(), manifest, true).ok());
+  manifest.views.push_back(ManifestView{1, 2, 1, {0}});
+  ASSERT_TRUE(WriteManifest(scratch.path(), manifest, true).ok());
+  // The tmp file never lingers after a successful replace.
+  EXPECT_FALSE(fs::exists(ManifestPath(scratch.path()) + ".tmp"));
+  auto read_r = ReadManifest(scratch.path());
+  ASSERT_TRUE(read_r.ok());
+  EXPECT_EQ(read_r->views.size(), 1u);
+
+  // Flip one byte: the checksum must catch it.
+  {
+    std::fstream f(ManifestPath(scratch.path()),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(20);
+    const char x = 0x5A;
+    f.write(&x, 1);
+  }
+  EXPECT_EQ(ReadManifest(scratch.path()).status().code(), StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------------------
+// File-backed memory file
+
+TEST(FileBackedMemoryFileTest, CreateOpenSyncAndGeometryCheck) {
+  ScratchDir scratch("pmf");
+  const std::string path = scratch.path() + "/column.dat";
+  {
+    auto file_r = PhysicalMemoryFile::CreateAt(path, 4);
+    ASSERT_TRUE(file_r.ok()) << file_r.status().ToString();
+    EXPECT_EQ(file_r->backend(), MemoryFileBackend::kFile);
+    EXPECT_EQ(file_r->num_pages(), 4u);
+    EXPECT_EQ(file_r->path(), path);
+    EXPECT_TRUE(file_r->Sync(/*wait=*/false).ok());
+    EXPECT_TRUE(file_r->Sync(/*wait=*/true).ok());
+  }
+  EXPECT_TRUE(PhysicalMemoryFile::OpenAt(path, 4).ok());
+  EXPECT_EQ(PhysicalMemoryFile::OpenAt(path, 8).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(
+      PhysicalMemoryFile::OpenAt(scratch.path() + "/missing.dat", 4)
+          .status()
+          .code(),
+      StatusCode::kNotFound);
+  // Create() is the anonymous-backend entry point only.
+  EXPECT_FALSE(PhysicalMemoryFile::Create(4, MemoryFileBackend::kFile).ok());
+}
+
+TEST(FileBackedMemoryFileTest, DataSurvivesReattach) {
+  ScratchDir scratch("pmf_persist");
+  const std::string path = scratch.path() + "/column.dat";
+  const uint64_t rows = 2 * kValuesPerPage;
+  {
+    auto file_r = PhysicalMemoryFile::CreateAt(path, 2);
+    ASSERT_TRUE(file_r.ok());
+    auto file =
+        std::make_shared<PhysicalMemoryFile>(std::move(file_r).ValueOrDie());
+    auto column_r = PhysicalColumn::Attach(file, rows);
+    ASSERT_TRUE(column_r.ok()) << column_r.status().ToString();
+    for (uint64_t row = 0; row < rows; ++row) {
+      (*column_r)->Set(row, row * 3 + 1);
+    }
+  }
+  auto file_r = PhysicalMemoryFile::OpenAt(path, 2);
+  ASSERT_TRUE(file_r.ok());
+  auto file =
+      std::make_shared<PhysicalMemoryFile>(std::move(file_r).ValueOrDie());
+  auto column_r = PhysicalColumn::Attach(file, rows);
+  ASSERT_TRUE(column_r.ok());
+  for (uint64_t row = 0; row < rows; ++row) {
+    ASSERT_EQ((*column_r)->Get(row), row * 3 + 1) << "row " << row;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveColumn durable round trips
+
+TEST(DurableColumnTest, CreateRejectsExistingAndOpenRejectsMissing) {
+  ScratchDir scratch("durable_guard");
+  EXPECT_EQ(AdaptiveColumn::Open(scratch.path(), {}).status().code(),
+            StatusCode::kNotFound);
+  auto adaptive = MakeDurable(scratch.path());
+  ASSERT_NE(adaptive, nullptr);
+  EXPECT_TRUE(adaptive->is_durable());
+  EXPECT_EQ(
+      AdaptiveColumn::CreateDurable(scratch.path(), 100, {}).status().code(),
+      StatusCode::kFailedPrecondition);
+}
+
+// The acceptance contract: create + adapt + update + flush, destroy the
+// process state, Open the same directory — every query result bit-identical
+// to pre-restart execution, with the views restored rather than rebuilt.
+TEST(DurableColumnTest, RestartRoundTripIsBitIdentical) {
+  ScratchDir scratch("durable_roundtrip");
+  // Few enough distinct ranges that the pool covers them all: post-restart
+  // queries must then be answerable from restored views alone.
+  const auto queries = TestQueries(12, 11);
+  std::vector<QueryResult> before;
+  uint64_t views_before = 0;
+  {
+    AdaptiveConfig config;
+    config.max_views = 32;
+    auto adaptive = MakeDurable(scratch.path(), config);
+    ExecuteAll(adaptive.get(), queries);  // adapt: views materialize
+    for (uint64_t row = 0; row < adaptive->column().num_rows();
+         row += kValuesPerPage / 2) {
+      ASSERT_TRUE(adaptive->Update(row, (row * 7919) % kMaxValue).ok());
+    }
+    before = ExecuteAll(adaptive.get(), queries);  // flush-first realigns
+    views_before = adaptive->view_index().num_partial_views();
+    ASSERT_TRUE(adaptive->Checkpoint().ok());
+  }  // destruction without further flushing = the clean-ish restart
+
+  AdaptiveConfig config;
+  config.max_views = 32;
+  auto reopened_r = AdaptiveColumn::Open(scratch.path(), config);
+  ASSERT_TRUE(reopened_r.ok()) << reopened_r.status().ToString();
+  auto reopened = std::move(reopened_r).ValueOrDie();
+  const DurabilityStats stats = reopened->durability_stats();
+  EXPECT_EQ(stats.views_restored, views_before);
+  EXPECT_EQ(stats.journal_replayed, 0u);  // checkpoint reset the journal
+
+  // Restored views answer without a single adaptation full scan.
+  const std::vector<QueryResult> after = ExecuteAll(reopened.get(), queries);
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after[i], before[i]) << "query " << i << " diverged";
+  }
+  EXPECT_EQ(reopened->metrics().views_created, 0u)
+      << "covered queries should hit restored views, not rebuild them";
+  // And the adaptive answers agree with fresh full scans over the
+  // recovered data.
+  EXPECT_EQ(FullScanAll(reopened.get(), queries), after);
+}
+
+// Kill-and-reopen with UNFLUSHED journaled updates: replay must restore the
+// exact pre-kill state, and replaying twice (kill again between Open and the
+// first flush) must land in the same state — idempotency end to end.
+TEST(DurableColumnTest, KillAndReopenReplaysJournalIdempotently) {
+  ScratchDir scratch("durable_kill");
+  const auto queries = TestQueries(16, 5);
+  std::vector<QueryResult> oracle;
+  const uint64_t updated_rows = 64;
+  {
+    auto adaptive = MakeDurable(scratch.path());
+    ExecuteAll(adaptive.get(), queries);
+    ASSERT_TRUE(adaptive->Checkpoint().ok());
+    // Updates are journaled but never flushed: the manifest still shows the
+    // pre-update memberships when the process "dies".
+    for (uint64_t i = 0; i < updated_rows; ++i) {
+      const uint64_t row = (i * 37) % adaptive->column().num_rows();
+      ASSERT_TRUE(adaptive->Update(row, (i * 104729) % kMaxValue).ok());
+    }
+    oracle = FullScanAll(adaptive.get(), queries);  // reads current values
+  }  // kill: no flush, journal holds the updates
+
+  for (int incarnation = 0; incarnation < 2; ++incarnation) {
+    auto reopened_r = AdaptiveColumn::Open(scratch.path(), {});
+    ASSERT_TRUE(reopened_r.ok()) << reopened_r.status().ToString();
+    auto reopened = std::move(reopened_r).ValueOrDie();
+    EXPECT_GT(reopened->durability_stats().journal_replayed, 0u)
+        << "incarnation " << incarnation;
+    EXPECT_TRUE(reopened->HasPendingUpdates());
+    // Full scans see replayed values even before any flush.
+    EXPECT_EQ(FullScanAll(reopened.get(), queries), oracle)
+        << "incarnation " << incarnation;
+    if (incarnation == 0) {
+      // Kill again WITHOUT querying: the journal must still be intact
+      // because no flush consumed it.
+      continue;
+    }
+    // Second incarnation: adaptive execution flushes first, realigning the
+    // restored views against the replayed updates — results must match the
+    // full-scan oracle bit for bit.
+    EXPECT_EQ(ExecuteAll(reopened.get(), queries), oracle);
+    EXPECT_FALSE(reopened->HasPendingUpdates());
+  }
+}
+
+TEST(DurableColumnTest, FlushPoliciesAllRecover) {
+  for (const FlushPolicy policy :
+       {FlushPolicy::kNone, FlushPolicy::kAsync, FlushPolicy::kSync}) {
+    ScratchDir scratch("durable_policy");
+    const auto queries = TestQueries(8, 23);
+    AdaptiveConfig config;
+    config.storage.data_flush = policy;
+    std::vector<QueryResult> before;
+    {
+      auto adaptive = MakeDurable(scratch.path(), config);
+      ASSERT_TRUE(adaptive->Update(3, 777).ok());
+      before = ExecuteAll(adaptive.get(), queries);
+      ASSERT_TRUE(adaptive->Checkpoint().ok());
+    }
+    auto reopened_r = AdaptiveColumn::Open(scratch.path(), config);
+    ASSERT_TRUE(reopened_r.ok())
+        << FlushPolicyName(policy) << ": " << reopened_r.status().ToString();
+    EXPECT_EQ(ExecuteAll(reopened_r->get(), queries), before)
+        << FlushPolicyName(policy);
+  }
+}
+
+TEST(DurableColumnTest, JournalSyncEveryUpdateRoundTrips) {
+  ScratchDir scratch("durable_syncupd");
+  AdaptiveConfig config;
+  config.storage.journal_sync_every_update = true;
+  std::vector<QueryResult> oracle;
+  const auto queries = TestQueries(6, 31);
+  {
+    auto adaptive = MakeDurable(scratch.path(), config);
+    ASSERT_TRUE(adaptive->Update(1, 42).ok());
+    ASSERT_TRUE(adaptive->Update(1, 43).ok());
+    oracle = FullScanAll(adaptive.get(), queries);
+  }  // kill without flush
+  auto reopened_r = AdaptiveColumn::Open(scratch.path(), config);
+  ASSERT_TRUE(reopened_r.ok());
+  EXPECT_EQ(reopened_r->get()->durability_stats().journal_replayed, 2u);
+  EXPECT_EQ(FullScanAll(reopened_r->get(), queries), oracle);
+}
+
+TEST(DurableColumnTest, RunnerCheckpointEveryPersistsMidSequence) {
+  ScratchDir scratch("durable_runner");
+  auto adaptive = MakeDurable(scratch.path());
+  RunnerOptions options;
+  options.run_baseline = false;
+  options.verify_results = true;
+  options.checkpoint_every = 4;
+  auto report_r = RunWorkload(adaptive.get(), TestQueries(12, 9), options);
+  ASSERT_TRUE(report_r.ok()) << report_r.status().ToString();
+  // Initial manifest + at least one mid-sequence refresh.
+  EXPECT_GT(adaptive->durability_stats().manifest_writes, 1u);
+  // The on-disk manifest reflects the live pool.
+  auto manifest_r = ReadManifest(scratch.path());
+  ASSERT_TRUE(manifest_r.ok());
+  EXPECT_EQ(manifest_r->views.size(),
+            adaptive->view_index().num_partial_views());
+}
+
+TEST(DurableColumnTest, SecondOpenOfLiveColumnIsRefused) {
+  ScratchDir scratch("durable_lock");
+  auto adaptive = MakeDurable(scratch.path());
+  ASSERT_NE(adaptive, nullptr);
+  // The journal flock is per-open-file-description, so even a same-process
+  // second handle conflicts — a stand-in for the cross-process race.
+  EXPECT_EQ(AdaptiveColumn::Open(scratch.path(), {}).status().code(),
+            StatusCode::kFailedPrecondition);
+  adaptive.reset();  // releases the lock
+  EXPECT_TRUE(AdaptiveColumn::Open(scratch.path(), {}).ok());
+}
+
+TEST(DurableColumnTest, OpenClampsRestoredViewsToMaxViews) {
+  ScratchDir scratch("durable_clamp");
+  const auto queries = TestQueries(12, 11);
+  std::vector<QueryResult> before;
+  {
+    AdaptiveConfig config;
+    config.max_views = 32;
+    auto adaptive = MakeDurable(scratch.path(), config);
+    before = ExecuteAll(adaptive.get(), queries);
+    ASSERT_TRUE(adaptive->Checkpoint().ok());
+    ASSERT_GT(adaptive->view_index().num_partial_views(), 4u);
+  }
+  AdaptiveConfig small;
+  small.max_views = 4;
+  auto reopened_r = AdaptiveColumn::Open(scratch.path(), small);
+  ASSERT_TRUE(reopened_r.ok()) << reopened_r.status().ToString();
+  auto reopened = std::move(reopened_r).ValueOrDie();
+  EXPECT_LE(reopened->view_index().num_partial_views(), 4u);
+  EXPECT_EQ(reopened->durability_stats().views_restored, 4u);
+  // Unrestored ranges re-adapt; results stay bit-identical either way.
+  EXPECT_EQ(ExecuteAll(reopened.get(), queries), before);
+  EXPECT_LE(reopened->view_index().num_partial_views(), 4u);
+}
+
+TEST(ManifestTest, HostileCountsFailInsteadOfAllocating) {
+  // A crafted manifest with a valid CRC but an absurd page_count must come
+  // back as IoError — never bad_alloc/abort. (The CRC guards corruption,
+  // not malice, so the bounds checks have to stand on their own.)
+  ScratchDir scratch("manifest_hostile");
+  std::string buf;
+  buf.append("VMSVMAN1", 8);
+  auto put32 = [&buf](uint32_t v) {
+    buf.append(reinterpret_cast<const char*>(&v), 4);
+  };
+  auto put64 = [&buf](uint64_t v) {
+    buf.append(reinterpret_cast<const char*>(&v), 8);
+  };
+  put32(1);  // version
+  put32(0);  // reserved
+  put64(1);  // num_rows
+  put64(1);  // num_pages
+  put64(0);  // pool_generation
+  put64(1);  // view_count
+  put64(0);  // lo
+  put64(0);  // hi
+  put64(0);  // creation_scanned_pages
+  put64(uint64_t{1} << 61);  // page_count: overflows naive size math
+  put32(Crc32(buf.data(), buf.size()));
+  {
+    std::ofstream f(ManifestPath(scratch.path()), std::ios::binary);
+    f.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  }
+  EXPECT_EQ(ReadManifest(scratch.path()).status().code(), StatusCode::kIoError);
+}
+
+TEST(DurableColumnTest, InMemoryColumnsReportNoDurability) {
+  auto column_r = MakeColumn(SineSpec(), TestPages() * kValuesPerPage);
+  ASSERT_TRUE(column_r.ok());
+  auto adaptive_r = AdaptiveColumn::Create(std::move(column_r).ValueOrDie(), {});
+  ASSERT_TRUE(adaptive_r.ok());
+  EXPECT_FALSE((*adaptive_r)->is_durable());
+  EXPECT_TRUE((*adaptive_r)->Checkpoint().ok());  // documented no-op
+  EXPECT_EQ((*adaptive_r)->durability_stats().manifest_writes, 0u);
+}
+
+}  // namespace
+}  // namespace vmsv

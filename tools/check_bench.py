@@ -1,17 +1,31 @@
 #!/usr/bin/env python3
-"""Validates the schema of the BENCH_*.json perf-trajectory files.
+"""Validates the schema of the BENCH_*.json perf-trajectory files, and
+optionally gates them against a committed baseline.
 
 The perf trajectory is only useful if every PR's BENCH_*.json stays
 machine-readable with stable semantics; CI runs this after each harness and
 fails the build on drift. The `bench` field selects the schema:
 
-  micro_scan        kernel x thread full-scan sweep       (BENCH_scan.json)
-  micro_lifecycle   view compaction + eviction ablation   (BENCH_lifecycle.json)
-  micro_concurrent  client scaling + shared-scan batching (BENCH_concurrent.json)
+  micro_scan         kernel x thread full-scan sweep       (BENCH_scan.json)
+  micro_lifecycle    view compaction + eviction ablation   (BENCH_lifecycle.json)
+  micro_concurrent   client scaling + shared-scan batching (BENCH_concurrent.json)
+  micro_persistence  restart recovery + fsync sweep        (BENCH_persistence.json)
 
-Usage: check_bench.py <path> [<path>...]
+Regression gate (--baseline): compares each produced file against the
+committed baseline of the same bench. The gate is deliberately GENEROUS —
+CI machines differ wildly from the baseline box — so it fails only on
+  - schema drift (either file failing its schema check, or bench mismatch),
+  - a wall-time metric regressing by more than --max-regression (default
+    5x) after per-page normalization (pages differ between CI and baseline
+    runs).
+Metrics present in only one file (e.g. thread counts the CI box lacks) are
+skipped; an empty intersection fails, since that means the files no longer
+measure the same things.
+
+Usage: check_bench.py [--baseline BASE.json] [--max-regression X] <path>...
 """
 
+import argparse
 import json
 import math
 import sys
@@ -386,10 +400,116 @@ def check_micro_concurrent(doc, path):
             f"{batch['page_reduction']:.2f}x fewer pages, bit-identical")
 
 
+# ---------------------------------------------------------------------------
+# micro_persistence (BENCH_persistence.json)
+
+PERSISTENCE_TOP_LEVEL_FIELDS = {
+    "pages": int,
+    "values_per_page": int,
+    "queries": int,
+    "reps": int,
+    "seed": int,
+    "workload_seed": int,
+    "selectivity": float,
+    "distribution": str,
+    "hardware_concurrency": int,
+    "default_kernel": str,
+    "threads": int,
+    "restart": dict,
+    "fsync": dict,
+}
+
+RESTART_FIELDS = {
+    "views_persisted": int,
+    "identical_results": bool,
+    "rebuild_median_ms": float,
+    "rebuild_rep_ms": list,
+    "cold_open_median_ms": float,
+    "cold_open_rep_ms": list,
+    "open_recover_median_ms": float,
+    "open_recover_rep_ms": list,
+    "warm_median_ms": float,
+    "warm_rep_ms": list,
+    "cold_vs_rebuild_speedup": float,
+}
+
+FSYNC_POLICY_FIELDS = {
+    "policy": str,
+    "flush_median_ms": float,
+    "rep_ms": list,
+}
+
+KNOWN_FSYNC_POLICIES = {"none", "async", "sync"}
+
+
+def check_micro_persistence(doc, path):
+    expect_fields(doc, PERSISTENCE_TOP_LEVEL_FIELDS, path)
+    if doc["pages"] <= 0 or doc["reps"] <= 0 or doc["queries"] <= 0:
+        fail(f"{path}: pages/reps/queries must be positive")
+    if doc["default_kernel"] not in KNOWN_KERNELS:
+        fail(f"{path}: unknown default_kernel '{doc['default_kernel']}'")
+    if not 0 < doc["selectivity"] <= 1:
+        fail(f"{path}: selectivity out of (0, 1]")
+
+    restart = doc["restart"]
+    where = f"{path}: restart"
+    expect_fields(restart, RESTART_FIELDS, where)
+    if restart["identical_results"] is not True:
+        fail(f"{where}: restart diverged from pre-restart results")
+    if restart["views_persisted"] <= 0:
+        fail(f"{where}: no views survived the restart")
+    for field in ("rebuild_median_ms", "cold_open_median_ms", "warm_median_ms"):
+        if restart[field] <= 0:
+            fail(f"{where}: {field} must be positive")
+    # open_recover is PART of cold_open, so it can never exceed it.
+    if restart["open_recover_median_ms"] < 0:
+        fail(f"{where}: open_recover_median_ms negative")
+    if restart["open_recover_median_ms"] > restart["cold_open_median_ms"]:
+        fail(f"{where}: open_recover exceeds the cold open that contains it")
+    for field in ("rebuild_rep_ms", "cold_open_rep_ms", "warm_rep_ms"):
+        check_rep_array(restart, field, doc["reps"], where)
+    if len(restart["open_recover_rep_ms"]) != doc["reps"]:
+        fail(f"{where}: open_recover_rep_ms entry count != reps")
+    derived = restart["rebuild_median_ms"] / restart["cold_open_median_ms"]
+    if not math.isclose(derived, restart["cold_vs_rebuild_speedup"],
+                        rel_tol=1e-3):
+        fail(f"{where}: cold_vs_rebuild_speedup "
+             f"{restart['cold_vs_rebuild_speedup']} inconsistent "
+             f"(expected ~{derived:.4f})")
+
+    fsync = doc["fsync"]
+    where = f"{path}: fsync"
+    if not isinstance(fsync.get("updates_per_flush"), int) or \
+            fsync["updates_per_flush"] <= 0:
+        fail(f"{where}: updates_per_flush must be a positive int")
+    policies = {}
+    for i, p in enumerate(fsync.get("policies", [])):
+        pwhere = f"{where}: policies[{i}]"
+        if not isinstance(p, dict):
+            fail(f"{pwhere}: not an object")
+        expect_fields(p, FSYNC_POLICY_FIELDS, pwhere)
+        if p["policy"] not in KNOWN_FSYNC_POLICIES:
+            fail(f"{pwhere}: unknown policy '{p['policy']}'")
+        if p["policy"] in policies:
+            fail(f"{pwhere}: duplicate policy '{p['policy']}'")
+        if p["flush_median_ms"] <= 0:
+            fail(f"{pwhere}: flush_median_ms must be positive")
+        check_rep_array(p, "rep_ms", doc["reps"], pwhere)
+        policies[p["policy"]] = p
+    if set(policies) != KNOWN_FSYNC_POLICIES:
+        fail(f"{where}: need exactly policies {sorted(KNOWN_FSYNC_POLICIES)}, "
+             f"got {sorted(policies)}")
+
+    return (f"{restart['views_persisted']} views persisted, cold open "
+            f"{restart['cold_vs_rebuild_speedup']:.2f}x faster than rebuild, "
+            f"sync flush {policies['sync']['flush_median_ms']:.2f} ms")
+
+
 CHECKERS = {
     "micro_scan": check_micro_scan,
     "micro_lifecycle": check_micro_lifecycle,
     "micro_concurrent": check_micro_concurrent,
+    "micro_persistence": check_micro_persistence,
 }
 
 
@@ -410,13 +530,126 @@ def check_file(path):
              f"(known: {', '.join(sorted(CHECKERS))})")
     summary = checker(doc, path)
     print(f"check_bench: OK: {path} ({summary})")
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# Regression gate
+#
+# Each extractor returns {metric_name: wall_ms}. Only metrics present in
+# BOTH files are compared against the (generous) regression factor —
+# machine differences are expected, order-of-magnitude collapses are not.
+# Scan-shaped metrics are normalized per page (CI columns are smaller than
+# baseline ones); metrics whose cost does NOT scale with the column (the
+# per-flush fsync sweep: journal records + manifest, not data pages) are
+# listed in FLAT_METRIC_PREFIXES and compared raw.
+
+FLAT_METRIC_PREFIXES = ("fsync/",)
+
+
+def scan_metrics(doc):
+    return {f"scan/{c['kernel']}x{c['threads']}": c["median_ms"]
+            for c in doc["configs"]}
+
+
+def lifecycle_metrics(doc):
+    out = {"compaction/fragmented_scan": doc["compaction"]["fragmented_median_ms"]}
+    for s in doc["compaction"]["strategies"]:
+        out[f"compaction/{s['strategy']}_scan"] = s["median_ms"]
+        out[f"compaction/{s['strategy']}_compact"] = s["compact_ms"]
+    for scenario in doc["eviction"]["scenarios"]:
+        for p in scenario["policies"]:
+            out[f"eviction/{scenario['scenario']}/{p['policy']}"] = \
+                p["accumulated_ms"]
+    return out
+
+
+def concurrent_metrics(doc):
+    out = {}
+    for p in doc["scaling"]["client_counts"]:
+        out[f"scaling/{p['clients']}_readers"] = p["readers_only_wall_ms"]
+        out[f"scaling/{p['clients']}_rw"] = p["readers_writer_wall_ms"]
+    out["batch/individual"] = doc["batch"]["individual_ms"]
+    out["batch/batch"] = doc["batch"]["batch_ms"]
+    return out
+
+
+def persistence_metrics(doc):
+    out = {
+        "restart/rebuild": doc["restart"]["rebuild_median_ms"],
+        "restart/cold_open": doc["restart"]["cold_open_median_ms"],
+        "restart/warm": doc["restart"]["warm_median_ms"],
+    }
+    for p in doc["fsync"]["policies"]:
+        out[f"fsync/{p['policy']}"] = p["flush_median_ms"]
+    return out
+
+
+METRIC_EXTRACTORS = {
+    "micro_scan": scan_metrics,
+    "micro_lifecycle": lifecycle_metrics,
+    "micro_concurrent": concurrent_metrics,
+    "micro_persistence": persistence_metrics,
+}
+
+
+def gate_against_baseline(baseline_doc, baseline_path, doc, path,
+                          max_regression):
+    if doc["bench"] != baseline_doc["bench"]:
+        fail(f"{path}: bench '{doc['bench']}' does not match baseline "
+             f"'{baseline_doc['bench']}' ({baseline_path})")
+    extractor = METRIC_EXTRACTORS[doc["bench"]]
+    produced = extractor(doc)
+    baseline = extractor(baseline_doc)
+    shared = sorted(set(produced) & set(baseline))
+    if not shared:
+        fail(f"{path}: no metrics overlap with {baseline_path} — the files "
+             f"no longer measure the same things (schema drift?)")
+    regressions = []
+    for name in shared:
+        if name.startswith(FLAT_METRIC_PREFIXES):
+            got, want = produced[name], baseline[name]
+        else:
+            # Normalize per page: CI runs use smaller columns than baselines.
+            got = produced[name] / doc["pages"]
+            want = baseline[name] / baseline_doc["pages"]
+        ratio = got / want if want > 0 else float("inf")
+        if ratio > max_regression:
+            regressions.append(f"{name}: {ratio:.1f}x slower per page "
+                               f"({produced[name]:.3f} ms vs baseline "
+                               f"{baseline[name]:.3f} ms)")
+    skipped = (set(produced) | set(baseline)) - set(shared)
+    note = f", {len(skipped)} non-overlapping skipped" if skipped else ""
+    if regressions:
+        for r in regressions:
+            print(f"check_bench: REGRESSION: {path}: {r}", file=sys.stderr)
+        fail(f"{path}: {len(regressions)} metric(s) regressed more than "
+             f"{max_regression}x vs {baseline_path}")
+    print(f"check_bench: GATE OK: {path} vs {baseline_path} "
+          f"({len(shared)} metrics within {max_regression}x{note})")
 
 
 def main():
-    if len(sys.argv) < 2:
-        fail("usage: check_bench.py <BENCH_*.json> [...]")
-    for path in sys.argv[1:]:
-        check_file(path)
+    parser = argparse.ArgumentParser(
+        description="Schema-check BENCH_*.json files; optionally gate "
+                    "against a committed baseline.")
+    parser.add_argument("--baseline", metavar="BASE.json",
+                        help="committed baseline to gate every given file "
+                             "against (same bench required)")
+    parser.add_argument("--max-regression", type=float, default=5.0,
+                        help="fail when a shared wall metric is more than "
+                             "this many times slower per page (default 5)")
+    parser.add_argument("paths", nargs="+", metavar="BENCH.json")
+    args = parser.parse_args()
+
+    baseline_doc = None
+    if args.baseline:
+        baseline_doc = check_file(args.baseline)
+    for path in args.paths:
+        doc = check_file(path)
+        if baseline_doc is not None:
+            gate_against_baseline(baseline_doc, args.baseline, doc, path,
+                                  args.max_regression)
 
 
 if __name__ == "__main__":
