@@ -134,8 +134,22 @@ StatusOr<std::unique_ptr<AdaptiveColumn>> AdaptiveColumn::CreateDurable(
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) return IoError("create_directories " + dir + ": " + ec.message());
+  // The journal's flock is the directory's single-writer lock; take it
+  // BEFORE the manifest-existence check and column.dat creation. Two racing
+  // CreateDurable calls otherwise both pass the check, and the flock loser
+  // has by then O_TRUNC'ed the winner's live column.dat — zeroing its data
+  // and SIGBUSing its mappings during the size-0 window.
+  auto journal_r = WriteAheadJournal::Open(dir + "/journal.wal");
+  if (!journal_r.ok()) return journal_r.status();
   if (std::filesystem::exists(ManifestPath(dir))) {
     return FailedPrecondition(dir + " already holds a column (use Open)");
+  }
+  // A leftover journal (e.g. the user removed a corrupt MANIFEST to start
+  // over) must not leak records into the fresh column: a kill before the
+  // first checkpoint would replay the previous incarnation's values onto
+  // the new data. Drop them now.
+  if (journal_r->journal.record_count() > 0) {
+    VMSV_RETURN_IF_ERROR(journal_r->journal.Reset());
   }
   const uint64_t pages = (num_rows + kValuesPerPage - 1) / kValuesPerPage;
   auto file_r = PhysicalMemoryFile::CreateAt(dir + "/column.dat", pages);
@@ -148,14 +162,15 @@ StatusOr<std::unique_ptr<AdaptiveColumn>> AdaptiveColumn::CreateDurable(
   if (!adaptive_r.ok()) return adaptive_r.status();
   auto adaptive = std::move(adaptive_r).ValueOrDie();
 
-  auto journal_r = WriteAheadJournal::Open(dir + "/journal.wal");
-  if (!journal_r.ok()) return journal_r.status();
   adaptive->durable_ = std::make_unique<DurableState>();
   adaptive->durable_->dir = dir;
   adaptive->durable_->journal = std::make_unique<WriteAheadJournal>(
       std::move(journal_r.ValueOrDie().journal));
   // The initial (empty-pool) manifest makes the directory openable from the
-  // first moment — a kill before any flush recovers to a fresh column.
+  // first moment — a kill before any flush recovers to a fresh column. The
+  // column is not yet visible to any other thread, but take maintenance_mu_
+  // anyway to honor WriteManifestSnapshotLocked's locking contract.
+  std::lock_guard<std::mutex> maintenance(adaptive->maintenance_mu_);
   VMSV_RETURN_IF_ERROR(adaptive->WriteManifestSnapshotLocked());
   return adaptive;
 }
@@ -769,27 +784,35 @@ StatusOr<BatchExecution> AdaptiveColumn::ExecuteBatch(
 
 Status AdaptiveColumn::Update(uint64_t row, Value new_value) {
   std::lock_guard<std::mutex> maintenance(maintenance_mu_);
-  RowUpdate logged;
-  {
-    std::unique_lock<std::shared_mutex> xlock(views_mu_);
-    // In-place mutation: block new readers (exclusive lock), wait out the
-    // in-flight ones (quiescence), then write. No scan ever sees the torn
-    // value or an unaligned state — pending_count_ is published before any
-    // new reader can route.
-    epoch_.WaitQuiescent();
-    const Value old_value = column_->Set(row, new_value);
-    logged = RowUpdate{row, old_value, new_value};
-    pending_.Add(logged);
-    pending_count_.store(pending_.size(), std::memory_order_release);
+  if (row >= column_->num_rows()) {
+    return InvalidArgument("Update row " + std::to_string(row) +
+                           " beyond column (" +
+                           std::to_string(column_->num_rows()) + " rows)");
   }
-  // The journal append runs after readers are unblocked: it needs only
-  // maintenance_mu_ (its fd is maintenance-path state), and a slow fsync
-  // must not extend the reader-exclusion window.
+  // Journal-ahead: the record reaches the log BEFORE the MAP_SHARED cell
+  // mutates. The inverse order would let a kill between Set and Append
+  // persist a data mutation (via the page cache) with no WAL record, so
+  // restored views would never be realigned for it. A kill after Append but
+  // before Set merely replays the idempotent record on Open. Updates are
+  // serialized under maintenance_mu_ and readers never write, so the
+  // pre-image read here equals what Set returns below; the append (and its
+  // optional fsync) runs outside views_mu_, so a slow sync never extends
+  // the reader-exclusion window.
   if (durable_ != nullptr) {
-    VMSV_RETURN_IF_ERROR(durable_->journal->Append(
-        logged, config_.storage.journal_sync_every_update));
+    VMSV_RETURN_IF_ERROR(
+        durable_->journal->Append(RowUpdate{row, column_->Get(row), new_value},
+                                  config_.storage.journal_sync_every_update));
     ++durable_->stats.journal_appends;
   }
+  std::unique_lock<std::shared_mutex> xlock(views_mu_);
+  // In-place mutation: block new readers (exclusive lock), wait out the
+  // in-flight ones (quiescence), then write. No scan ever sees the torn
+  // value or an unaligned state — pending_count_ is published before any
+  // new reader can route.
+  epoch_.WaitQuiescent();
+  const Value old_value = column_->Set(row, new_value);
+  pending_.Add(RowUpdate{row, old_value, new_value});
+  pending_count_.store(pending_.size(), std::memory_order_release);
   return OkStatus();
 }
 

@@ -344,8 +344,10 @@ class AdaptiveColumn {
   /// reflect an aligned state. In durable mode the update is additionally
   /// appended to the write-ahead journal (fdatasync'ed per
   /// StorageConfig::journal_sync_every_update).
-  /// Error contract: OK for in-memory columns; journal I/O failures surface
-  /// here in durable mode (the in-memory update still took effect).
+  /// Error contract: InvalidArgument for an out-of-range row. In durable
+  /// mode the journal append runs BEFORE the in-place cell write
+  /// (write-ahead), so a journal I/O failure surfaces here with both the
+  /// in-memory column and the journal unchanged.
   Status Update(uint64_t row, Value new_value);
 
   /// Aligns all views with the logged updates (§2.4/§2.5). Thread-safe.

@@ -45,21 +45,21 @@ struct RecordBuf {
   }
 };
 
-Status WriteAll(int fd, const void* data, size_t len) {
+}  // namespace
+
+Status WriteAll(int fd, const void* data, size_t len, const char* what) {
   const char* p = static_cast<const char*>(data);
   while (len > 0) {
     const ssize_t n = ::write(fd, p, len);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return ErrnoError("write(journal)", errno);
+      return ErrnoError(what, errno);
     }
     p += n;
     len -= static_cast<size_t>(n);
   }
   return OkStatus();
 }
-
-}  // namespace
 
 uint32_t Crc32(const void* data, size_t len) {
   // Bitwise reflected CRC-32; journal records are 24 bytes, so a lookup
@@ -102,7 +102,7 @@ StatusOr<JournalOpenResult> WriteAheadJournal::Open(
 
   if (size == 0) {
     // Fresh journal: stamp the header.
-    Status st = WriteAll(fd, kHeaderMagic, kHeaderSize);
+    Status st = WriteAll(fd, kHeaderMagic, kHeaderSize, "write(journal)");
     if (!st.ok()) return st;
     if (::fdatasync(fd) != 0) return ErrnoError("fdatasync(journal)", errno);
     return result;
@@ -169,7 +169,7 @@ WriteAheadJournal::~WriteAheadJournal() {
 
 Status WriteAheadJournal::Append(const RowUpdate& update, bool sync) {
   const RecordBuf buf = RecordBuf::From(update);
-  Status st = WriteAll(fd_, buf.bytes, kRecordSize);
+  Status st = WriteAll(fd_, buf.bytes, kRecordSize, "write(journal)");
   if (!st.ok()) {
     // A PARTIAL write would leave torn bytes at the tail; a later
     // successful Append would then sit BEHIND them and replay — which

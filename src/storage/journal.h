@@ -34,6 +34,11 @@ namespace vmsv {
 /// Exposed for tests that construct torn/corrupt journals by hand.
 uint32_t Crc32(const void* data, size_t len);
 
+/// EINTR-retrying full write of `len` bytes to `fd`; `what` names the
+/// destination in the error message. Shared by the storage persistence
+/// writers (journal, manifest).
+Status WriteAll(int fd, const void* data, size_t len, const char* what);
+
 struct JournalOpenResult;
 
 class WriteAheadJournal {

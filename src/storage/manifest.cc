@@ -6,7 +6,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
-#include "storage/journal.h"  // Crc32
+#include "storage/journal.h"  // Crc32, WriteAll
 
 namespace vmsv {
 
@@ -45,19 +45,6 @@ struct Reader {
   }
 };
 
-Status WriteAll(int fd, const char* data, size_t len) {
-  while (len > 0) {
-    const ssize_t n = ::write(fd, data, len);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return ErrnoError("write(manifest)", errno);
-    }
-    data += n;
-    len -= static_cast<size_t>(n);
-  }
-  return OkStatus();
-}
-
 Status SyncDir(const std::string& dir) {
   const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
   if (dfd < 0) return ErrnoError(("open dir " + dir).c_str(), errno);
@@ -95,7 +82,7 @@ Status WriteManifest(const std::string& dir, const ViewManifest& manifest,
   const int fd =
       ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) return ErrnoError(("open " + tmp_path).c_str(), errno);
-  Status st = WriteAll(fd, buf.data(), buf.size());
+  Status st = WriteAll(fd, buf.data(), buf.size(), "write(manifest)");
   if (st.ok() && sync && ::fdatasync(fd) != 0) {
     st = ErrnoError("fdatasync(manifest)", errno);
   }
@@ -186,7 +173,10 @@ StatusOr<ViewManifest> ReadManifest(const std::string& dir) {
     }
     view.pages.resize(page_count);
     for (uint64_t i = 0; i < page_count; ++i) {
-      reader.GetU64(&view.pages[i]);
+      if (!reader.GetU64(&view.pages[i])) {
+        return IoError(path + ": truncated page list in view record " +
+                       std::to_string(vi));
+      }
     }
     manifest.views.push_back(std::move(view));
   }

@@ -489,6 +489,90 @@ TEST(DurableColumnTest, RunnerCheckpointEveryPersistsMidSequence) {
             adaptive->view_index().num_partial_views());
 }
 
+TEST(DurableColumnTest, CreateDurableLocksBeforeTouchingColumnData) {
+  ScratchDir scratch("durable_createlock");
+  const auto queries = TestQueries(6, 17);
+  auto adaptive = MakeDurable(scratch.path());
+  const auto oracle = FullScanAll(adaptive.get(), queries);
+  // Simulate the race window where a second CreateDurable has already passed
+  // the manifest-existence check: with no MANIFEST on disk, only the journal
+  // flock stands between it and O_TRUNCing the live column.dat.
+  ASSERT_TRUE(fs::remove(ManifestPath(scratch.path())));
+  EXPECT_EQ(AdaptiveColumn::CreateDurable(scratch.path(),
+                                          TestPages() * kValuesPerPage, {})
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  // The loser must not have zeroed (or unsized) the winner's live data.
+  EXPECT_EQ(FullScanAll(adaptive.get(), queries), oracle);
+  ASSERT_TRUE(adaptive->Checkpoint().ok());  // restore the manifest
+}
+
+TEST(DurableColumnTest, CreateDurableDropsLeftoverJournalRecords) {
+  ScratchDir scratch("durable_stalewal");
+  {
+    auto adaptive = MakeDurable(scratch.path());
+    ASSERT_TRUE(adaptive->Update(7, 12345).ok());
+  }  // kill without flush: journal.wal keeps the record
+  // Start over the way an operator would after manifest corruption: remove
+  // the MANIFEST and recreate. The stale journal record must not replay
+  // onto the fresh (zeroed) column if the process dies before the first
+  // checkpoint consumes the journal.
+  ASSERT_TRUE(fs::remove(ManifestPath(scratch.path())));
+  {
+    auto recreated_r = AdaptiveColumn::CreateDurable(
+        scratch.path(), TestPages() * kValuesPerPage, {});
+    ASSERT_TRUE(recreated_r.ok()) << recreated_r.status().ToString();
+  }  // kill again before any flush
+  auto reopened_r = AdaptiveColumn::Open(scratch.path(), {});
+  ASSERT_TRUE(reopened_r.ok()) << reopened_r.status().ToString();
+  EXPECT_EQ(reopened_r->get()->durability_stats().journal_replayed, 0u);
+  EXPECT_EQ(reopened_r->get()->column().Get(7), 0u);
+}
+
+TEST(DurableColumnTest, UpdateRejectsOutOfRangeRowBeforeJournaling) {
+  ScratchDir scratch("durable_oob");
+  auto adaptive = MakeDurable(scratch.path());
+  const uint64_t rows = adaptive->column().num_rows();
+  EXPECT_EQ(adaptive->Update(rows, 1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(adaptive->durability_stats().journal_appends, 0u);
+  EXPECT_FALSE(adaptive->HasPendingUpdates());
+}
+
+// The journal-ahead write path's recovery contract: a kill after the WAL
+// append but before the in-place cell write leaves an "extra" record whose
+// mutation never reached column.dat. Open must replay it — this is the half
+// of the ordering that makes Append-before-Set safe.
+TEST(DurableColumnTest, ReopenAppliesRecordWhoseCellWriteWasLost) {
+  ScratchDir scratch("durable_walahead");
+  const auto queries = TestQueries(8, 29);
+  Value old_value = 0;
+  {
+    auto adaptive = MakeDurable(scratch.path());
+    ExecuteAll(adaptive.get(), queries);
+    ASSERT_TRUE(adaptive->Checkpoint().ok());
+    old_value = adaptive->column().Get(5);
+  }  // kill
+  {
+    // Hand-append the record Update would have written, without touching
+    // column.dat — exactly the state a kill between Append and Set leaves.
+    auto open_r = WriteAheadJournal::Open(scratch.path() + "/journal.wal");
+    ASSERT_TRUE(open_r.ok()) << open_r.status().ToString();
+    ASSERT_TRUE(open_r->replayed.empty());
+    WriteAheadJournal journal = std::move(open_r.ValueOrDie().journal);
+    ASSERT_TRUE(journal.Append({5, old_value, old_value + 9}, true).ok());
+  }
+  auto reopened_r = AdaptiveColumn::Open(scratch.path(), {});
+  ASSERT_TRUE(reopened_r.ok()) << reopened_r.status().ToString();
+  auto reopened = std::move(reopened_r).ValueOrDie();
+  EXPECT_EQ(reopened->durability_stats().journal_replayed, 1u);
+  EXPECT_EQ(reopened->column().Get(5), old_value + 9);
+  // Adaptive execution flushes first, so realigned views answer with the
+  // replayed value — identical to a fresh full scan.
+  EXPECT_EQ(ExecuteAll(reopened.get(), queries),
+            FullScanAll(reopened.get(), queries));
+}
+
 TEST(DurableColumnTest, SecondOpenOfLiveColumnIsRefused) {
   ScratchDir scratch("durable_lock");
   auto adaptive = MakeDurable(scratch.path());
