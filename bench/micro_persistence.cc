@@ -24,6 +24,13 @@
 // (journal fsync -> alignment -> data writeback -> manifest -> journal
 // reset) so the cost of each durability level is a committed number.
 //
+// Part C, group-commit sweep: power-loss-durable update streams under
+// per-update fsync vs group commit (batch 8 / 32), reporting wall time AND
+// the exact fsync count per rep, measured through FaultInjectingIo used as
+// a pure syscall counter. The fsync counts are deterministic (the LSN-
+// boundary trigger guarantees ceil(N/batch)), so check_bench.py gates on
+// them instead of machine-dependent wall time.
+//
 // Plain executable — no google-benchmark dependency, so it always builds
 // and the smoke tier can emit BENCH_persistence.json on every ctest run.
 
@@ -36,6 +43,7 @@
 
 #include "bench_common.h"
 #include "core/adaptive_layer.h"
+#include "storage/storage_io.h"
 #include "util/histogram.h"
 #include "util/macros.h"
 #include "util/stopwatch.h"
@@ -55,6 +63,7 @@ constexpr uint64_t kWorkloadSeed = 11;
 /// churn — is what each mode measures.
 constexpr uint64_t kMaxDistinctRanges = 32;
 constexpr uint64_t kUpdatesPerFlush = 128;
+constexpr uint64_t kGroupCommitUpdates = 256;
 
 struct RestartReport {
   uint64_t views_persisted = 0;
@@ -79,6 +88,20 @@ struct PolicyResult {
 struct FsyncReport {
   uint64_t updates_per_flush = kUpdatesPerFlush;
   std::vector<PolicyResult> policies;
+};
+
+struct GroupCommitResult {
+  const char* mode;
+  uint64_t batch = 0;  // 0 = fdatasync on every update
+  uint64_t fsyncs_per_rep = 0;
+  std::vector<double> rep_ms;
+  double wall_median_ms = 0;
+  double per_update_us = 0;
+};
+
+struct GroupCommitReport {
+  uint64_t updates_per_rep = kGroupCommitUpdates;
+  std::vector<GroupCommitResult> modes;
 };
 
 struct QueryResult {
@@ -267,8 +290,66 @@ FsyncReport RunFsyncExperiment(const bench::BenchEnv& env,
   return report;
 }
 
+GroupCommitReport RunGroupCommitExperiment(const bench::BenchEnv& env,
+                                           const std::string& dir) {
+  GroupCommitReport report;
+  struct Mode {
+    const char* name;
+    bool sync_every_update;
+    uint64_t batch;
+  };
+  // Same power-loss durability story (every acked update is journal-fsynced),
+  // different amortization: one fsync per update vs one per batch boundary.
+  const Mode modes[] = {
+      {"sync_every_update", true, 0},
+      {"group_commit_8", false, 8},
+      {"group_commit_32", false, 32},
+  };
+  for (const Mode& mode : modes) {
+    FaultInjectingIo io;  // unarmed: a deterministic fsync accountant
+    AdaptiveConfig config = BenchConfig();
+    config.storage.data_flush = FlushPolicy::kSync;
+    config.storage.journal_sync_every_update = mode.sync_every_update;
+    config.storage.group_commit_batch = mode.batch;
+    config.storage.io = &io;
+    auto adaptive_r = AdaptiveColumn::Open(dir, config);
+    VMSV_BENCH_CHECK_OK(adaptive_r.status());
+    auto adaptive = std::move(adaptive_r).ValueOrDie();
+    const uint64_t rows = adaptive->column().num_rows();
+
+    GroupCommitResult result;
+    result.mode = mode.name;
+    result.batch = mode.batch;
+    SampleStats times;
+    for (uint64_t rep = 0; rep < env.reps; ++rep) {
+      // Drain pending updates OUTSIDE the timed region so every rep times
+      // the same thing: the journal-append + commit path alone.
+      VMSV_BENCH_CHECK_OK(adaptive->FlushUpdates().status());
+      const uint64_t fsyncs_before = io.stats().fsyncs;
+      Stopwatch timer;
+      for (uint64_t i = 0; i < kGroupCommitUpdates; ++i) {
+        const uint64_t row = (rep * kGroupCommitUpdates + i * 31) % rows;
+        const Value old_value = adaptive->column().Get(row);
+        VMSV_BENCH_CHECK_OK(
+            adaptive->Update(row, old_value ^ (1u << (rep % 10))));
+      }
+      const double ms = timer.ElapsedMillis();
+      times.Add(ms);
+      result.rep_ms.push_back(ms);
+      // Deterministic: per-update mode fsyncs every append, group commit
+      // fsyncs exactly once per batch boundary — identical every rep.
+      result.fsyncs_per_rep = io.stats().fsyncs - fsyncs_before;
+    }
+    result.wall_median_ms = times.Median();
+    result.per_update_us =
+        result.wall_median_ms * 1000.0 / kGroupCommitUpdates;
+    report.modes.push_back(std::move(result));
+  }
+  return report;
+}
+
 void PrintReports(const bench::BenchEnv& env, const RestartReport& restart,
-                  const FsyncReport& fsync) {
+                  const FsyncReport& fsync, const GroupCommitReport& gc) {
   std::fprintf(stdout, "\n## restart modes (%llu-query sequence, %llu views)\n",
                static_cast<unsigned long long>(env.queries),
                static_cast<unsigned long long>(restart.views_persisted));
@@ -302,10 +383,24 @@ void PrintReports(const bench::BenchEnv& env, const RestartReport& restart,
         env));
   }
   ftable.PrintCsv();
+
+  std::fprintf(stdout, "\n## group commit (%llu durable updates per rep)\n",
+               static_cast<unsigned long long>(gc.updates_per_rep));
+  TablePrinter gtable(bench::WithScanConfigHeaders(
+      {"mode", "batch", "fsyncs_per_rep", "wall_median_ms", "per_update_us"}));
+  for (const GroupCommitResult& m : gc.modes) {
+    gtable.AddRow(bench::WithScanConfigCells(
+        {m.mode, std::to_string(m.batch), std::to_string(m.fsyncs_per_rep),
+         TablePrinter::Fmt(m.wall_median_ms, 3),
+         TablePrinter::Fmt(m.per_update_us, 3)},
+        env));
+  }
+  gtable.PrintCsv();
 }
 
 int WriteJson(const std::string& path, const bench::BenchEnv& env,
-              const RestartReport& restart, const FsyncReport& fsync) {
+              const RestartReport& restart, const FsyncReport& fsync,
+              const GroupCommitReport& gc) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
@@ -347,6 +442,23 @@ int WriteJson(const std::string& path, const bench::BenchEnv& env,
     }
     w.EndArray();
     w.EndObject();
+    w.Key("group_commit");
+    w.BeginObject();
+    w.Field("updates_per_rep", gc.updates_per_rep);
+    w.Key("modes");
+    w.BeginArray();
+    for (const GroupCommitResult& m : gc.modes) {
+      w.BeginObject();
+      w.Field("mode", m.mode);
+      w.Field("batch", m.batch);
+      w.Field("fsyncs_per_rep", m.fsyncs_per_rep);
+      w.Field("wall_median_ms", m.wall_median_ms);
+      w.FieldArray("rep_ms", m.rep_ms);
+      w.Field("per_update_us", m.per_update_us);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
     w.EndObject();
     std::fputc('\n', out);
   }
@@ -367,8 +479,9 @@ int Main() {
   const RestartReport restart =
       RunRestartExperiment(env, dir, queries, reference);
   const FsyncReport fsync = RunFsyncExperiment(env, dir);
-  PrintReports(env, restart, fsync);
-  const int rc = WriteJson(json_path, env, restart, fsync);
+  const GroupCommitReport gc = RunGroupCommitExperiment(env, dir);
+  PrintReports(env, restart, fsync, gc);
+  const int rc = WriteJson(json_path, env, restart, fsync, gc);
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);  // scratch state; the JSON is the output
   return rc;

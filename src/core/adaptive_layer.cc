@@ -8,6 +8,7 @@
 #include "exec/batch_executor.h"
 #include "exec/parallel_scanner.h"
 #include "storage/manifest.h"
+#include "storage/storage_io.h"
 #include "util/macros.h"
 #include "util/stopwatch.h"
 
@@ -131,6 +132,8 @@ StatusOr<std::unique_ptr<AdaptiveColumn>> AdaptiveColumn::CreateDurable(
     const std::string& dir, uint64_t num_rows, AdaptiveConfig config) {
   if (dir.empty()) return InvalidArgument("CreateDurable needs a directory");
   config.storage.persist_dir = dir;
+  StorageIo* io = config.storage.io != nullptr ? config.storage.io
+                                               : RealStorageIo();
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) return IoError("create_directories " + dir + ": " + ec.message());
@@ -139,7 +142,7 @@ StatusOr<std::unique_ptr<AdaptiveColumn>> AdaptiveColumn::CreateDurable(
   // CreateDurable calls otherwise both pass the check, and the flock loser
   // has by then O_TRUNC'ed the winner's live column.dat — zeroing its data
   // and SIGBUSing its mappings during the size-0 window.
-  auto journal_r = WriteAheadJournal::Open(dir + "/journal.wal");
+  auto journal_r = WriteAheadJournal::Open(dir + "/journal.wal", io);
   if (!journal_r.ok()) return journal_r.status();
   if (std::filesystem::exists(ManifestPath(dir))) {
     return FailedPrecondition(dir + " already holds a column (use Open)");
@@ -147,9 +150,15 @@ StatusOr<std::unique_ptr<AdaptiveColumn>> AdaptiveColumn::CreateDurable(
   // A leftover journal (e.g. the user removed a corrupt MANIFEST to start
   // over) must not leak records into the fresh column: a kill before the
   // first checkpoint would replay the previous incarnation's values onto
-  // the new data. Drop them now.
-  if (journal_r->journal.record_count() > 0) {
-    VMSV_RETURN_IF_ERROR(journal_r->journal.Reset());
+  // the new data. Drop them now. A leftover delta log is epoch-filtered
+  // away at recovery, but drop it too so stale records never linger.
+  if (journal_r->journal->record_count() > 0) {
+    VMSV_RETURN_IF_ERROR(journal_r->journal->Reset());
+  }
+  auto delta_r = ManifestDeltaLog::Open(dir, io);
+  if (!delta_r.ok()) return delta_r.status();
+  if (delta_r->log->record_count() > 0) {
+    VMSV_RETURN_IF_ERROR(delta_r->log->Reset());
   }
   const uint64_t pages = (num_rows + kValuesPerPage - 1) / kValuesPerPage;
   auto file_r = PhysicalMemoryFile::CreateAt(dir + "/column.dat", pages);
@@ -164,8 +173,9 @@ StatusOr<std::unique_ptr<AdaptiveColumn>> AdaptiveColumn::CreateDurable(
 
   adaptive->durable_ = std::make_unique<DurableState>();
   adaptive->durable_->dir = dir;
-  adaptive->durable_->journal = std::make_unique<WriteAheadJournal>(
-      std::move(journal_r.ValueOrDie().journal));
+  adaptive->durable_->io = io;
+  adaptive->durable_->journal = std::move(journal_r.ValueOrDie().journal);
+  adaptive->durable_->delta_log = std::move(delta_r.ValueOrDie().log);
   // The initial (empty-pool) manifest makes the directory openable from the
   // first moment — a kill before any flush recovers to a fresh column. The
   // column is not yet visible to any other thread, but take maintenance_mu_
@@ -179,10 +189,33 @@ StatusOr<std::unique_ptr<AdaptiveColumn>> AdaptiveColumn::Open(
     const std::string& dir, AdaptiveConfig config) {
   if (dir.empty()) return InvalidArgument("Open needs a directory");
   config.storage.persist_dir = dir;
+  StorageIo* io = config.storage.io != nullptr ? config.storage.io
+                                               : RealStorageIo();
   Stopwatch recover_timer;
+  // The NotFound contract (no column here) is decided on the manifest; check
+  // it before the journal open below creates journal.wal in a directory that
+  // never held a column.
+  if (!std::filesystem::exists(ManifestPath(dir))) {
+    return NotFound("no manifest at " + ManifestPath(dir));
+  }
+  // Journal open FIRST: its flock is the column directory's single-writer
+  // lock, and everything after this point may MUTATE durable state (the
+  // delta log truncates torn tails at open; replay writes cells). A second
+  // Open of a live column must fail before touching any of that.
+  auto journal_r = WriteAheadJournal::Open(dir + "/journal.wal", io);
+  if (!journal_r.ok()) return journal_r.status();
+  auto opened = std::move(journal_r).ValueOrDie();
+
   auto manifest_r = ReadManifest(dir);
   if (!manifest_r.ok()) return manifest_r.status();
-  const ViewManifest manifest = std::move(manifest_r).ValueOrDie();
+  ViewManifest manifest = std::move(manifest_r).ValueOrDie();
+  // Compose the incremental manifest: base snapshot + every delta stamped
+  // with its epoch, in append order.
+  auto delta_r = ManifestDeltaLog::Open(dir, io);
+  if (!delta_r.ok()) return delta_r.status();
+  auto delta_opened = std::move(delta_r).ValueOrDie();
+  const uint64_t deltas_applied =
+      ApplyManifestDeltas(&manifest, delta_opened.replayed);
 
   auto file_r =
       PhysicalMemoryFile::OpenAt(dir + "/column.dat", manifest.num_pages);
@@ -197,6 +230,13 @@ StatusOr<std::unique_ptr<AdaptiveColumn>> AdaptiveColumn::Open(
   adaptive->durable_ = std::make_unique<DurableState>();
   DurableState& durable = *adaptive->durable_;
   durable.dir = dir;
+  durable.io = io;
+  durable.journal = std::move(opened.journal);
+  durable.delta_log = std::move(delta_opened.log);
+  durable.manifest_epoch = manifest.epoch;
+  durable.next_view_id = manifest.next_view_id;
+  durable.stats.manifest_deltas_replayed = deltas_applied;
+  durable.stats.manifest_delta_tail_truncated = delta_opened.tail_truncated;
 
   // Rebuild views as unmaterialized page lists; the first scan pays the
   // rewiring lazily, so Open stays proportional to the manifest size.
@@ -217,6 +257,13 @@ StatusOr<std::unique_ptr<AdaptiveColumn>> AdaptiveColumn::Open(
     // Hit history does not survive a restart; the recorded creation cost
     // does, so eviction scoring stays calibrated from the first query.
     view->SetCreationInfo(/*query_seq=*/0, mview.creation_scanned_pages);
+    // Keep the persisted identity so post-restart delta records keep
+    // addressing this view; the belt-and-suspenders raise below covers a
+    // base written before ids existed (id 0 gets a fresh one).
+    view->set_durable_id(mview.id != 0 ? mview.id : durable.next_view_id);
+    if (view->durable_id() >= durable.next_view_id) {
+      durable.next_view_id = view->durable_id() + 1;
+    }
     adaptive->view_index_.Insert(std::move(view));
     ++durable.stats.views_restored;
   }
@@ -230,11 +277,6 @@ StatusOr<std::unique_ptr<AdaptiveColumn>> AdaptiveColumn::Open(
   // Journal replay: re-apply every journaled value (idempotent — absolute
   // values) and queue the records as pending, so the flush-first rule
   // realigns the restored views before any post-restart query answers.
-  auto journal_r = WriteAheadJournal::Open(dir + "/journal.wal");
-  if (!journal_r.ok()) return journal_r.status();
-  auto opened = std::move(journal_r).ValueOrDie();
-  durable.journal =
-      std::make_unique<WriteAheadJournal>(std::move(opened.journal));
   durable.stats.journal_tail_truncated = opened.tail_truncated;
   for (const RowUpdate& update : opened.replayed) {
     if (update.row >= adaptive->column().num_rows()) {
@@ -272,9 +314,16 @@ Status AdaptiveColumn::WriteManifestSnapshotLocked() {
   manifest.num_rows = column_->num_rows();
   manifest.num_pages = column_->num_pages();
   manifest.pool_generation = lifecycle_.pool_mutations();
+  // Each base snapshot opens a fresh delta epoch: records appended after it
+  // are stamped with the new epoch, and records from before it (which this
+  // snapshot subsumes) are epoch-filtered away even if the Reset below
+  // never lands.
+  manifest.epoch = durable.manifest_epoch + 1;
+  manifest.next_view_id = durable.next_view_id;
   manifest.views.reserve(view_index_.views().size());
   for (const auto& view : view_index_.views()) {
     ManifestView mview;
+    mview.id = view->durable_id();
     mview.lo = view->lo();
     mview.hi = view->hi();
     mview.creation_scanned_pages = view->usage().creation_scanned_pages.load(
@@ -284,10 +333,19 @@ Status AdaptiveColumn::WriteManifestSnapshotLocked() {
   }
   VMSV_RETURN_IF_ERROR(
       WriteManifest(durable.dir, manifest,
-                    config_.storage.data_flush == FlushPolicy::kSync));
+                    config_.storage.data_flush == FlushPolicy::kSync,
+                    durable.io));
+  durable.manifest_epoch = manifest.epoch;
   ++durable.stats.manifest_writes;
   durable.manifest_dirty = false;
   durable.persisted_pool_mutations = lifecycle_.pool_mutations();
+  // Compaction: the snapshot covers everything the delta log said. A failed
+  // reset is SOFT — the stale records carry a previous epoch, so recovery
+  // skips them; the next snapshot retries the truncate.
+  if (durable.delta_log != nullptr && durable.delta_log->record_count() > 0) {
+    const Status st = durable.delta_log->Reset();
+    if (!st.ok()) ++durable.stats.manifest_write_failures;
+  }
   return OkStatus();
 }
 
@@ -297,10 +355,10 @@ Status AdaptiveColumn::PersistCheckpointLocked() {
     case FlushPolicy::kNone:
       break;
     case FlushPolicy::kAsync:
-      VMSV_RETURN_IF_ERROR(column_->file()->Sync(/*wait=*/false));
+      VMSV_RETURN_IF_ERROR(column_->file()->Sync(/*wait=*/false, durable.io));
       break;
     case FlushPolicy::kSync:
-      VMSV_RETURN_IF_ERROR(column_->file()->Sync(/*wait=*/true));
+      VMSV_RETURN_IF_ERROR(column_->file()->Sync(/*wait=*/true, durable.io));
       break;
   }
   if (durable.manifest_dirty ||
@@ -315,14 +373,49 @@ Status AdaptiveColumn::PersistCheckpointLocked() {
   return OkStatus();
 }
 
-void AdaptiveColumn::PersistPoolChangeLocked() {
+void AdaptiveColumn::PersistPoolChangeLocked(const PoolEditLog& edit) {
   DurableState& durable = *durable_;
-  durable.manifest_dirty = true;
-  const Status st = WriteManifestSnapshotLocked();
+  if (durable.delta_log == nullptr || edit.empty()) {
+    // No incremental channel (or nothing identifiable changed): fall back
+    // to dirtying the manifest for the next flush/checkpoint.
+    durable.manifest_dirty = true;
+    return;
+  }
+  // Removes first: a replace is remove-then-upsert in apply order, and the
+  // delta log replays in order.
+  const bool sync = config_.storage.data_flush == FlushPolicy::kSync;
+  Status st = OkStatus();
+  for (const uint64_t id : edit.removed_ids) {
+    if (id == 0) continue;  // never persisted; nothing to remove
+    ManifestDelta delta;
+    delta.op = ManifestDeltaOp::kRemoveView;
+    delta.epoch = durable.manifest_epoch;
+    delta.view.id = id;
+    st = durable.delta_log->Append(delta, sync);
+    if (!st.ok()) break;
+    ++durable.stats.manifest_delta_appends;
+  }
+  if (st.ok()) {
+    for (const VirtualView* view : edit.upserted) {
+      ManifestDelta delta;
+      delta.op = ManifestDeltaOp::kUpsertView;
+      delta.epoch = durable.manifest_epoch;
+      delta.view.id = view->durable_id();
+      delta.view.lo = view->lo();
+      delta.view.hi = view->hi();
+      delta.view.creation_scanned_pages =
+          view->usage().creation_scanned_pages.load(std::memory_order_relaxed);
+      delta.view.pages = view->physical_pages();
+      st = durable.delta_log->Append(delta, sync);
+      if (!st.ok()) break;
+      ++durable.stats.manifest_delta_appends;
+    }
+  }
   if (!st.ok()) {
-    // Soft failure: the old manifest plus the journal still recover
-    // correctly (restored views just predate this pool change); the dirty
-    // flag makes the next flush/checkpoint retry.
+    // Soft failure: the base snapshot plus the already-applied deltas still
+    // recover a consistent (merely stale) pool — views are reconstructible.
+    // The dirty flag routes the next flush/checkpoint through a full
+    // snapshot, which also compacts the partial delta batch away.
     durable.manifest_dirty = true;
     ++durable.stats.manifest_write_failures;
   }
@@ -502,12 +595,14 @@ StatusOr<QueryExecution> AdaptiveColumn::FullScanAndAdapt(const RangeQuery& q) {
   exec.sum = built->query_result.sum;
   exec.stats.scanned_pages = built->scanned_pages;
   exec.stats.considered_views = 0;
+  PoolEditLog edit;
   {
     // The pool edit is the only part that needs to fence readers out of
     // ROUTING; their scans keep running (displaced views go to the limbo
     // list, not the destructor).
     std::unique_lock<std::shared_mutex> xlock(views_mu_);
-    exec.stats.decision = DecideCandidate(std::move(built->view));
+    exec.stats.decision = DecideCandidate(
+        std::move(built->view), durable_ != nullptr ? &edit : nullptr);
     exec.stats.views_after = view_index_.num_partial_views();
   }
   epoch_.TryReclaim();
@@ -516,9 +611,12 @@ StatusOr<QueryExecution> AdaptiveColumn::FullScanAndAdapt(const RangeQuery& q) {
       case CandidateDecision::kInserted:
       case CandidateDecision::kReplacedExisting:
       case CandidateDecision::kEvictedExisting:
-        // Pool membership changed: refresh the on-disk snapshot now so a
-        // kill right after this query reopens with the new view.
-        PersistPoolChangeLocked();
+        // Pool membership changed: append the incremental manifest deltas
+        // now so a kill right after this query reopens with the new view.
+        // Runs under maintenance_mu_ only — the views in `edit` stay valid
+        // (every pool mutator holds this mutex) and readers are not blocked
+        // on the append/fsync.
+        PersistPoolChangeLocked(edit);
         break;
       case CandidateDecision::kDiscardedSubset:
         // A discard may have widened an existing view's range (ExtendRange)
@@ -535,7 +633,7 @@ StatusOr<QueryExecution> AdaptiveColumn::FullScanAndAdapt(const RangeQuery& q) {
 }
 
 CandidateDecision AdaptiveColumn::DecideCandidate(
-    std::unique_ptr<VirtualView> candidate) {
+    std::unique_ptr<VirtualView> candidate, PoolEditLog* edit) {
   // An EMPTY candidate (query range holds no data) is pure range knowledge;
   // the generic subset logic would vacuously discard it against any view
   // and the data-free range would full-scan forever. Record it: redundant
@@ -557,7 +655,7 @@ CandidateDecision AdaptiveColumn::DecideCandidate(
         return CandidateDecision::kDiscardedSubset;
       }
     }
-    return AdmitAtBudget(std::move(candidate));
+    return AdmitAtBudget(std::move(candidate), edit);
   }
 
   // Discard: candidate pages are (nearly) contained in an existing view.
@@ -602,18 +700,27 @@ CandidateDecision AdaptiveColumn::DecideCandidate(
       }
     }
     if (missing <= config_.replace_tolerance) {
+      if (edit != nullptr) {
+        candidate->set_durable_id(durable_->next_view_id++);
+        edit->removed_ids.push_back(view->durable_id());
+        edit->upserted.push_back(candidate.get());
+      }
       epoch_.RetireObject(
           view_index_.Replace(view.get(), std::move(candidate)));
       metrics_.views_replaced.fetch_add(1, std::memory_order_relaxed);
       return CandidateDecision::kReplacedExisting;
     }
   }
-  return AdmitAtBudget(std::move(candidate));
+  return AdmitAtBudget(std::move(candidate), edit);
 }
 
 CandidateDecision AdaptiveColumn::AdmitAtBudget(
-    std::unique_ptr<VirtualView> candidate) {
+    std::unique_ptr<VirtualView> candidate, PoolEditLog* edit) {
   if (view_index_.num_partial_views() < config_.max_views) {
+    if (edit != nullptr) {
+      candidate->set_durable_id(durable_->next_view_id++);
+      edit->upserted.push_back(candidate.get());
+    }
     view_index_.Insert(std::move(candidate));
     metrics_.views_created.fetch_add(1, std::memory_order_relaxed);
     return CandidateDecision::kInserted;
@@ -649,6 +756,11 @@ CandidateDecision AdaptiveColumn::AdmitAtBudget(
       }
       // Concurrent scans may still be inside the victim: park it on the
       // epoch limbo list; reclamation happens once they all exited.
+      if (edit != nullptr) {
+        candidate->set_durable_id(durable_->next_view_id++);
+        edit->removed_ids.push_back(victim->durable_id());
+        edit->upserted.push_back(candidate.get());
+      }
       epoch_.RetireObject(view_index_.Replace(victim, std::move(candidate)));
       metrics_.views_evicted.fetch_add(1, std::memory_order_relaxed);
       lifecycle_.RecordEviction();
@@ -783,7 +895,7 @@ StatusOr<BatchExecution> AdaptiveColumn::ExecuteBatch(
 // Updates
 
 Status AdaptiveColumn::Update(uint64_t row, Value new_value) {
-  std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+  std::unique_lock<std::mutex> maintenance(maintenance_mu_);
   if (row >= column_->num_rows()) {
     return InvalidArgument("Update row " + std::to_string(row) +
                            " beyond column (" +
@@ -795,24 +907,54 @@ Status AdaptiveColumn::Update(uint64_t row, Value new_value) {
   // restored views would never be realigned for it. A kill after Append but
   // before Set merely replays the idempotent record on Open. Updates are
   // serialized under maintenance_mu_ and readers never write, so the
-  // pre-image read here equals what Set returns below; the append (and its
-  // optional fsync) runs outside views_mu_, so a slow sync never extends
-  // the reader-exclusion window.
+  // pre-image read here equals what Set returns below.
+  //
+  // Acknowledgment policy (ack_lsn > 0 means "wait for this LSN before
+  // returning"): with group_commit_batch = B, the update whose record lands
+  // on a multiple-of-B LSN commits through its own LSN — one leader fsync
+  // covers its whole batch (and, since the leader syncs the CURRENT append
+  // watermark, any records concurrent committers appended meanwhile).
+  // Appends are serialized under maintenance_mu_, so exactly every B-th
+  // record triggers a commit: N updates cause at most ceil(N/B) fsyncs no
+  // matter how many threads issue them (the fsync-accounting regression
+  // test pins this). Off-boundary updates return unacknowledged; their
+  // durability lands at the next boundary or flush.
+  // journal_sync_every_update acknowledges every update through its own
+  // LSN. Both WAIT below, after every engine lock is released, so a slow
+  // fsync never extends the reader-exclusion window and concurrent
+  // committers can batch onto one leader.
+  uint64_t ack_lsn = 0;
+  WriteAheadJournal* journal = nullptr;
   if (durable_ != nullptr) {
-    VMSV_RETURN_IF_ERROR(
-        durable_->journal->Append(RowUpdate{row, column_->Get(row), new_value},
-                                  config_.storage.journal_sync_every_update));
+    journal = durable_->journal.get();
+    VMSV_RETURN_IF_ERROR(journal->Append(
+        RowUpdate{row, column_->Get(row), new_value}, /*sync=*/false));
     ++durable_->stats.journal_appends;
+    const uint64_t batch = config_.storage.group_commit_batch;
+    const uint64_t lsn = journal->appended_lsn();  // this record's own LSN
+    if (batch > 0) {
+      if (lsn % batch == 0) ack_lsn = lsn;
+    } else if (config_.storage.journal_sync_every_update) {
+      ack_lsn = lsn;
+    }
   }
-  std::unique_lock<std::shared_mutex> xlock(views_mu_);
-  // In-place mutation: block new readers (exclusive lock), wait out the
-  // in-flight ones (quiescence), then write. No scan ever sees the torn
-  // value or an unaligned state — pending_count_ is published before any
-  // new reader can route.
-  epoch_.WaitQuiescent();
-  const Value old_value = column_->Set(row, new_value);
-  pending_.Add(RowUpdate{row, old_value, new_value});
-  pending_count_.store(pending_.size(), std::memory_order_release);
+  {
+    std::unique_lock<std::shared_mutex> xlock(views_mu_);
+    // In-place mutation: block new readers (exclusive lock), wait out the
+    // in-flight ones (quiescence), then write. No scan ever sees the torn
+    // value or an unaligned state — pending_count_ is published before any
+    // new reader can route.
+    epoch_.WaitQuiescent();
+    const Value old_value = column_->Set(row, new_value);
+    pending_.Add(RowUpdate{row, old_value, new_value});
+    pending_count_.store(pending_.size(), std::memory_order_release);
+  }
+  maintenance.unlock();
+  // The durability wait. Note the visibility/durability split: the value is
+  // already readable by other threads here, but this call only returns once
+  // the record is on stable storage — an acknowledged update survives any
+  // crash. An fsync failure reports durability-unknown, the crash contract.
+  if (ack_lsn > 0) return journal->CommitThrough(ack_lsn);
   return OkStatus();
 }
 
@@ -824,9 +966,10 @@ StatusOr<UpdateApplyStats> AdaptiveColumn::FlushUpdates() {
 StatusOr<UpdateApplyStats> AdaptiveColumn::FlushUpdatesLocked(
     bool compact_after) {
   // Durable commit point: every journaled record of this batch is on
-  // stable storage before alignment consumes the batch. (With
-  // journal_sync_every_update each append already synced; this is then a
-  // cheap no-op fdatasync.)
+  // stable storage before alignment consumes the batch. (Records already
+  // committed by the per-update ack or a group-commit leader make this a
+  // cheap no-op fdatasync; a partial trailing group-commit batch gets
+  // committed here.)
   if (durable_ != nullptr && !pending_.empty()) {
     VMSV_RETURN_IF_ERROR(durable_->journal->Sync());
   }

@@ -67,6 +67,7 @@
 #include "core/virtual_view.h"
 #include "storage/column.h"
 #include "storage/journal.h"
+#include "storage/manifest.h"
 #include "storage/storage_config.h"
 #include "storage/types.h"
 #include "storage/update.h"
@@ -259,15 +260,32 @@ struct DurabilityStats {
   uint64_t journal_replayed = 0;
   /// True when Open found and truncated a torn journal tail.
   bool journal_tail_truncated = false;
-  /// Manifest snapshots written (flushes, checkpoints, pool changes).
+  /// Manifest BASE snapshots written (initial create, checkpoints, and the
+  /// soft-fail fallback when a delta append fails).
   uint64_t manifest_writes = 0;
   /// Manifest writes that failed softly on the adaptation path (the
   /// snapshot stays dirty and the next flush retries).
   uint64_t manifest_write_failures = 0;
+  /// Incremental manifest delta records appended (adaptation decisions in
+  /// durable mode: one per view removed, one per view upserted).
+  uint64_t manifest_delta_appends = 0;
+  /// Delta records Open replayed onto the base snapshot (current epoch
+  /// only; stale-epoch records are skipped silently — views are
+  /// reconstructible).
+  uint64_t manifest_deltas_replayed = 0;
+  /// True when Open found and truncated a torn delta-log tail.
+  bool manifest_delta_tail_truncated = false;
   /// Views rebuilt from the manifest by Open.
   uint64_t views_restored = 0;
   /// Wall time Open spent reading the manifest + replaying the journal.
   double open_recover_ms = 0;
+  /// Live journal watermarks, refreshed when durability_stats() is read:
+  /// LSN of the last appended record and the highest LSN known durable.
+  /// appended - durable = the group-commit queue depth at snapshot time.
+  uint64_t journal_appended_lsn = 0;
+  uint64_t journal_durable_lsn = 0;
+  /// Leader fsyncs CommitThrough executed (each one covered >= 1 record).
+  uint64_t journal_group_commits = 0;
 };
 
 class AdaptiveColumn {
@@ -342,12 +360,21 @@ class AdaptiveColumn {
   /// lock + epoch quiescence) so no scan observes a torn write; between the
   /// update and the next flush, queries flush first — results always
   /// reflect an aligned state. In durable mode the update is additionally
-  /// appended to the write-ahead journal (fdatasync'ed per
-  /// StorageConfig::journal_sync_every_update).
-  /// Error contract: InvalidArgument for an out-of-range row. In durable
-  /// mode the journal append runs BEFORE the in-place cell write
-  /// (write-ahead), so a journal I/O failure surfaces here with both the
-  /// in-memory column and the journal unchanged.
+  /// appended to the write-ahead journal BEFORE the cell write, and the
+  /// call acknowledges per the configured policy: group_commit_batch > 0
+  /// waits (via WriteAheadJournal::CommitThrough, OUTSIDE the engine locks,
+  /// so concurrent updaters batch onto one leader fsync) once a batch
+  /// boundary is reached; journal_sync_every_update waits for its own
+  /// record; otherwise the append is buffered and the next flush is the
+  /// commit point. Note the visibility/durability split under group commit:
+  /// the new value is readable by other threads as soon as Update's locked
+  /// section ends, but Update only RETURNS once the record is durable per
+  /// policy — an acknowledged update is never lost to a crash.
+  /// Error contract: InvalidArgument for an out-of-range row. A journal
+  /// append failure surfaces here with both the in-memory column and the
+  /// journal unchanged; a commit (fsync) failure surfaces after the cell
+  /// write, meaning the value is visible but its durability is unknown —
+  /// exactly a crash's contract.
   Status Update(uint64_t row, Value new_value);
 
   /// Aligns all views with the logged updates (§2.4/§2.5). Thread-safe.
@@ -371,8 +398,17 @@ class AdaptiveColumn {
   /// True when this column persists under a directory.
   bool is_durable() const { return durable_ != nullptr; }
   /// Durability counters (default-constructed zeros for in-memory columns).
+  /// The journal LSN watermarks are refreshed from the live journal at read
+  /// time (they are atomics; everything else is maintenance-path data).
   DurabilityStats durability_stats() const {
-    return durable_ != nullptr ? durable_->stats : DurabilityStats{};
+    if (durable_ == nullptr) return DurabilityStats{};
+    DurabilityStats stats = durable_->stats;
+    if (durable_->journal != nullptr) {
+      stats.journal_appended_lsn = durable_->journal->appended_lsn();
+      stats.journal_durable_lsn = durable_->journal->durable_lsn();
+      stats.journal_group_commits = durable_->journal->group_commits();
+    }
+    return stats;
   }
   /// The engine's reclamation domain (test/introspection hook: limbo_size
   /// shows how many displaced views/arenas await quiescence).
@@ -416,14 +452,36 @@ class AdaptiveColumn {
   /// The durable state of one persisted column (null in-memory).
   struct DurableState {
     std::string dir;
+    /// File-operation layer shared by every durable artifact (journal,
+    /// manifest, delta log, data writeback). Never null once constructed.
+    StorageIo* io = nullptr;
     std::unique_ptr<WriteAheadJournal> journal;
+    /// The incremental half of the manifest (storage/manifest.h).
+    std::unique_ptr<ManifestDeltaLog> delta_log;
     DurabilityStats stats;
+    /// Epoch of the base snapshot on disk; delta records are stamped with
+    /// it, and each checkpoint snapshot bumps it.
+    uint64_t manifest_epoch = 0;
+    /// Next durable view id to assign (persisted in the base snapshot;
+    /// recovery raises it above every id it encounters).
+    uint64_t next_view_id = 1;
     /// Pool shape (memberships/ranges/members) diverged from the last
-    /// manifest snapshot.
+    /// manifest snapshot AND the delta log (set when a delta append failed
+    /// or a non-delta-tracked mutation ran; forces a full snapshot).
     bool manifest_dirty = false;
     /// lifecycle_.pool_mutations() at the last snapshot — compactions and
     /// evictions dirty the manifest through this counter.
     uint64_t persisted_pool_mutations = 0;
+  };
+
+  /// What one adaptation decision did to the pool, in apply order: views
+  /// displaced (by durable id) then views added/re-added. Feeds the
+  /// incremental manifest — remove deltas first, upsert deltas second.
+  struct PoolEditLog {
+    std::vector<uint64_t> removed_ids;
+    std::vector<const VirtualView*> upserted;
+
+    bool empty() const { return removed_ids.empty() && upserted.empty(); }
   };
 
   /// Snapshots the current pool into dir/MANIFEST (atomic replace). Caller
@@ -437,19 +495,25 @@ class AdaptiveColumn {
   /// Caller holds maintenance_mu_.
   Status PersistCheckpointLocked();
 
-  /// Best-effort manifest refresh after an adaptation decision changed the
-  /// pool: failures are counted and leave the manifest dirty for the next
-  /// flush instead of failing the query that triggered adaptation.
-  void PersistPoolChangeLocked();
+  /// Best-effort incremental persistence of one adaptation decision:
+  /// appends remove-then-upsert delta records for `edit` (fdatasync'ed when
+  /// the data policy is kSync). A failed append counts as a manifest write
+  /// failure and marks the manifest dirty — the next flush/checkpoint
+  /// retries with a full snapshot — instead of failing the query that
+  /// triggered adaptation.
+  void PersistPoolChangeLocked(const PoolEditLog& edit);
 
   /// The insert/discard/replace decision of Listing 1. Caller holds
   /// maintenance_mu_ AND views_mu_ exclusive; displaced views are retired
-  /// to the epoch manager, never destroyed inline.
-  CandidateDecision DecideCandidate(std::unique_ptr<VirtualView> candidate);
+  /// to the epoch manager, never destroyed inline. In durable mode `edit`
+  /// (non-null) collects the pool mutations for the incremental manifest.
+  CandidateDecision DecideCandidate(std::unique_ptr<VirtualView> candidate,
+                                    PoolEditLog* edit);
 
   /// The budget step: inserts when the pool has room; otherwise applies the
   /// configured eviction policy (evict-coldest vs drop-candidate).
-  CandidateDecision AdmitAtBudget(std::unique_ptr<VirtualView> candidate);
+  CandidateDecision AdmitAtBudget(std::unique_ptr<VirtualView> candidate,
+                                  PoolEditLog* edit);
 
   /// Internal counters behind metrics().
   struct AtomicStats {

@@ -273,6 +273,12 @@ class VirtualView {
     usage_.creation_scanned_pages = scanned_pages;
   }
 
+  /// Durable identity for the incremental manifest (0 = never persisted —
+  /// the anonymous backends leave it unset). Assigned by the engine when a
+  /// view first enters a durable pool; stable across restarts.
+  uint64_t durable_id() const { return durable_id_; }
+  void set_durable_id(uint64_t id) { durable_id_ = id; }
+
   /// Creates the arena and rewires the current page list into it (runs of
   /// consecutive page ids coalesce into single mmap calls). No-op when
   /// already materialized. `mapper` non-null ships the mmaps to the
@@ -430,6 +436,7 @@ class VirtualView {
   /// shared_ptr free functions.
   mutable std::shared_ptr<const std::vector<PageRun>> runs_cache_;
   ViewUsageStats usage_;
+  uint64_t durable_id_ = 0;                 // 0 until a durable pool adopts it
 };
 
 /// Builds the view for [lo, hi] by scanning every column page (the paper's

@@ -9,6 +9,8 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "storage/storage_io.h"
+
 namespace vmsv {
 
 MemoryFileBackend MemoryFileBackendFromString(const std::string& name) {
@@ -124,19 +126,12 @@ PhysicalMemoryFile::~PhysicalMemoryFile() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Status PhysicalMemoryFile::Sync(bool wait) {
+Status PhysicalMemoryFile::Sync(bool wait, StorageIo* io) {
   if (backend_ != MemoryFileBackend::kFile) return OkStatus();
-  if (wait) {
-    if (::fdatasync(fd_) != 0) return ErrnoError("fdatasync", errno);
-    return OkStatus();
-  }
-#if defined(__linux__)
+  if (io == nullptr) io = RealStorageIo();
+  if (wait) return io->Fsync(fd_, "fdatasync(column data)");
   // Kick off writeback of everything dirty without waiting for completion.
-  if (::sync_file_range(fd_, 0, 0, SYNC_FILE_RANGE_WRITE) != 0) {
-    return ErrnoError("sync_file_range", errno);
-  }
-#endif
-  return OkStatus();
+  return io->SyncFileRange(fd_, "sync_file_range(column data)");
 }
 
 Status PhysicalMemoryFile::Grow(uint64_t new_pages) {

@@ -25,6 +25,8 @@
 
 namespace vmsv {
 
+class StorageIo;
+
 /// One storage page: 4 KiB, the rewiring granularity.
 inline constexpr uint64_t kPageSize = 4096;
 
@@ -81,8 +83,10 @@ class PhysicalMemoryFile {
   /// (sync_file_range where available, else a no-op). MAP_SHARED mappings
   /// dirty the page cache directly, so syncing the fd covers every arena
   /// mapped over this file — no per-arena msync needed. No-op (OK) for the
-  /// anonymous backends, which have no stable storage to reach.
-  Status Sync(bool wait);
+  /// anonymous backends, which have no stable storage to reach. `io` routes
+  /// the fdatasync / sync_file_range through a StorageIo (null = real I/O),
+  /// letting the crash matrix interpose on data writeback too.
+  Status Sync(bool wait, StorageIo* io = nullptr);
 
  private:
   PhysicalMemoryFile(int fd, uint64_t pages, MemoryFileBackend backend,

@@ -1,11 +1,15 @@
 #include "storage/journal.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
 #include <fcntl.h>
 #include <sys/file.h>
 #include <unistd.h>
+
+#include "storage/storage_io.h"
+#include "util/macros.h"
 
 namespace vmsv {
 
@@ -75,8 +79,9 @@ uint32_t Crc32(const void* data, size_t len) {
   return ~crc;
 }
 
-StatusOr<JournalOpenResult> WriteAheadJournal::Open(
-    const std::string& path) {
+StatusOr<JournalOpenResult> WriteAheadJournal::Open(const std::string& path,
+                                                    StorageIo* io) {
+  if (io == nullptr) io = RealStorageIo();
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (fd < 0) return ErrnoError(("open " + path).c_str(), errno);
 
@@ -96,15 +101,17 @@ StatusOr<JournalOpenResult> WriteAheadJournal::Open(
     return ErrnoError("flock(journal)", saved);
   }
 
-  JournalOpenResult result{WriteAheadJournal(fd, path, 0), {}, false};
+  JournalOpenResult result;
+  result.journal = std::unique_ptr<WriteAheadJournal>(
+      new WriteAheadJournal(fd, path, 0, io));
   const off_t size = ::lseek(fd, 0, SEEK_END);
   if (size < 0) return ErrnoError("lseek(journal)", errno);
 
   if (size == 0) {
     // Fresh journal: stamp the header.
-    Status st = WriteAll(fd, kHeaderMagic, kHeaderSize, "write(journal)");
-    if (!st.ok()) return st;
-    if (::fdatasync(fd) != 0) return ErrnoError("fdatasync(journal)", errno);
+    VMSV_RETURN_IF_ERROR(
+        io->Write(fd, kHeaderMagic, kHeaderSize, "write(journal header)"));
+    VMSV_RETURN_IF_ERROR(io->Fsync(fd, "fdatasync(journal header)"));
     return result;
   }
 
@@ -130,37 +137,21 @@ StatusOr<JournalOpenResult> WriteAheadJournal::Open(
   if (offset < size) {
     // Torn tail (partial or corrupt record): drop it so future appends are
     // never shadowed by garbage during the next replay.
-    if (::ftruncate(fd, offset) != 0) {
-      return ErrnoError("ftruncate(journal tail)", errno);
-    }
-    if (::fdatasync(fd) != 0) return ErrnoError("fdatasync(journal)", errno);
+    VMSV_RETURN_IF_ERROR(io->Truncate(fd, static_cast<uint64_t>(offset),
+                                      "ftruncate(journal tail)"));
+    VMSV_RETURN_IF_ERROR(io->Fsync(fd, "fdatasync(journal)"));
     result.tail_truncated = true;
   }
   if (::lseek(fd, offset, SEEK_SET) < 0) {
     return ErrnoError("lseek(journal)", errno);
   }
-  result.journal.record_count_ = result.replayed.size();
+  result.journal->record_count_ = result.replayed.size();
+  // Replayed records are on disk by definition; LSNs continue above them.
+  result.journal->appended_lsn_.store(result.replayed.size(),
+                                      std::memory_order_release);
+  result.journal->durable_lsn_.store(result.replayed.size(),
+                                     std::memory_order_release);
   return result;
-}
-
-WriteAheadJournal::WriteAheadJournal(WriteAheadJournal&& other) noexcept
-    : fd_(other.fd_), path_(std::move(other.path_)),
-      record_count_(other.record_count_) {
-  other.fd_ = -1;
-  other.record_count_ = 0;
-}
-
-WriteAheadJournal& WriteAheadJournal::operator=(
-    WriteAheadJournal&& other) noexcept {
-  if (this != &other) {
-    if (fd_ >= 0) ::close(fd_);
-    fd_ = other.fd_;
-    path_ = std::move(other.path_);
-    record_count_ = other.record_count_;
-    other.fd_ = -1;
-    other.record_count_ = 0;
-  }
-  return *this;
 }
 
 WriteAheadJournal::~WriteAheadJournal() {
@@ -169,7 +160,7 @@ WriteAheadJournal::~WriteAheadJournal() {
 
 Status WriteAheadJournal::Append(const RowUpdate& update, bool sync) {
   const RecordBuf buf = RecordBuf::From(update);
-  Status st = WriteAll(fd_, buf.bytes, kRecordSize, "write(journal)");
+  Status st = io_->Write(fd_, buf.bytes, kRecordSize, "write(journal)");
   if (!st.ok()) {
     // A PARTIAL write would leave torn bytes at the tail; a later
     // successful Append would then sit BEHIND them and replay — which
@@ -178,27 +169,72 @@ Status WriteAheadJournal::Append(const RowUpdate& update, bool sync) {
     // even across failed appends (best effort: if the truncate itself
     // fails we still report the original error, and replay's torn-tail
     // handling remains the backstop).
-    const off_t good =
-        static_cast<off_t>(kHeaderSize + record_count_ * kRecordSize);
-    if (::ftruncate(fd_, good) == 0) {
-      ::lseek(fd_, good, SEEK_SET);
+    const uint64_t good = kHeaderSize + record_count_ * kRecordSize;
+    if (io_->Truncate(fd_, good, "ftruncate(journal rewind)").ok()) {
+      ::lseek(fd_, static_cast<off_t>(good), SEEK_SET);
     }
     return st;
   }
   ++record_count_;
+  appended_lsn_.fetch_add(1, std::memory_order_acq_rel);
   if (sync) return Sync();
   return OkStatus();
 }
 
+Status WriteAheadJournal::SyncToLsn(uint64_t target) {
+  VMSV_RETURN_IF_ERROR(io_->Fsync(fd_, "fdatasync(journal)"));
+  {
+    std::lock_guard<std::mutex> lk(commit_mu_);
+    uint64_t durable = durable_lsn_.load(std::memory_order_relaxed);
+    if (target > durable) {
+      durable_lsn_.store(target, std::memory_order_release);
+    }
+  }
+  commit_cv_.notify_all();
+  return OkStatus();
+}
+
 Status WriteAheadJournal::Sync() {
-  if (::fdatasync(fd_) != 0) return ErrnoError("fdatasync(journal)", errno);
+  // The snapshot is taken before the fsync starts: records appended WHILE
+  // the kernel flushes may or may not be covered, so only the pre-sync
+  // watermark is published as durable.
+  return SyncToLsn(appended_lsn_.load(std::memory_order_acquire));
+}
+
+Status WriteAheadJournal::CommitThrough(uint64_t lsn) {
+  std::unique_lock<std::mutex> lk(commit_mu_);
+  while (durable_lsn_.load(std::memory_order_acquire) < lsn) {
+    if (sync_in_flight_) {
+      // A leader's fsync is running; its completion may already cover us.
+      commit_cv_.wait(lk);
+      continue;
+    }
+    // Become the leader: one fsync covers every record appended so far —
+    // ours and every follower's that queued behind the previous sync.
+    sync_in_flight_ = true;
+    const uint64_t target = appended_lsn_.load(std::memory_order_acquire);
+    lk.unlock();
+    const Status st = SyncToLsn(target);
+    lk.lock();
+    sync_in_flight_ = false;
+    if (!st.ok()) {
+      // Strand every waiter with the failure — their records' durability is
+      // unknown, which is exactly what a crash would mean.
+      lk.unlock();
+      commit_cv_.notify_all();
+      return st;
+    }
+    group_commits_.fetch_add(1, std::memory_order_relaxed);
+    lk.unlock();
+    commit_cv_.notify_all();
+    lk.lock();
+  }
   return OkStatus();
 }
 
 Status WriteAheadJournal::Reset() {
-  if (::ftruncate(fd_, static_cast<off_t>(kHeaderSize)) != 0) {
-    return ErrnoError("ftruncate(journal reset)", errno);
-  }
+  VMSV_RETURN_IF_ERROR(
+      io_->Truncate(fd_, kHeaderSize, "ftruncate(journal reset)"));
   if (::lseek(fd_, static_cast<off_t>(kHeaderSize), SEEK_SET) < 0) {
     return ErrnoError("lseek(journal reset)", errno);
   }

@@ -25,9 +25,12 @@
 #ifndef VMSV_STORAGE_STORAGE_CONFIG_H_
 #define VMSV_STORAGE_STORAGE_CONFIG_H_
 
+#include <cstdint>
 #include <string>
 
 namespace vmsv {
+
+class StorageIo;
 
 /// How FlushUpdates/Checkpoint push column data out of the page cache.
 enum class FlushPolicy {
@@ -69,6 +72,19 @@ struct StorageConfig {
   /// instead of once per FlushUpdates (the default: the flush fsync is the
   /// commit point, matching group-commit economics).
   bool journal_sync_every_update = false;
+  /// Group commit: when > 0, the Update whose journal record lands on a
+  /// multiple-of-batch LSN acknowledges through
+  /// WriteAheadJournal::CommitThrough — one leader fsync covers the whole
+  /// batch, and concurrent updaters share it, so N updates cost at most
+  /// ceil(N/batch) fsyncs. Off-boundary updates return without waiting
+  /// (their durability lands at the next boundary or flush). Takes
+  /// precedence over journal_sync_every_update (batch == 1 gives the same
+  /// durability through the group-commit ack path). 0 disables.
+  uint64_t group_commit_batch = 0;
+  /// File-operation layer for every durable artifact (journal, manifest,
+  /// delta log, data writeback). Null means real I/O; tests inject a
+  /// FaultInjectingIo here. Not owned; must outlive the column.
+  StorageIo* io = nullptr;
 };
 
 }  // namespace vmsv

@@ -1,0 +1,385 @@
+#include "storage/storage_io.h"
+
+#include "util/macros.h"
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace vmsv {
+
+namespace {
+
+Status WriteFull(int fd, const void* data, size_t len, const char* what) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError(what, errno);
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status PwriteFull(int fd, const void* data, size_t len, uint64_t offset,
+                  const char* what) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::pwrite(fd, p, len, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError(what, errno);
+    }
+    p += n;
+    offset += static_cast<uint64_t>(n);
+    len -= static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status FsyncFd(int fd, const char* what) {
+  if (::fdatasync(fd) != 0) return ErrnoError(what, errno);
+  return OkStatus();
+}
+
+Status FsyncDirPath(const std::string& dir) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) return ErrnoError(("open dir " + dir).c_str(), errno);
+  const int rc = ::fsync(dfd);
+  const int saved = errno;
+  ::close(dfd);
+  if (rc != 0) return ErrnoError("fsync(dir)", saved);
+  return OkStatus();
+}
+
+Status RenamePath(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoError(("rename " + from + " -> " + to).c_str(), errno);
+  }
+  return OkStatus();
+}
+
+Status TruncateFd(int fd, uint64_t len, const char* what) {
+  if (::ftruncate(fd, static_cast<off_t>(len)) != 0) {
+    return ErrnoError(what, errno);
+  }
+  return OkStatus();
+}
+
+Status SyncFileRangeFd(int fd, const char* what) {
+#if defined(__linux__)
+  if (::sync_file_range(fd, 0, 0, SYNC_FILE_RANGE_WRITE) != 0) {
+    return ErrnoError(what, errno);
+  }
+#else
+  (void)fd;
+  (void)what;
+#endif
+  return OkStatus();
+}
+
+class PassthroughIo : public StorageIo {
+ public:
+  Status Write(int fd, const void* data, size_t len,
+               const char* what) override {
+    return WriteFull(fd, data, len, what);
+  }
+  Status Pwrite(int fd, const void* data, size_t len, uint64_t offset,
+                const char* what) override {
+    return PwriteFull(fd, data, len, offset, what);
+  }
+  Status Fsync(int fd, const char* what) override {
+    return FsyncFd(fd, what);
+  }
+  Status FsyncDir(const std::string& dir) override {
+    return FsyncDirPath(dir);
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return RenamePath(from, to);
+  }
+  Status Truncate(int fd, uint64_t len, const char* what) override {
+    return TruncateFd(fd, len, what);
+  }
+  Status SyncFileRange(int fd, const char* what) override {
+    return SyncFileRangeFd(fd, what);
+  }
+};
+
+/// Tiny xorshift64* — deterministic across platforms, which is all the
+/// fault plans need (torn lengths and garbage bytes, not statistics).
+uint64_t NextRand(uint64_t* state) {
+  uint64_t x = *state ? *state : 0x9E3779B97F4A7C15ull;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+}  // namespace
+
+StorageIo* RealStorageIo() {
+  static PassthroughIo* io = new PassthroughIo();
+  return io;
+}
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kFailOp: return "fail";
+    case FaultKind::kTornWrite: return "torn";
+    case FaultKind::kReorderCrash: return "reorder";
+    case FaultKind::kCrashStop: return "crash";
+  }
+  return "unknown";
+}
+
+void FaultInjectingIo::Arm(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lk(mu_);
+  plan_ = plan;
+  op_count_ = 0;
+  crashed_ = false;
+  crash_on_next_sync_ = false;
+}
+
+bool FaultInjectingIo::crashed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return crashed_;
+}
+
+uint64_t FaultInjectingIo::op_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return op_count_;
+}
+
+FaultInjectingIo::Stats FaultInjectingIo::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void FaultInjectingIo::set_sync_listener(std::function<void(int)> listener) {
+  std::lock_guard<std::mutex> lk(mu_);
+  sync_listener_ = std::move(listener);
+}
+
+Status FaultInjectingIo::CrashedError(const char* what) const {
+  return IoError(std::string("injected crash-stop: ") + what +
+                 " after simulated process death");
+}
+
+FaultInjectingIo::WriteFault FaultInjectingIo::AdmitOpLocked(bool is_write) {
+  ++op_count_;
+  if (crashed_) return WriteFault::kCrash;
+  if (plan_.kind == FaultKind::kNone || op_count_ != plan_.op_index) {
+    return WriteFault::kNone;
+  }
+  switch (plan_.kind) {
+    case FaultKind::kFailOp:
+      return WriteFault::kFail;
+    case FaultKind::kTornWrite:
+      if (is_write) return WriteFault::kTorn;
+      crashed_ = true;
+      return WriteFault::kCrash;
+    case FaultKind::kReorderCrash:
+      if (is_write) return WriteFault::kReorder;
+      crashed_ = true;
+      return WriteFault::kCrash;
+    case FaultKind::kCrashStop:
+      crashed_ = true;
+      return WriteFault::kCrash;
+    case FaultKind::kNone:
+      break;
+  }
+  return WriteFault::kNone;
+}
+
+Status FaultInjectingIo::Write(int fd, const void* data, size_t len,
+                               const char* what) {
+  WriteFault fault;
+  uint64_t seed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fault = AdmitOpLocked(/*is_write=*/true);
+    seed = plan_.seed + op_count_;
+    ++stats_.writes;
+    if (fault != WriteFault::kNone) ++stats_.faults_injected;
+    if (fault == WriteFault::kNone || fault == WriteFault::kReorder) {
+      stats_.written_bytes += len;
+    }
+  }
+  switch (fault) {
+    case WriteFault::kNone:
+      return WriteFull(fd, data, len, what);
+    case WriteFault::kFail:
+      return IoError(std::string("injected write failure: ") + what);
+    case WriteFault::kTorn: {
+      // A strict prefix lands (power died mid-stream); report failure and
+      // stop the world. len == 0 degenerates to a pure crash-stop.
+      const size_t torn = len == 0 ? 0 : NextRand(&seed) % len;
+      if (torn > 0) WriteFull(fd, data, torn, what);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        crashed_ = true;
+      }
+      return IoError(std::string("injected torn write (") +
+                     std::to_string(torn) + "/" + std::to_string(len) +
+                     " bytes): " + what);
+    }
+    case WriteFault::kReorder: {
+      // This write's payload is lost while later writes of the batch land:
+      // put seed-derived garbage where the real bytes belong and report
+      // success. The next fsync fails, so no caller ever treats the
+      // reordered batch as durable.
+      std::vector<unsigned char> garbage(len);
+      for (size_t i = 0; i < len; ++i) {
+        garbage[i] = static_cast<unsigned char>(NextRand(&seed));
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        crash_on_next_sync_ = true;
+      }
+      return WriteFull(fd, garbage.data(), len, what);
+    }
+    case WriteFault::kCrash:
+      return CrashedError(what);
+  }
+  return OkStatus();
+}
+
+Status FaultInjectingIo::Pwrite(int fd, const void* data, size_t len,
+                                uint64_t offset, const char* what) {
+  WriteFault fault;
+  uint64_t seed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fault = AdmitOpLocked(/*is_write=*/true);
+    seed = plan_.seed + op_count_;
+    ++stats_.pwrites;
+    if (fault != WriteFault::kNone) ++stats_.faults_injected;
+    if (fault == WriteFault::kNone || fault == WriteFault::kReorder) {
+      stats_.written_bytes += len;
+    }
+  }
+  switch (fault) {
+    case WriteFault::kNone:
+      return PwriteFull(fd, data, len, offset, what);
+    case WriteFault::kFail:
+      return IoError(std::string("injected pwrite failure: ") + what);
+    case WriteFault::kTorn: {
+      const size_t torn = len == 0 ? 0 : NextRand(&seed) % len;
+      if (torn > 0) PwriteFull(fd, data, torn, offset, what);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        crashed_ = true;
+      }
+      return IoError(std::string("injected torn pwrite (") +
+                     std::to_string(torn) + "/" + std::to_string(len) +
+                     " bytes): " + what);
+    }
+    case WriteFault::kReorder: {
+      std::vector<unsigned char> garbage(len);
+      for (size_t i = 0; i < len; ++i) {
+        garbage[i] = static_cast<unsigned char>(NextRand(&seed));
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        crash_on_next_sync_ = true;
+      }
+      return PwriteFull(fd, garbage.data(), len, offset, what);
+    }
+    case WriteFault::kCrash:
+      return CrashedError(what);
+  }
+  return OkStatus();
+}
+
+Status FaultInjectingIo::Fsync(int fd, const char* what) {
+  std::function<void(int)> listener;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const WriteFault fault = AdmitOpLocked(/*is_write=*/false);
+    ++stats_.fsyncs;
+    if (fault != WriteFault::kNone) {
+      ++stats_.faults_injected;
+      if (fault == WriteFault::kCrash) return CrashedError(what);
+      return IoError(std::string("injected fsync failure: ") + what);
+    }
+    if (crash_on_next_sync_) {
+      // The reordered batch reaches its durability point: the power is
+      // already off. Fail the sync and stop the world.
+      crash_on_next_sync_ = false;
+      crashed_ = true;
+      ++stats_.faults_injected;
+      return IoError(std::string("injected crash at batch fsync: ") + what);
+    }
+    listener = sync_listener_;
+  }
+  VMSV_RETURN_IF_ERROR(FsyncFd(fd, what));
+  if (listener) listener(fd);
+  return OkStatus();
+}
+
+Status FaultInjectingIo::FsyncDir(const std::string& dir) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const WriteFault fault = AdmitOpLocked(/*is_write=*/false);
+    ++stats_.dir_fsyncs;
+    if (fault != WriteFault::kNone) {
+      ++stats_.faults_injected;
+      if (fault == WriteFault::kCrash) return CrashedError("fsync(dir)");
+      return IoError("injected dir-fsync failure: " + dir);
+    }
+  }
+  return FsyncDirPath(dir);
+}
+
+Status FaultInjectingIo::Rename(const std::string& from,
+                                const std::string& to) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const WriteFault fault = AdmitOpLocked(/*is_write=*/false);
+    ++stats_.renames;
+    if (fault != WriteFault::kNone) {
+      ++stats_.faults_injected;
+      if (fault == WriteFault::kCrash) return CrashedError("rename");
+      return IoError("injected rename failure: " + from + " -> " + to);
+    }
+  }
+  return RenamePath(from, to);
+}
+
+Status FaultInjectingIo::Truncate(int fd, uint64_t len, const char* what) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const WriteFault fault = AdmitOpLocked(/*is_write=*/false);
+    ++stats_.truncates;
+    if (fault != WriteFault::kNone) {
+      ++stats_.faults_injected;
+      if (fault == WriteFault::kCrash) return CrashedError(what);
+      return IoError(std::string("injected truncate failure: ") + what);
+    }
+  }
+  return TruncateFd(fd, len, what);
+}
+
+Status FaultInjectingIo::SyncFileRange(int fd, const char* what) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const WriteFault fault = AdmitOpLocked(/*is_write=*/false);
+    ++stats_.sync_file_ranges;
+    if (fault != WriteFault::kNone) {
+      ++stats_.faults_injected;
+      if (fault == WriteFault::kCrash) return CrashedError(what);
+      return IoError(std::string("injected writeback failure: ") + what);
+    }
+  }
+  return SyncFileRangeFd(fd, what);
+}
+
+}  // namespace vmsv

@@ -1,0 +1,98 @@
+// ScopedTempDir — shared scratch-directory RAII for the persistence and
+// crash-injection tests.
+//
+// The historical per-test helper removed its directory in the destructor,
+// which is exactly the cleanup that NEVER runs when a fatal assertion aborts
+// the process (ValueOrDie on an error status, VMSV_CHECK, ASSERT in a
+// death-test child): every such failure leaked a vmsv_* directory into
+// TMPDIR. This helper fixes that structurally instead of per-call-site:
+// every directory lives under one per-user root and embeds its owning pid,
+// and each process SWEEPS the root once at startup, removing any directory
+// whose owner is no longer alive. A crashed run's litter is collected by the
+// next run — including a next run of a different test binary, since the
+// root is shared.
+//
+// Layout: <TMPDIR>/vmsv_scratch/<tag>_<pid>_<counter>
+
+#ifndef VMSV_TESTS_SCOPED_TEMP_DIR_H_
+#define VMSV_TESTS_SCOPED_TEMP_DIR_H_
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace vmsv {
+
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const char* tag) {
+    namespace fs = std::filesystem;
+    const fs::path root = Root();
+    std::error_code ec;
+    fs::create_directories(root, ec);
+    SweepStaleOnce(root);
+    dir_ = (root / (std::string(tag) + "_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(counter_++)))
+               .string();
+    fs::remove_all(dir_, ec);
+    fs::create_directories(dir_, ec);
+  }
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  ~ScopedTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  const std::string& path() const { return dir_; }
+
+ private:
+  static std::filesystem::path Root() {
+    return std::filesystem::temp_directory_path() / "vmsv_scratch";
+  }
+
+  /// Removes sibling scratch dirs whose embedded pid is dead — the litter
+  /// of runs that aborted before their destructors. Runs once per process.
+  static void SweepStaleOnce(const std::filesystem::path& root) {
+    static const bool swept = [&root] {
+      namespace fs = std::filesystem;
+      std::error_code ec;
+      for (const auto& entry : fs::directory_iterator(root, ec)) {
+        const std::string name = entry.path().filename().string();
+        // Name is <tag>_<pid>_<counter>: the pid is the second-to-last
+        // underscore-separated field.
+        const size_t last = name.rfind('_');
+        if (last == std::string::npos || last == 0) continue;
+        const size_t prev = name.rfind('_', last - 1);
+        if (prev == std::string::npos) continue;
+        const std::string pid_str = name.substr(prev + 1, last - prev - 1);
+        char* end = nullptr;
+        const long pid = std::strtol(pid_str.c_str(), &end, 10);
+        if (end == pid_str.c_str() || *end != '\0' || pid <= 0) continue;
+        if (pid == static_cast<long>(::getpid())) continue;
+        // Signal 0 probes existence. EPERM means "alive but not ours" —
+        // only ESRCH (no such process) marks the directory as abandoned.
+        if (::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH) {
+          std::error_code rm_ec;
+          fs::remove_all(entry.path(), rm_ec);
+        }
+      }
+      return true;
+    }();
+    (void)swept;
+  }
+
+  static inline int counter_ = 0;
+  std::string dir_;
+};
+
+}  // namespace vmsv
+
+#endif  // VMSV_TESTS_SCOPED_TEMP_DIR_H_

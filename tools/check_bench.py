@@ -417,6 +417,7 @@ PERSISTENCE_TOP_LEVEL_FIELDS = {
     "threads": int,
     "restart": dict,
     "fsync": dict,
+    "group_commit": dict,
 }
 
 RESTART_FIELDS = {
@@ -440,6 +441,22 @@ FSYNC_POLICY_FIELDS = {
 }
 
 KNOWN_FSYNC_POLICIES = {"none", "async", "sync"}
+
+GROUP_COMMIT_MODE_FIELDS = {
+    "mode": str,
+    "batch": int,
+    "fsyncs_per_rep": int,
+    "wall_median_ms": float,
+    "rep_ms": list,
+    "per_update_us": float,
+}
+
+# mode name -> expected batch size (0 = fdatasync on every update).
+KNOWN_GROUP_COMMIT_MODES = {
+    "sync_every_update": 0,
+    "group_commit_8": 8,
+    "group_commit_32": 32,
+}
 
 
 def check_micro_persistence(doc, path):
@@ -500,9 +517,52 @@ def check_micro_persistence(doc, path):
         fail(f"{where}: need exactly policies {sorted(KNOWN_FSYNC_POLICIES)}, "
              f"got {sorted(policies)}")
 
+    gc = doc["group_commit"]
+    where = f"{path}: group_commit"
+    updates = gc.get("updates_per_rep")
+    if not isinstance(updates, int) or updates <= 0:
+        fail(f"{where}: updates_per_rep must be a positive int")
+    modes = {}
+    for i, m in enumerate(gc.get("modes", [])):
+        mwhere = f"{where}: modes[{i}]"
+        if not isinstance(m, dict):
+            fail(f"{mwhere}: not an object")
+        expect_fields(m, GROUP_COMMIT_MODE_FIELDS, mwhere)
+        if m["mode"] not in KNOWN_GROUP_COMMIT_MODES:
+            fail(f"{mwhere}: unknown mode '{m['mode']}'")
+        if m["mode"] in modes:
+            fail(f"{mwhere}: duplicate mode '{m['mode']}'")
+        if m["batch"] != KNOWN_GROUP_COMMIT_MODES[m["mode"]]:
+            fail(f"{mwhere}: batch {m['batch']} does not match mode")
+        if m["wall_median_ms"] <= 0 or m["per_update_us"] <= 0:
+            fail(f"{mwhere}: timings must be positive")
+        check_rep_array(m, "rep_ms", doc["reps"], mwhere)
+        # The fsync counts are DETERMINISTIC — per-update mode syncs every
+        # append, group commit syncs exactly at multiple-of-batch LSNs — so
+        # unlike wall time they can be gated exactly on any machine.
+        batch = max(m["batch"], 1)
+        expected_fsyncs = (updates + batch - 1) // batch
+        if m["fsyncs_per_rep"] != expected_fsyncs:
+            fail(f"{mwhere}: {m['fsyncs_per_rep']} fsyncs per rep, expected "
+                 f"ceil({updates}/{batch}) = {expected_fsyncs}")
+        modes[m["mode"]] = m
+    if set(modes) != set(KNOWN_GROUP_COMMIT_MODES):
+        fail(f"{where}: need exactly modes "
+             f"{sorted(KNOWN_GROUP_COMMIT_MODES)}, got {sorted(modes)}")
+    # The acceptance contract: batch >= 8 must reduce the per-update sync
+    # cost versus the committed per-update-fsync baseline.
+    if modes["group_commit_8"]["fsyncs_per_rep"] >= \
+            modes["sync_every_update"]["fsyncs_per_rep"]:
+        fail(f"{where}: group commit at batch 8 does not reduce fsyncs "
+             f"({modes['group_commit_8']['fsyncs_per_rep']} vs "
+             f"{modes['sync_every_update']['fsyncs_per_rep']})")
+
     return (f"{restart['views_persisted']} views persisted, cold open "
             f"{restart['cold_vs_rebuild_speedup']:.2f}x faster than rebuild, "
-            f"sync flush {policies['sync']['flush_median_ms']:.2f} ms")
+            f"sync flush {policies['sync']['flush_median_ms']:.2f} ms, "
+            f"group commit x8 cuts fsyncs "
+            f"{modes['sync_every_update']['fsyncs_per_rep']} -> "
+            f"{modes['group_commit_8']['fsyncs_per_rep']}")
 
 
 CHECKERS = {
@@ -544,7 +604,7 @@ def check_file(path):
 # per-flush fsync sweep: journal records + manifest, not data pages) are
 # listed in FLAT_METRIC_PREFIXES and compared raw.
 
-FLAT_METRIC_PREFIXES = ("fsync/",)
+FLAT_METRIC_PREFIXES = ("fsync/", "group_commit/")
 
 
 def scan_metrics(doc):
@@ -582,6 +642,8 @@ def persistence_metrics(doc):
     }
     for p in doc["fsync"]["policies"]:
         out[f"fsync/{p['policy']}"] = p["flush_median_ms"]
+    for m in doc["group_commit"]["modes"]:
+        out[f"group_commit/{m['mode']}"] = m["wall_median_ms"]
     return out
 
 
