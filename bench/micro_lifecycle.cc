@@ -81,6 +81,9 @@ struct CompactionReport {
   uint64_t view_pages = 0;
   uint64_t runs_before = 0;
   uint64_t holes_before = 0;
+  /// Live process-wide VMA count at the fragmentation peak (the quantity
+  /// vm.max_map_count bounds; 0 where /proc/self/maps is unavailable).
+  uint64_t vma_count = 0;
   double fragmented_median_ms = 0;
   std::vector<double> fragmented_rep_ms;
   std::vector<StrategyResult> strategies;
@@ -135,6 +138,7 @@ CompactionReport RunCompactionExperiment(const bench::BenchEnv& env) {
   // Warm-up faults every live page in (and the same physical pages back all
   // later views of this column, so the data itself stays hot throughout).
   const PageScanResult ref = fragmented->Scan(q);
+  report.vma_count = CountProcessVmas();
   report.fragmented_median_ms =
       MedianScan(*fragmented, q, env.reps, &report.fragmented_rep_ms, ref);
 
@@ -335,6 +339,7 @@ int WriteJson(const std::string& path, const bench::BenchEnv& env,
     w.Field("view_pages", comp.view_pages);
     w.Field("runs_before", comp.runs_before);
     w.Field("holes_before", comp.holes_before);
+    w.Field("vma_count", comp.vma_count);
     w.Field("fragmented_median_ms", comp.fragmented_median_ms);
     w.FieldArray("fragmented_rep_ms", comp.fragmented_rep_ms);
     w.Field("scan_speedup", comp.scan_speedup, 4);

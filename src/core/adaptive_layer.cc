@@ -1,12 +1,17 @@
 #include "core/adaptive_layer.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <filesystem>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "exec/batch_executor.h"
 #include "exec/parallel_scanner.h"
+#include "rewiring/virtual_arena.h"
+#include "rewiring/vm_io.h"
 #include "storage/manifest.h"
 #include "storage/storage_io.h"
 #include "util/macros.h"
@@ -34,6 +39,7 @@ const char* CandidateDecisionName(CandidateDecision decision) {
     case CandidateDecision::kReplacedExisting: return "replaced_existing";
     case CandidateDecision::kEvictedExisting: return "evicted_existing";
     case CandidateDecision::kBudgetExhausted: return "budget_exhausted";
+    case CandidateDecision::kBaseFallback: return "base_fallback";
     case CandidateDecision::kNone: return "none";
   }
   return "unknown";
@@ -88,29 +94,28 @@ bool PartialViewIndex::FindCover(const RangeQuery& q, bool cost_based,
   }
 }
 
-std::unique_ptr<VirtualView> PartialViewIndex::Replace(
+StatusOr<std::unique_ptr<VirtualView>> PartialViewIndex::Replace(
     VirtualView* victim, std::unique_ptr<VirtualView> replacement) {
   for (auto& slot : views_) {
     if (slot.get() == victim) {
       std::unique_ptr<VirtualView> displaced = std::move(slot);
       slot = std::move(replacement);
-      return displaced;
+      return StatusOr<std::unique_ptr<VirtualView>>(std::move(displaced));
     }
   }
-  VMSV_CHECK(false && "Replace victim not in pool");
-  return nullptr;
+  return FailedPrecondition("Replace victim not in pool");
 }
 
-std::unique_ptr<VirtualView> PartialViewIndex::Remove(VirtualView* view) {
+StatusOr<std::unique_ptr<VirtualView>> PartialViewIndex::Remove(
+    VirtualView* view) {
   for (auto it = views_.begin(); it != views_.end(); ++it) {
     if (it->get() == view) {
       std::unique_ptr<VirtualView> detached = std::move(*it);
       views_.erase(it);
-      return detached;
+      return StatusOr<std::unique_ptr<VirtualView>>(std::move(detached));
     }
   }
-  VMSV_CHECK(false && "Remove target not in pool");
-  return nullptr;
+  return FailedPrecondition("Remove target not in pool");
 }
 
 // ---------------------------------------------------------------------------
@@ -122,6 +127,13 @@ StatusOr<std::unique_ptr<AdaptiveColumn>> AdaptiveColumn::Create(
   if (config.max_views == 0) return InvalidArgument("max_views must be >= 1");
   auto adaptive = std::unique_ptr<AdaptiveColumn>(
       new AdaptiveColumn(std::move(column), config));
+  // Install the VmIo seam on the backing file: every arena built over it
+  // from here on (view materialization, compaction, pressure probes)
+  // resolves its syscall layer from the file. The base arena predates this
+  // install, so base scans stay fault-free — the always-correct fallback.
+  if (config.vm_io != nullptr) {
+    adaptive->column_->file()->set_vm_io(config.vm_io);
+  }
   if (config.creation.background_mapping) {
     adaptive->mapper_ = std::make_unique<BackgroundMapper>();
   }
@@ -509,6 +521,12 @@ StatusOr<QueryExecution> AdaptiveColumn::Execute(const RangeQuery& q) {
 StatusOr<QueryExecution> AdaptiveColumn::ExecuteMaintenance(
     const RangeQuery& q) {
   std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+  // Shed mappings BEFORE building anything new: a map failure anywhere set
+  // the pressure flag, and relieving it here gives the adaptation below its
+  // best chance of succeeding.
+  if (pressure_pending_.exchange(false, std::memory_order_acq_rel)) {
+    RelievePressureLocked();
+  }
   if (!pending_.empty()) {
     auto flushed = FlushUpdatesLocked(/*compact_after=*/true);
     if (!flushed.ok()) return flushed.status();
@@ -541,7 +559,21 @@ StatusOr<QueryExecution> AdaptiveColumn::AnswerFromSingleView(
   lock.unlock();
   // From here the view is pinned by the guard: eviction would only park it
   // on the limbo list, and in-place mutation waits for our exit.
-  VMSV_RETURN_IF_ERROR(view->EnsureMaterialized(mapper_.get()));
+  const Status materialized = view->EnsureMaterialized(mapper_.get());
+  if (!materialized.ok()) {
+    // Mapping failed (address space, VMA budget, transient EAGAIN). The
+    // view stays consistently unmaterialized (EnsureMaterialized's failure
+    // contract) and a READ must not surface a resource error: the base
+    // column answers exactly, and the pressure flag asks the next
+    // maintenance pass to shed mappings.
+    NoteMapFailure();
+    health_.base_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    QueryExecution fallback = AnswerFromBase(q);
+    fallback.stats.considered_views = exec.stats.considered_views;
+    fallback.stats.views_after = exec.stats.views_after;
+    RecordQuery(fallback.stats.scanned_pages);
+    return fallback;
+  }
   view->RecordHit(metrics_.queries.load(std::memory_order_relaxed));
   const PageScanResult r = view->Scan(q);
   exec.match_count = r.match_count;
@@ -565,7 +597,18 @@ StatusOr<QueryExecution> AdaptiveColumn::AnswerFromCover(
   PageScanResult total;
   const uint64_t seq = metrics_.queries.load(std::memory_order_relaxed);
   for (VirtualView* view : cover) {
-    VMSV_RETURN_IF_ERROR(view->EnsureMaterialized(mapper_.get()));
+    const Status materialized = view->EnsureMaterialized(mapper_.get());
+    if (!materialized.ok()) {
+      // One unmappable member poisons the whole cover; the base column
+      // answers exactly instead (partial per-view results are discarded).
+      NoteMapFailure();
+      health_.base_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      QueryExecution fallback = AnswerFromBase(q);
+      fallback.stats.considered_views = exec.stats.considered_views;
+      fallback.stats.views_after = exec.stats.views_after;
+      RecordQuery(fallback.stats.scanned_pages);
+      return fallback;
+    }
     view->RecordHit(seq);
     total.Merge(view->ScanIf(
         q, [&seen](uint64_t page) { return seen.insert(page).second; }));
@@ -586,7 +629,25 @@ StatusOr<QueryExecution> AdaptiveColumn::FullScanAndAdapt(const RangeQuery& q) {
   // answers the query and rewires the qualifying pages into a new view.
   auto built = BuildViewAndAnswer(*column_, q.lo, q.hi, q, config_.creation,
                                   mapper_.get());
-  if (!built.ok()) return built.status();
+  if (!built.ok()) {
+    const StatusCode code = built.status().code();
+    if (code == StatusCode::kIoError || code == StatusCode::kResourceExhausted) {
+      // Candidate materialization failed on a mapping syscall — adaptation
+      // is an optimization, never a correctness requirement. Answer the
+      // query from the base column and let a later, healthier pass adapt.
+      NoteMapFailure();
+      health_.failed_adaptations.fetch_add(1, std::memory_order_relaxed);
+      health_.base_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      QueryExecution exec = AnswerFromBase(q);
+      {
+        std::shared_lock<std::shared_mutex> lock(views_mu_);
+        exec.stats.views_after = view_index_.num_partial_views();
+      }
+      RecordQuery(exec.stats.scanned_pages);
+      return exec;
+    }
+    return built.status();
+  }
   built->view->SetCreationInfo(metrics_.queries.load(std::memory_order_relaxed),
                                built->scanned_pages);
 
@@ -700,13 +761,23 @@ CandidateDecision AdaptiveColumn::DecideCandidate(
       }
     }
     if (missing <= config_.replace_tolerance) {
-      if (edit != nullptr) {
-        candidate->set_durable_id(durable_->next_view_id++);
-        edit->removed_ids.push_back(view->durable_id());
-        edit->upserted.push_back(candidate.get());
+      // Capture before the move: on a Replace failure `candidate` is gone
+      // and `edit` must not reference it. (The victim came from this very
+      // pool walk, so a miss would be a logic error — but degrading to a
+      // dropped candidate beats aborting the process.)
+      VirtualView* cand_ptr = candidate.get();
+      const uint64_t removed_id = view->durable_id();
+      auto displaced = view_index_.Replace(view.get(), std::move(candidate));
+      if (!displaced.ok()) {
+        metrics_.candidates_dropped.fetch_add(1, std::memory_order_relaxed);
+        return CandidateDecision::kBudgetExhausted;
       }
-      epoch_.RetireObject(
-          view_index_.Replace(view.get(), std::move(candidate)));
+      if (edit != nullptr) {
+        cand_ptr->set_durable_id(durable_->next_view_id++);
+        edit->removed_ids.push_back(removed_id);
+        edit->upserted.push_back(cand_ptr);
+      }
+      epoch_.RetireObject(std::move(displaced).ValueOrDie());
       metrics_.views_replaced.fetch_add(1, std::memory_order_relaxed);
       return CandidateDecision::kReplacedExisting;
     }
@@ -756,12 +827,19 @@ CandidateDecision AdaptiveColumn::AdmitAtBudget(
       }
       // Concurrent scans may still be inside the victim: park it on the
       // epoch limbo list; reclamation happens once they all exited.
-      if (edit != nullptr) {
-        candidate->set_durable_id(durable_->next_view_id++);
-        edit->removed_ids.push_back(victim->durable_id());
-        edit->upserted.push_back(candidate.get());
+      VirtualView* cand_ptr = candidate.get();
+      const uint64_t removed_id = victim->durable_id();
+      auto displaced = view_index_.Replace(victim, std::move(candidate));
+      if (!displaced.ok()) {
+        metrics_.candidates_dropped.fetch_add(1, std::memory_order_relaxed);
+        return CandidateDecision::kBudgetExhausted;
       }
-      epoch_.RetireObject(view_index_.Replace(victim, std::move(candidate)));
+      if (edit != nullptr) {
+        cand_ptr->set_durable_id(durable_->next_view_id++);
+        edit->removed_ids.push_back(removed_id);
+        edit->upserted.push_back(cand_ptr);
+      }
+      epoch_.RetireObject(std::move(displaced).ValueOrDie());
       metrics_.views_evicted.fetch_add(1, std::memory_order_relaxed);
       lifecycle_.RecordEviction();
       return CandidateDecision::kEvictedExisting;
@@ -838,8 +916,21 @@ StatusOr<BatchExecution> AdaptiveColumn::ExecuteBatch(
     }
   }
 
+  // Queries whose view failed to materialize: they join the base pass below
+  // but are labeled kBaseFallback (vs kNone for genuinely uncovered ones).
+  std::unordered_set<size_t> degraded;
   for (auto& [view, members] : by_view) {
-    VMSV_RETURN_IF_ERROR(view->EnsureMaterialized(mapper_.get()));
+    const Status materialized = view->EnsureMaterialized(mapper_.get());
+    if (!materialized.ok()) {
+      NoteMapFailure();
+      health_.base_fallbacks.fetch_add(members.size(),
+                                       std::memory_order_relaxed);
+      for (const size_t i : members) {
+        degraded.insert(i);
+        missed.push_back(i);
+      }
+      continue;
+    }
     std::vector<RangeQuery> group;
     group.reserve(members.size());
     for (const size_t i : members) group.push_back(queries[i]);
@@ -875,7 +966,9 @@ StatusOr<BatchExecution> AdaptiveColumn::ExecuteBatch(
       QueryExecution& exec = out.queries[missed[m]];
       exec.match_count = results[m].match_count;
       exec.sum = results[m].sum;
-      exec.stats.decision = CandidateDecision::kNone;
+      exec.stats.decision = degraded.count(missed[m]) != 0
+                                ? CandidateDecision::kBaseFallback
+                                : CandidateDecision::kNone;
       exec.stats.scanned_pages = m == 0 ? column_pages : 0;
       out.individual_equivalent_pages += column_pages;
     }
@@ -927,8 +1020,26 @@ Status AdaptiveColumn::Update(uint64_t row, Value new_value) {
   WriteAheadJournal* journal = nullptr;
   if (durable_ != nullptr) {
     journal = durable_->journal.get();
-    VMSV_RETURN_IF_ERROR(journal->Append(
-        RowUpdate{row, column_->Get(row), new_value}, /*sync=*/false));
+    const Status appended = journal->Append(
+        RowUpdate{row, column_->Get(row), new_value}, /*sync=*/false);
+    if (!appended.ok()) {
+      health_.journal_stalls.fetch_add(1, std::memory_order_relaxed);
+      // Disk full: enter explicit read-only degraded mode instead of making
+      // callers parse messages. No data mutated (journal-ahead order), so
+      // reads keep answering from the consistent pre-update state. Every
+      // Update re-probes the journal, so the mode clears automatically on
+      // the first append that succeeds after space is freed.
+      if (appended.sys_errno() == ENOSPC &&
+          !health_.degraded_read_only.exchange(true,
+                                               std::memory_order_acq_rel)) {
+        health_.read_only_entries.fetch_add(1, std::memory_order_relaxed);
+      }
+      return appended;
+    }
+    if (health_.degraded_read_only.exchange(false,
+                                            std::memory_order_acq_rel)) {
+      health_.read_only_exits.fetch_add(1, std::memory_order_relaxed);
+    }
     ++durable_->stats.journal_appends;
     const uint64_t batch = config_.storage.group_commit_batch;
     const uint64_t lsn = journal->appended_lsn();  // this record's own LSN
@@ -979,7 +1090,34 @@ StatusOr<UpdateApplyStats> AdaptiveColumn::FlushUpdatesLocked(
   auto views = view_index_.MutableViews();
   auto stats = AlignPartialViews(*column_, views, pending_,
                                  config_.mapping_source);
-  if (!stats.ok()) return stats;
+  if (!stats.ok()) {
+    const StatusCode code = stats.status().code();
+    if (code != StatusCode::kIoError &&
+        code != StatusCode::kResourceExhausted) {
+      return stats;
+    }
+    // Alignment died on a mapping syscall, leaving an unknown subset of the
+    // views partially realigned — scanning one could fault on an unmapped
+    // slot. The base column already holds every update (Update writes the
+    // cell before logging), so the views are pure optimization state: drop
+    // them all, consume the batch, and let queries full-scan and re-adapt.
+    // This is the one failure that empties the pool wholesale — alignment
+    // gives no per-view failure attribution.
+    NoteMapFailure();
+    for (VirtualView* view : view_index_.MutableViews()) {
+      auto removed = view_index_.Remove(view);
+      if (removed.ok()) epoch_.RetireObject(std::move(removed).ValueOrDie());
+    }
+    pending_.clear();
+    pending_count_.store(0, std::memory_order_release);
+    if (durable_ != nullptr) durable_->manifest_dirty = true;
+    xlock.unlock();
+    epoch_.TryReclaim();
+    if (durable_ != nullptr) {
+      VMSV_RETURN_IF_ERROR(PersistCheckpointLocked());
+    }
+    return UpdateApplyStats{};
+  }
   const bool had_updates = !pending_.empty();
   pending_.clear();
   pending_count_.store(0, std::memory_order_release);
@@ -1004,8 +1142,13 @@ StatusOr<UpdateApplyStats> AdaptiveColumn::FlushUpdatesLocked(
         if (retired != nullptr) epoch_.RetireObject(std::move(retired));
       } else {
         // A dropped view changes the pool shape (CompactView's own counter
-        // only moves on success).
-        epoch_.RetireObject(view_index_.Remove(view));
+        // only moves on success). Abandoning it cleanly — rather than
+        // keeping a view the next scan could fault on — IS the recovery;
+        // the range full-scans and re-adapts.
+        health_.abandoned_compactions.fetch_add(1, std::memory_order_relaxed);
+        NoteMapFailure();
+        auto removed = view_index_.Remove(view);
+        if (removed.ok()) epoch_.RetireObject(std::move(removed).ValueOrDie());
         if (durable_ != nullptr) durable_->manifest_dirty = true;
       }
       reclaim_after = true;
@@ -1025,6 +1168,108 @@ StatusOr<UpdateApplyStats> AdaptiveColumn::FlushUpdatesLocked(
     VMSV_RETURN_IF_ERROR(PersistCheckpointLocked());
   }
   return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Degradation and health
+
+ColumnHealth AdaptiveColumn::Health() const {
+  ColumnHealth h;
+  h.degraded_read_only =
+      health_.degraded_read_only.load(std::memory_order_relaxed);
+  h.mapping_pressure = pressure_pending_.load(std::memory_order_relaxed);
+  h.map_failures = health_.map_failures.load(std::memory_order_relaxed);
+  h.base_fallbacks = health_.base_fallbacks.load(std::memory_order_relaxed);
+  h.emergency_evictions =
+      health_.emergency_evictions.load(std::memory_order_relaxed);
+  h.failed_adaptations =
+      health_.failed_adaptations.load(std::memory_order_relaxed);
+  h.abandoned_compactions =
+      health_.abandoned_compactions.load(std::memory_order_relaxed);
+  h.journal_stalls = health_.journal_stalls.load(std::memory_order_relaxed);
+  h.read_only_entries =
+      health_.read_only_entries.load(std::memory_order_relaxed);
+  h.read_only_exits = health_.read_only_exits.load(std::memory_order_relaxed);
+  return h;
+}
+
+void AdaptiveColumn::NoteMapFailure() {
+  health_.map_failures.fetch_add(1, std::memory_order_relaxed);
+  // Ask the next maintenance pass to shed mappings before it builds
+  // anything new.
+  pressure_pending_.store(true, std::memory_order_release);
+}
+
+QueryExecution AdaptiveColumn::AnswerFromBase(const RangeQuery& q) const {
+  // The base arena was mapped before any fault seam was installed and is
+  // never rewired, so this path makes no mapping syscalls — it is the floor
+  // the degradation policy stands on. The caller guarantees a consistent
+  // base: either an epoch guard is held (update quiescence covers the scan)
+  // or maintenance_mu_ freezes the update path.
+  QueryExecution exec;
+  const ParallelScanner scanner;
+  const PageScanResult r = scanner.ScanPages(
+      reinterpret_cast<const Value*>(column_->base_arena().data()),
+      column_->num_pages(), q);
+  exec.match_count = r.match_count;
+  exec.sum = r.sum;
+  exec.stats.scanned_pages = column_->num_pages();
+  exec.stats.decision = CandidateDecision::kBaseFallback;
+  return exec;
+}
+
+void AdaptiveColumn::RelievePressureLocked() {
+  // Mapping syscalls have been failing (ENOMEM/EAGAIN or a VMA budget).
+  // Probe whether a fresh single-slot arena maps; while it does not, evict
+  // the coldest materialized view, reclaim, and retry with linear backoff
+  // up to the configured attempt budget. Giving up re-arms the pressure
+  // flag so the next maintenance pass tries again.
+  if (column_->num_pages() == 0) return;
+  const uint32_t attempts =
+      std::max<uint32_t>(1, config_.pressure_relief_max_attempts);
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    {
+      auto probe = VirtualArena::Create(column_->file(), 1);
+      if (probe.ok() && (*probe)->MapRange(0, 0, 1).ok()) {
+        return;  // mappings work again; pressure relieved
+      }
+    }
+    VirtualView* victim = nullptr;
+    {
+      std::unique_lock<std::shared_mutex> xlock(views_mu_);
+      const uint64_t now = metrics_.queries.load(std::memory_order_relaxed);
+      const uint64_t column_pages = column_->num_pages();
+      double victim_score = 0;
+      for (VirtualView* view : view_index_.MutableViews()) {
+        if (!view->is_materialized()) continue;  // holds no mappings to shed
+        const double score = lifecycle_.Score(*view, now, column_pages);
+        if (victim == nullptr || score < victim_score) {
+          victim = view;
+          victim_score = score;
+        }
+      }
+      if (victim != nullptr) {
+        auto removed = view_index_.Remove(victim);
+        if (removed.ok()) {
+          epoch_.RetireObject(std::move(removed).ValueOrDie());
+          health_.emergency_evictions.fetch_add(1, std::memory_order_relaxed);
+          lifecycle_.RecordEviction();
+          if (durable_ != nullptr) durable_->manifest_dirty = true;
+        } else {
+          victim = nullptr;
+        }
+      }
+    }
+    // Reclamation is what actually returns the victim's mappings to the
+    // kernel; run it outside the exclusive section.
+    epoch_.TryReclaim();
+    if (victim == nullptr) break;  // nothing left to shed
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.pressure_relief_backoff_us) *
+        (attempt + 1));
+  }
+  // Could not confirm recovery: leave the flag set for the next pass.
+  pressure_pending_.store(true, std::memory_order_release);
 }
 
 }  // namespace vmsv

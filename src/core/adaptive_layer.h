@@ -76,6 +76,8 @@
 
 namespace vmsv {
 
+class VmIo;
+
 enum class QueryMode {
   /// Answer from the smallest single view covering the query (Figure 4).
   kSingleView,
@@ -99,6 +101,10 @@ enum class CandidateDecision {
   /// Pool at max_views; candidate dropped (always under kDropNewest, or
   /// when the candidate scored below every pool member).
   kBudgetExhausted,
+  /// A mapping failure (injected or real resource exhaustion) forced the
+  /// query onto the base column; no candidate was built or admitted. The
+  /// answer is still exact — degradation costs pages, never correctness.
+  kBaseFallback,
   kNone,
 };
 
@@ -134,6 +140,17 @@ struct AdaptiveConfig {
   /// manifest so Open() restores the whole engine state after a restart
   /// (storage/storage_config.h; ARCHITECTURE.md "Durability model").
   StorageConfig storage;
+  /// Address-space operation layer for every arena the column builds (base
+  /// mapping, view materialization, compaction). Null means real syscalls;
+  /// tests inject a FaultInjectingVmIo here. Not owned; must outlive the
+  /// column (ARCHITECTURE.md "Degradation model").
+  VmIo* vm_io = nullptr;
+  /// Mapping-budget pressure relief: after a materialization failure the
+  /// next maintenance pass evicts cold materialized views and re-probes the
+  /// mapping layer, up to this many attempts with linear backoff between
+  /// them, before giving up until the next failure signal.
+  uint32_t pressure_relief_max_attempts = 3;
+  uint32_t pressure_relief_backoff_us = 100;
 };
 
 /// Per-query execution statistics.
@@ -238,14 +255,17 @@ class PartialViewIndex {
     views_.push_back(std::move(view));
   }
 
-  /// Swaps `victim` (must be in the pool) for `replacement`, returning the
-  /// displaced view for deferred destruction.
-  std::unique_ptr<VirtualView> Replace(VirtualView* victim,
-                                       std::unique_ptr<VirtualView> replacement);
+  /// Swaps `victim` for `replacement`, returning the displaced view for
+  /// deferred destruction. Error contract: FailedPrecondition when `victim`
+  /// is not in the pool — the pool is unchanged and `replacement` has been
+  /// destroyed (callers treat it as a dropped candidate).
+  StatusOr<std::unique_ptr<VirtualView>> Replace(
+      VirtualView* victim, std::unique_ptr<VirtualView> replacement);
 
-  /// Detaches `view` (must be in the pool) and returns it — the eviction /
-  /// failed-compaction drop, destruction deferred to the caller.
-  std::unique_ptr<VirtualView> Remove(VirtualView* view);
+  /// Detaches `view` and returns it — the eviction / failed-compaction
+  /// drop, destruction deferred to the caller. Error contract:
+  /// FailedPrecondition when `view` is not in the pool (pool unchanged).
+  StatusOr<std::unique_ptr<VirtualView>> Remove(VirtualView* view);
 
  private:
   std::vector<std::unique_ptr<VirtualView>> views_;
@@ -286,6 +306,39 @@ struct DurabilityStats {
   uint64_t journal_durable_lsn = 0;
   /// Leader fsyncs CommitThrough executed (each one covered >= 1 record).
   uint64_t journal_group_commits = 0;
+};
+
+/// Point-in-time health snapshot (AdaptiveColumn::Health()). Degraded
+/// flags describe the CURRENT state; counters accumulate over the column's
+/// lifetime, so "recovered" means the flags cleared, not the counters.
+/// Relaxed-atomic snapshot with the same consistency caveats as
+/// CumulativeStats.
+struct ColumnHealth {
+  /// A durable append hit ENOSPC and no append has succeeded since: writes
+  /// are being rejected, reads still answer exactly. Clears automatically
+  /// on the first successful append (every Update re-probes).
+  bool degraded_read_only = false;
+  /// A mapping failure was seen and pressure relief has not yet confirmed
+  /// the mapping layer healthy again.
+  bool mapping_pressure = false;
+  /// Mapping-layer operations (materialize/adapt/compact) that failed.
+  uint64_t map_failures = 0;
+  /// Queries answered from the base column because a view failed to
+  /// materialize (each one was still answered exactly).
+  uint64_t base_fallbacks = 0;
+  /// Views evicted by pressure relief to shed mappings.
+  uint64_t emergency_evictions = 0;
+  /// Full-scan-and-adapt passes that dropped their candidate on a mapping
+  /// failure.
+  uint64_t failed_adaptations = 0;
+  /// Compactions abandoned mid-flight (the view was dropped, pool kept
+  /// consistent).
+  uint64_t abandoned_compactions = 0;
+  /// Durable appends rejected by the journal (any errno).
+  uint64_t journal_stalls = 0;
+  /// Transitions into / out of read-only degraded mode.
+  uint64_t read_only_entries = 0;
+  uint64_t read_only_exits = 0;
 };
 
 class AdaptiveColumn {
@@ -414,6 +467,10 @@ class AdaptiveColumn {
   /// shows how many displaced views/arenas await quiescence).
   EpochManager& epoch_manager() const { return epoch_; }
 
+  /// The degradation surface: current degraded flags + lifetime counters.
+  /// Thread-safe (relaxed-atomic snapshot).
+  ColumnHealth Health() const;
+
  private:
   AdaptiveColumn(std::unique_ptr<PhysicalColumn> column,
                  const AdaptiveConfig& config)
@@ -435,6 +492,19 @@ class AdaptiveColumn {
   /// maintenance_mu_.
   StatusOr<QueryExecution> ExecuteMaintenance(const RangeQuery& q);
   StatusOr<QueryExecution> FullScanAndAdapt(const RangeQuery& q);
+
+  /// The degradation read path: answers q exactly from the base column
+  /// under an already-held epoch guard (never errors on mapping state).
+  QueryExecution AnswerFromBase(const RangeQuery& q) const;
+
+  /// Records a mapping-layer failure: health counters + the pressure flag
+  /// the next maintenance pass relieves.
+  void NoteMapFailure();
+
+  /// Mapping-budget pressure relief: evict the coldest materialized views
+  /// (bounded attempts, linear backoff) until a probe mapping succeeds or
+  /// the attempts run out. Caller holds maintenance_mu_.
+  void RelievePressureLocked();
 
   /// Routes q per config().mode against the pool. Caller holds views_mu_
   /// (any mode). Returns true and fills exactly one of view/cover when the
@@ -527,6 +597,19 @@ class AdaptiveColumn {
     std::atomic<uint64_t> candidates_dropped{0};
   };
 
+  /// Internal counters/flags behind Health().
+  struct HealthCounters {
+    std::atomic<bool> degraded_read_only{false};
+    std::atomic<uint64_t> map_failures{0};
+    std::atomic<uint64_t> base_fallbacks{0};
+    std::atomic<uint64_t> emergency_evictions{0};
+    std::atomic<uint64_t> failed_adaptations{0};
+    std::atomic<uint64_t> abandoned_compactions{0};
+    std::atomic<uint64_t> journal_stalls{0};
+    std::atomic<uint64_t> read_only_entries{0};
+    std::atomic<uint64_t> read_only_exits{0};
+  };
+
   /// Bumps the per-query workload counters (relaxed).
   void RecordQuery(uint64_t scanned_pages) {
     metrics_.queries.fetch_add(1, std::memory_order_relaxed);
@@ -548,6 +631,10 @@ class AdaptiveColumn {
   UpdateBatch pending_;                     // guarded by maintenance_mu_
   std::atomic<size_t> pending_count_{0};    // lock-free mirror of pending_
   AtomicStats metrics_;
+  HealthCounters health_;
+  /// A mapping failure happened since the last relief pass; the next
+  /// maintenance entry runs RelievePressureLocked.
+  std::atomic<bool> pressure_pending_{false};
   ViewLifecycleManager lifecycle_;          // driven from maintenance_mu_
   std::unique_ptr<DurableState> durable_;   // guarded by maintenance_mu_
   /// Reclamation domain for displaced views/arenas. Declared after the

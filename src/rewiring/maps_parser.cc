@@ -173,4 +173,10 @@ uint64_t CountArenaFileMappings(const std::vector<MapsEntry>& entries,
   return count;
 }
 
+uint64_t CountProcessVmas() {
+  auto entries = ParseSelfMaps();
+  if (!entries.ok()) return 0;
+  return entries->size();
+}
+
 }  // namespace vmsv

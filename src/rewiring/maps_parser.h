@@ -85,6 +85,12 @@ PageBimap BuildArenaBimap(const std::vector<MapsEntry>& entries,
 uint64_t CountArenaFileMappings(const std::vector<MapsEntry>& entries,
                                 const VirtualArena& arena);
 
+/// Live VMA count of the whole process (the quantity vm.max_map_count
+/// bounds): one entry per /proc/self/maps line. 0 when the maps file cannot
+/// be read (non-Linux). Fragmented view pools drive this up — benches emit
+/// it so mapping-budget pressure is observable, not inferred.
+uint64_t CountProcessVmas();
+
 }  // namespace vmsv
 
 #endif  // VMSV_REWIRING_MAPS_PARSER_H_

@@ -3,13 +3,16 @@
 #include <cerrno>
 #include <cinttypes>
 #include <cstdio>
+#include <utility>
 
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "rewiring/vm_io.h"
 #include "storage/storage_io.h"
+#include "util/macros.h"
 
 namespace vmsv {
 
@@ -29,16 +32,18 @@ const char* MemoryFileBackendName(MemoryFileBackend backend) {
 }
 
 StatusOr<PhysicalMemoryFile> PhysicalMemoryFile::Create(
-    uint64_t pages, MemoryFileBackend backend) {
+    uint64_t pages, MemoryFileBackend backend, VmIo* vm_io) {
   if (pages == 0) return InvalidArgument("PhysicalMemoryFile needs >= 1 page");
   if (backend == MemoryFileBackend::kFile) {
     return InvalidArgument(
         "file backend needs a path: use CreateAt/OpenAt, not Create");
   }
+  VmIo* io = vm_io != nullptr ? vm_io : RealVmIo();
   int fd = -1;
   if (backend == MemoryFileBackend::kMemfd) {
-    fd = static_cast<int>(memfd_create("vmsv-column", MFD_CLOEXEC));
-    if (fd < 0) return ErrnoError("memfd_create", errno);
+    StatusOr<int> created = io->MemfdCreate("vmsv-column", MFD_CLOEXEC);
+    if (!created.ok()) return created.status();
+    fd = *created;
   } else {
     // A process-unique name; the object is unlinked immediately after open so
     // the descriptor is the only reference (same lifetime story as memfd).
@@ -50,12 +55,14 @@ StatusOr<PhysicalMemoryFile> PhysicalMemoryFile::Create(
     if (fd < 0) return ErrnoError("shm_open", errno);
     ::shm_unlink(name);
   }
-  if (::ftruncate(fd, static_cast<off_t>(pages * kPageSize)) != 0) {
-    const int saved = errno;
+  Status sized = io->Ftruncate(fd, pages * kPageSize, "ftruncate");
+  if (!sized.ok()) {
     ::close(fd);
-    return ErrnoError("ftruncate", saved);
+    return sized;
   }
-  return PhysicalMemoryFile(fd, pages, backend);
+  PhysicalMemoryFile file(fd, pages, backend);
+  file.set_vm_io(vm_io);
+  return StatusOr<PhysicalMemoryFile>(std::move(file));
 }
 
 StatusOr<PhysicalMemoryFile> PhysicalMemoryFile::CreateAt(
@@ -101,10 +108,11 @@ StatusOr<PhysicalMemoryFile> PhysicalMemoryFile::OpenAt(
 
 PhysicalMemoryFile::PhysicalMemoryFile(PhysicalMemoryFile&& other) noexcept
     : fd_(other.fd_), num_pages_(other.num_pages_), backend_(other.backend_),
-      path_(std::move(other.path_)) {
+      path_(std::move(other.path_)), vm_io_(other.vm_io_) {
   other.fd_ = -1;
   other.num_pages_ = 0;
   other.path_.clear();
+  other.vm_io_ = nullptr;
 }
 
 PhysicalMemoryFile& PhysicalMemoryFile::operator=(
@@ -115,9 +123,11 @@ PhysicalMemoryFile& PhysicalMemoryFile::operator=(
     num_pages_ = other.num_pages_;
     backend_ = other.backend_;
     path_ = std::move(other.path_);
+    vm_io_ = other.vm_io_;
     other.fd_ = -1;
     other.num_pages_ = 0;
     other.path_.clear();
+    other.vm_io_ = nullptr;
   }
   return *this;
 }
@@ -136,11 +146,14 @@ Status PhysicalMemoryFile::Sync(bool wait, StorageIo* io) {
 
 Status PhysicalMemoryFile::Grow(uint64_t new_pages) {
   if (new_pages <= num_pages_) return OkStatus();
-  if (::ftruncate(fd_, static_cast<off_t>(new_pages * kPageSize)) != 0) {
-    return ErrnoError("ftruncate(grow)", errno);
-  }
+  VMSV_RETURN_IF_ERROR(
+      vm_io()->Ftruncate(fd_, new_pages * kPageSize, "ftruncate(grow)"));
   num_pages_ = new_pages;
   return OkStatus();
+}
+
+VmIo* PhysicalMemoryFile::vm_io() const {
+  return vm_io_ != nullptr ? vm_io_ : RealVmIo();
 }
 
 }  // namespace vmsv

@@ -26,6 +26,7 @@
 namespace vmsv {
 
 class StorageIo;
+class VmIo;
 
 /// One storage page: 4 KiB, the rewiring granularity.
 inline constexpr uint64_t kPageSize = 4096;
@@ -45,10 +46,14 @@ const char* MemoryFileBackendName(MemoryFileBackend backend);
 class PhysicalMemoryFile {
  public:
   /// Creates an anonymous main-memory file of `pages` zero-filled pages.
+  /// `vm_io` (null = real syscalls) routes memfd_create/ftruncate through a
+  /// VmIo seam and is installed on the returned file, so every arena built
+  /// over it inherits the seam.
   /// Error contract: InvalidArgument for kFile (a path is required there —
   /// use CreateAt/OpenAt).
   static StatusOr<PhysicalMemoryFile> Create(
-      uint64_t pages, MemoryFileBackend backend = MemoryFileBackend::kMemfd);
+      uint64_t pages, MemoryFileBackend backend = MemoryFileBackend::kMemfd,
+      VmIo* vm_io = nullptr);
 
   /// Creates (O_CREAT | O_TRUNC) a file-backed memory file of `pages`
   /// zero-filled pages at `path`. The parent directory must exist.
@@ -78,6 +83,13 @@ class PhysicalMemoryFile {
   /// Grows the file to `new_pages` (no-op if already at least that large).
   Status Grow(uint64_t new_pages);
 
+  /// The VmIo every address-space operation over this file routes through.
+  /// Null means real syscalls; tests inject a FaultInjectingVmIo here. Not
+  /// owned; must outlive the file and every arena built over it. vm_io()
+  /// never returns null — it resolves to the process-wide passthrough.
+  void set_vm_io(VmIo* io) { vm_io_ = io; }
+  VmIo* vm_io() const;
+
   /// Pushes dirty pages toward stable storage. `wait` blocks until the data
   /// is durable (fdatasync); otherwise writeback is merely initiated
   /// (sync_file_range where available, else a no-op). MAP_SHARED mappings
@@ -97,6 +109,7 @@ class PhysicalMemoryFile {
   uint64_t num_pages_ = 0;
   MemoryFileBackend backend_ = MemoryFileBackend::kMemfd;
   std::string path_;
+  VmIo* vm_io_ = nullptr;
 };
 
 }  // namespace vmsv

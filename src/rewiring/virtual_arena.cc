@@ -6,6 +6,7 @@
 // MREMAP_FIXED in <sys/mman.h> on glibc.
 #include <sys/mman.h>
 
+#include "rewiring/vm_io.h"
 #include "util/macros.h"
 
 namespace vmsv {
@@ -28,15 +29,23 @@ StatusOr<std::unique_ptr<VirtualArena>> VirtualArena::Create(
   // at the start of the next into a single VMA — /proc/self/maps would then
   // show entries straddling arena boundaries and per-arena mapping recovery
   // (BuildArenaBimap) could not attribute them.
-  void* base = ::mmap(nullptr, (num_slots + 1) * kPageSize, PROT_NONE,
-                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
-  if (base == MAP_FAILED) return ErrnoError("mmap(reserve)", errno);
+  VmIo* io = file->vm_io();
+  StatusOr<void*> base =
+      io->Mmap(nullptr, (num_slots + 1) * kPageSize, PROT_NONE,
+               MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0,
+               "mmap(reserve)");
+  if (!base.ok()) return base.status();
   return std::unique_ptr<VirtualArena>(new VirtualArena(
-      std::move(file), static_cast<uint8_t*>(base), num_slots));
+      std::move(file), static_cast<uint8_t*>(*base), num_slots, io));
 }
 
 VirtualArena::~VirtualArena() {
-  ::munmap(base_, (num_slots_ + 1) * kPageSize);  // slots + guard page
+  // Teardown goes through the seam too, so an injecting VmIo's VMA
+  // accountant stays balanced across arena lifetimes. Injected failures
+  // here are swallowed: destructors cannot report, and a "failed" munmap
+  // leaks address space, not correctness.
+  (void)io_->Munmap(base_, (num_slots_ + 1) * kPageSize,
+                    "munmap(arena)");  // slots + guard page
 }
 
 Status VirtualArena::MapRange(uint64_t slot_start, uint64_t file_page_start,
@@ -53,10 +62,12 @@ Status VirtualArena::MapRange(uint64_t slot_start, uint64_t file_page_start,
   // faults are paid at most once per view and amortize across repeated
   // queries (measured net win on the Figure-4 workload).
   void* target = base_ + slot_start * kPageSize;
-  void* mapped = ::mmap(target, count * kPageSize, PROT_READ | PROT_WRITE,
-                        MAP_SHARED | MAP_FIXED, file_->fd(),
-                        static_cast<off_t>(file_page_start * kPageSize));
-  if (mapped == MAP_FAILED) return ErrnoError("mmap(rewire)", errno);
+  StatusOr<void*> mapped =
+      io_->Mmap(target, count * kPageSize, PROT_READ | PROT_WRITE,
+                MAP_SHARED | MAP_FIXED, file_->fd(),
+                static_cast<off_t>(file_page_start * kPageSize),
+                "mmap(rewire)");
+  if (!mapped.ok()) return mapped.status();
   ++map_calls_;
   RecordMapped(slot_start, file_page_start, count);
   return OkStatus();
@@ -92,10 +103,11 @@ Status VirtualArena::UnmapRange(uint64_t slot_start, uint64_t count) {
   // MAP_FIXED anonymous PROT_NONE re-reserves the range instead of punching a
   // hole another allocation could land in.
   void* target = base_ + slot_start * kPageSize;
-  void* mapped = ::mmap(target, count * kPageSize, PROT_NONE,
-                        MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_FIXED,
-                        -1, 0);
-  if (mapped == MAP_FAILED) return ErrnoError("mmap(unreserve)", errno);
+  StatusOr<void*> mapped =
+      io_->Mmap(target, count * kPageSize, PROT_NONE,
+                MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_FIXED, -1, 0,
+                "mmap(unreserve)");
+  if (!mapped.ok()) return mapped.status();
   RecordUnmapped(slot_start, count);
   return OkStatus();
 }
@@ -132,24 +144,27 @@ Status VirtualArena::AdoptRange(VirtualArena* src, uint64_t src_slot,
   void* dst_addr = base_ + dst_slot * kPageSize;
 #if defined(__linux__) && defined(MREMAP_FIXED)
   if (allow_mremap) {
-    void* moved = ::mremap(src_addr, bytes, bytes,
-                           MREMAP_MAYMOVE | MREMAP_FIXED, dst_addr);
-    if (moved != MAP_FAILED) {
+    StatusOr<void*> moved =
+        io_->Mremap(src_addr, bytes, bytes, MREMAP_MAYMOVE | MREMAP_FIXED,
+                    dst_addr, "mremap(adopt)");
+    if (moved.ok()) {
       ++mremap_calls_;
       // mremap left the source range UNMAPPED (a hole any later allocation
       // could land in, which the source arena's destructor would then tear
       // down). Restore the PROT_NONE reservation immediately.
-      void* reserved =
-          ::mmap(src_addr, bytes, PROT_NONE,
-                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_FIXED, -1, 0);
-      if (reserved == MAP_FAILED) return ErrnoError("mmap(re-reserve)", errno);
+      StatusOr<void*> reserved = io_->Mmap(
+          src_addr, bytes, PROT_NONE,
+          MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_FIXED, -1, 0,
+          "mmap(re-reserve)");
+      if (!reserved.ok()) return reserved.status();
       src->RecordUnmapped(src_slot, count);
       RecordMapped(dst_slot, static_cast<uint64_t>(first_page), count);
       if (used_mremap != nullptr) *used_mremap = true;
       return OkStatus();
     }
-    // mremap refused (e.g. kernel restriction): fall through to the rewire
-    // fallback, which is always possible.
+    // mremap refused (kernel restriction, injected ENOMEM, mapping-budget
+    // pressure): fall through to the rewire fallback, which is always
+    // possible.
   }
 #else
   (void)allow_mremap;

@@ -34,6 +34,8 @@
 
 namespace vmsv {
 
+class VmIo;
+
 class VirtualArena {
  public:
   /// Sentinel in the slot table: slot is not backed by any file page.
@@ -45,6 +47,10 @@ class VirtualArena {
   static bool MremapSupported();
 
   /// Reserves `num_slots` pages of virtual address space against `file`.
+  /// Every address-space syscall the arena makes (reservation, rewiring,
+  /// unmapping, mremap, teardown) routes through the file's VmIo seam
+  /// (file->vm_io()), resolved once here, so fault injection covers the
+  /// arena's whole mapping lifetime.
   static StatusOr<std::unique_ptr<VirtualArena>> Create(
       std::shared_ptr<PhysicalMemoryFile> file, uint64_t num_slots);
 
@@ -111,8 +117,8 @@ class VirtualArena {
 
  private:
   VirtualArena(std::shared_ptr<PhysicalMemoryFile> file, uint8_t* base,
-               uint64_t num_slots)
-      : file_(std::move(file)), base_(base), num_slots_(num_slots) {}
+               uint64_t num_slots, VmIo* io)
+      : file_(std::move(file)), base_(base), num_slots_(num_slots), io_(io) {}
 
   /// Records `count` slots starting at `slot_start` as mapped onto
   /// consecutive file pages from `file_page_start` (bookkeeping only).
@@ -124,6 +130,7 @@ class VirtualArena {
   std::shared_ptr<PhysicalMemoryFile> file_;
   uint8_t* base_;
   uint64_t num_slots_;
+  VmIo* io_;  // never null; resolved from file_->vm_io() at Create
   std::vector<int64_t> slot_to_page_;
   uint64_t num_mapped_ = 0;
   uint64_t map_calls_ = 0;

@@ -111,6 +111,16 @@ class PassthroughIo : public StorageIo {
   }
 };
 
+/// An injected kFailOp failure: errno-typed when the plan asked for one
+/// (sys_errno() set, message carries strerror), the legacy generic IoError
+/// otherwise.
+Status TypedInjected(std::string legacy_msg, int fail_errno) {
+  if (fail_errno == 0) return IoError(std::move(legacy_msg));
+  legacy_msg += ": ";
+  legacy_msg += std::strerror(fail_errno);
+  return Status(StatusCode::kIoError, std::move(legacy_msg), fail_errno);
+}
+
 /// Tiny xorshift64* — deterministic across platforms, which is all the
 /// fault plans need (torn lengths and garbage bytes, not statistics).
 uint64_t NextRand(uint64_t* state) {
@@ -203,10 +213,17 @@ Status FaultInjectingIo::Write(int fd, const void* data, size_t len,
                                const char* what) {
   WriteFault fault;
   uint64_t seed;
+  int fail_errno;
   {
     std::lock_guard<std::mutex> lk(mu_);
     fault = AdmitOpLocked(/*is_write=*/true);
     seed = plan_.seed + op_count_;
+    fail_errno = plan_.fail_errno;
+    if (fault == WriteFault::kFail && fail_errno == EINTR) {
+      // The wrapper's EINTR loop would retry and succeed; model exactly that.
+      fault = WriteFault::kNone;
+      ++stats_.eintr_retries;
+    }
     ++stats_.writes;
     if (fault != WriteFault::kNone) ++stats_.faults_injected;
     if (fault == WriteFault::kNone || fault == WriteFault::kReorder) {
@@ -217,7 +234,8 @@ Status FaultInjectingIo::Write(int fd, const void* data, size_t len,
     case WriteFault::kNone:
       return WriteFull(fd, data, len, what);
     case WriteFault::kFail:
-      return IoError(std::string("injected write failure: ") + what);
+      return TypedInjected(std::string("injected write failure: ") + what,
+                           fail_errno);
     case WriteFault::kTorn: {
       // A strict prefix lands (power died mid-stream); report failure and
       // stop the world. len == 0 degenerates to a pure crash-stop.
@@ -256,10 +274,16 @@ Status FaultInjectingIo::Pwrite(int fd, const void* data, size_t len,
                                 uint64_t offset, const char* what) {
   WriteFault fault;
   uint64_t seed;
+  int fail_errno;
   {
     std::lock_guard<std::mutex> lk(mu_);
     fault = AdmitOpLocked(/*is_write=*/true);
     seed = plan_.seed + op_count_;
+    fail_errno = plan_.fail_errno;
+    if (fault == WriteFault::kFail && fail_errno == EINTR) {
+      fault = WriteFault::kNone;
+      ++stats_.eintr_retries;
+    }
     ++stats_.pwrites;
     if (fault != WriteFault::kNone) ++stats_.faults_injected;
     if (fault == WriteFault::kNone || fault == WriteFault::kReorder) {
@@ -270,7 +294,8 @@ Status FaultInjectingIo::Pwrite(int fd, const void* data, size_t len,
     case WriteFault::kNone:
       return PwriteFull(fd, data, len, offset, what);
     case WriteFault::kFail:
-      return IoError(std::string("injected pwrite failure: ") + what);
+      return TypedInjected(std::string("injected pwrite failure: ") + what,
+                           fail_errno);
     case WriteFault::kTorn: {
       const size_t torn = len == 0 ? 0 : NextRand(&seed) % len;
       if (torn > 0) PwriteFull(fd, data, torn, offset, what);
@@ -303,12 +328,17 @@ Status FaultInjectingIo::Fsync(int fd, const char* what) {
   std::function<void(int)> listener;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    const WriteFault fault = AdmitOpLocked(/*is_write=*/false);
+    WriteFault fault = AdmitOpLocked(/*is_write=*/false);
     ++stats_.fsyncs;
+    if (fault == WriteFault::kFail && plan_.fail_errno == EINTR) {
+      fault = WriteFault::kNone;
+      ++stats_.eintr_retries;
+    }
     if (fault != WriteFault::kNone) {
       ++stats_.faults_injected;
       if (fault == WriteFault::kCrash) return CrashedError(what);
-      return IoError(std::string("injected fsync failure: ") + what);
+      return TypedInjected(std::string("injected fsync failure: ") + what,
+                           plan_.fail_errno);
     }
     if (crash_on_next_sync_) {
       // The reordered batch reaches its durability point: the power is
@@ -328,12 +358,17 @@ Status FaultInjectingIo::Fsync(int fd, const char* what) {
 Status FaultInjectingIo::FsyncDir(const std::string& dir) {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    const WriteFault fault = AdmitOpLocked(/*is_write=*/false);
+    WriteFault fault = AdmitOpLocked(/*is_write=*/false);
     ++stats_.dir_fsyncs;
+    if (fault == WriteFault::kFail && plan_.fail_errno == EINTR) {
+      fault = WriteFault::kNone;
+      ++stats_.eintr_retries;
+    }
     if (fault != WriteFault::kNone) {
       ++stats_.faults_injected;
       if (fault == WriteFault::kCrash) return CrashedError("fsync(dir)");
-      return IoError("injected dir-fsync failure: " + dir);
+      return TypedInjected("injected dir-fsync failure: " + dir,
+                           plan_.fail_errno);
     }
   }
   return FsyncDirPath(dir);
@@ -343,12 +378,17 @@ Status FaultInjectingIo::Rename(const std::string& from,
                                 const std::string& to) {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    const WriteFault fault = AdmitOpLocked(/*is_write=*/false);
+    WriteFault fault = AdmitOpLocked(/*is_write=*/false);
     ++stats_.renames;
+    if (fault == WriteFault::kFail && plan_.fail_errno == EINTR) {
+      fault = WriteFault::kNone;
+      ++stats_.eintr_retries;
+    }
     if (fault != WriteFault::kNone) {
       ++stats_.faults_injected;
       if (fault == WriteFault::kCrash) return CrashedError("rename");
-      return IoError("injected rename failure: " + from + " -> " + to);
+      return TypedInjected("injected rename failure: " + from + " -> " + to,
+                           plan_.fail_errno);
     }
   }
   return RenamePath(from, to);
@@ -357,12 +397,17 @@ Status FaultInjectingIo::Rename(const std::string& from,
 Status FaultInjectingIo::Truncate(int fd, uint64_t len, const char* what) {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    const WriteFault fault = AdmitOpLocked(/*is_write=*/false);
+    WriteFault fault = AdmitOpLocked(/*is_write=*/false);
     ++stats_.truncates;
+    if (fault == WriteFault::kFail && plan_.fail_errno == EINTR) {
+      fault = WriteFault::kNone;
+      ++stats_.eintr_retries;
+    }
     if (fault != WriteFault::kNone) {
       ++stats_.faults_injected;
       if (fault == WriteFault::kCrash) return CrashedError(what);
-      return IoError(std::string("injected truncate failure: ") + what);
+      return TypedInjected(std::string("injected truncate failure: ") + what,
+                           plan_.fail_errno);
     }
   }
   return TruncateFd(fd, len, what);
@@ -371,12 +416,17 @@ Status FaultInjectingIo::Truncate(int fd, uint64_t len, const char* what) {
 Status FaultInjectingIo::SyncFileRange(int fd, const char* what) {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    const WriteFault fault = AdmitOpLocked(/*is_write=*/false);
+    WriteFault fault = AdmitOpLocked(/*is_write=*/false);
     ++stats_.sync_file_ranges;
+    if (fault == WriteFault::kFail && plan_.fail_errno == EINTR) {
+      fault = WriteFault::kNone;
+      ++stats_.eintr_retries;
+    }
     if (fault != WriteFault::kNone) {
       ++stats_.faults_injected;
       if (fault == WriteFault::kCrash) return CrashedError(what);
-      return IoError(std::string("injected writeback failure: ") + what);
+      return TypedInjected(std::string("injected writeback failure: ") + what,
+                           plan_.fail_errno);
     }
   }
   return SyncFileRangeFd(fd, what);

@@ -93,10 +93,18 @@ const char* FaultKindName(FaultKind kind);
 /// One armed fault: at the `op_index`-th durability operation (1-based,
 /// counted across all threads), inject `kind`. `seed` drives the torn-write
 /// prefix length and the reorder garbage bytes.
+///
+/// For kFailOp, `fail_errno` types the failure: 0 keeps the legacy generic
+/// IoError; ENOSPC/EIO/etc. produce an ErrnoError whose sys_errno() callers
+/// can route on (disk-full handling vs media errors). EINTR is special —
+/// the real wrappers retry it transparently, so an injected EINTR executes
+/// the operation normally and only counts an eintr_retries stat: callers
+/// must never observe it.
 struct FaultPlan {
   FaultKind kind = FaultKind::kNone;
   uint64_t op_index = 0;
   uint64_t seed = 0;
+  int fail_errno = 0;
 };
 
 class FaultInjectingIo : public StorageIo {
@@ -114,6 +122,9 @@ class FaultInjectingIo : public StorageIo {
     uint64_t sync_file_ranges = 0;
     /// Operations that failed (or were silently corrupted) by injection.
     uint64_t faults_injected = 0;
+    /// Injected EINTRs that the wrapper-level retry absorbed (the operation
+    /// executed normally and the caller saw success).
+    uint64_t eintr_retries = 0;
 
     uint64_t ops() const {
       return writes + pwrites + fsyncs + dir_fsyncs + renames + truncates +

@@ -40,7 +40,7 @@ Status ErrnoError(const char* op, int saved_errno) {
   std::string msg = op;
   msg += ": ";
   msg += std::strerror(saved_errno);
-  return IoError(std::move(msg));
+  return Status(StatusCode::kIoError, std::move(msg), saved_errno);
 }
 
 }  // namespace vmsv

@@ -36,12 +36,20 @@ class Status {
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
+  Status(StatusCode code, std::string message, int sys_errno)
+      : code_(code), message_(std::move(message)), sys_errno_(sys_errno) {}
 
   static Status OK() { return Status(); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// The errno a failed syscall reported, when this status came from
+  /// ErrnoError (0 otherwise). Lets callers distinguish resource exhaustion
+  /// (ENOMEM, ENOSPC, EAGAIN) from media errors without parsing messages —
+  /// the degradation policy routes on this.
+  int sys_errno() const { return sys_errno_; }
 
   /// "OK" or "INVALID_ARGUMENT: <message>".
   std::string ToString() const;
@@ -54,6 +62,7 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+  int sys_errno_ = 0;
 };
 
 inline Status OkStatus() { return Status(); }

@@ -120,6 +120,7 @@ StatusOr<WorkloadReport> RunWorkload(AdaptiveColumn* adaptive,
     report.adaptive_total_ms += trace.adaptive_ms;
     report.fullscan_total_ms += trace.fullscan_ms;
   }
+  report.health = adaptive->Health();
   return report;
 }
 

@@ -69,6 +69,9 @@ struct WorkloadReport {
   double wall_ms = 0;
   double queries_per_sec = 0;
   uint64_t num_clients = 1;
+  /// Column health snapshot taken after the last query, so harnesses see
+  /// whether (and how often) the run degraded to base-column fallbacks.
+  ColumnHealth health;
 };
 
 StatusOr<WorkloadReport> RunWorkload(AdaptiveColumn* adaptive,

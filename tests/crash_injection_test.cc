@@ -21,10 +21,13 @@
 // (tools/crash_matrix.py drives that mode in CI).
 
 #include <algorithm>
+#include <cerrno>
 #include <climits>
 #include <cstdint>
+#include <fcntl.h>
 #include <filesystem>
 #include <string>
+#include <sys/stat.h>
 #include <unistd.h>
 #include <vector>
 
@@ -406,6 +409,56 @@ TEST(CrashMatrixTest, PowerSyncEveryUpdate) {
 
 TEST(CrashMatrixTest, PowerSyncGroupCommit) {
   CrashMatrix({"power_sync_group8", FlushPolicy::kSync, false, 8, true}).Run();
+}
+
+// ---------------------------------------------------------------------------
+// Errno-typed kFailOp faults: callers route on sys_errno() (disk-full vs
+// media error vs legacy untyped), and an injected EINTR is absorbed by the
+// wrapper-level retry exactly like the real syscall loop — the caller must
+// never observe it.
+
+TEST(FaultInjectingIoTest, ErrnoTypedFailuresAndEintrAbsorption) {
+  ScopedTempDir tmp("storage_errno");
+  const std::string path = tmp.path() + "/scratch";
+  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+  ASSERT_GE(fd, 0);
+  const char payload[] = "0123456789abcdef";
+
+  // ENOSPC: typed, performs nothing, and the NEXT operation proceeds — a
+  // transient full disk, not a crash-stop.
+  FaultInjectingIo io(FaultPlan{FaultKind::kFailOp, 1, 0, ENOSPC});
+  Status st = io.Write(fd, payload, sizeof payload, "scratch");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_EQ(st.sys_errno(), ENOSPC);
+  EXPECT_EQ(io.stats().faults_injected, 1u);
+  EXPECT_FALSE(io.crashed());
+  EXPECT_TRUE(io.Write(fd, payload, sizeof payload, "scratch").ok());
+
+  // EIO on the fsync: a media error, distinguishable from disk-full.
+  io.Arm(FaultPlan{FaultKind::kFailOp, 2, 0, EIO});
+  ASSERT_TRUE(io.Pwrite(fd, payload, sizeof payload, 0, "scratch").ok());
+  st = io.Fsync(fd, "scratch");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.sys_errno(), EIO);
+
+  // fail_errno == 0 keeps the legacy untyped IoError.
+  io.Arm(FaultPlan{FaultKind::kFailOp, 1, 0, 0});
+  st = io.Rename(path, path + ".renamed");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.sys_errno(), 0);
+
+  // EINTR: the operation executes, the caller sees success, and only the
+  // eintr_retries stat records that the fault fired.
+  io.Arm(FaultPlan{FaultKind::kFailOp, 1, 0, EINTR});
+  const uint64_t before = io.stats().eintr_retries;
+  ASSERT_TRUE(io.Truncate(fd, 0, "scratch").ok());
+  EXPECT_EQ(io.stats().eintr_retries, before + 1);
+  struct stat sb;
+  ASSERT_EQ(::fstat(fd, &sb), 0);
+  EXPECT_EQ(sb.st_size, 0);  // the truncate really executed
+
+  ::close(fd);
 }
 
 }  // namespace

@@ -1,0 +1,746 @@
+// VM-fault matrix (ISSUE 7 tentpole): enumerate (operation-index, errno)
+// points of a scripted in-memory workload under FaultInjectingVmIo — the
+// seam every mmap/munmap/mremap/mprotect/memfd_create/ftruncate of the
+// rewiring layer routes through — and check the degradation invariants:
+//
+//   1. exactness — every Execute/ExecuteBatch answer is bit-identical to
+//      ExecuteFullScan on the same column (the base arena predates the
+//      armed plan and scans make no syscalls, so the oracle is fault-free
+//      by construction);
+//   2. no aborts — resource exhaustion surfaces as degraded service
+//      (base-column fallbacks, dropped candidates, abandoned compactions),
+//      never as a crash or an error from a read;
+//   3. recovery — once the plan is cleared, queries keep answering
+//      exactly, and the next maintenance pass re-probes the mapping layer
+//      and clears Health().mapping_pressure (no residual degraded flags).
+//
+// The matrix crosses errno kinds (ENOMEM / EAGAIN / ENOSPC, once and
+// sticky) with operation-class targets (any / mmap / mprotect / munmap /
+// mremap), sized by a fault-free accounting run. The smoke run (plain
+// ctest) strides the any-target indices and probes one midpoint per
+// specific class; VMSV_VM_FAULT_FULL=1 sweeps every index of every class
+// (tools/vm_fault_matrix.py drives that mode in CI).
+//
+// Alongside the matrix: the PartialViewIndex foreign-view error contract
+// (the historical VMSV_CHECK aborts), creation-time memfd/ftruncate
+// faults, the vm.max_map_count-style mapping budget with pressure-driven
+// eviction, mremap-failure fallback mid-compaction, the durable-ENOSPC
+// read-only round trip, and the workload runner's health surface.
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <iostream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_layer.h"
+#include "core/virtual_view.h"
+#include "rewiring/physical_memory_file.h"
+#include "rewiring/virtual_arena.h"
+#include "rewiring/vm_io.h"
+#include "scoped_temp_dir.h"
+#include "storage/column.h"
+#include "storage/storage_io.h"
+#include "util/env.h"
+#include "workload/distribution.h"
+#include "workload/query_generator.h"
+#include "workload/runner.h"
+
+namespace vmsv {
+namespace {
+
+constexpr Value kMaxValue = 100'000'000;
+constexpr uint64_t kMinFullPointsPerScenario = 200;
+
+uint64_t TestPages() { return GetEnvUint64("VMSV_VM_FAULT_PAGES", 16); }
+uint64_t NumRows() { return TestPages() * kValuesPerPage; }
+bool FullSweep() { return GetEnvUint64("VMSV_VM_FAULT_FULL", 0) != 0; }
+
+/// Update #j (1-based) hits a page-spread row with an above-domain value,
+/// same convention as the crash matrix.
+uint64_t UpdateRow(uint64_t j) { return (j * 37) % NumRows(); }
+Value UpdateValue(uint64_t j) { return kMaxValue + j; }
+
+struct Scenario {
+  QueryMode mode;
+  size_t max_views;
+  bool cost_based;
+};
+
+AdaptiveConfig MakeConfig(const Scenario& s, VmIo* io) {
+  AdaptiveConfig config;
+  config.mode = s.mode;
+  config.max_views = s.max_views;
+  config.cost_based_routing = s.cost_based;
+  config.vm_io = io;
+  // Relief backoff is real-time; keep the sweep fast.
+  config.pressure_relief_backoff_us = 1;
+  // An eager eviction margin keeps the pool churning on the script's
+  // fresh-per-round queries: every round materializes new views AND
+  // retires old arenas, so the op surface covers munmap as densely as
+  // mmap.
+  config.lifecycle.eviction_margin = 0.05;
+  return config;
+}
+
+/// A fresh in-memory column whose ENTIRE address-space traffic — backing
+/// file creation, base arena, every view arena — routes through `io`. The
+/// caller arms the fault plan AFTER this returns, so genesis ops are
+/// counted but never faulted (mirroring the crash matrix, whose genesis
+/// runs on real I/O).
+StatusOr<std::unique_ptr<AdaptiveColumn>> MakeFaultableColumn(
+    const Scenario& s, FaultInjectingVmIo* io) {
+  auto file =
+      PhysicalMemoryFile::Create(TestPages(), MemoryFileBackend::kMemfd, io);
+  if (!file.ok()) return file.status();
+  auto shared = std::make_shared<PhysicalMemoryFile>(std::move(*file));
+  auto column = PhysicalColumn::Attach(std::move(shared), NumRows());
+  if (!column.ok()) return column.status();
+  DistributionSpec spec;
+  spec.kind = DataDistribution::kSine;
+  spec.max_value = kMaxValue;
+  spec.seed = 42;
+  FillColumn(spec, column->get());
+  return AdaptiveColumn::Create(std::move(column).ValueOrDie(),
+                                MakeConfig(s, io));
+}
+
+/// Round r of the script queries: same shape, fresh positions — so later
+/// rounds build NEW candidates, churning the pool at its budget (eviction
+/// + arena retirement = the munmap traffic of the op surface).
+std::vector<RangeQuery> ScriptQueries(uint64_t round) {
+  QueryWorkloadSpec spec;
+  spec.num_queries = 8;
+  spec.domain_hi = kMaxValue;
+  spec.seed = 97 + 13 * round;
+  return MakeFixedSelectivityWorkload(spec, 0.10);
+}
+
+/// One query under fire: the full-scan oracle must succeed (it makes no
+/// mapping syscalls), Execute must succeed (degrading to the base column
+/// at worst), and the two must agree bit-identically.
+bool CheckAgainstOracle(AdaptiveColumn* column, const RangeQuery& q,
+                        const std::string& step, std::string* detail) {
+  auto oracle = column->ExecuteFullScan(q);
+  if (!oracle.ok()) {
+    *detail = step + ": oracle full scan failed: " + oracle.status().ToString();
+    return false;
+  }
+  auto exec = column->Execute(q);
+  if (!exec.ok()) {
+    *detail = step + ": Execute failed: " + exec.status().ToString();
+    return false;
+  }
+  if (exec->match_count != oracle->match_count || exec->sum != oracle->sum) {
+    *detail = step + ": adaptive/oracle mismatch: adaptive count=" +
+              std::to_string(exec->match_count) +
+              " sum=" + std::to_string(exec->sum) +
+              " vs oracle count=" + std::to_string(oracle->match_count) +
+              " sum=" + std::to_string(oracle->sum);
+    return false;
+  }
+  return true;
+}
+
+/// The scripted workload, `rounds` times over: each query runs twice
+/// back-to-back — the first builds the candidate (lazily: page lists, no
+/// mmap), the immediate repeat routes into it and MATERIALIZES it before
+/// the next candidate can evict it (crucial at tight view budgets) — then
+/// an update wave, a full routed pass, and a flush. Later rounds use
+/// fresh query positions, so pool churn at the budget retires
+/// materialized arenas (munmap traffic). The shared-scan batch path
+/// closes the script. EVERY read must answer exactly; in-memory updates
+/// and flushes must never error (VM faults degrade — they do not surface
+/// on these paths).
+bool RunScript(AdaptiveColumn* column, uint64_t rounds,
+               std::string* detail) {
+  std::vector<RangeQuery> queries;
+  for (uint64_t r = 0; r < rounds; ++r) {
+    queries = ScriptQueries(r);
+    const std::string round = "round " + std::to_string(r) + " ";
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (!CheckAgainstOracle(column, queries[i],
+                              round + "adapt query " + std::to_string(i),
+                              detail)) {
+        return false;
+      }
+      if (!CheckAgainstOracle(column, queries[i],
+                              round + "materialize query " + std::to_string(i),
+                              detail)) {
+        return false;
+      }
+    }
+    for (uint64_t j = 1; j <= 12; ++j) {
+      const uint64_t u = r * 12 + j;
+      const Status updated = column->Update(UpdateRow(u), UpdateValue(u));
+      if (!updated.ok()) {
+        *detail = round + "update " + std::to_string(j) +
+                  " failed: " + updated.ToString();
+        return false;
+      }
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (!CheckAgainstOracle(column, queries[i],
+                              round + "routed query " + std::to_string(i),
+                              detail)) {
+        return false;
+      }
+    }
+    auto flushed = column->FlushUpdates();
+    if (!flushed.ok()) {
+      *detail = round + "FlushUpdates failed: " + flushed.status().ToString();
+      return false;
+    }
+  }
+  auto batch = column->ExecuteBatch(queries);
+  if (!batch.ok()) {
+    *detail = "ExecuteBatch failed: " + batch.status().ToString();
+    return false;
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto oracle = column->ExecuteFullScan(queries[i]);
+    if (!oracle.ok()) {
+      *detail = "batch oracle " + std::to_string(i) +
+                " failed: " + oracle.status().ToString();
+      return false;
+    }
+    const QueryExecution& got = batch->queries[i];
+    if (got.match_count != oracle->match_count || got.sum != oracle->sum) {
+      *detail = "batch query " + std::to_string(i) +
+                " mismatch: batch count=" + std::to_string(got.match_count) +
+                " sum=" + std::to_string(got.sum) +
+                " vs oracle count=" + std::to_string(oracle->match_count) +
+                " sum=" + std::to_string(oracle->sum);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The faults clear: queries stay exact, and the next maintenance pass
+/// (forced by an update) re-probes the mapping layer and drops the
+/// pressure flag. No degraded flag may linger.
+bool CheckRecovery(AdaptiveColumn* column, FaultInjectingVmIo* io,
+                   std::string* detail) {
+  io->Arm(VmFaultPlan{});  // resource pressure over; accountant lives on
+  const Status updated = column->Update(UpdateRow(25), UpdateValue(25));
+  if (!updated.ok()) {
+    *detail = "recovery update failed: " + updated.ToString();
+    return false;
+  }
+  const std::vector<RangeQuery> queries = ScriptQueries(0);
+  for (size_t i = 0; i < 3; ++i) {
+    if (!CheckAgainstOracle(column, queries[i],
+                            "recovery query " + std::to_string(i), detail)) {
+      return false;
+    }
+  }
+  const ColumnHealth health = column->Health();
+  if (health.mapping_pressure) {
+    *detail = "mapping_pressure still set after faults cleared";
+    return false;
+  }
+  if (health.degraded_read_only) {
+    *detail = "degraded_read_only set on an in-memory column";
+    return false;
+  }
+  return true;
+}
+
+struct FaultKindSpec {
+  const char* name;
+  int fail_errno;
+  bool sticky;
+};
+
+constexpr FaultKindSpec kKinds[] = {
+    {"enomem_once", ENOMEM, false},
+    {"eagain_once", EAGAIN, false},
+    {"enospc_once", ENOSPC, false},
+    {"enomem_sticky", ENOMEM, true},
+};
+
+struct TargetSpec {
+  const char* name;
+  VmOp op;
+};
+
+constexpr TargetSpec kTargets[] = {
+    {"any", VmOp::kAny},           {"mmap", VmOp::kMmap},
+    {"mprotect", VmOp::kMprotect}, {"munmap", VmOp::kMunmap},
+    {"mremap", VmOp::kMremap},
+};
+
+uint64_t PointSeed(uint64_t target_idx, int fail_errno, uint64_t op) {
+  return (op * 1315423911ull) ^ (static_cast<uint64_t>(fail_errno) << 17) ^
+         (target_idx * 2654435761ull);
+}
+
+/// Script-only op counts: Arm resets the fault-plan counter but stats
+/// accumulate from construction, so the genesis contribution is subtracted
+/// (armed runs count op indices from Arm, i.e. genesis ops never fire).
+FaultInjectingVmIo::Stats SubtractStats(const FaultInjectingVmIo::Stats& a,
+                                        const FaultInjectingVmIo::Stats& b) {
+  FaultInjectingVmIo::Stats d;
+  d.mmaps = a.mmaps - b.mmaps;
+  d.munmaps = a.munmaps - b.munmaps;
+  d.mremaps = a.mremaps - b.mremaps;
+  d.mprotects = a.mprotects - b.mprotects;
+  d.memfd_creates = a.memfd_creates - b.memfd_creates;
+  d.ftruncates = a.ftruncates - b.ftruncates;
+  return d;
+}
+
+class VmFaultMatrix {
+ public:
+  VmFaultMatrix(std::string name, const Scenario& scenario)
+      : name_(std::move(name)), scenario_(scenario) {}
+
+  void Run() {
+    // Fault-free accounting run sizes the matrix: per-class op totals of
+    // the scripted workload (genesis excluded — the counter is reset after
+    // construction, exactly like the armed runs). The full sweep grows the
+    // round count until the measured op surface clears the point floor —
+    // every armed point then replays the SAME round count, so op indices
+    // land where the accounting run measured them.
+    uint64_t rounds = 1;
+    FaultInjectingVmIo::Stats surface;
+    for (;;) {
+      FaultInjectingVmIo counter;
+      auto column = MakeFaultableColumn(scenario_, &counter);
+      ASSERT_TRUE(column.ok()) << column.status().ToString();
+      const FaultInjectingVmIo::Stats genesis = counter.stats();
+      counter.Arm(VmFaultPlan{});
+      std::string detail;
+      ASSERT_TRUE(RunScript(column->get(), rounds, &detail))
+          << name_ << " fault-free script: " << detail;
+      surface = SubtractStats(counter.stats(), genesis);
+      ASSERT_GT(surface.ops(), 0u) << name_ << ": script produced no VM ops";
+      if (!FullSweep() || rounds >= kMaxRounds ||
+          EstimatedPoints(surface) >= kMinFullPointsPerScenario) {
+        break;
+      }
+      ++rounds;
+    }
+
+    std::cout << "[ matrix   ] " << name_ << ": rounds=" << rounds
+              << " surface mmap=" << surface.mmaps
+              << " munmap=" << surface.munmaps
+              << " mremap=" << surface.mremaps
+              << " mprotect=" << surface.mprotects << std::endl;
+
+    uint64_t points = 0;
+    uint64_t failures = 0;
+    for (uint64_t t = 0; t < std::size(kTargets); ++t) {
+      const TargetSpec& target = kTargets[t];
+      const uint64_t class_total = ClassOps(target.op, surface);
+      if (class_total == 0) continue;
+      // Smoke: stride the any-target sweep and probe one midpoint per
+      // specific class. Full: every index of every class, every kind.
+      uint64_t stride = 1;
+      uint64_t first = 1;
+      const FaultKindSpec* kind_begin = std::begin(kKinds);
+      const FaultKindSpec* kind_end = std::end(kKinds);
+      if (!FullSweep()) {
+        if (target.op == VmOp::kAny) {
+          stride = std::max<uint64_t>(1, class_total / 8);
+        } else {
+          first = std::max<uint64_t>(1, class_total / 2);
+          stride = class_total + 1;  // single midpoint
+          kind_end = kind_begin + 1;
+        }
+      }
+      for (const FaultKindSpec* kind = kind_begin; kind != kind_end; ++kind) {
+        for (uint64_t op = first; op <= class_total; op += stride) {
+          const uint64_t seed = PointSeed(t, kind->fail_errno, op);
+          ++points;
+          std::string point_detail;
+          if (!RunPoint(target, *kind, op, seed, rounds, &point_detail)) {
+            ++failures;
+            ADD_FAILURE() << "VM-FAULT-POINT-FAILED scenario=" << name_
+                          << " target=" << target.name
+                          << " kind=" << kind->name << " op=" << op
+                          << " seed=" << seed << " :: " << point_detail;
+            if (failures >= 10) {
+              ADD_FAILURE() << name_ << ": too many fault-point failures, "
+                            << "aborting the sweep";
+              return;
+            }
+          }
+        }
+      }
+    }
+    if (FullSweep()) {
+      EXPECT_GE(points, kMinFullPointsPerScenario)
+          << name_ << ": full sweep too small to be meaningful";
+    }
+    ::testing::Test::RecordProperty(name_ + "_points",
+                                    static_cast<int>(points));
+  }
+
+ private:
+  /// Accounting-run rounds are capped: if this much pool churn still
+  /// leaves the surface under the floor, the sweep reports what it has
+  /// (the EXPECT_GE below flags the shortfall instead of spinning).
+  static constexpr uint64_t kMaxRounds = 16;
+
+  /// Full-sweep size for a given op surface: every kind at every index of
+  /// every non-empty class.
+  static uint64_t EstimatedPoints(const FaultInjectingVmIo::Stats& s) {
+    uint64_t estimate = 0;
+    for (const TargetSpec& target : kTargets) {
+      estimate += std::size(kKinds) * ClassOps(target.op, s);
+    }
+    return estimate;
+  }
+
+  static uint64_t ClassOps(VmOp op, const FaultInjectingVmIo::Stats& s) {
+    switch (op) {
+      case VmOp::kAny: return s.ops();
+      case VmOp::kMmap: return s.mmaps;
+      case VmOp::kMunmap: return s.munmaps;
+      case VmOp::kMremap: return s.mremaps;
+      case VmOp::kMprotect: return s.mprotects;
+      case VmOp::kMemfdCreate: return s.memfd_creates;
+      case VmOp::kFtruncate: return s.ftruncates;
+    }
+    return 0;
+  }
+
+  bool RunPoint(const TargetSpec& target, const FaultKindSpec& kind,
+                uint64_t op, uint64_t seed, uint64_t rounds,
+                std::string* detail) {
+    FaultInjectingVmIo io;
+    auto column = MakeFaultableColumn(scenario_, &io);
+    if (!column.ok()) {
+      *detail = "genesis failed: " + column.status().ToString();
+      return false;
+    }
+    VmFaultPlan plan;
+    plan.op_index = op;
+    plan.fail_errno = kind.fail_errno;
+    plan.sticky = kind.sticky;
+    plan.target = target.op;
+    plan.seed = seed;
+    io.Arm(plan);
+    if (!RunScript(column->get(), rounds, detail)) return false;
+    return CheckRecovery(column->get(), &io, detail);
+  }
+
+  std::string name_;
+  Scenario scenario_;
+};
+
+TEST(VmFaultMatrixTest, single_view) {
+  VmFaultMatrix("single_view", {QueryMode::kSingleView, 8, false}).Run();
+}
+
+TEST(VmFaultMatrixTest, multi_view_cost) {
+  VmFaultMatrix("multi_view_cost", {QueryMode::kMultiView, 8, true}).Run();
+}
+
+TEST(VmFaultMatrixTest, tight_budget) {
+  VmFaultMatrix("tight_budget", {QueryMode::kSingleView, 2, false}).Run();
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: PartialViewIndex error contract (the historical abort paths).
+
+TEST(PartialViewIndexTest, ReplaceAndRemoveRejectForeignViews) {
+  DistributionSpec spec;
+  spec.kind = DataDistribution::kSine;
+  spec.max_value = kMaxValue;
+  auto column = MakeColumn(spec, NumRows());
+  ASSERT_TRUE(column.ok()) << column.status().ToString();
+
+  auto pooled = BuildViewByScan(**column, 0, kMaxValue / 2);
+  ASSERT_TRUE(pooled.ok()) << pooled.status().ToString();
+  auto foreign = BuildViewByScan(**column, 0, kMaxValue / 4);
+  ASSERT_TRUE(foreign.ok()) << foreign.status().ToString();
+  auto candidate = BuildViewByScan(**column, 0, kMaxValue / 3);
+  ASSERT_TRUE(candidate.ok()) << candidate.status().ToString();
+
+  PartialViewIndex index;
+  VirtualView* pooled_ptr = pooled->get();
+  index.Insert(std::move(pooled).ValueOrDie());
+
+  // A victim that is not a pool member must fail cleanly (this used to be
+  // a VMSV_CHECK abort), leave the pool untouched, and destroy the
+  // candidate per the contract.
+  auto replaced =
+      index.Replace(foreign->get(), std::move(candidate).ValueOrDie());
+  ASSERT_FALSE(replaced.ok());
+  EXPECT_EQ(replaced.status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_EQ(index.num_partial_views(), 1u);
+  EXPECT_EQ(index.views()[0].get(), pooled_ptr);
+
+  auto removed = index.Remove(foreign->get());
+  ASSERT_FALSE(removed.ok());
+  EXPECT_EQ(removed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(index.num_partial_views(), 1u);
+
+  // The genuine member still detaches.
+  auto detached = index.Remove(pooled_ptr);
+  ASSERT_TRUE(detached.ok()) << detached.status().ToString();
+  EXPECT_EQ((*detached).get(), pooled_ptr);
+  EXPECT_EQ(index.num_partial_views(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Creation-time faults: the backing file's own syscalls.
+
+TEST(VmFaultSeamTest, MemfdCreateFailureSurfacesErrno) {
+  VmFaultPlan plan;
+  plan.op_index = 1;
+  plan.fail_errno = EMFILE;
+  plan.target = VmOp::kMemfdCreate;
+  FaultInjectingVmIo io(plan);
+  auto file = PhysicalMemoryFile::Create(4, MemoryFileBackend::kMemfd, &io);
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().sys_errno(), EMFILE);
+
+  io.Arm(VmFaultPlan{});
+  auto retry = PhysicalMemoryFile::Create(4, MemoryFileBackend::kMemfd, &io);
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+TEST(VmFaultSeamTest, FtruncateEnospcFailsCreationCleanly) {
+  VmFaultPlan plan;
+  plan.op_index = 1;
+  plan.fail_errno = ENOSPC;
+  plan.target = VmOp::kFtruncate;
+  FaultInjectingVmIo io(plan);
+  auto file = PhysicalMemoryFile::Create(4, MemoryFileBackend::kMemfd, &io);
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().sys_errno(), ENOSPC);
+}
+
+TEST(VmFaultSeamTest, GrowEnospcIsRetryable) {
+  FaultInjectingVmIo io;
+  auto file = PhysicalMemoryFile::Create(4, MemoryFileBackend::kMemfd, &io);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+
+  VmFaultPlan plan;
+  plan.op_index = 1;
+  plan.fail_errno = ENOSPC;
+  plan.target = VmOp::kFtruncate;
+  io.Arm(plan);
+  const Status grown = file->Grow(8);
+  ASSERT_FALSE(grown.ok());
+  EXPECT_EQ(grown.sys_errno(), ENOSPC);
+  EXPECT_EQ(file->num_pages(), 4u);  // the failed grow applied nothing
+
+  io.Arm(VmFaultPlan{});
+  ASSERT_TRUE(file->Grow(8).ok());
+  EXPECT_EQ(file->num_pages(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// The vm.max_map_count-style budget: rejections degrade service (exact
+// answers from the base column) and pressure relief sheds mappings.
+
+TEST(VmFaultDegradationTest, MappingBudgetDegradesExactly) {
+  FaultInjectingVmIo io;
+  const Scenario scenario{QueryMode::kSingleView, 4, false};
+  auto column = MakeFaultableColumn(scenario, &io);
+  ASSERT_TRUE(column.ok()) << column.status().ToString();
+
+  // Clamp the budget to exactly the live (post-genesis) mapping count: any
+  // materialization whose rewire splits the anonymous reservation adds
+  // segments and must be refused, exactly like vm.max_map_count.
+  std::string detail;
+  VmFaultPlan plan;
+  plan.max_vmas = io.vma_count();
+  io.Arm(plan);
+
+  ASSERT_TRUE(RunScript(column->get(), 1, &detail)) << detail;
+  EXPECT_GT(io.stats().budget_rejections, 0u);
+  const ColumnHealth health = (*column)->Health();
+  EXPECT_GT(health.map_failures, 0u);
+  EXPECT_GT(health.base_fallbacks + health.emergency_evictions, 0u);
+
+  // Lifting the budget recovers fully.
+  ASSERT_TRUE(CheckRecovery(column->get(), &io, &detail)) << detail;
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: runtime mremap failure mid-compaction.
+
+TEST(VmFaultCompactionTest, MremapFaultFallsBackToRewiring) {
+  if (!VirtualArena::MremapSupported()) {
+    GTEST_SKIP() << "no mremap on this platform";
+  }
+  FaultInjectingVmIo io;
+  auto file =
+      PhysicalMemoryFile::Create(TestPages(), MemoryFileBackend::kMemfd, &io);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  auto shared = std::make_shared<PhysicalMemoryFile>(std::move(*file));
+  auto column = PhysicalColumn::Attach(std::move(shared), NumRows());
+  ASSERT_TRUE(column.ok()) << column.status().ToString();
+  DistributionSpec spec;
+  spec.kind = DataDistribution::kSine;
+  spec.max_value = kMaxValue;
+  FillColumn(spec, column->get());
+
+  // Full-range view: every column page is a member, so hole punching at
+  // known pages is deterministic.
+  auto view = BuildViewByScan(**column, 0, kMaxValue);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  ASSERT_TRUE((*view)->EnsureMaterialized().ok());
+  ASSERT_TRUE((*view)->RemovePage(2).ok());
+  ASSERT_TRUE((*view)->RemovePage(5).ok());
+  ASSERT_TRUE((*view)->RemovePage(9).ok());
+  ASSERT_FALSE((*view)->is_dense());
+
+  const RangeQuery probe{0, kMaxValue};
+  const PageScanResult before = (*view)->Scan(probe);
+
+  // Every mremap the compaction attempts fails; each move must fall back
+  // to rewiring and the result must be bit-identical.
+  VmFaultPlan plan;
+  plan.op_index = 1;
+  plan.fail_errno = ENOMEM;
+  plan.sticky = true;
+  plan.target = VmOp::kMremap;
+  io.Arm(plan);
+
+  ViewCompactionOptions options;
+  options.use_mremap = true;
+  ViewCompactionStats stats;
+  ASSERT_TRUE((*view)->Compact(options, &stats).ok());
+  EXPECT_EQ(stats.mremap_moves, 0u);
+  EXPECT_GT(stats.remap_moves, 0u);
+  EXPECT_GT(io.stats().faults_injected, 0u);  // mremap was really attempted
+  EXPECT_TRUE((*view)->is_dense());
+
+  const PageScanResult after = (*view)->Scan(probe);
+  EXPECT_EQ(before.match_count, after.match_count);
+  EXPECT_EQ(before.sum, after.sum);
+}
+
+TEST(VmFaultCompactionTest, CompactionFailsCleanlyWhenAllMappingOpsFault) {
+  FaultInjectingVmIo io;
+  auto file =
+      PhysicalMemoryFile::Create(TestPages(), MemoryFileBackend::kMemfd, &io);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  auto shared = std::make_shared<PhysicalMemoryFile>(std::move(*file));
+  auto column = PhysicalColumn::Attach(std::move(shared), NumRows());
+  ASSERT_TRUE(column.ok()) << column.status().ToString();
+  DistributionSpec spec;
+  spec.kind = DataDistribution::kSine;
+  spec.max_value = kMaxValue;
+  FillColumn(spec, column->get());
+
+  auto view = BuildViewByScan(**column, 0, kMaxValue);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  ASSERT_TRUE((*view)->EnsureMaterialized().ok());
+  ASSERT_TRUE((*view)->RemovePage(3).ok());
+
+  // Sticky exhaustion of EVERY mapping op: the compaction cannot build its
+  // replacement arena and must fail with a clean errno Status — the
+  // adaptive layer's flush path then drops the view (abandoned_compactions)
+  // rather than keep mappings in an unspecified state.
+  VmFaultPlan plan;
+  plan.op_index = 1;
+  plan.fail_errno = ENOMEM;
+  plan.sticky = true;
+  io.Arm(plan);
+  const Status compacted = (*view)->Compact();
+  ASSERT_FALSE(compacted.ok());
+  EXPECT_EQ(compacted.sys_errno(), ENOMEM);
+}
+
+// ---------------------------------------------------------------------------
+// Durable ENOSPC: the journal append fails, the column flips to explicit
+// read-only degradation, reads stay exact, and the first successful append
+// clears the flag.
+
+TEST(VmFaultDegradationTest, DurableEnospcFlipsReadOnlyAndRecovers) {
+  ScopedTempDir tmp("vm_fault_enospc");
+  FaultInjectingIo storage_io;
+  AdaptiveConfig config;
+  config.storage.io = &storage_io;
+  auto column = AdaptiveColumn::CreateDurable(tmp.path(), NumRows(), config);
+  ASSERT_TRUE(column.ok()) << column.status().ToString();
+
+  FaultPlan disk_full;
+  disk_full.kind = FaultKind::kFailOp;
+  disk_full.op_index = 1;
+  disk_full.fail_errno = ENOSPC;
+  storage_io.Arm(disk_full);
+
+  const Status stalled = (*column)->Update(5, 123);
+  ASSERT_FALSE(stalled.ok());
+  EXPECT_EQ(stalled.sys_errno(), ENOSPC);
+  ColumnHealth health = (*column)->Health();
+  EXPECT_TRUE(health.degraded_read_only);
+  EXPECT_EQ(health.read_only_entries, 1u);
+  EXPECT_EQ(health.journal_stalls, 1u);
+  // The rejected update applied nothing.
+  EXPECT_EQ((*column)->column().Get(5), 0u);
+
+  // Reads keep answering exactly while write-degraded.
+  const RangeQuery q{0, kMaxValue};
+  auto oracle = (*column)->ExecuteFullScan(q);
+  ASSERT_TRUE(oracle.ok());
+  auto exec = (*column)->Execute(q);
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ(exec->match_count, oracle->match_count);
+  EXPECT_EQ(exec->sum, oracle->sum);
+
+  // A second rejected append does not double-count the transition.
+  storage_io.Arm(disk_full);
+  ASSERT_FALSE((*column)->Update(6, 456).ok());
+  health = (*column)->Health();
+  EXPECT_EQ(health.read_only_entries, 1u);
+  EXPECT_EQ(health.journal_stalls, 2u);
+
+  // Space returns: the next append succeeds and the flag self-clears.
+  storage_io.Arm(FaultPlan{});
+  ASSERT_TRUE((*column)->Update(5, 123).ok());
+  health = (*column)->Health();
+  EXPECT_FALSE(health.degraded_read_only);
+  EXPECT_EQ(health.read_only_exits, 1u);
+  EXPECT_EQ((*column)->column().Get(5), 123u);
+}
+
+// ---------------------------------------------------------------------------
+// The runner's health surface: a workload under sticky exhaustion still
+// verifies bit-exactly against its own baseline, and the report says HOW
+// degraded the run was.
+
+TEST(VmFaultDegradationTest, RunnerVerifiesUnderStickyExhaustion) {
+  FaultInjectingVmIo io;
+  const Scenario scenario{QueryMode::kSingleView, 8, false};
+  auto column = MakeFaultableColumn(scenario, &io);
+  ASSERT_TRUE(column.ok()) << column.status().ToString();
+
+  VmFaultPlan plan;
+  plan.op_index = 1;
+  plan.fail_errno = ENOMEM;
+  plan.sticky = true;
+  io.Arm(plan);
+
+  RunnerOptions options;
+  options.verify_results = true;
+  options.warmup = false;
+  // Two passes: the first adapts (lazy candidates, no mapping work), the
+  // second routes into those views and hits the exhausted mapping layer.
+  std::vector<RangeQuery> queries = ScriptQueries(0);
+  const std::vector<RangeQuery> again = queries;
+  queries.insert(queries.end(), again.begin(), again.end());
+  auto report = RunWorkload(column->get(), queries, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->health.base_fallbacks, 0u);
+  EXPECT_GT(report->health.map_failures, 0u);
+  EXPECT_TRUE(report->health.mapping_pressure);
+}
+
+}  // namespace
+}  // namespace vmsv

@@ -150,6 +150,9 @@ COMPACTION_FIELDS = {
     "view_pages": int,
     "runs_before": int,
     "holes_before": int,
+    # Live /proc/self/maps entry count at the fragmentation peak (0 where
+    # the maps file is unavailable) — the quantity vm.max_map_count bounds.
+    "vma_count": int,
     "fragmented_median_ms": float,
     "fragmented_rep_ms": list,
     "scan_speedup": float,

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Drives the full VM-fault sweep and collects failing fault points.
+
+Runs the vm_fault_test binary once per scenario with VMSV_VM_FAULT_FULL=1
+(every operation index of every targeted mapping-syscall class x every
+errno kind, with the scripted workload auto-scaled until each scenario
+covers >= 200 points). Each failing point prints one greppable line
+
+    VM-FAULT-POINT-FAILED scenario=... target=... kind=... op=... seed=...
+        :: <detail>
+
+which this runner collects into --failures-out (default
+vm_fault_matrix_failures.txt) so CI can attach the exact reproduction
+seeds as an artifact. Any failing point — or a scenario that dies outright
+(an abort IS the bug this matrix hunts) — makes the runner exit nonzero.
+
+Usage: vm_fault_matrix.py [--binary PATH] [--failures-out FILE]
+                          [--scenario N]
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import time
+
+# One gtest case per scenario; keep in sync with tests/vm_fault_test.cc.
+SCENARIOS = [
+    "single_view",
+    "multi_view_cost",
+    "tight_budget",
+]
+
+FAILURE_LINE = re.compile(r"VM-FAULT-POINT-FAILED .*")
+
+
+def run_scenario(binary, name, env):
+    cmd = [binary, f"--gtest_filter=VmFaultMatrixTest.{name}"]
+    start = time.monotonic()
+    proc = subprocess.run(cmd, env=env, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    elapsed = time.monotonic() - start
+    failures = FAILURE_LINE.findall(proc.stdout)
+    crashed = proc.returncode != 0 and not failures
+    if crashed:
+        # The binary died without reporting points (abort, missing test...):
+        # surface its tail instead of silently passing.
+        tail = "\n".join(proc.stdout.splitlines()[-15:])
+        failures = [f"VM-FAULT-POINT-FAILED scenario={name} :: binary "
+                    f"exited {proc.returncode} without a failure report\n"
+                    f"{tail}"]
+    status = "ok" if proc.returncode == 0 else "FAILED"
+    print(f"vm_fault_matrix: {name:16s} {status:6s} "
+          f"({elapsed:5.1f}s, {len(failures)} failing points)")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", default="build/vm_fault_test",
+                        help="path to the vm_fault_test binary")
+    parser.add_argument("--failures-out",
+                        default="vm_fault_matrix_failures.txt",
+                        help="file collecting failing (scenario, target, "
+                             "op, seed) lines for the CI artifact")
+    parser.add_argument("--scenario", action="append", choices=SCENARIOS,
+                        help="run only this scenario (repeatable)")
+    args = parser.parse_args()
+
+    if not os.path.exists(args.binary):
+        print(f"vm_fault_matrix: binary not found: {args.binary}",
+              file=sys.stderr)
+        return 2
+
+    env = dict(os.environ)
+    env["VMSV_VM_FAULT_FULL"] = "1"
+
+    all_failures = []
+    for name in (args.scenario or SCENARIOS):
+        all_failures.extend(run_scenario(args.binary, name, env))
+
+    if all_failures:
+        with open(args.failures_out, "w") as f:
+            f.write("\n".join(all_failures) + "\n")
+        print(f"vm_fault_matrix: {len(all_failures)} failing fault points "
+              f"written to {args.failures_out}", file=sys.stderr)
+        return 1
+    print("vm_fault_matrix: all scenarios passed over the full fault "
+          "surface")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
