@@ -12,6 +12,7 @@
 #include "exec/parallel_scanner.h"
 #include "rewiring/virtual_arena.h"
 #include "rewiring/vm_io.h"
+#include "storage/cold_tier.h"
 #include "storage/manifest.h"
 #include "storage/storage_io.h"
 #include "util/macros.h"
@@ -258,14 +259,40 @@ StatusOr<std::unique_ptr<AdaptiveColumn>> AdaptiveColumn::Open(
   // over-budget restore would persist for the process lifetime). Views
   // beyond the budget are simply not restored — their ranges re-adapt on
   // demand like any cold range.
+  size_t hot_restored = 0;
+  size_t cold_restored = 0;
   for (const ManifestView& mview : manifest.views) {
-    if (adaptive->view_index_.num_partial_views() >= config.max_views) break;
+    // Tier resolution first (it decides which budget the view counts
+    // against). For a demoted entry the cold file is authoritative — the
+    // base snapshot persisted it with an empty page list. An entry whose
+    // demote delta landed but whose snapshot never re-spilled carries its
+    // pages inline; an unreadable cold file with no inline fallback drops
+    // the view (views are reconstructible, and the dirty flag below makes
+    // the next checkpoint converge the manifest).
+    std::vector<uint64_t> pages = mview.pages;
+    bool as_cold = false;
+    if (mview.demoted) {
+      auto cold_r = ReadColdViewFile(dir, mview.id);
+      if (cold_r.ok()) {
+        pages = std::move(cold_r).ValueOrDie();
+      } else if (mview.pages.empty()) {
+        continue;  // nothing trustworthy to restore from
+      }
+      // With demotion disabled in THIS configuration the view reopens hot:
+      // it holds no mapping yet either way, and the pool must not carry
+      // tier state the policy layer would never clear.
+      as_cold = config.lifecycle.enable_demotion;
+    }
+    if (as_cold ? cold_restored >= adaptive->ColdBudget()
+                : hot_restored >= config.max_views) {
+      continue;  // over THIS configuration's budget; re-adapts on demand
+    }
     auto view_r =
         VirtualView::CreateEmpty(adaptive->column(), mview.lo, mview.hi);
     if (!view_r.ok()) return view_r.status();
     auto view = std::move(view_r).ValueOrDie();
     VMSV_RETURN_IF_ERROR(
-        view->RestorePages(mview.pages, adaptive->column().num_pages()));
+        view->RestorePages(pages, adaptive->column().num_pages()));
     // Hit history does not survive a restart; the recorded creation cost
     // does, so eviction scoring stays calibrated from the first query.
     view->SetCreationInfo(/*query_seq=*/0, mview.creation_scanned_pages);
@@ -275,6 +302,17 @@ StatusOr<std::unique_ptr<AdaptiveColumn>> AdaptiveColumn::Open(
     view->set_durable_id(mview.id != 0 ? mview.id : durable.next_view_id);
     if (view->durable_id() >= durable.next_view_id) {
       durable.next_view_id = view->durable_id() + 1;
+    }
+    if (as_cold) {
+      view->set_demoted(true);
+      ++cold_restored;
+      adaptive->health_.cold_view_reloads.fetch_add(1,
+                                                    std::memory_order_relaxed);
+    } else {
+      // A demoted entry reopened hot (demotion disabled here): the on-disk
+      // tier state is now stale, so force a snapshot at the next checkpoint.
+      if (mview.demoted) durable.manifest_dirty = true;
+      ++hot_restored;
     }
     adaptive->view_index_.Insert(std::move(view));
     ++durable.stats.views_restored;
@@ -340,7 +378,28 @@ Status AdaptiveColumn::WriteManifestSnapshotLocked() {
     mview.hi = view->hi();
     mview.creation_scanned_pages = view->usage().creation_scanned_pages.load(
         std::memory_order_relaxed);
-    mview.pages = view->physical_pages();
+    mview.demoted = view->demoted();
+    if (mview.demoted) {
+      // The cold file is authoritative for a demoted view, and its
+      // membership may have drifted since the demotion-time spill (update
+      // alignment edits unmaterialized views too) — re-spill it now and
+      // persist the base entry with an EMPTY page list. A failed re-spill
+      // falls back to carrying the pages inline, so recovery never depends
+      // on a write that did not happen.
+      const Status spilled =
+          WriteColdViewFile(durable.dir, mview.id, view->physical_pages(),
+                            config_.storage.data_flush == FlushPolicy::kSync,
+                            durable.io);
+      if (!spilled.ok()) {
+        ++durable.stats.manifest_write_failures;
+        mview.pages = view->physical_pages();
+      }
+    } else {
+      mview.pages = view->physical_pages();
+      // A promoted view's leftover cold file would shadow nothing (the
+      // entry is hot), but reclaim the space anyway. Best-effort.
+      RemoveColdViewFile(durable.dir, mview.id);
+    }
     manifest.views.push_back(std::move(mview));
   }
   VMSV_RETURN_IF_ERROR(
@@ -372,6 +431,14 @@ Status AdaptiveColumn::PersistCheckpointLocked() {
     case FlushPolicy::kSync:
       VMSV_RETURN_IF_ERROR(column_->file()->Sync(/*wait=*/true, durable.io));
       break;
+  }
+  // A reader-path promotion flips tier flags outside any maintenance lock;
+  // fold the signal into the dirty flag HERE (before the decision below) so
+  // a promotion between checkpoints always reaches the manifest. The
+  // exchange is safe against a racing promotion: it re-sets the flag, and
+  // the next checkpoint picks it up.
+  if (tier_dirty_.exchange(false, std::memory_order_acq_rel)) {
+    durable.manifest_dirty = true;
   }
   if (durable.manifest_dirty ||
       lifecycle_.pool_mutations() != durable.persisted_pool_mutations) {
@@ -574,6 +641,14 @@ StatusOr<QueryExecution> AdaptiveColumn::AnswerFromSingleView(
     RecordQuery(fallback.stats.scanned_pages);
     return fallback;
   }
+  // A demoted view that just re-materialized is hot again: the routed query
+  // IS the promotion signal. The CAS elects one winner among concurrent
+  // readers; the tier flip happens outside any maintenance lock, so the
+  // dirty flag asks the next flush/checkpoint to persist it.
+  if (view->PromoteIfDemoted()) {
+    health_.views_promoted.fetch_add(1, std::memory_order_relaxed);
+    tier_dirty_.store(true, std::memory_order_release);
+  }
   view->RecordHit(metrics_.queries.load(std::memory_order_relaxed));
   const PageScanResult r = view->Scan(q);
   exec.match_count = r.match_count;
@@ -608,6 +683,10 @@ StatusOr<QueryExecution> AdaptiveColumn::AnswerFromCover(
       fallback.stats.views_after = exec.stats.views_after;
       RecordQuery(fallback.stats.scanned_pages);
       return fallback;
+    }
+    if (view->PromoteIfDemoted()) {
+      health_.views_promoted.fetch_add(1, std::memory_order_relaxed);
+      tier_dirty_.store(true, std::memory_order_release);
     }
     view->RecordHit(seq);
     total.Merge(view->ScanIf(
@@ -787,7 +866,14 @@ CandidateDecision AdaptiveColumn::DecideCandidate(
 
 CandidateDecision AdaptiveColumn::AdmitAtBudget(
     std::unique_ptr<VirtualView> candidate, PoolEditLog* edit) {
-  if (view_index_.num_partial_views() < config_.max_views) {
+  // max_views bounds the HOT tier: demoted views gave up their arenas (and
+  // with them the mapping budget max_views exists to protect) and are
+  // bounded separately by ColdBudget().
+  size_t hot_views = 0;
+  for (const auto& view : view_index_.views()) {
+    if (!view->demoted()) ++hot_views;
+  }
+  if (hot_views < config_.max_views) {
     if (edit != nullptr) {
       candidate->set_durable_id(durable_->next_view_id++);
       edit->upserted.push_back(candidate.get());
@@ -798,13 +884,17 @@ CandidateDecision AdaptiveColumn::AdmitAtBudget(
   }
   // Budget pressure. The historical policy ("drop-newest") discarded every
   // candidate here, freezing the pool on whatever ranges arrived first; the
-  // cost-aware policy instead evicts the coldest view when the fresh
-  // candidate outscores it, so the pool tracks the working set.
+  // cost-aware policy instead displaces the coldest view when the fresh
+  // candidate outscores it, so the pool tracks the working set. With the
+  // cold tier available the displaced view is DEMOTED (spilled, kept
+  // routable) instead of destroyed; destroy-evict is the fallback when
+  // demotion is off, the column is in-memory, or the spill itself fails.
   if (config_.lifecycle.eviction_policy == EvictionPolicy::kCostAware) {
     const uint64_t now = metrics_.queries.load(std::memory_order_relaxed);
     const uint64_t column_pages = column_->num_pages();
-    VirtualView* victim =
-        lifecycle_.PickEvictionVictim(view_index_.views(), now, column_pages);
+    VirtualView* victim = lifecycle_.PickEvictionVictim(
+        view_index_.views(), now, column_pages,
+        ViewLifecycleManager::TierFilter::kHotOnly);
     const double margin = config_.lifecycle.eviction_margin > 0
                               ? config_.lifecycle.eviction_margin
                               : 1.0;
@@ -824,6 +914,26 @@ CandidateDecision AdaptiveColumn::AdmitAtBudget(
           metrics_.candidates_dropped.fetch_add(1, std::memory_order_relaxed);
           return CandidateDecision::kBudgetExhausted;
         }
+      }
+      if (DemotionAvailable()) {
+        // Demote path: the victim keeps its pool slot (still routable, so a
+        // returning working set promotes it for the price of re-mapping
+        // instead of a full creation scan); only its arena and mapping
+        // budget are released. ReleaseArena mutates the victim's slot table
+        // in place, so in-flight scans must drain first — the caller holds
+        // views_mu_ exclusive, which blocks new readers meanwhile.
+        epoch_.WaitQuiescent();
+        if (DemoteViewLocked(victim).ok()) {
+          if (edit != nullptr) {
+            candidate->set_durable_id(durable_->next_view_id++);
+            edit->upserted.push_back(candidate.get());
+          }
+          view_index_.Insert(std::move(candidate));
+          TrimColdTierLocked(edit);
+          return CandidateDecision::kEvictedExisting;
+        }
+        // Spill failed (ENOSPC/EIO): fall through to destroy-evict — the
+        // victim is still hot and untouched (DemoteViewLocked's contract).
       }
       // Concurrent scans may still be inside the victim: park it on the
       // epoch limbo list; reclamation happens once they all exited.
@@ -847,6 +957,114 @@ CandidateDecision AdaptiveColumn::AdmitAtBudget(
   }
   metrics_.candidates_dropped.fetch_add(1, std::memory_order_relaxed);
   return CandidateDecision::kBudgetExhausted;
+}
+
+// ---------------------------------------------------------------------------
+// Tiering (demote / promote / cold-tier trim)
+
+Status AdaptiveColumn::DemoteViewLocked(VirtualView* victim) {
+  DurableState& durable = *durable_;
+  // A view that never reached the manifest has no durable identity to name
+  // its cold file by; assign one now (the base snapshot that follows the
+  // dirty flag below records it).
+  if (victim->durable_id() == 0) {
+    victim->set_durable_id(durable.next_view_id++);
+    durable.manifest_dirty = true;
+  }
+  // Ordering is the crash-safety argument (ARCHITECTURE.md "Tiering
+  // model"): (1) the spill file lands durably FIRST — a failure aborts with
+  // the view untouched, and a kill after this point at worst leaves an
+  // orphaned cold file (harmless: nothing references it). Only then (2) the
+  // arena is released and (3) the tier flag flips; (4) the set-tier delta
+  // makes the flip durable — a kill before it reopens the view HOT from the
+  // still-valid manifest entry, never torn.
+  VMSV_RETURN_IF_ERROR(
+      WriteColdViewFile(durable.dir, victim->durable_id(),
+                        victim->physical_pages(),
+                        config_.storage.data_flush == FlushPolicy::kSync,
+                        durable.io));
+  std::unique_ptr<VirtualArena> retired = victim->ReleaseArena();
+  if (retired != nullptr) epoch_.RetireObject(std::move(retired));
+  victim->set_demoted(true);
+  lifecycle_.RecordDemotion();
+  health_.views_demoted.fetch_add(1, std::memory_order_relaxed);
+  if (durable.delta_log != nullptr) {
+    ManifestDelta delta;
+    delta.op = ManifestDeltaOp::kSetViewTier;
+    delta.epoch = durable.manifest_epoch;
+    delta.view.id = victim->durable_id();
+    delta.view.demoted = true;
+    const Status appended = durable.delta_log->Append(
+        delta, config_.storage.data_flush == FlushPolicy::kSync);
+    if (appended.ok()) {
+      ++durable.stats.manifest_delta_appends;
+    } else {
+      // Soft failure, same contract as PersistPoolChangeLocked: the stale
+      // (hot) manifest entry still recovers a consistent pool; the dirty
+      // flag routes the next flush/checkpoint through a full snapshot.
+      durable.manifest_dirty = true;
+      ++durable.stats.manifest_write_failures;
+    }
+  } else {
+    durable.manifest_dirty = true;
+  }
+  return OkStatus();
+}
+
+void AdaptiveColumn::TrimColdTierLocked(PoolEditLog* edit) {
+  size_t cold_views = 0;
+  for (const auto& view : view_index_.views()) {
+    if (view->demoted()) ++cold_views;
+  }
+  const size_t budget = ColdBudget();
+  const uint64_t now = metrics_.queries.load(std::memory_order_relaxed);
+  const uint64_t column_pages = column_->num_pages();
+  while (cold_views > budget) {
+    VirtualView* victim = lifecycle_.PickEvictionVictim(
+        view_index_.views(), now, column_pages,
+        ViewLifecycleManager::TierFilter::kColdOnly);
+    if (victim == nullptr) break;
+    const uint64_t removed_id = victim->durable_id();
+    auto removed = view_index_.Remove(victim);
+    if (!removed.ok()) break;
+    // The view is gone for good — reclaim its spill file too. Best-effort:
+    // a leftover cold file is unreferenced once the remove delta lands.
+    RemoveColdViewFile(durable_->dir, removed_id);
+    epoch_.RetireObject(std::move(removed).ValueOrDie());
+    metrics_.views_evicted.fetch_add(1, std::memory_order_relaxed);
+    lifecycle_.RecordEviction();
+    if (edit != nullptr) {
+      edit->removed_ids.push_back(removed_id);
+    } else {
+      durable_->manifest_dirty = true;
+    }
+    --cold_views;
+  }
+}
+
+size_t AdaptiveColumn::DemoteColdestViews(size_t count) {
+  if (count == 0 || !DemotionAvailable()) return 0;
+  std::lock_guard<std::mutex> maintenance(maintenance_mu_);
+  size_t demoted = 0;
+  PoolEditLog edit;
+  {
+    std::unique_lock<std::shared_mutex> xlock(views_mu_);
+    epoch_.WaitQuiescent();
+    const uint64_t now = metrics_.queries.load(std::memory_order_relaxed);
+    const uint64_t column_pages = column_->num_pages();
+    while (demoted < count) {
+      VirtualView* victim = lifecycle_.PickEvictionVictim(
+          view_index_.views(), now, column_pages,
+          ViewLifecycleManager::TierFilter::kHotOnly);
+      if (victim == nullptr) break;
+      if (!DemoteViewLocked(victim).ok()) break;
+      ++demoted;
+    }
+    if (demoted > 0) TrimColdTierLocked(&edit);
+  }
+  epoch_.TryReclaim();
+  if (!edit.empty()) PersistPoolChangeLocked(edit);
+  return demoted;
 }
 
 // ---------------------------------------------------------------------------
@@ -930,6 +1148,10 @@ StatusOr<BatchExecution> AdaptiveColumn::ExecuteBatch(
         missed.push_back(i);
       }
       continue;
+    }
+    if (view->PromoteIfDemoted()) {
+      health_.views_promoted.fetch_add(1, std::memory_order_relaxed);
+      tier_dirty_.store(true, std::memory_order_release);
     }
     std::vector<RangeQuery> group;
     group.reserve(members.size());
@@ -1162,9 +1384,10 @@ StatusOr<UpdateApplyStats> AdaptiveColumn::FlushUpdatesLocked(
   // changed (alignment/compaction/eviction since the last snapshot), then
   // journal reset. Runs outside views_mu_ — maintenance_mu_ alone keeps the
   // pool stable — so readers are not blocked on fsync.
-  if (durable_ != nullptr && (had_updates || durable_->manifest_dirty ||
-                              lifecycle_.pool_mutations() !=
-                                  durable_->persisted_pool_mutations)) {
+  if (durable_ != nullptr &&
+      (had_updates || durable_->manifest_dirty ||
+       tier_dirty_.load(std::memory_order_acquire) ||
+       lifecycle_.pool_mutations() != durable_->persisted_pool_mutations)) {
     VMSV_RETURN_IF_ERROR(PersistCheckpointLocked());
   }
   return stats;
@@ -1190,6 +1413,10 @@ ColumnHealth AdaptiveColumn::Health() const {
   h.read_only_entries =
       health_.read_only_entries.load(std::memory_order_relaxed);
   h.read_only_exits = health_.read_only_exits.load(std::memory_order_relaxed);
+  h.views_demoted = health_.views_demoted.load(std::memory_order_relaxed);
+  h.views_promoted = health_.views_promoted.load(std::memory_order_relaxed);
+  h.cold_view_reloads =
+      health_.cold_view_reloads.load(std::memory_order_relaxed);
   return h;
 }
 
@@ -1249,14 +1476,29 @@ void AdaptiveColumn::RelievePressureLocked() {
         }
       }
       if (victim != nullptr) {
-        auto removed = view_index_.Remove(victim);
-        if (removed.ok()) {
-          epoch_.RetireObject(std::move(removed).ValueOrDie());
-          health_.emergency_evictions.fetch_add(1, std::memory_order_relaxed);
-          lifecycle_.RecordEviction();
-          if (durable_ != nullptr) durable_->manifest_dirty = true;
-        } else {
-          victim = nullptr;
+        // Shedding a mapping does not require destroying the view: demote
+        // it when the cold tier is available (arena released, membership
+        // spilled, slot kept), so the working set survives the pressure
+        // episode. Destroy-evict remains the last resort — demotion off,
+        // in-memory column, or the spill itself failing (likely when the
+        // disk is the scarce resource too).
+        bool shed = false;
+        if (DemotionAvailable()) {
+          epoch_.WaitQuiescent();
+          shed = DemoteViewLocked(victim).ok();
+          if (shed) TrimColdTierLocked(/*edit=*/nullptr);
+        }
+        if (!shed) {
+          auto removed = view_index_.Remove(victim);
+          if (removed.ok()) {
+            epoch_.RetireObject(std::move(removed).ValueOrDie());
+            health_.emergency_evictions.fetch_add(1,
+                                                  std::memory_order_relaxed);
+            lifecycle_.RecordEviction();
+            if (durable_ != nullptr) durable_->manifest_dirty = true;
+          } else {
+            victim = nullptr;
+          }
         }
       }
     }

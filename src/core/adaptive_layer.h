@@ -112,8 +112,15 @@ const char* CandidateDecisionName(CandidateDecision decision);
 
 struct AdaptiveConfig {
   QueryMode mode = QueryMode::kSingleView;
-  /// Upper bound on concurrently materialized partial views.
+  /// Upper bound on concurrently materialized partial views. With the cold
+  /// tier enabled this bounds the HOT views only; demoted views hold no
+  /// mapping budget and are bounded by max_cold_views.
   size_t max_views = 100;
+  /// Upper bound on demoted (cold-tier) views a durable pool may hold
+  /// beyond the hot budget. 0 means "same as max_views". When the cold
+  /// tier overflows, the lowest-scoring cold view is destroyed — the
+  /// destroy-evict last resort (core/view_lifecycle.h).
+  size_t max_cold_views = 0;
   /// Multi-view only: pick covers by scanned-page cost and fall back to a
   /// full scan when the cover is costlier (the paper's stated future work).
   bool cost_based_routing = false;
@@ -339,6 +346,12 @@ struct ColumnHealth {
   /// Transitions into / out of read-only degraded mode.
   uint64_t read_only_entries = 0;
   uint64_t read_only_exits = 0;
+  /// Tiering counters (ARCHITECTURE.md "Tiering model"): hot views spilled
+  /// to the cold tier, cold views promoted back by a routed query, and
+  /// demoted views restored from their cold files at Open.
+  uint64_t views_demoted = 0;
+  uint64_t views_promoted = 0;
+  uint64_t cold_view_reloads = 0;
 };
 
 class AdaptiveColumn {
@@ -471,6 +484,15 @@ class AdaptiveColumn {
   /// Thread-safe (relaxed-atomic snapshot).
   ColumnHealth Health() const;
 
+  /// Demotes up to `count` of the lowest-scoring hot views to the cold
+  /// tier (spill + arena release + set-tier delta), returning how many
+  /// were demoted. The deterministic maintenance hook behind the tiering
+  /// tests and bench; the organic demotion sites (AdmitAtBudget, pressure
+  /// relief) share its per-view path. No-op (0) when demotion is disabled
+  /// or the column is not durable. Thread-safe (serializes with
+  /// maintenance).
+  size_t DemoteColdestViews(size_t count);
+
  private:
   AdaptiveColumn(std::unique_ptr<PhysicalColumn> column,
                  const AdaptiveConfig& config)
@@ -501,10 +523,41 @@ class AdaptiveColumn {
   /// the next maintenance pass relieves.
   void NoteMapFailure();
 
-  /// Mapping-budget pressure relief: evict the coldest materialized views
-  /// (bounded attempts, linear backoff) until a probe mapping succeeds or
-  /// the attempts run out. Caller holds maintenance_mu_.
+  /// Mapping-budget pressure relief: demote (or, when demotion is
+  /// unavailable, evict) the coldest materialized views — bounded attempts,
+  /// linear backoff — until a probe mapping succeeds or the attempts run
+  /// out. Caller holds maintenance_mu_.
   void RelievePressureLocked();
+
+  /// Demotes `victim` to the cold tier: spills its membership to the cold
+  /// file, releases its arena to the epoch limbo list, flips the tier flag,
+  /// and appends a set-tier delta (soft-fail to manifest_dirty). Caller
+  /// holds maintenance_mu_ AND views_mu_ exclusive with readers quiesced.
+  /// Error contract: on a spill failure (ENOSPC/EIO/...) the view is left
+  /// hot and untouched.
+  Status DemoteViewLocked(VirtualView* victim);
+
+  /// True when the cold tier is available at all: demotion enabled and the
+  /// column durable (an in-memory column has nowhere to spill).
+  bool DemotionAvailable() const {
+    return config_.lifecycle.enable_demotion && durable_ != nullptr;
+  }
+
+  /// The effective cold-tier capacity (max_cold_views, defaulting to
+  /// max_views when 0).
+  size_t ColdBudget() const {
+    return config_.max_cold_views > 0 ? config_.max_cold_views
+                                      : config_.max_views;
+  }
+
+  struct PoolEditLog;  // defined below, near its primary producers
+
+  /// Destroys the lowest-scoring cold views until the cold tier fits its
+  /// budget (the destroy-evict last resort). Caller holds maintenance_mu_
+  /// AND views_mu_ exclusive with readers quiesced; `edit` collects the
+  /// removals for the incremental manifest (null dirties the manifest
+  /// instead).
+  void TrimColdTierLocked(PoolEditLog* edit);
 
   /// Routes q per config().mode against the pool. Caller holds views_mu_
   /// (any mode). Returns true and fills exactly one of view/cover when the
@@ -547,7 +600,7 @@ class AdaptiveColumn {
   /// What one adaptation decision did to the pool, in apply order: views
   /// displaced (by durable id) then views added/re-added. Feeds the
   /// incremental manifest — remove deltas first, upsert deltas second.
-  struct PoolEditLog {
+  struct PoolEditLog {  // (forward-declared above for TrimColdTierLocked)
     std::vector<uint64_t> removed_ids;
     std::vector<const VirtualView*> upserted;
 
@@ -608,6 +661,9 @@ class AdaptiveColumn {
     std::atomic<uint64_t> journal_stalls{0};
     std::atomic<uint64_t> read_only_entries{0};
     std::atomic<uint64_t> read_only_exits{0};
+    std::atomic<uint64_t> views_demoted{0};
+    std::atomic<uint64_t> views_promoted{0};
+    std::atomic<uint64_t> cold_view_reloads{0};
   };
 
   /// Bumps the per-query workload counters (relaxed).
@@ -635,6 +691,9 @@ class AdaptiveColumn {
   /// A mapping failure happened since the last relief pass; the next
   /// maintenance entry runs RelievePressureLocked.
   std::atomic<bool> pressure_pending_{false};
+  /// A reader promoted a cold view (tier flip outside maintenance_mu_);
+  /// the next flush/checkpoint must persist the new tier state.
+  std::atomic<bool> tier_dirty_{false};
   ViewLifecycleManager lifecycle_;          // driven from maintenance_mu_
   std::unique_ptr<DurableState> durable_;   // guarded by maintenance_mu_
   /// Reclamation domain for displaced views/arenas. Declared after the

@@ -70,6 +70,14 @@ struct LifecycleConfig {
   ViewCompactionOptions compaction;
   /// Budget-pressure policy. kCostAware is the default: hot views survive.
   EvictionPolicy eviction_policy = EvictionPolicy::kCostAware;
+  /// Cold-tier master switch (durable pools only — an in-memory column has
+  /// no spill directory, so demotion degenerates to destroy-evict). When
+  /// on, a cost-aware eviction DEMOTES the victim — spills its membership
+  /// to a cold file, releases its arena, keeps it routable — instead of
+  /// destroying it; a later routed query promotes it back for the price of
+  /// re-materialization instead of a full creation scan. Off restores the
+  /// pure destroy-evict policy (the bench ablation baseline).
+  bool enable_demotion = true;
   /// Hit-recency decay: a view's recency weight halves every this many
   /// queries since it last answered one. Smaller = more aggressive chasing
   /// of the current working set.
@@ -101,6 +109,11 @@ struct LifecycleStats {
   /// trigger site.
   uint64_t failed_compactions = 0;
   uint64_t evictions = 0;
+  /// Hot views spilled to the cold tier instead of destroyed (demote path;
+  /// counted on the serialized maintenance path like every field here —
+  /// promotions happen on the lock-free reader path and are counted in
+  /// ColumnHealth::views_promoted instead).
+  uint64_t demotions = 0;
 };
 
 class ViewLifecycleManager {
@@ -144,14 +157,27 @@ class ViewLifecycleManager {
   double Score(const VirtualView& view, uint64_t now,
                uint64_t column_pages) const;
 
-  /// The pool member with the lowest Score, or nullptr on an empty pool.
+  /// Which tier PickEvictionVictim considers. Demotion targets the coldest
+  /// HOT view (cold ones already gave up their arenas); cold-capacity
+  /// overflow destroys the coldest COLD view.
+  enum class TierFilter { kAny, kHotOnly, kColdOnly };
+
+  /// The pool member with the lowest Score among views passing `filter`,
+  /// or nullptr when none does.
   VirtualView* PickEvictionVictim(
       const std::vector<std::unique_ptr<VirtualView>>& pool, uint64_t now,
-      uint64_t column_pages) const;
+      uint64_t column_pages, TierFilter filter = TierFilter::kAny) const;
 
   /// Bookkeeping hook for the adaptive layer when it evicts the victim.
   void RecordEviction() {
     ++stats_.evictions;
+    ++pool_mutations_;
+  }
+
+  /// Bookkeeping hook when a hot view is demoted to the cold tier (the
+  /// spilled membership is durable state, so it counts as a pool mutation).
+  void RecordDemotion() {
+    ++stats_.demotions;
     ++pool_mutations_;
   }
 

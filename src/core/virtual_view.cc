@@ -274,6 +274,32 @@ Status VirtualView::RestorePages(const std::vector<uint64_t>& pages,
   return OkStatus();
 }
 
+std::unique_ptr<VirtualArena> VirtualView::ReleaseArena() {
+  if (arena_ == nullptr) return nullptr;
+  arena_ptr_.store(nullptr, std::memory_order_release);
+  std::unique_ptr<VirtualArena> retired = std::move(arena_);
+  if (!holes_.empty()) {
+    // Densify in slot order (not swap-remove): demotion must be
+    // deterministic so the spilled page order — and with it every restored
+    // scan — matches across runs and restarts.
+    std::vector<uint64_t> dense;
+    dense.reserve(num_live_);
+    for (const uint64_t page : pages_) {
+      if (page != kHoleSlot) dense.push_back(page);
+    }
+    pages_ = std::move(dense);
+    page_to_slot_.clear();
+    for (uint64_t slot = 0; slot < pages_.size(); ++slot) {
+      page_to_slot_[pages_[slot]] = slot;
+    }
+    holes_.clear();
+    file_runs_dirty_ = true;  // densification can merge hole-split runs
+  }
+  num_slot_runs_ = pages_.empty() ? 0 : 1;
+  InvalidateRunCache();
+  return retired;
+}
+
 Status VirtualView::RemovePage(uint64_t page) {
   auto it = page_to_slot_.find(page);
   if (it == page_to_slot_.end()) return NotFound("page not in view");

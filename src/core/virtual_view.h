@@ -279,6 +279,25 @@ class VirtualView {
   uint64_t durable_id() const { return durable_id_; }
   void set_durable_id(uint64_t id) { durable_id_ = id; }
 
+  /// Cold-tier flag (core/view_lifecycle.h): a demoted view keeps its page
+  /// list (and its membership maintenance) but holds no arena — its
+  /// mapping budget is released until a routed query re-materializes it.
+  /// Atomic because the lock-free reader path promotes (cold -> hot) right
+  /// after a successful lazy materialization while the maintenance path
+  /// reads tiers for scoring.
+  bool demoted() const { return demoted_.load(std::memory_order_acquire); }
+  void set_demoted(bool demoted) {
+    demoted_.store(demoted, std::memory_order_release);
+  }
+  /// Atomically flips cold -> hot; true only for the winning caller (many
+  /// readers can race the first scan of a demoted view — exactly one
+  /// counts the promotion).
+  bool PromoteIfDemoted() {
+    bool expected = true;
+    return demoted_.compare_exchange_strong(expected, false,
+                                            std::memory_order_acq_rel);
+  }
+
   /// Creates the arena and rewires the current page list into it (runs of
   /// consecutive page ids coalesce into single mmap calls). No-op when
   /// already materialized. `mapper` non-null ships the mmaps to the
@@ -311,6 +330,17 @@ class VirtualView {
   /// an arena; InvalidArgument on duplicate or out-of-range page ids.
   Status RestorePages(const std::vector<uint64_t>& pages,
                       uint64_t column_pages);
+
+  /// Returns the view to the unmaterialized state, handing back the arena
+  /// for epoch retirement (null when already unmaterialized) — the
+  /// demotion path: membership stays, the mapping budget is released, and
+  /// the next EnsureMaterialized rebuilds the arena from the page list.
+  /// Hole slots densify away (pure list edits, slot order preserved) to
+  /// restore the unmaterialized hole-free invariant.
+  /// Not safe to run concurrently with scans or a live BackgroundMapper
+  /// (same exclusion contract as Compact: the engine holds exclusive
+  /// views_mu_ and waits for epoch quiescence first).
+  std::unique_ptr<VirtualArena> ReleaseArena();
 
   /// Removes a physical page. When materialized, the slot becomes a
   /// PROT_NONE hole (one mmap; trailing holes are trimmed for free) — the
@@ -437,6 +467,7 @@ class VirtualView {
   mutable std::shared_ptr<const std::vector<PageRun>> runs_cache_;
   ViewUsageStats usage_;
   uint64_t durable_id_ = 0;                 // 0 until a durable pool adopts it
+  std::atomic<bool> demoted_{false};        // cold tier (see demoted())
 };
 
 /// Builds the view for [lo, hi] by scanning every column page (the paper's

@@ -1,0 +1,58 @@
+// Cold-tier spill files — the durable side of view demotion (tiered
+// memory: instead of destroying a cold view and losing the adaptation work
+// it encodes, the lifecycle manager spills its page membership to a small
+// per-view file, releases the mapping, and re-materializes on demand).
+//
+// One file per demoted view, "<dir>/view_<id>.cold":
+//   u8[8]  magic "VMSVCLD1"
+//   u64    view id | u64 page_count | page_count * u64 page ids (slot order)
+//   u32    crc32 over everything before it
+//
+// Writes follow the manifest snapshot protocol — tmp file, fsync, rename,
+// directory fsync — so a crash mid-demotion leaves either no cold file or a
+// whole one, never a torn one. Everything routes through StorageIo so the
+// crash matrix can interpose on the exact spill operation stream.
+//
+// The cold file is authoritative for a demoted view's membership; the
+// manifest entry carries the demoted flag (and, until the next snapshot
+// re-spills, the last hot membership as a recovery fallback). A stale cold
+// file whose view was promoted or destroyed is harmless: recovery only
+// reads cold files for views the manifest marks demoted, and checkpoints
+// unlink the leftovers.
+
+#ifndef VMSV_STORAGE_COLD_TIER_H_
+#define VMSV_STORAGE_COLD_TIER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vmsv {
+
+class StorageIo;
+
+/// "<dir>/view_<id>.cold" — exposed so tests can corrupt or remove it.
+std::string ColdFilePath(const std::string& dir, uint64_t view_id);
+
+/// Atomically writes the cold spill file for `view_id` (tmp + fsync +
+/// rename; `sync` false skips the directory fsync, kNone economics — the
+/// rename is still atomic against process kill). `io` null = real I/O.
+Status WriteColdViewFile(const std::string& dir, uint64_t view_id,
+                         const std::vector<uint64_t>& pages, bool sync,
+                         StorageIo* io = nullptr);
+
+/// Reads and validates the cold spill file for `view_id`.
+/// Error contract: NotFound when absent, IoError on bad magic/crc/
+/// truncation or an id mismatch (the file belongs to a different view).
+StatusOr<std::vector<uint64_t>> ReadColdViewFile(const std::string& dir,
+                                                 uint64_t view_id);
+
+/// Best-effort unlink of the cold file (promotion / destroy-evict cleanup;
+/// a leftover file is harmless, so failures are swallowed).
+void RemoveColdViewFile(const std::string& dir, uint64_t view_id);
+
+}  // namespace vmsv
+
+#endif  // VMSV_STORAGE_COLD_TIER_H_

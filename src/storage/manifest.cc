@@ -15,13 +15,16 @@ namespace vmsv {
 namespace {
 
 constexpr char kManifestMagic[8] = {'V', 'M', 'S', 'V', 'M', 'A', 'N', '1'};
-constexpr uint32_t kManifestVersion = 2;
+constexpr uint32_t kManifestVersion = 3;
 
 constexpr char kDeltaMagic[8] = {'V', 'M', 'S', 'V', 'M', 'D', 'L', '1'};
 constexpr uint32_t kDeltaRecordMagic = 0x4C44u;
 constexpr size_t kDeltaHeaderSize = sizeof(kDeltaMagic);
-/// Fixed head of a delta record: op + reserved + 6 u64 fields.
-constexpr size_t kDeltaRecordHeadSize = 2 * sizeof(uint32_t) + 6 * sizeof(uint64_t);
+/// Fixed head of a delta record: op + reserved + 7 u64 fields.
+constexpr size_t kDeltaRecordHeadSize = 2 * sizeof(uint32_t) + 7 * sizeof(uint64_t);
+
+/// ManifestView::demoted <-> the flags word (bit 0) in both formats.
+constexpr uint64_t kViewFlagDemoted = 1;
 /// Trailing crc + record magic.
 constexpr size_t kDeltaRecordTailSize = 2 * sizeof(uint32_t);
 
@@ -65,6 +68,7 @@ std::string EncodeDelta(const ManifestDelta& delta) {
   PutU64(&buf, delta.view.lo);
   PutU64(&buf, delta.view.hi);
   PutU64(&buf, delta.view.creation_scanned_pages);
+  PutU64(&buf, delta.view.demoted ? kViewFlagDemoted : 0);
   PutU64(&buf, delta.view.pages.size());
   for (const uint64_t page : delta.view.pages) PutU64(&buf, page);
   PutU32(&buf, Crc32(buf.data(), buf.size()));
@@ -80,7 +84,7 @@ size_t DecodeDelta(const unsigned char* data, size_t left,
   if (left < kDeltaRecordHeadSize + kDeltaRecordTailSize) return 0;
   Reader head{data, kDeltaRecordHeadSize};
   uint32_t op = 0, reserved = 0;
-  uint64_t page_count = 0;
+  uint64_t flags = 0, page_count = 0;
   head.GetU32(&op);
   head.GetU32(&reserved);
   head.GetU64(&delta->epoch);
@@ -88,6 +92,7 @@ size_t DecodeDelta(const unsigned char* data, size_t left,
   head.GetU64(&delta->view.lo);
   head.GetU64(&delta->view.hi);
   head.GetU64(&delta->view.creation_scanned_pages);
+  head.GetU64(&flags);
   head.GetU64(&page_count);
   // Division, not multiplication: a corrupt count must not overflow the
   // bound into passing (the crc comes AFTER this check, so it cannot help).
@@ -105,10 +110,12 @@ size_t DecodeDelta(const unsigned char* data, size_t left,
     return 0;
   }
   if (op != static_cast<uint32_t>(ManifestDeltaOp::kUpsertView) &&
-      op != static_cast<uint32_t>(ManifestDeltaOp::kRemoveView)) {
+      op != static_cast<uint32_t>(ManifestDeltaOp::kRemoveView) &&
+      op != static_cast<uint32_t>(ManifestDeltaOp::kSetViewTier)) {
     return 0;
   }
   delta->op = static_cast<ManifestDeltaOp>(op);
+  delta->view.demoted = (flags & kViewFlagDemoted) != 0;
   delta->view.pages.resize(page_count);
   std::memcpy(delta->view.pages.data(), data + kDeltaRecordHeadSize,
               page_count * sizeof(uint64_t));
@@ -141,6 +148,7 @@ Status WriteManifest(const std::string& dir, const ViewManifest& manifest,
     PutU64(&buf, view.lo);
     PutU64(&buf, view.hi);
     PutU64(&buf, view.creation_scanned_pages);
+    PutU64(&buf, view.demoted ? kViewFlagDemoted : 0);
     PutU64(&buf, view.pages.size());
     for (const uint64_t page : view.pages) PutU64(&buf, page);
   }
@@ -229,7 +237,7 @@ StatusOr<ViewManifest> ReadManifest(const std::string& dir) {
   // cannot overflow the check into passing: the CRC protects against
   // corruption, not against a crafted file, and the contract is IoError —
   // never bad_alloc — on anything malformed.
-  constexpr size_t kViewRecordMinBytes = 5 * sizeof(uint64_t);
+  constexpr size_t kViewRecordMinBytes = 6 * sizeof(uint64_t);
   if (view_count > reader.left / kViewRecordMinBytes) {
     return IoError(path + ": view count " + std::to_string(view_count) +
                    " exceeds what the file could hold");
@@ -237,14 +245,15 @@ StatusOr<ViewManifest> ReadManifest(const std::string& dir) {
   manifest.views.reserve(view_count);
   for (uint64_t vi = 0; vi < view_count; ++vi) {
     ManifestView view;
-    uint64_t page_count = 0;
+    uint64_t flags = 0, page_count = 0;
     if (!reader.GetU64(&view.id) || !reader.GetU64(&view.lo) ||
         !reader.GetU64(&view.hi) ||
         !reader.GetU64(&view.creation_scanned_pages) ||
-        !reader.GetU64(&page_count) ||
+        !reader.GetU64(&flags) || !reader.GetU64(&page_count) ||
         page_count > reader.left / sizeof(uint64_t)) {
       return IoError(path + ": truncated view record " + std::to_string(vi));
     }
+    view.demoted = (flags & kViewFlagDemoted) != 0;
     view.pages.resize(page_count);
     for (uint64_t i = 0; i < page_count; ++i) {
       if (!reader.GetU64(&view.pages[i])) {
@@ -375,6 +384,18 @@ uint64_t ApplyManifestDeltas(ViewManifest* base,
       for (auto it = base->views.begin(); it != base->views.end(); ++it) {
         if (it->id == delta.view.id) {
           base->views.erase(it);
+          break;
+        }
+      }
+    } else if (delta.op == ManifestDeltaOp::kSetViewTier) {
+      // Tier flip in place: the view's recorded membership stays whatever
+      // the base/upserts said (a demote delta may land before the snapshot
+      // re-spills, so those pages are still the authoritative fallback when
+      // the cold file is missing). An unknown id means the view's upsert
+      // never became durable — nothing to re-tier.
+      for (ManifestView& view : base->views) {
+        if (view.id == delta.view.id) {
+          view.demoted = delta.view.demoted;
           break;
         }
       }

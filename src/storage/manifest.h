@@ -16,13 +16,20 @@
 //
 // Base snapshot on-disk format (little-endian):
 //   u8[8]  magic "VMSVMAN1"
-//   u32    version (2)
+//   u32    version (3)
 //   u32    reserved (0)
 //   u64    num_rows | u64 num_pages | u64 pool_generation |
 //   u64    epoch | u64 next_view_id | u64 view_count
 //   per view: u64 id | u64 lo | u64 hi | u64 creation_scanned_pages |
+//             u64 flags (bit 0 = demoted) |
 //             u64 page_count | page_count * u64 page ids (slot order)
 //   u32    crc32 over everything before it
+//
+// Demoted (cold-tier) views persist with an EMPTY page list in the base
+// snapshot: their membership lives in the per-view cold spill file
+// (storage/cold_tier.h), which the snapshot protocol re-spills first. The
+// flag tells recovery to read the cold file instead of treating the empty
+// list as an empty view.
 //
 // Base writes go to MANIFEST.tmp, are fsynced, renamed over MANIFEST, and
 // the directory is fsynced: a crash leaves either the old or the new
@@ -31,10 +38,14 @@
 // Delta log on-disk format (little-endian):
 //   u8[8]  magic "VMSVMDL1"
 //   per record:
-//     u32 op (1 = upsert, 2 = remove) | u32 reserved | u64 epoch |
-//     u64 id | u64 lo | u64 hi | u64 creation_scanned_pages |
+//     u32 op (1 = upsert, 2 = remove, 3 = set-tier) | u32 reserved |
+//     u64 epoch | u64 id | u64 lo | u64 hi | u64 creation_scanned_pages |
+//     u64 flags (bit 0 = demoted) |
 //     u64 page_count | page_count * u64 page ids |
 //     u32 crc32 of the record bytes before it | u32 record magic 0x4C44u
+// Set-tier records carry no pages (page_count 0): they flip the demoted
+// flag of the identified view in place, leaving its recorded membership
+// untouched — O(1) bytes per demotion/promotion instead of O(view).
 // Each record is self-framing (crc + magic): a torn or corrupt tail ends
 // replay there and Open truncates it, exactly like the journal.
 //
@@ -63,6 +74,10 @@ struct ManifestView {
   Value hi = 0;
   /// Pages the creating scan read — feeds eviction scoring after reopen.
   uint64_t creation_scanned_pages = 0;
+  /// True when the view lives in the cold tier: its membership is spilled
+  /// to the per-view cold file and `pages` here may be empty (base
+  /// snapshot) or carry the last hot membership (set-tier delta replay).
+  bool demoted = false;
   /// Physical page membership in slot order (dense: holes never persist —
   /// a manifest is only written from aligned, flush-consistent states).
   std::vector<uint64_t> pages;
@@ -82,10 +97,12 @@ struct ViewManifest {
 };
 
 /// One incremental manifest record: upsert (add or replace the view with
-/// `view.id`) or remove (only `view.id` is meaningful).
+/// `view.id`), remove (only `view.id` is meaningful), or set-tier (flip
+/// `view.id`'s demoted flag to `view.demoted`, keeping its pages).
 enum class ManifestDeltaOp : uint32_t {
   kUpsertView = 1,
   kRemoveView = 2,
+  kSetViewTier = 3,
 };
 
 struct ManifestDelta {
@@ -158,8 +175,11 @@ class ManifestDeltaLog {
 };
 
 /// Applies `deltas` (append order) to `base`: records stamped with
-/// base->epoch upsert/remove views by id; records from any other epoch are
-/// skipped and counted. Raises base->next_view_id above every id seen.
+/// base->epoch upsert/remove views by id (set-tier flips the demoted flag
+/// of an existing view, keeping its pages; an unknown id is a no-op — the
+/// view's upsert never became durable, so there is nothing to re-tier).
+/// Records from any other epoch are skipped and counted. Raises
+/// base->next_view_id above every id seen.
 /// Returns the number of records applied; `skipped_epoch` (optional)
 /// receives the skip count.
 uint64_t ApplyManifestDeltas(ViewManifest* base,

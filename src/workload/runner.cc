@@ -121,6 +121,9 @@ StatusOr<WorkloadReport> RunWorkload(AdaptiveColumn* adaptive,
     report.fullscan_total_ms += trace.fullscan_ms;
   }
   report.health = adaptive->Health();
+  report.views_demoted = report.health.views_demoted;
+  report.views_promoted = report.health.views_promoted;
+  report.cold_view_reloads = report.health.cold_view_reloads;
   return report;
 }
 

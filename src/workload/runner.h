@@ -72,6 +72,13 @@ struct WorkloadReport {
   /// Column health snapshot taken after the last query, so harnesses see
   /// whether (and how often) the run degraded to base-column fallbacks.
   ColumnHealth health;
+  /// Tiering activity over the run (mirrors of the `health` counters, so
+  /// benches and tests read the demote/promote/reload totals directly):
+  /// hot views spilled cold, cold views promoted back by a routed query,
+  /// and demoted views reloaded from their cold files at Open.
+  uint64_t views_demoted = 0;
+  uint64_t views_promoted = 0;
+  uint64_t cold_view_reloads = 0;
 };
 
 StatusOr<WorkloadReport> RunWorkload(AdaptiveColumn* adaptive,

@@ -67,6 +67,13 @@ struct Scenario {
   /// false: process kill — files survive as written (page cache lives).
   /// true: power loss — column.dat rolls back to its last successful fsync.
   bool power_loss;
+  /// Interleave DemoteColdestViews into the script so cold-file spill ops
+  /// (tmp write/fsync/rename/dir-fsync) enter the fault surface. Recovery
+  /// must come back hot-or-demoted — never torn — at every fault point.
+  bool demote = false;
+  /// errno carried by kFailOp points (0 = legacy untyped IoError); lets the
+  /// spill scenarios model disk-full vs media-error on the cold-file write.
+  int fail_errno = 0;
 };
 
 AdaptiveConfig MakeConfig(const Scenario& s, StorageIo* io) {
@@ -134,15 +141,22 @@ ScriptOutcome RunScript(const std::string& dir, const Scenario& s,
   for (int q = 0; q < 4; ++q) (void)col->Execute(queries[q]);  // adapt
   if (!col->FlushUpdates().ok()) return out;
   all_durable();
+  // Spill scenarios: demote here so the later queries promote some views
+  // back (promote + demote + checkpoint re-spill all inside the surface).
+  if (s.demote) (void)col->DemoteColdestViews(2);
   for (uint64_t j = 13; j <= 24; ++j) {
     if (!issue(j)) return out;
   }
   for (int q = 4; q < 8; ++q) (void)col->Execute(queries[q]);
+  if (s.demote) (void)col->DemoteColdestViews(2);
   if (!col->Checkpoint().ok()) return out;
   all_durable();
   for (uint64_t j = 25; j <= kTotalUpdates; ++j) {
     if (!issue(j)) return out;
   }
+  // Tail demote: only the set-tier delta and the cold file land before the
+  // kill — recovery must honor the delta or fall back hot, never tear.
+  if (s.demote) (void)col->DemoteColdestViews(1);
   return out;  // destructor = SIGKILL: no flush, just closed fds
 }
 
@@ -325,7 +339,7 @@ class CrashMatrix {
     std::error_code ec;
     fs::remove(snapshot, ec);
 
-    FaultInjectingIo io(FaultPlan{kind, op, seed});
+    FaultInjectingIo io(FaultPlan{kind, op, seed, scenario_.fail_errno});
     if (scenario_.power_loss) {
       io.set_sync_listener([&](int fd) {
         // Snapshot column.dat at each successful data fsync: exactly the
@@ -409,6 +423,29 @@ TEST(CrashMatrixTest, PowerSyncEveryUpdate) {
 
 TEST(CrashMatrixTest, PowerSyncGroupCommit) {
   CrashMatrix({"power_sync_group8", FlushPolicy::kSync, false, 8, true}).Run();
+}
+
+// Spill-path scenarios (ISSUE 8 satellite): the script demotes views at
+// three points, so every cold-file op — tmp write, fsync, rename, directory
+// fsync — is a fault point. Kill mid-demotion must reopen hot-or-demoted,
+// never torn, and the adaptive scans must stay bit-identical.
+
+TEST(CrashMatrixTest, SpillKillSync) {
+  CrashMatrix({"spill_kill_sync", FlushPolicy::kSync, false, 0, false,
+               /*demote=*/true})
+      .Run();
+}
+
+TEST(CrashMatrixTest, SpillDiskFull) {
+  CrashMatrix({"spill_disk_full", FlushPolicy::kSync, false, 0, false,
+               /*demote=*/true, /*fail_errno=*/ENOSPC})
+      .Run();
+}
+
+TEST(CrashMatrixTest, SpillMediaError) {
+  CrashMatrix({"spill_media_error", FlushPolicy::kSync, false, 0, false,
+               /*demote=*/true, /*fail_errno=*/EIO})
+      .Run();
 }
 
 // ---------------------------------------------------------------------------

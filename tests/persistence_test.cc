@@ -215,8 +215,9 @@ TEST(ManifestTest, RoundTrip) {
   manifest.pool_generation = 7;
   manifest.epoch = 3;
   manifest.next_view_id = 9;
-  manifest.views.push_back(ManifestView{7, 100, 200, 25, {3, 4, 5, 9}});
-  manifest.views.push_back(ManifestView{8, 0, 50, 10, {}});
+  manifest.views.push_back(
+      ManifestView{7, 100, 200, 25, /*demoted=*/false, {3, 4, 5, 9}});
+  manifest.views.push_back(ManifestView{8, 0, 50, 10, /*demoted=*/false, {}});
   ASSERT_TRUE(WriteManifest(scratch.path(), manifest, /*sync=*/true).ok());
 
   auto read_r = ReadManifest(scratch.path());
@@ -642,7 +643,7 @@ ManifestDelta UpsertDelta(uint64_t epoch, uint64_t id, Value lo, Value hi,
   delta.op = ManifestDeltaOp::kUpsertView;
   delta.epoch = epoch;
   delta.view = ManifestView{id, lo, hi, /*creation_scanned_pages=*/pages.size(),
-                            std::move(pages)};
+                            /*demoted=*/false, std::move(pages)};
   return delta;
 }
 

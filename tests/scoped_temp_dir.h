@@ -7,10 +7,17 @@
 // death-test child): every such failure leaked a vmsv_* directory into
 // TMPDIR. This helper fixes that structurally instead of per-call-site:
 // every directory lives under one per-user root and embeds its owning pid,
-// and each process SWEEPS the root once at startup, removing any directory
-// whose owner is no longer alive. A crashed run's litter is collected by the
-// next run — including a next run of a different test binary, since the
-// root is shared.
+// and each process SWEEPS the root once per tag, removing any directory
+// with that tag whose owner is no longer alive. A crashed run's litter is
+// collected by the next run of the same test.
+//
+// The sweep is scoped to the caller's TAG on purpose: `ctest -j` runs many
+// test binaries against the shared root concurrently, and an unscoped sweep
+// races their directory creation — between B's create_directories and its
+// first file write, A's sweep can observe B's directory, mis-parse a pid
+// out of an unrelated naming scheme (or hit a recycled pid), and remove a
+// directory B is actively using. Same-tag directories can only collide with
+// an earlier run of the SAME test, where the dead-pid probe is decisive.
 //
 // Layout: <TMPDIR>/vmsv_scratch/<tag>_<pid>_<counter>
 
@@ -21,6 +28,8 @@
 #include <csignal>
 #include <cstdlib>
 #include <filesystem>
+#include <mutex>
+#include <set>
 #include <string>
 
 #include <sys/types.h>
@@ -35,7 +44,7 @@ class ScopedTempDir {
     const fs::path root = Root();
     std::error_code ec;
     fs::create_directories(root, ec);
-    SweepStaleOnce(root);
+    SweepStaleOnce(root, tag);
     dir_ = (root / (std::string(tag) + "_" + std::to_string(::getpid()) + "_" +
                     std::to_string(counter_++)))
                .string();
@@ -58,35 +67,43 @@ class ScopedTempDir {
     return std::filesystem::temp_directory_path() / "vmsv_scratch";
   }
 
-  /// Removes sibling scratch dirs whose embedded pid is dead — the litter
-  /// of runs that aborted before their destructors. Runs once per process.
-  static void SweepStaleOnce(const std::filesystem::path& root) {
-    static const bool swept = [&root] {
-      namespace fs = std::filesystem;
-      std::error_code ec;
-      for (const auto& entry : fs::directory_iterator(root, ec)) {
-        const std::string name = entry.path().filename().string();
-        // Name is <tag>_<pid>_<counter>: the pid is the second-to-last
-        // underscore-separated field.
-        const size_t last = name.rfind('_');
-        if (last == std::string::npos || last == 0) continue;
-        const size_t prev = name.rfind('_', last - 1);
-        if (prev == std::string::npos) continue;
-        const std::string pid_str = name.substr(prev + 1, last - prev - 1);
-        char* end = nullptr;
-        const long pid = std::strtol(pid_str.c_str(), &end, 10);
-        if (end == pid_str.c_str() || *end != '\0' || pid <= 0) continue;
-        if (pid == static_cast<long>(::getpid())) continue;
-        // Signal 0 probes existence. EPERM means "alive but not ours" —
-        // only ESRCH (no such process) marks the directory as abandoned.
-        if (::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH) {
-          std::error_code rm_ec;
-          fs::remove_all(entry.path(), rm_ec);
-        }
+  /// Removes sibling scratch dirs carrying THIS tag whose embedded pid is
+  /// dead — the litter of same-test runs that aborted before their
+  /// destructors. Runs once per (process, tag); directories of other tags
+  /// belong to other tests, possibly running concurrently under `ctest -j`,
+  /// and are never touched (see the header comment for the race).
+  static void SweepStaleOnce(const std::filesystem::path& root,
+                             const char* tag) {
+    static std::mutex mu;
+    static std::set<std::string> swept_tags;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!swept_tags.insert(tag).second) return;
+    }
+    namespace fs = std::filesystem;
+    const std::string prefix = std::string(tag) + "_";
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(root, ec)) {
+      const std::string name = entry.path().filename().string();
+      // Name is <tag>_<pid>_<counter>; with the tag prefix anchored, the
+      // pid is the field right after it (no ambiguity even for tags that
+      // themselves contain underscores).
+      if (name.compare(0, prefix.size(), prefix) != 0) continue;
+      const size_t pid_end = name.find('_', prefix.size());
+      if (pid_end == std::string::npos) continue;
+      const std::string pid_str = name.substr(prefix.size(),
+                                              pid_end - prefix.size());
+      char* end = nullptr;
+      const long pid = std::strtol(pid_str.c_str(), &end, 10);
+      if (end == pid_str.c_str() || *end != '\0' || pid <= 0) continue;
+      if (pid == static_cast<long>(::getpid())) continue;
+      // Signal 0 probes existence. EPERM means "alive but not ours" —
+      // only ESRCH (no such process) marks the directory as abandoned.
+      if (::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH) {
+        std::error_code rm_ec;
+        fs::remove_all(entry.path(), rm_ec);
       }
-      return true;
-    }();
-    (void)swept;
+    }
   }
 
   static inline int counter_ = 0;

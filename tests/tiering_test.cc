@@ -1,0 +1,461 @@
+// Tiered cold-view lifecycle suite (ISSUE 8 / ARCHITECTURE.md "Tiering
+// model"): the cold-file format, the set-tier manifest delta, the
+// demote → reopen → promote acceptance round-trip (bit-identical to a
+// never-demoted column), seeded randomized interleavings of
+// update/flush/demote/checkpoint/reopen against the full-scan serial
+// oracle, and the demote-while-scan race (the CI TSAN job runs this
+// binary).
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_layer.h"
+#include "scoped_temp_dir.h"
+#include "storage/cold_tier.h"
+#include "storage/manifest.h"
+#include "util/env.h"
+#include "workload/distribution.h"
+#include "workload/query_generator.h"
+#include "workload/runner.h"
+
+namespace vmsv {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr Value kMaxValue = 100'000'000;
+
+uint64_t TestPages() { return GetEnvUint64("VMSV_PAGES", 64); }
+
+using ScratchDir = ScopedTempDir;
+
+DistributionSpec SineSpec() {
+  DistributionSpec spec;
+  spec.kind = DataDistribution::kSine;
+  spec.max_value = kMaxValue;
+  spec.seed = 42;
+  return spec;
+}
+
+std::vector<RangeQuery> TestQueries(uint64_t n, uint64_t seed) {
+  QueryWorkloadSpec wspec;
+  wspec.num_queries = n;
+  wspec.domain_hi = kMaxValue;
+  wspec.seed = seed;
+  return MakeFixedSelectivityWorkload(wspec, 0.10);
+}
+
+/// Small hot budget so organic demotions trigger; roomy cold budget so the
+/// tests control trimming explicitly.
+AdaptiveConfig TieringConfig() {
+  AdaptiveConfig config;
+  config.max_views = 4;
+  config.max_cold_views = 8;
+  config.lifecycle.eviction_margin = 0.05;
+  return config;
+}
+
+std::unique_ptr<AdaptiveColumn> MakeDurable(const std::string& dir,
+                                            const AdaptiveConfig& config) {
+  auto adaptive_r = AdaptiveColumn::CreateDurable(
+      dir, TestPages() * kValuesPerPage, config);
+  EXPECT_TRUE(adaptive_r.ok()) << adaptive_r.status().ToString();
+  auto adaptive = std::move(adaptive_r).ValueOrDie();
+  FillColumn(SineSpec(), adaptive->mutable_column());
+  return adaptive;
+}
+
+struct QueryResult {
+  uint64_t match_count;
+  Value sum;
+  bool operator==(const QueryResult& o) const {
+    return match_count == o.match_count && sum == o.sum;
+  }
+  bool operator!=(const QueryResult& o) const { return !(*this == o); }
+};
+
+QueryResult Adaptive(AdaptiveColumn* adaptive, const RangeQuery& q) {
+  auto exec = adaptive->Execute(q);
+  EXPECT_TRUE(exec.ok()) << exec.status().ToString();
+  return QueryResult{exec->match_count, exec->sum};
+}
+
+/// The serial oracle: the base column is the ground truth no tier state can
+/// corrupt, so a full scan is always bit-exact.
+QueryResult Oracle(const AdaptiveColumn* adaptive, const RangeQuery& q) {
+  auto exec = adaptive->ExecuteFullScan(q);
+  EXPECT_TRUE(exec.ok()) << exec.status().ToString();
+  return QueryResult{exec->match_count, exec->sum};
+}
+
+size_t ColdCount(const AdaptiveColumn& adaptive) {
+  size_t cold = 0;
+  for (const auto& view : adaptive.view_index().views()) {
+    if (view->demoted()) ++cold;
+  }
+  return cold;
+}
+
+// ---------------------------------------------------------------------------
+// Cold-file format
+
+TEST(ColdTierFileTest, WriteReadRoundTrip) {
+  ScratchDir scratch("cold_file");
+  const std::vector<uint64_t> pages = {3, 4, 5, 9, 11};
+  ASSERT_TRUE(
+      WriteColdViewFile(scratch.path(), 7, pages, /*sync=*/true).ok());
+  auto read_r = ReadColdViewFile(scratch.path(), 7);
+  ASSERT_TRUE(read_r.ok()) << read_r.status().ToString();
+  EXPECT_EQ(read_r.ValueOrDie(), pages);
+}
+
+TEST(ColdTierFileTest, EmptyPageListRoundTrips) {
+  ScratchDir scratch("cold_file");
+  ASSERT_TRUE(WriteColdViewFile(scratch.path(), 3, {}, /*sync=*/false).ok());
+  auto read_r = ReadColdViewFile(scratch.path(), 3);
+  ASSERT_TRUE(read_r.ok()) << read_r.status().ToString();
+  EXPECT_TRUE(read_r.ValueOrDie().empty());
+}
+
+TEST(ColdTierFileTest, MissingFileIsNotFound) {
+  ScratchDir scratch("cold_file");
+  auto read_r = ReadColdViewFile(scratch.path(), 42);
+  ASSERT_FALSE(read_r.ok());
+  EXPECT_EQ(read_r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ColdTierFileTest, CorruptPayloadIsRejected) {
+  ScratchDir scratch("cold_file");
+  ASSERT_TRUE(
+      WriteColdViewFile(scratch.path(), 5, {1, 2, 3}, /*sync=*/true).ok());
+  // Flip one byte in the page payload; the CRC must catch it.
+  const std::string path = ColdFilePath(scratch.path(), 5);
+  FILE* f = ::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(::fseek(f, 8 + 8 + 8 + 2, SEEK_SET), 0);
+  ::fputc(0x5A, f);
+  ::fclose(f);
+  auto read_r = ReadColdViewFile(scratch.path(), 5);
+  ASSERT_FALSE(read_r.ok());
+  EXPECT_EQ(read_r.status().code(), StatusCode::kIoError);
+}
+
+TEST(ColdTierFileTest, IdMismatchIsRejected) {
+  ScratchDir scratch("cold_file");
+  ASSERT_TRUE(
+      WriteColdViewFile(scratch.path(), 5, {1, 2, 3}, /*sync=*/true).ok());
+  // A cold file renamed to another view's slot must not be accepted: the
+  // embedded id is part of the validated payload.
+  std::error_code ec;
+  fs::rename(ColdFilePath(scratch.path(), 5), ColdFilePath(scratch.path(), 6),
+             ec);
+  ASSERT_FALSE(ec);
+  auto read_r = ReadColdViewFile(scratch.path(), 6);
+  ASSERT_FALSE(read_r.ok());
+  EXPECT_EQ(read_r.status().code(), StatusCode::kIoError);
+}
+
+TEST(ColdTierFileTest, RemoveIsIdempotent) {
+  ScratchDir scratch("cold_file");
+  ASSERT_TRUE(WriteColdViewFile(scratch.path(), 9, {1}, /*sync=*/false).ok());
+  RemoveColdViewFile(scratch.path(), 9);
+  RemoveColdViewFile(scratch.path(), 9);  // ENOENT is fine
+  EXPECT_EQ(ReadColdViewFile(scratch.path(), 9).status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Manifest: the set-tier delta
+
+TEST(ManifestTierTest, SetTierDeltaFlipsFlagKeepingPages) {
+  ViewManifest manifest;
+  manifest.epoch = 2;
+  manifest.views.push_back(
+      ManifestView{7, 100, 200, 25, /*demoted=*/false, {3, 4, 5}});
+
+  ManifestDelta demote;
+  demote.op = ManifestDeltaOp::kSetViewTier;
+  demote.epoch = 2;
+  demote.view.id = 7;
+  demote.view.demoted = true;
+
+  EXPECT_EQ(ApplyManifestDeltas(&manifest, {demote}), 1u);
+  ASSERT_EQ(manifest.views.size(), 1u);
+  EXPECT_TRUE(manifest.views[0].demoted);
+  EXPECT_EQ(manifest.views[0].pages, (std::vector<uint64_t>{3, 4, 5}));
+
+  // Unknown id: no-op (the view may have been trimmed meanwhile).
+  ManifestDelta stray = demote;
+  stray.view.id = 99;
+  EXPECT_EQ(ApplyManifestDeltas(&manifest, {stray}), 1u);
+  EXPECT_EQ(manifest.views.size(), 1u);
+}
+
+TEST(ManifestTierTest, DemotedFlagSurvivesBaseSnapshotRoundTrip) {
+  ScratchDir scratch("manifest_tier");
+  ViewManifest manifest;
+  manifest.num_rows = 1000;
+  manifest.num_pages = 10;
+  manifest.epoch = 1;
+  manifest.next_view_id = 3;
+  manifest.views.push_back(
+      ManifestView{1, 0, 50, 10, /*demoted=*/true, {}});
+  manifest.views.push_back(
+      ManifestView{2, 60, 90, 4, /*demoted=*/false, {1, 2}});
+  ASSERT_TRUE(WriteManifest(scratch.path(), manifest, /*sync=*/true).ok());
+  auto read_r = ReadManifest(scratch.path());
+  ASSERT_TRUE(read_r.ok()) << read_r.status().ToString();
+  ASSERT_EQ(read_r->views.size(), 2u);
+  EXPECT_TRUE(read_r->views[0].demoted);
+  EXPECT_FALSE(read_r->views[1].demoted);
+}
+
+// ---------------------------------------------------------------------------
+// Engine lifecycle
+
+TEST(TieringTest, DemoteKeepsViewRoutableAndPromotesOnHit) {
+  ScratchDir scratch("tiering");
+  auto adaptive = MakeDurable(scratch.path(), TieringConfig());
+  const auto queries = TestQueries(4, 97);
+  std::vector<QueryResult> expected;
+  for (const RangeQuery& q : queries) expected.push_back(Oracle(adaptive.get(), q));
+  for (const RangeQuery& q : queries) ASSERT_EQ(Adaptive(adaptive.get(), q), Oracle(adaptive.get(), q));
+  const size_t pool = adaptive->view_index().num_partial_views();
+  ASSERT_GT(pool, 0u);
+
+  const size_t demoted = adaptive->DemoteColdestViews(pool);
+  EXPECT_EQ(demoted, pool);
+  EXPECT_EQ(ColdCount(*adaptive), pool);
+  EXPECT_EQ(adaptive->Health().views_demoted, pool);
+  EXPECT_EQ(adaptive->lifecycle_stats().demotions, pool);
+
+  // A routed query re-materializes the demoted view and promotes it — same
+  // answer, and the pool keeps its members (no destroy).
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(Adaptive(adaptive.get(), queries[i]), expected[i]);
+  }
+  EXPECT_GT(adaptive->Health().views_promoted, 0u);
+  EXPECT_LT(ColdCount(*adaptive), pool);
+  EXPECT_EQ(adaptive->view_index().num_partial_views(), pool);
+}
+
+TEST(TieringTest, DemoteReopenPromoteBitIdenticalToNeverDemoted) {
+  // The acceptance contract: a column that demoted its views, checkpointed,
+  // restarted, and promoted them back answers every query bit-identically
+  // to a column that never demoted anything.
+  ScratchDir tiered_dir("tiering_a");
+  ScratchDir control_dir("tiering_b");
+  const auto queries = TestQueries(6, 131);
+
+  std::vector<QueryResult> tiered;
+  {
+    auto adaptive = MakeDurable(tiered_dir.path(), TieringConfig());
+    for (const RangeQuery& q : queries) Adaptive(adaptive.get(), q);
+    ASSERT_GT(adaptive->DemoteColdestViews(
+                  adaptive->view_index().num_partial_views()), 0u);
+    ASSERT_TRUE(adaptive->Checkpoint().ok());
+  }
+  {
+    auto reopen_r = AdaptiveColumn::Open(tiered_dir.path(), TieringConfig());
+    ASSERT_TRUE(reopen_r.ok()) << reopen_r.status().ToString();
+    auto adaptive = std::move(reopen_r).ValueOrDie();
+    EXPECT_GT(adaptive->Health().cold_view_reloads, 0u);
+    EXPECT_GT(ColdCount(*adaptive), 0u);
+    for (const RangeQuery& q : queries) {
+      tiered.push_back(Adaptive(adaptive.get(), q));
+    }
+    EXPECT_GT(adaptive->Health().views_promoted, 0u);
+  }
+
+  std::vector<QueryResult> control;
+  {
+    AdaptiveConfig config = TieringConfig();
+    config.lifecycle.enable_demotion = false;
+    auto adaptive = MakeDurable(control_dir.path(), config);
+    for (const RangeQuery& q : queries) Adaptive(adaptive.get(), q);
+    ASSERT_TRUE(adaptive->Checkpoint().ok());
+    adaptive.reset();  // release the journal flock before reopening
+    auto reopen_r = AdaptiveColumn::Open(control_dir.path(), config);
+    ASSERT_TRUE(reopen_r.ok()) << reopen_r.status().ToString();
+    adaptive = std::move(reopen_r).ValueOrDie();
+    for (const RangeQuery& q : queries) {
+      control.push_back(Adaptive(adaptive.get(), q));
+    }
+  }
+  EXPECT_EQ(tiered, control);
+}
+
+TEST(TieringTest, TierStateSurvivesKillWithoutCheckpoint) {
+  // The set-tier delta alone (no base snapshot after the demote) must
+  // reopen the view demoted, restored from its cold file.
+  ScratchDir scratch("tiering_kill");
+  const auto queries = TestQueries(4, 53);
+  size_t demoted = 0;
+  {
+    auto adaptive = MakeDurable(scratch.path(), TieringConfig());
+    for (const RangeQuery& q : queries) Adaptive(adaptive.get(), q);
+    ASSERT_TRUE(adaptive->Checkpoint().ok());  // base snapshot: all hot
+    demoted = adaptive->DemoteColdestViews(2);
+    ASSERT_GT(demoted, 0u);
+    // No checkpoint: the object drops here, simulating a kill (there is
+    // deliberately no destructor checkpoint).
+  }
+  auto reopen_r = AdaptiveColumn::Open(scratch.path(), TieringConfig());
+  ASSERT_TRUE(reopen_r.ok()) << reopen_r.status().ToString();
+  auto adaptive = std::move(reopen_r).ValueOrDie();
+  EXPECT_EQ(ColdCount(*adaptive), demoted);
+  EXPECT_EQ(adaptive->Health().cold_view_reloads, demoted);
+  for (const RangeQuery& q : queries) {
+    EXPECT_EQ(Adaptive(adaptive.get(), q), Oracle(adaptive.get(), q));
+  }
+}
+
+TEST(TieringTest, ColdBudgetTrimsLowestScoringColdView) {
+  ScratchDir scratch("tiering_trim");
+  AdaptiveConfig config = TieringConfig();
+  config.max_cold_views = 1;
+  auto adaptive = MakeDurable(scratch.path(), config);
+  const auto queries = TestQueries(4, 97);
+  for (const RangeQuery& q : queries) Adaptive(adaptive.get(), q);
+  const size_t pool = adaptive->view_index().num_partial_views();
+  ASSERT_GT(pool, 1u);
+  EXPECT_EQ(adaptive->DemoteColdestViews(pool), pool);
+  // The trim destroyed all but max_cold_views of them.
+  EXPECT_EQ(ColdCount(*adaptive), 1u);
+  EXPECT_EQ(adaptive->view_index().num_partial_views(), 1u);
+  EXPECT_GT(adaptive->metrics().views_evicted, 0u);
+  // Queries still answer exactly (destroyed ranges re-adapt via full scan).
+  for (const RangeQuery& q : queries) {
+    EXPECT_EQ(Adaptive(adaptive.get(), q), Oracle(adaptive.get(), q));
+  }
+}
+
+TEST(TieringTest, DemotionDisabledIsNoOp) {
+  ScratchDir scratch("tiering_off");
+  AdaptiveConfig config = TieringConfig();
+  config.lifecycle.enable_demotion = false;
+  auto adaptive = MakeDurable(scratch.path(), config);
+  for (const RangeQuery& q : TestQueries(3, 97)) Adaptive(adaptive.get(), q);
+  EXPECT_EQ(adaptive->DemoteColdestViews(8), 0u);
+  EXPECT_EQ(ColdCount(*adaptive), 0u);
+  EXPECT_EQ(adaptive->Health().views_demoted, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized lifecycle property test
+
+TEST(TieringLifecycleTest, SeededInterleavingsMatchSerialOracle) {
+  // Seeded interleavings of query / update / flush / demote / checkpoint /
+  // reopen. Invariant after every query: the adaptive answer is
+  // bit-identical to the full-scan serial oracle over the same base column
+  // — no interleaving of tier transitions may corrupt a result.
+  for (const uint64_t seed : {11ull, 29ull, 47ull}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ScratchDir scratch("tiering_rand");
+    const AdaptiveConfig config = TieringConfig();
+    auto adaptive = MakeDurable(scratch.path(), config);
+    std::mt19937_64 rng(seed);
+    const auto queries = TestQueries(32, 1000 + seed);
+    const uint64_t num_rows = adaptive->column().num_rows();
+    size_t qi = 0;
+
+    for (int step = 0; step < 150; ++step) {
+      switch (rng() % 10) {
+        case 0: case 1: case 2: case 3: {  // query + oracle check
+          const RangeQuery q = queries[qi++ % queries.size()];
+          const QueryResult got = Adaptive(adaptive.get(), q);
+          const QueryResult want = Oracle(adaptive.get(), q);
+          ASSERT_EQ(got, want) << "step " << step;
+          break;
+        }
+        case 4: case 5: {  // update: half leave the domain, half move inside
+          const uint64_t row = rng() % num_rows;
+          const Value value = (rng() % 2 == 0) ? kMaxValue + 1 + (rng() % 512)
+                                               : rng() % kMaxValue;
+          ASSERT_TRUE(adaptive->Update(row, value).ok());
+          break;
+        }
+        case 6: {
+          auto flushed = adaptive->FlushUpdates();
+          ASSERT_TRUE(flushed.ok()) << flushed.status().ToString();
+          break;
+        }
+        case 7:
+          adaptive->DemoteColdestViews(1 + rng() % 2);
+          break;
+        case 8:
+          ASSERT_TRUE(adaptive->Checkpoint().ok());
+          break;
+        case 9: {  // kill + reopen (journal replay covers unflushed updates)
+          adaptive.reset();
+          auto reopen_r = AdaptiveColumn::Open(scratch.path(), config);
+          ASSERT_TRUE(reopen_r.ok()) << reopen_r.status().ToString();
+          adaptive = std::move(reopen_r).ValueOrDie();
+          break;
+        }
+      }
+    }
+    // Final sweep: every query agrees with the oracle.
+    for (const RangeQuery& q : queries) {
+      ASSERT_EQ(Adaptive(adaptive.get(), q), Oracle(adaptive.get(), q));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Demote-while-scan race (the CI TSAN job runs this suite)
+
+TEST(TieringConcurrencyTest, DemoteWhileScanStaysExact) {
+  ScratchDir scratch("tiering_race");
+  AdaptiveConfig config = TieringConfig();
+  config.max_views = 8;
+  auto adaptive = MakeDurable(scratch.path(), config);
+  const auto queries = TestQueries(8, 97);
+  std::vector<QueryResult> expected;
+  for (const RangeQuery& q : queries) {
+    Adaptive(adaptive.get(), q);  // build the pool
+    expected.push_back(Oracle(adaptive.get(), q));
+  }
+
+  // Readers hammer the routed path (materialize + promote) while the main
+  // thread keeps demoting the pool out from under them. The epoch scheme
+  // must keep every answer exact; TSAN checks the memory orderings.
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t]() {
+      std::mt19937_64 rng(900 + t);
+      while (!stop.load(std::memory_order_acquire)) {
+        const size_t i = rng() % queries.size();
+        auto exec = adaptive->Execute(queries[i]);
+        if (!exec.ok() || exec->match_count != expected[i].match_count ||
+            exec->sum != expected[i].sum) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (int round = 0; round < 40; ++round) {
+    adaptive->DemoteColdestViews(2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(adaptive->Health().views_demoted, 0u);
+  EXPECT_GT(adaptive->Health().views_promoted, 0u);
+  // The tier churn must persist cleanly afterwards.
+  ASSERT_TRUE(adaptive->Checkpoint().ok());
+}
+
+}  // namespace
+}  // namespace vmsv

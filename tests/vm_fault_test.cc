@@ -30,6 +30,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdint>
+#include <filesystem>
 #include <iostream>
 #include <iterator>
 #include <memory>
@@ -71,6 +72,11 @@ struct Scenario {
   QueryMode mode;
   size_t max_views;
   bool cost_based;
+  /// Durable column with demote steps in the script: the routed pass then
+  /// PROMOTES demoted views, so their re-materialization mmaps are inside
+  /// the fault surface — a failed promote must fall back to the base scan
+  /// bit-identically and leave the view demoted, never half-mapped.
+  bool tiering = false;
 };
 
 AdaptiveConfig MakeConfig(const Scenario& s, VmIo* io) {
@@ -95,7 +101,22 @@ AdaptiveConfig MakeConfig(const Scenario& s, VmIo* io) {
 /// counted but never faulted (mirroring the crash matrix, whose genesis
 /// runs on real I/O).
 StatusOr<std::unique_ptr<AdaptiveColumn>> MakeFaultableColumn(
-    const Scenario& s, FaultInjectingVmIo* io) {
+    const Scenario& s, FaultInjectingVmIo* io, const std::string& dir = "") {
+  if (s.tiering) {
+    // Durable variant (demotion needs a persist dir); storage I/O is real,
+    // only the mapping layer is faultable. The dir is recycled per point.
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    auto column_r =
+        AdaptiveColumn::CreateDurable(dir, NumRows(), MakeConfig(s, io));
+    if (!column_r.ok()) return column_r.status();
+    DistributionSpec spec;
+    spec.kind = DataDistribution::kSine;
+    spec.max_value = kMaxValue;
+    spec.seed = 42;
+    FillColumn(spec, (*column_r)->mutable_column());
+    return column_r;
+  }
   auto file =
       PhysicalMemoryFile::Create(TestPages(), MemoryFileBackend::kMemfd, io);
   if (!file.ok()) return file.status();
@@ -159,7 +180,7 @@ bool CheckAgainstOracle(AdaptiveColumn* column, const RangeQuery& q,
 /// and flushes must never error (VM faults degrade — they do not surface
 /// on these paths).
 bool RunScript(AdaptiveColumn* column, uint64_t rounds,
-               std::string* detail) {
+               std::string* detail, bool demote = false) {
   std::vector<RangeQuery> queries;
   for (uint64_t r = 0; r < rounds; ++r) {
     queries = ScriptQueries(r);
@@ -176,6 +197,10 @@ bool RunScript(AdaptiveColumn* column, uint64_t rounds,
         return false;
       }
     }
+    // Tiering scenarios: push the freshly materialized views cold, so the
+    // routed pass below has to PROMOTE them — re-materialization mmaps
+    // under fire, with the base-scan fallback as the exactness backstop.
+    if (demote) (void)column->DemoteColdestViews(2);
     for (uint64_t j = 1; j <= 12; ++j) {
       const uint64_t u = r * 12 + j;
       const Status updated = column->Update(UpdateRow(u), UpdateValue(u));
@@ -299,8 +324,9 @@ FaultInjectingVmIo::Stats SubtractStats(const FaultInjectingVmIo::Stats& a,
 
 class VmFaultMatrix {
  public:
-  VmFaultMatrix(std::string name, const Scenario& scenario)
-      : name_(std::move(name)), scenario_(scenario) {}
+  VmFaultMatrix(std::string name, const Scenario& scenario,
+                std::string dir = "")
+      : name_(std::move(name)), scenario_(scenario), dir_(std::move(dir)) {}
 
   void Run() {
     // Fault-free accounting run sizes the matrix: per-class op totals of
@@ -313,12 +339,12 @@ class VmFaultMatrix {
     FaultInjectingVmIo::Stats surface;
     for (;;) {
       FaultInjectingVmIo counter;
-      auto column = MakeFaultableColumn(scenario_, &counter);
+      auto column = MakeFaultableColumn(scenario_, &counter, dir_);
       ASSERT_TRUE(column.ok()) << column.status().ToString();
       const FaultInjectingVmIo::Stats genesis = counter.stats();
       counter.Arm(VmFaultPlan{});
       std::string detail;
-      ASSERT_TRUE(RunScript(column->get(), rounds, &detail))
+      ASSERT_TRUE(RunScript(column->get(), rounds, &detail, scenario_.tiering))
           << name_ << " fault-free script: " << detail;
       surface = SubtractStats(counter.stats(), genesis);
       ASSERT_GT(surface.ops(), 0u) << name_ << ": script produced no VM ops";
@@ -417,7 +443,7 @@ class VmFaultMatrix {
                 uint64_t op, uint64_t seed, uint64_t rounds,
                 std::string* detail) {
     FaultInjectingVmIo io;
-    auto column = MakeFaultableColumn(scenario_, &io);
+    auto column = MakeFaultableColumn(scenario_, &io, dir_);
     if (!column.ok()) {
       *detail = "genesis failed: " + column.status().ToString();
       return false;
@@ -429,12 +455,15 @@ class VmFaultMatrix {
     plan.target = target.op;
     plan.seed = seed;
     io.Arm(plan);
-    if (!RunScript(column->get(), rounds, detail)) return false;
+    if (!RunScript(column->get(), rounds, detail, scenario_.tiering)) {
+      return false;
+    }
     return CheckRecovery(column->get(), &io, detail);
   }
 
   std::string name_;
   Scenario scenario_;
+  std::string dir_;  // persist dir for tiering scenarios (recycled per point)
 };
 
 TEST(VmFaultMatrixTest, single_view) {
@@ -447,6 +476,17 @@ TEST(VmFaultMatrixTest, multi_view_cost) {
 
 TEST(VmFaultMatrixTest, tight_budget) {
   VmFaultMatrix("tight_budget", {QueryMode::kSingleView, 2, false}).Run();
+}
+
+TEST(VmFaultMatrixTest, tiering) {
+  // Durable scenario: the script demotes views, the routed pass promotes
+  // them — every promote re-materialization mmap is a fault point, and the
+  // exactness invariant proves the base-scan fallback covers each one.
+  ScopedTempDir scratch("vm_fault_tiering");
+  VmFaultMatrix("tiering",
+                {QueryMode::kSingleView, 4, false, /*tiering=*/true},
+                scratch.path() + "/col")
+      .Run();
 }
 
 // ---------------------------------------------------------------------------

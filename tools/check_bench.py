@@ -568,11 +568,148 @@ def check_micro_persistence(doc, path):
             f"{modes['group_commit_8']['fsyncs_per_rep']}")
 
 
+# ---------------------------------------------------------------------------
+# micro_tiering (BENCH_tiering.json)
+
+TIERING_TOP_LEVEL_FIELDS = {
+    "pages": int,
+    "values_per_page": int,
+    "reps": int,
+    "seed": int,
+    "hardware_concurrency": int,
+    "default_kernel": str,
+    "threads": int,
+    "tiering": dict,
+}
+
+TIERING_FIELDS = {
+    "selectivity": float,
+    "phases": int,
+    "epochs": int,
+    "distribution": str,
+    "workload_seed": int,
+    "queries": int,
+    "constrained_budget_hit_gain": float,
+    "budgets": list,
+}
+
+TIERING_BUDGET_FIELDS = {
+    "max_views": int,
+    "hit_gain": float,
+    "policies": list,
+}
+
+TIERING_POLICY_FIELDS = {
+    "policy": str,
+    "hit_rate": float,
+    "accumulated_ms": float,
+    "scanned_pages": int,
+    "pages_saved_ratio": float,
+    "views_created": int,
+    "views_evicted": int,
+    "views_demoted": int,
+    "views_promoted": int,
+    "candidates_dropped": int,
+    "rep_ms": list,
+}
+
+KNOWN_TIERING_POLICIES = {"demote_promote", "destroy_evict"}
+
+
+def check_micro_tiering(doc, path):
+    expect_fields(doc, TIERING_TOP_LEVEL_FIELDS, path)
+    if doc["pages"] <= 0 or doc["reps"] <= 0:
+        fail(f"{path}: pages/reps must be positive")
+    if doc["default_kernel"] not in KNOWN_KERNELS:
+        fail(f"{path}: unknown default_kernel '{doc['default_kernel']}'")
+
+    tiering = doc["tiering"]
+    where = f"{path}: tiering"
+    expect_fields(tiering, TIERING_FIELDS, where)
+    if not 0 < tiering["selectivity"] <= 1:
+        fail(f"{where}: selectivity out of (0, 1]")
+    if tiering["phases"] <= 1 or tiering["epochs"] < 2:
+        fail(f"{where}: need a drifting workload (phases > 1) replayed at "
+             f"least twice (epochs >= 2) for revisits to exist")
+    if tiering["queries"] <= 0:
+        fail(f"{where}: queries must be positive")
+    if not tiering["budgets"]:
+        fail(f"{where}: no budget points")
+
+    budgets_seen = set()
+    first_gain = None
+    for bi, point in enumerate(tiering["budgets"]):
+        bwhere = f"{where}: budgets[{bi}]"
+        if not isinstance(point, dict):
+            fail(f"{bwhere}: not an object")
+        expect_fields(point, TIERING_BUDGET_FIELDS, bwhere)
+        if point["max_views"] <= 0:
+            fail(f"{bwhere}: max_views must be positive")
+        if point["max_views"] in budgets_seen:
+            fail(f"{bwhere}: duplicate budget {point['max_views']}")
+        budgets_seen.add(point["max_views"])
+        policies = {}
+        for i, p in enumerate(point["policies"]):
+            pwhere = f"{bwhere}: policies[{i}]"
+            if not isinstance(p, dict):
+                fail(f"{pwhere}: not an object")
+            expect_fields(p, TIERING_POLICY_FIELDS, pwhere)
+            if p["policy"] not in KNOWN_TIERING_POLICIES:
+                fail(f"{pwhere}: unknown policy '{p['policy']}'")
+            if p["policy"] in policies:
+                fail(f"{pwhere}: duplicate policy '{p['policy']}'")
+            if not 0.0 <= p["hit_rate"] <= 1.0:
+                fail(f"{pwhere}: hit_rate out of [0, 1]")
+            if p["accumulated_ms"] <= 0:
+                fail(f"{pwhere}: accumulated_ms must be positive")
+            if not -1.0 <= p["pages_saved_ratio"] <= 1.0:
+                fail(f"{pwhere}: pages_saved_ratio out of range")
+            check_rep_array(p, "rep_ms", doc["reps"], pwhere)
+            policies[p["policy"]] = p
+        if set(policies) != KNOWN_TIERING_POLICIES:
+            fail(f"{bwhere}: need exactly policies "
+                 f"{sorted(KNOWN_TIERING_POLICIES)}, got {sorted(policies)}")
+        destroy = policies["destroy_evict"]
+        demote = policies["demote_promote"]
+        # Tier counters are structural: the ablated policy must never tier,
+        # and a promote implies a prior demote (per-view, promotes can only
+        # consume demotes).
+        if destroy["views_demoted"] != 0 or destroy["views_promoted"] != 0:
+            fail(f"{bwhere}: destroy_evict run recorded tier activity")
+        if demote["views_promoted"] > demote["views_demoted"]:
+            fail(f"{bwhere}: more promotes than demotes")
+        derived = demote["hit_rate"] - destroy["hit_rate"]
+        if not math.isclose(derived, point["hit_gain"], abs_tol=2e-4):
+            fail(f"{bwhere}: hit_gain {point['hit_gain']} inconsistent "
+                 f"(expected ~{derived:.4f})")
+        if first_gain is None:
+            first_gain = point["hit_gain"]
+
+    if not math.isclose(tiering["constrained_budget_hit_gain"], first_gain,
+                        abs_tol=2e-4):
+        fail(f"{where}: constrained_budget_hit_gain "
+             f"{tiering['constrained_budget_hit_gain']} is not the first "
+             f"(tightest) budget's hit_gain {first_gain}")
+    # The acceptance floor: keeping cold views must never LOSE hits at the
+    # constrained budget. Non-strict, so the toy smoke scale (too few
+    # queries for the tier to matter) passes; the committed full-scale
+    # baseline shows the strict gain.
+    if tiering["constrained_budget_hit_gain"] < 0:
+        fail(f"{where}: demote/promote loses hit rate at the constrained "
+             f"budget ({tiering['constrained_budget_hit_gain']:+.4f})")
+
+    tight = tiering["budgets"][0]
+    return (f"{len(tiering['budgets'])} budget points, constrained budget "
+            f"max_views={tight['max_views']} hit gain "
+            f"{tiering['constrained_budget_hit_gain']:+.4f}")
+
+
 CHECKERS = {
     "micro_scan": check_micro_scan,
     "micro_lifecycle": check_micro_lifecycle,
     "micro_concurrent": check_micro_concurrent,
     "micro_persistence": check_micro_persistence,
+    "micro_tiering": check_micro_tiering,
 }
 
 
@@ -650,11 +787,21 @@ def persistence_metrics(doc):
     return out
 
 
+def tiering_metrics(doc):
+    out = {}
+    for point in doc["tiering"]["budgets"]:
+        for p in point["policies"]:
+            out[f"tiering/b{point['max_views']}_{p['policy']}"] = \
+                p["accumulated_ms"]
+    return out
+
+
 METRIC_EXTRACTORS = {
     "micro_scan": scan_metrics,
     "micro_lifecycle": lifecycle_metrics,
     "micro_concurrent": concurrent_metrics,
     "micro_persistence": persistence_metrics,
+    "micro_tiering": tiering_metrics,
 }
 
 

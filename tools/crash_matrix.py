@@ -31,6 +31,9 @@ SCENARIOS = [
     "KillSyncGroupCommit",
     "PowerSyncEveryUpdate",
     "PowerSyncGroupCommit",
+    "SpillKillSync",
+    "SpillDiskFull",
+    "SpillMediaError",
 ]
 
 FAILURE_LINE = re.compile(r"FAULT-POINT-FAILED .*")

@@ -30,6 +30,7 @@ SCENARIOS = [
     "single_view",
     "multi_view_cost",
     "tight_budget",
+    "tiering",
 ]
 
 FAILURE_LINE = re.compile(r"VM-FAULT-POINT-FAILED .*")
