@@ -276,7 +276,12 @@ StatusOr<std::unique_ptr<AdaptiveColumn>> AdaptiveColumn::Open(
       if (cold_r.ok()) {
         pages = std::move(cold_r).ValueOrDie();
       } else if (mview.pages.empty()) {
-        continue;  // nothing trustworthy to restore from
+        // Nothing trustworthy to restore from: drop the entry (views are
+        // reconstructible) and dirty the manifest explicitly so the next
+        // checkpoint rewrites it without the dead entry, rather than
+        // relying on the clamped-restore check below to notice the gap.
+        durable.manifest_dirty = true;
+        continue;
       }
       // With demotion disabled in THIS configuration the view reopens hot:
       // it holds no mapping yet either way, and the pool must not carry
@@ -371,6 +376,8 @@ Status AdaptiveColumn::WriteManifestSnapshotLocked() {
   manifest.epoch = durable.manifest_epoch + 1;
   manifest.next_view_id = durable.next_view_id;
   manifest.views.reserve(view_index_.views().size());
+  bool respill_failed = false;
+  std::unordered_set<uint64_t> live_cold_ids;
   for (const auto& view : view_index_.views()) {
     ManifestView mview;
     mview.id = view->durable_id();
@@ -383,22 +390,31 @@ Status AdaptiveColumn::WriteManifestSnapshotLocked() {
       // The cold file is authoritative for a demoted view, and its
       // membership may have drifted since the demotion-time spill (update
       // alignment edits unmaterialized views too) — re-spill it now and
-      // persist the base entry with an EMPTY page list. A failed re-spill
-      // falls back to carrying the pages inline, so recovery never depends
-      // on a write that did not happen.
+      // persist the base entry with an EMPTY page list.
       const Status spilled =
           WriteColdViewFile(durable.dir, mview.id, view->physical_pages(),
                             config_.storage.data_flush == FlushPolicy::kSync,
                             durable.io);
-      if (!spilled.ok()) {
+      if (spilled.ok()) {
+        live_cold_ids.insert(mview.id);
+      } else {
+        // Failed re-spill (ENOSPC/EIO): the demotion-time cold file on disk
+        // is now STALE, and Open prefers a readable cold file — recovering
+        // through it would resurrect membership from before the drift,
+        // silently corrupting answers. Persist the entry HOT with its pages
+        // inline so recovery never consults the cold file, and unlink the
+        // stale file too (belt and suspenders; unlink succeeds even on the
+        // full disk that failed the spill). The view itself stays demoted —
+        // the snapshot merely understates the tier — and the dirty flag
+        // kept below retries the spill at the next checkpoint.
         ++durable.stats.manifest_write_failures;
+        respill_failed = true;
+        RemoveColdViewFile(durable.dir, mview.id);
+        mview.demoted = false;
         mview.pages = view->physical_pages();
       }
     } else {
       mview.pages = view->physical_pages();
-      // A promoted view's leftover cold file would shadow nothing (the
-      // entry is hot), but reclaim the space anyway. Best-effort.
-      RemoveColdViewFile(durable.dir, mview.id);
     }
     manifest.views.push_back(std::move(mview));
   }
@@ -408,8 +424,20 @@ Status AdaptiveColumn::WriteManifestSnapshotLocked() {
                     durable.io));
   durable.manifest_epoch = manifest.epoch;
   ++durable.stats.manifest_writes;
-  durable.manifest_dirty = false;
+  // A failed re-spill leaves the on-disk snapshot understating the tier
+  // state (the entry went down hot); stay dirty so the next checkpoint
+  // retries the spill instead of considering the pool converged.
+  durable.manifest_dirty = respill_failed;
   durable.persisted_pool_mutations = lifecycle_.pool_mutations();
+  // The snapshot just written names every cold file recovery may read;
+  // unlink the rest — promoted views' leftovers, spills of views destroyed
+  // by Replace/trim/emergency eviction, crash orphans — so a long-lived
+  // store cannot accumulate unreferenced .cold files. Best-effort, and
+  // safe against a later crash: an OLDER manifest resurrected by a failed
+  // future snapshot could only reference a swept id on its demoted-with-
+  // empty-inline-pages path, which drops the view (reconstructible), never
+  // mis-answers.
+  SweepColdViewFiles(durable.dir, live_cold_ids);
   // Compaction: the snapshot covers everything the delta log said. A failed
   // reset is SOFT — the stale records carry a previous epoch, so recovery
   // skips them; the next snapshot retries the truncate.
@@ -736,16 +764,29 @@ StatusOr<QueryExecution> AdaptiveColumn::FullScanAndAdapt(const RangeQuery& q) {
   exec.stats.scanned_pages = built->scanned_pages;
   exec.stats.considered_views = 0;
   PoolEditLog edit;
+  DeferredDemotion deferred;
   {
     // The pool edit is the only part that needs to fence readers out of
     // ROUTING; their scans keep running (displaced views go to the limbo
     // list, not the destructor).
     std::unique_lock<std::shared_mutex> xlock(views_mu_);
     exec.stats.decision = DecideCandidate(
-        std::move(built->view), durable_ != nullptr ? &edit : nullptr);
+        std::move(built->view), durable_ != nullptr ? &edit : nullptr,
+        &deferred);
     exec.stats.views_after = view_index_.num_partial_views();
   }
   epoch_.TryReclaim();
+  if (deferred.victim != nullptr) {
+    // AdmitAtBudget chose demotion but left the spill to us, so the disk
+    // write runs with readers routing again; a short exclusive section
+    // inside finishes the swap. The decision may downgrade (spill failure
+    // falls back to destroy-evict or a dropped candidate).
+    exec.stats.decision = FinishDeferredDemotion(
+        &deferred, durable_ != nullptr ? &edit : nullptr);
+    // Safe without views_mu_: pool structure is frozen under
+    // maintenance_mu_, which we hold.
+    exec.stats.views_after = view_index_.num_partial_views();
+  }
   if (durable_ != nullptr) {
     switch (exec.stats.decision) {
       case CandidateDecision::kInserted:
@@ -773,7 +814,8 @@ StatusOr<QueryExecution> AdaptiveColumn::FullScanAndAdapt(const RangeQuery& q) {
 }
 
 CandidateDecision AdaptiveColumn::DecideCandidate(
-    std::unique_ptr<VirtualView> candidate, PoolEditLog* edit) {
+    std::unique_ptr<VirtualView> candidate, PoolEditLog* edit,
+    DeferredDemotion* deferred) {
   // An EMPTY candidate (query range holds no data) is pure range knowledge;
   // the generic subset logic would vacuously discard it against any view
   // and the data-free range would full-scan forever. Record it: redundant
@@ -795,7 +837,7 @@ CandidateDecision AdaptiveColumn::DecideCandidate(
         return CandidateDecision::kDiscardedSubset;
       }
     }
-    return AdmitAtBudget(std::move(candidate), edit);
+    return AdmitAtBudget(std::move(candidate), edit, deferred);
   }
 
   // Discard: candidate pages are (nearly) contained in an existing view.
@@ -861,11 +903,12 @@ CandidateDecision AdaptiveColumn::DecideCandidate(
       return CandidateDecision::kReplacedExisting;
     }
   }
-  return AdmitAtBudget(std::move(candidate), edit);
+  return AdmitAtBudget(std::move(candidate), edit, deferred);
 }
 
 CandidateDecision AdaptiveColumn::AdmitAtBudget(
-    std::unique_ptr<VirtualView> candidate, PoolEditLog* edit) {
+    std::unique_ptr<VirtualView> candidate, PoolEditLog* edit,
+    DeferredDemotion* deferred) {
   // max_views bounds the HOT tier: demoted views gave up their arenas (and
   // with them the mapping budget max_views exists to protect) and are
   // bounded separately by ColdBudget().
@@ -915,25 +958,19 @@ CandidateDecision AdaptiveColumn::AdmitAtBudget(
           return CandidateDecision::kBudgetExhausted;
         }
       }
-      if (DemotionAvailable()) {
+      if (DemotionAvailable() && deferred != nullptr) {
         // Demote path: the victim keeps its pool slot (still routable, so a
         // returning working set promotes it for the price of re-mapping
         // instead of a full creation scan); only its arena and mapping
-        // budget are released. ReleaseArena mutates the victim's slot table
-        // in place, so in-flight scans must drain first — the caller holds
-        // views_mu_ exclusive, which blocks new readers meanwhile.
-        epoch_.WaitQuiescent();
-        if (DemoteViewLocked(victim).ok()) {
-          if (edit != nullptr) {
-            candidate->set_durable_id(durable_->next_view_id++);
-            edit->upserted.push_back(candidate.get());
-          }
-          view_index_.Insert(std::move(candidate));
-          TrimColdTierLocked(edit);
-          return CandidateDecision::kEvictedExisting;
-        }
-        // Spill failed (ENOSPC/EIO): fall through to destroy-evict — the
-        // victim is still hot and untouched (DemoteViewLocked's contract).
+        // budget are released. The spill's fsync-heavy write must NOT run
+        // here — the caller holds views_mu_ exclusive, and every blocked
+        // reader would wait out the disk write — so the decision is only
+        // PARKED: FinishDeferredDemotion spills after routing resumes and
+        // either completes the demotion or falls back to destroy-evict.
+        // The returned decision is provisional until then.
+        deferred->victim = victim;
+        deferred->candidate = std::move(candidate);
+        return CandidateDecision::kEvictedExisting;
       }
       // Concurrent scans may still be inside the victim: park it on the
       // epoch limbo list; reclamation happens once they all exited.
@@ -961,8 +998,26 @@ CandidateDecision AdaptiveColumn::AdmitAtBudget(
 
 // ---------------------------------------------------------------------------
 // Tiering (demote / promote / cold-tier trim)
+//
+// A demotion runs in three phases so its fsync-heavy spill never executes
+// while readers are fenced out by views_mu_ exclusive. The phase ordering
+// is also the crash-safety argument (ARCHITECTURE.md "Tiering model"):
+//   (1) SpillForDemotion — maintenance_mu_ only, readers keep routing: the
+//       cold file lands durably FIRST. A failure aborts with the view
+//       untouched; a kill after this point at worst leaves an orphaned cold
+//       file (harmless: nothing references it, and the next snapshot's
+//       sweep reclaims it).
+//   (2) CompleteDemotionLocked — views_mu_ exclusive with readers
+//       quiesced: arena released, tier flag flipped. Purely in-memory.
+//   (3) AppendSetTierDeltaLocked — maintenance_mu_ only again: the
+//       set-tier delta makes the flip durable. A kill before it reopens
+//       the view HOT from the still-valid manifest entry, never torn. (A
+//       routed query may promote the view between (2) and (3); the delta
+//       then records a tier the reader already reversed — benign, since
+//       the promotion set tier_dirty_ and the next checkpoint persists the
+//       hot state. Tier is advisory; membership is what correctness needs.)
 
-Status AdaptiveColumn::DemoteViewLocked(VirtualView* victim) {
+Status AdaptiveColumn::SpillForDemotion(VirtualView* victim) {
   DurableState& durable = *durable_;
   // A view that never reached the manifest has no durable identity to name
   // its cold file by; assign one now (the base snapshot that follows the
@@ -971,44 +1026,100 @@ Status AdaptiveColumn::DemoteViewLocked(VirtualView* victim) {
     victim->set_durable_id(durable.next_view_id++);
     durable.manifest_dirty = true;
   }
-  // Ordering is the crash-safety argument (ARCHITECTURE.md "Tiering
-  // model"): (1) the spill file lands durably FIRST — a failure aborts with
-  // the view untouched, and a kill after this point at worst leaves an
-  // orphaned cold file (harmless: nothing references it). Only then (2) the
-  // arena is released and (3) the tier flag flips; (4) the set-tier delta
-  // makes the flip durable — a kill before it reopens the view HOT from the
-  // still-valid manifest entry, never torn.
-  VMSV_RETURN_IF_ERROR(
-      WriteColdViewFile(durable.dir, victim->durable_id(),
-                        victim->physical_pages(),
-                        config_.storage.data_flush == FlushPolicy::kSync,
-                        durable.io));
+  // Safe without views_mu_: pool structure and page membership only change
+  // under maintenance_mu_, which the caller holds.
+  return WriteColdViewFile(durable.dir, victim->durable_id(),
+                           victim->physical_pages(),
+                           config_.storage.data_flush == FlushPolicy::kSync,
+                           durable.io);
+}
+
+void AdaptiveColumn::CompleteDemotionLocked(VirtualView* victim) {
   std::unique_ptr<VirtualArena> retired = victim->ReleaseArena();
   if (retired != nullptr) epoch_.RetireObject(std::move(retired));
   victim->set_demoted(true);
   lifecycle_.RecordDemotion();
   health_.views_demoted.fetch_add(1, std::memory_order_relaxed);
-  if (durable.delta_log != nullptr) {
-    ManifestDelta delta;
-    delta.op = ManifestDeltaOp::kSetViewTier;
-    delta.epoch = durable.manifest_epoch;
-    delta.view.id = victim->durable_id();
-    delta.view.demoted = true;
-    const Status appended = durable.delta_log->Append(
-        delta, config_.storage.data_flush == FlushPolicy::kSync);
-    if (appended.ok()) {
-      ++durable.stats.manifest_delta_appends;
-    } else {
-      // Soft failure, same contract as PersistPoolChangeLocked: the stale
-      // (hot) manifest entry still recovers a consistent pool; the dirty
-      // flag routes the next flush/checkpoint through a full snapshot.
-      durable.manifest_dirty = true;
-      ++durable.stats.manifest_write_failures;
-    }
-  } else {
+}
+
+void AdaptiveColumn::AppendSetTierDeltaLocked(uint64_t view_id) {
+  DurableState& durable = *durable_;
+  if (durable.delta_log == nullptr) {
     durable.manifest_dirty = true;
+    return;
   }
-  return OkStatus();
+  ManifestDelta delta;
+  delta.op = ManifestDeltaOp::kSetViewTier;
+  delta.epoch = durable.manifest_epoch;
+  delta.view.id = view_id;
+  delta.view.demoted = true;
+  const Status appended = durable.delta_log->Append(
+      delta, config_.storage.data_flush == FlushPolicy::kSync);
+  if (appended.ok()) {
+    ++durable.stats.manifest_delta_appends;
+  } else {
+    // Soft failure, same contract as PersistPoolChangeLocked: the stale
+    // (hot) manifest entry still recovers a consistent pool; the dirty
+    // flag routes the next flush/checkpoint through a full snapshot.
+    durable.manifest_dirty = true;
+    ++durable.stats.manifest_write_failures;
+  }
+}
+
+CandidateDecision AdaptiveColumn::FinishDeferredDemotion(
+    DeferredDemotion* deferred, PoolEditLog* edit) {
+  VirtualView* victim = deferred->victim;
+  deferred->victim = nullptr;
+  std::unique_ptr<VirtualView> candidate = std::move(deferred->candidate);
+  // Phase (1) with readers routing again. The victim cannot leave the pool
+  // meanwhile — every pool mutator holds maintenance_mu_, which we hold.
+  const bool spilled = SpillForDemotion(victim).ok();
+  uint64_t tier_delta_id = 0;
+  CandidateDecision decision;
+  {
+    std::unique_lock<std::shared_mutex> xlock(views_mu_);
+    if (spilled) {
+      // Phase (2): ReleaseArena mutates the victim's slot table in place,
+      // so in-flight scans must drain first.
+      epoch_.WaitQuiescent();
+      CompleteDemotionLocked(victim);
+      // Capture before the trim: the just-demoted victim may be exactly
+      // the cold view the trim destroys.
+      tier_delta_id = victim->durable_id();
+      if (edit != nullptr) {
+        candidate->set_durable_id(durable_->next_view_id++);
+        edit->upserted.push_back(candidate.get());
+      }
+      view_index_.Insert(std::move(candidate));
+      TrimColdTierLocked(edit);
+      decision = CandidateDecision::kEvictedExisting;
+    } else {
+      // Spill failed (ENOSPC/EIO): destroy-evict fallback — the victim is
+      // still hot and untouched (SpillForDemotion's contract). Concurrent
+      // scans may still be inside it: park it on the epoch limbo list.
+      VirtualView* cand_ptr = candidate.get();
+      const uint64_t removed_id = victim->durable_id();
+      auto displaced = view_index_.Replace(victim, std::move(candidate));
+      if (!displaced.ok()) {
+        metrics_.candidates_dropped.fetch_add(1, std::memory_order_relaxed);
+        decision = CandidateDecision::kBudgetExhausted;
+      } else {
+        if (edit != nullptr) {
+          cand_ptr->set_durable_id(durable_->next_view_id++);
+          edit->removed_ids.push_back(removed_id);
+          edit->upserted.push_back(cand_ptr);
+        }
+        epoch_.RetireObject(std::move(displaced).ValueOrDie());
+        metrics_.views_evicted.fetch_add(1, std::memory_order_relaxed);
+        lifecycle_.RecordEviction();
+        decision = CandidateDecision::kEvictedExisting;
+      }
+    }
+  }
+  epoch_.TryReclaim();
+  // Phase (3), outside views_mu_ again.
+  if (tier_delta_id != 0) AppendSetTierDeltaLocked(tier_delta_id);
+  return decision;
 }
 
 void AdaptiveColumn::TrimColdTierLocked(PoolEditLog* edit) {
@@ -1045,26 +1156,54 @@ void AdaptiveColumn::TrimColdTierLocked(PoolEditLog* edit) {
 size_t AdaptiveColumn::DemoteColdestViews(size_t count) {
   if (count == 0 || !DemotionAvailable()) return 0;
   std::lock_guard<std::mutex> maintenance(maintenance_mu_);
-  size_t demoted = 0;
+  // Phase (1) for the whole batch: pick victims and spill them with
+  // readers still routing. Walking the pool needs no views_mu_ — its
+  // structure is frozen under maintenance_mu_ (every mutator holds it).
+  // The tier flags only flip in phase (2), so the pick excludes the
+  // already-chosen victims by hand rather than through PickEvictionVictim's
+  // hot-only filter.
+  const uint64_t now = metrics_.queries.load(std::memory_order_relaxed);
+  const uint64_t column_pages = column_->num_pages();
+  std::vector<VirtualView*> victims;
+  std::unordered_set<const VirtualView*> chosen;
+  while (victims.size() < count) {
+    VirtualView* victim = nullptr;
+    double victim_score = 0;
+    for (const auto& view : view_index_.views()) {
+      if (view->demoted() || chosen.count(view.get()) != 0) continue;
+      const double score = lifecycle_.Score(*view, now, column_pages);
+      if (victim == nullptr || score < victim_score) {
+        victim = view.get();
+        victim_score = score;
+      }
+    }
+    if (victim == nullptr) break;
+    if (!SpillForDemotion(victim).ok()) break;
+    chosen.insert(victim);
+    victims.push_back(victim);
+  }
+  if (victims.empty()) return 0;
+  // Phase (2): one exclusive section completes the whole batch.
   PoolEditLog edit;
+  std::vector<uint64_t> demoted_ids;
+  demoted_ids.reserve(victims.size());
   {
     std::unique_lock<std::shared_mutex> xlock(views_mu_);
     epoch_.WaitQuiescent();
-    const uint64_t now = metrics_.queries.load(std::memory_order_relaxed);
-    const uint64_t column_pages = column_->num_pages();
-    while (demoted < count) {
-      VirtualView* victim = lifecycle_.PickEvictionVictim(
-          view_index_.views(), now, column_pages,
-          ViewLifecycleManager::TierFilter::kHotOnly);
-      if (victim == nullptr) break;
-      if (!DemoteViewLocked(victim).ok()) break;
-      ++demoted;
+    for (VirtualView* victim : victims) {
+      CompleteDemotionLocked(victim);
+      // Capture before the trim: a just-demoted victim may be exactly the
+      // cold view the trim destroys (reading it after reclamation would be
+      // a use-after-free).
+      demoted_ids.push_back(victim->durable_id());
     }
-    if (demoted > 0) TrimColdTierLocked(&edit);
+    TrimColdTierLocked(&edit);
   }
   epoch_.TryReclaim();
+  // Phase (3): the tier deltas, then the trim's removals.
+  for (const uint64_t id : demoted_ids) AppendSetTierDeltaLocked(id);
   if (!edit.empty()) PersistPoolChangeLocked(edit);
-  return demoted;
+  return victims.size();
 }
 
 // ---------------------------------------------------------------------------
@@ -1461,51 +1600,58 @@ void AdaptiveColumn::RelievePressureLocked() {
         return;  // mappings work again; pressure relieved
       }
     }
+    // The victim pick needs no views_mu_: pool structure is frozen under
+    // maintenance_mu_ (our caller holds it) and is_materialized() is an
+    // acquire load.
     VirtualView* victim = nullptr;
-    {
-      std::unique_lock<std::shared_mutex> xlock(views_mu_);
-      const uint64_t now = metrics_.queries.load(std::memory_order_relaxed);
-      const uint64_t column_pages = column_->num_pages();
-      double victim_score = 0;
-      for (VirtualView* view : view_index_.MutableViews()) {
-        if (!view->is_materialized()) continue;  // holds no mappings to shed
-        const double score = lifecycle_.Score(*view, now, column_pages);
-        if (victim == nullptr || score < victim_score) {
-          victim = view;
-          victim_score = score;
-        }
+    const uint64_t now = metrics_.queries.load(std::memory_order_relaxed);
+    const uint64_t column_pages = column_->num_pages();
+    double victim_score = 0;
+    for (VirtualView* view : view_index_.MutableViews()) {
+      if (!view->is_materialized()) continue;  // holds no mappings to shed
+      const double score = lifecycle_.Score(*view, now, column_pages);
+      if (victim == nullptr || score < victim_score) {
+        victim = view;
+        victim_score = score;
       }
-      if (victim != nullptr) {
-        // Shedding a mapping does not require destroying the view: demote
-        // it when the cold tier is available (arena released, membership
-        // spilled, slot kept), so the working set survives the pressure
-        // episode. Destroy-evict remains the last resort — demotion off,
-        // in-memory column, or the spill itself failing (likely when the
-        // disk is the scarce resource too).
-        bool shed = false;
-        if (DemotionAvailable()) {
-          epoch_.WaitQuiescent();
-          shed = DemoteViewLocked(victim).ok();
-          if (shed) TrimColdTierLocked(/*edit=*/nullptr);
-        }
-        if (!shed) {
-          auto removed = view_index_.Remove(victim);
-          if (removed.ok()) {
-            epoch_.RetireObject(std::move(removed).ValueOrDie());
-            health_.emergency_evictions.fetch_add(1,
-                                                  std::memory_order_relaxed);
-            lifecycle_.RecordEviction();
-            if (durable_ != nullptr) durable_->manifest_dirty = true;
-          } else {
-            victim = nullptr;
-          }
-        }
+    }
+    if (victim == nullptr) break;  // nothing left to shed
+    // Shedding a mapping does not require destroying the view: demote it
+    // when the cold tier is available (arena released, membership spilled,
+    // slot kept), so the working set survives the pressure episode.
+    // Destroy-evict remains the last resort — demotion off, in-memory
+    // column, or the spill itself failing (likely when the disk is the
+    // scarce resource too). The spill (phase 1) runs BEFORE the exclusive
+    // section so blocked readers never wait out a disk write.
+    bool shed = false;
+    uint64_t tier_delta_id = 0;
+    if (DemotionAvailable() && SpillForDemotion(victim).ok()) {
+      std::unique_lock<std::shared_mutex> xlock(views_mu_);
+      epoch_.WaitQuiescent();
+      CompleteDemotionLocked(victim);
+      // Capture before the trim: the victim may be the cold view the trim
+      // destroys.
+      tier_delta_id = victim->durable_id();
+      TrimColdTierLocked(/*edit=*/nullptr);
+      shed = true;
+    }
+    if (!shed) {
+      std::unique_lock<std::shared_mutex> xlock(views_mu_);
+      auto removed = view_index_.Remove(victim);
+      if (removed.ok()) {
+        epoch_.RetireObject(std::move(removed).ValueOrDie());
+        health_.emergency_evictions.fetch_add(1, std::memory_order_relaxed);
+        lifecycle_.RecordEviction();
+        if (durable_ != nullptr) durable_->manifest_dirty = true;
+      } else {
+        victim = nullptr;
       }
     }
     // Reclamation is what actually returns the victim's mappings to the
     // kernel; run it outside the exclusive section.
     epoch_.TryReclaim();
-    if (victim == nullptr) break;  // nothing left to shed
+    if (tier_delta_id != 0) AppendSetTierDeltaLocked(tier_delta_id);
+    if (victim == nullptr) break;  // pool lost track of the victim
     std::this_thread::sleep_for(
         std::chrono::microseconds(config_.pressure_relief_backoff_us) *
         (attempt + 1));

@@ -529,13 +529,25 @@ class AdaptiveColumn {
   /// out. Caller holds maintenance_mu_.
   void RelievePressureLocked();
 
-  /// Demotes `victim` to the cold tier: spills its membership to the cold
-  /// file, releases its arena to the epoch limbo list, flips the tier flag,
-  /// and appends a set-tier delta (soft-fail to manifest_dirty). Caller
-  /// holds maintenance_mu_ AND views_mu_ exclusive with readers quiesced.
-  /// Error contract: on a spill failure (ENOSPC/EIO/...) the view is left
-  /// hot and untouched.
-  Status DemoteViewLocked(VirtualView* victim);
+  /// Demotion phase (1): assigns the victim a durable id if it never had
+  /// one and spills its page membership to the cold file. Caller holds
+  /// maintenance_mu_ ONLY — deliberately not views_mu_, so readers keep
+  /// routing through the fsync (the pool cannot change under it: every
+  /// mutator holds maintenance_mu_). Error contract: on a spill failure
+  /// (ENOSPC/EIO/...) the view is left hot and untouched.
+  Status SpillForDemotion(VirtualView* victim);
+
+  /// Demotion phase (2): releases the victim's arena to the epoch limbo
+  /// list and flips the tier flag — purely in-memory. Caller holds
+  /// maintenance_mu_ AND views_mu_ exclusive with readers quiesced, and
+  /// has already spilled the victim.
+  void CompleteDemotionLocked(VirtualView* victim);
+
+  /// Demotion phase (3): appends the kSetViewTier delta that makes the
+  /// flip durable (soft-fail to manifest_dirty). Caller holds
+  /// maintenance_mu_, NOT views_mu_ — the append/fsync runs with readers
+  /// routing, like PersistPoolChangeLocked.
+  void AppendSetTierDeltaLocked(uint64_t view_id);
 
   /// True when the cold tier is available at all: demotion enabled and the
   /// column durable (an in-memory column has nowhere to spill).
@@ -626,17 +638,40 @@ class AdaptiveColumn {
   /// triggered adaptation.
   void PersistPoolChangeLocked(const PoolEditLog& edit);
 
+  /// A demotion decided under views_mu_ but finished outside it: the
+  /// spill's fsync-heavy write must not run while readers are fenced out,
+  /// so AdmitAtBudget parks the victim and the not-yet-admitted candidate
+  /// here and the caller runs FinishDeferredDemotion after releasing the
+  /// lock.
+  struct DeferredDemotion {
+    VirtualView* victim = nullptr;
+    std::unique_ptr<VirtualView> candidate;
+  };
+
   /// The insert/discard/replace decision of Listing 1. Caller holds
   /// maintenance_mu_ AND views_mu_ exclusive; displaced views are retired
   /// to the epoch manager, never destroyed inline. In durable mode `edit`
   /// (non-null) collects the pool mutations for the incremental manifest.
+  /// A kEvictedExisting return with `deferred->victim` set is PROVISIONAL:
+  /// the caller must drop views_mu_ and call FinishDeferredDemotion for
+  /// the final decision.
   CandidateDecision DecideCandidate(std::unique_ptr<VirtualView> candidate,
-                                    PoolEditLog* edit);
+                                    PoolEditLog* edit,
+                                    DeferredDemotion* deferred);
 
   /// The budget step: inserts when the pool has room; otherwise applies the
-  /// configured eviction policy (evict-coldest vs drop-candidate).
+  /// configured eviction policy (evict-coldest vs drop-candidate), parking
+  /// a chosen demotion in `deferred` instead of spilling under the lock.
   CandidateDecision AdmitAtBudget(std::unique_ptr<VirtualView> candidate,
-                                  PoolEditLog* edit);
+                                  PoolEditLog* edit,
+                                  DeferredDemotion* deferred);
+
+  /// Completes a demotion AdmitAtBudget parked: spills outside views_mu_,
+  /// then takes it exclusively to release the arena, flip the tier, admit
+  /// the candidate, and trim the cold tier; falls back to destroy-evict
+  /// when the spill fails. Caller holds maintenance_mu_ and NOT views_mu_.
+  CandidateDecision FinishDeferredDemotion(DeferredDemotion* deferred,
+                                           PoolEditLog* edit);
 
   /// Internal counters behind metrics().
   struct AtomicStats {

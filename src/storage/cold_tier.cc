@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
 
 #include <fcntl.h>
 #include <unistd.h>
@@ -117,6 +118,59 @@ StatusOr<std::vector<uint64_t>> ReadColdViewFile(const std::string& dir,
 
 void RemoveColdViewFile(const std::string& dir, uint64_t view_id) {
   ::unlink(ColdFilePath(dir, view_id).c_str());
+}
+
+namespace {
+
+bool HasPrefix(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Parses the <id> out of "view_<id>.cold"; false when the middle is not
+/// a pure decimal number (some other file that merely shares the shape).
+bool ParseColdFileId(const std::string& name, uint64_t* id) {
+  constexpr size_t kPrefixLen = 5;  // "view_"
+  constexpr size_t kSuffixLen = 5;  // ".cold"
+  if (name.size() <= kPrefixLen + kSuffixLen) return false;
+  uint64_t value = 0;
+  for (size_t i = kPrefixLen; i < name.size() - kSuffixLen; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *id = value;
+  return true;
+}
+
+}  // namespace
+
+void SweepColdViewFiles(const std::string& dir,
+                        const std::unordered_set<uint64_t>& keep_ids) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return;
+  const std::filesystem::directory_iterator end;
+  while (it != end) {
+    const std::string name = it->path().filename().string();
+    const std::string path = it->path().string();
+    it.increment(ec);
+    if (ec) return;
+    if (!HasPrefix(name, "view_")) continue;
+    if (HasSuffix(name, ".cold.tmp")) {
+      // A crashed spill's tmp file: never referenced by anything (the
+      // rename is what publishes it), always reclaimable.
+      ::unlink(path.c_str());
+      continue;
+    }
+    uint64_t id = 0;
+    if (!HasSuffix(name, ".cold") || !ParseColdFileId(name, &id)) continue;
+    if (keep_ids.count(id) == 0) ::unlink(path.c_str());
+  }
 }
 
 }  // namespace vmsv

@@ -17,14 +17,17 @@
 // manifest entry carries the demoted flag (and, until the next snapshot
 // re-spills, the last hot membership as a recovery fallback). A stale cold
 // file whose view was promoted or destroyed is harmless: recovery only
-// reads cold files for views the manifest marks demoted, and checkpoints
-// unlink the leftovers.
+// reads cold files for views the manifest marks demoted, and every
+// manifest snapshot sweeps the directory (SweepColdViewFiles), unlinking
+// any cold file — promoted leftover, destroyed view's spill, crash orphan,
+// abandoned .tmp — the snapshot it just wrote does not reference.
 
 #ifndef VMSV_STORAGE_COLD_TIER_H_
 #define VMSV_STORAGE_COLD_TIER_H_
 
 #include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "util/status.h"
@@ -52,6 +55,16 @@ StatusOr<std::vector<uint64_t>> ReadColdViewFile(const std::string& dir,
 /// Best-effort unlink of the cold file (promotion / destroy-evict cleanup;
 /// a leftover file is harmless, so failures are swallowed).
 void RemoveColdViewFile(const std::string& dir, uint64_t view_id);
+
+/// Best-effort sweep of `dir`: unlinks every "view_<id>.cold" whose id is
+/// not in `keep_ids`, plus any "view_*.cold.tmp" a crashed spill left
+/// behind. Run right after a manifest snapshot lands — the snapshot names
+/// every cold file recovery may read, so anything else is reclaimable
+/// garbage (without the sweep, views destroyed outside the trim path would
+/// leak their spill files unboundedly). The caller must hold the column's
+/// maintenance lock so no spill is concurrently writing a tmp file.
+void SweepColdViewFiles(const std::string& dir,
+                        const std::unordered_set<uint64_t>& keep_ids);
 
 }  // namespace vmsv
 

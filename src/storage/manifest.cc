@@ -228,17 +228,22 @@ StatusOr<ViewManifest> ReadManifest(const std::string& dir) {
       !reader.GetU64(&view_count)) {
     return IoError(path + ": truncated manifest header");
   }
-  if (version != kManifestVersion) {
+  // Version 2 is version 3 minus the per-view flags word (no tier state);
+  // reading it as all-hot is lossless, so old stores open without a
+  // migration step. The next snapshot rewrites at the current version.
+  if (version != kManifestVersion && version != 2) {
     return IoError(path + ": manifest version " + std::to_string(version) +
                    ", expected " + std::to_string(kManifestVersion));
   }
+  const bool has_flags_word = version >= 3;
   // Bound counts by the bytes that could possibly back them BEFORE any
   // allocation, with division (not multiplication) so a hostile count
   // cannot overflow the check into passing: the CRC protects against
   // corruption, not against a crafted file, and the contract is IoError —
   // never bad_alloc — on anything malformed.
-  constexpr size_t kViewRecordMinBytes = 6 * sizeof(uint64_t);
-  if (view_count > reader.left / kViewRecordMinBytes) {
+  const size_t view_record_min_bytes =
+      (has_flags_word ? 6 : 5) * sizeof(uint64_t);
+  if (view_count > reader.left / view_record_min_bytes) {
     return IoError(path + ": view count " + std::to_string(view_count) +
                    " exceeds what the file could hold");
   }
@@ -249,7 +254,8 @@ StatusOr<ViewManifest> ReadManifest(const std::string& dir) {
     if (!reader.GetU64(&view.id) || !reader.GetU64(&view.lo) ||
         !reader.GetU64(&view.hi) ||
         !reader.GetU64(&view.creation_scanned_pages) ||
-        !reader.GetU64(&flags) || !reader.GetU64(&page_count) ||
+        (has_flags_word && !reader.GetU64(&flags)) ||
+        !reader.GetU64(&page_count) ||
         page_count > reader.left / sizeof(uint64_t)) {
       return IoError(path + ": truncated view record " + std::to_string(vi));
     }

@@ -7,11 +7,14 @@
 // binary).
 
 #include <atomic>
+#include <cerrno>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <random>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -19,7 +22,9 @@
 #include "core/adaptive_layer.h"
 #include "scoped_temp_dir.h"
 #include "storage/cold_tier.h"
+#include "storage/journal.h"  // Crc32
 #include "storage/manifest.h"
+#include "storage/storage_io.h"
 #include "util/env.h"
 #include "workload/distribution.h"
 #include "workload/query_generator.h"
@@ -102,6 +107,60 @@ size_t ColdCount(const AdaptiveColumn& adaptive) {
   }
   return cold;
 }
+
+/// First demoted view missing at least one column page (so an update can
+/// deterministically GROW its membership), or nullptr.
+const VirtualView* FindDemotedViewWithAbsentPage(const AdaptiveColumn& adaptive,
+                                                 uint64_t* absent_page) {
+  for (const auto& view : adaptive.view_index().views()) {
+    if (!view->demoted()) continue;
+    const std::vector<uint64_t> pages = view->physical_pages();
+    const std::unordered_set<uint64_t> held(pages.begin(), pages.end());
+    for (uint64_t page = 0; page < adaptive.column().num_pages(); ++page) {
+      if (held.count(page) == 0) {
+        *absent_page = page;
+        return view.get();
+      }
+    }
+  }
+  return nullptr;
+}
+
+/// Delegates everything to the real io but fails cold-view spill writes
+/// with ENOSPC while armed — the narrowest seam that makes ONLY the
+/// checkpoint re-spill fail while the manifest itself keeps landing.
+class ColdSpillFailingIo : public StorageIo {
+ public:
+  std::atomic<bool> fail{false};
+
+  Status Write(int fd, const void* data, size_t len,
+               const char* what) override {
+    if (fail.load(std::memory_order_acquire) &&
+        std::string(what).find("cold view") != std::string::npos) {
+      return ErrnoError("injected cold-spill failure", ENOSPC);
+    }
+    return RealStorageIo()->Write(fd, data, len, what);
+  }
+  Status Pwrite(int fd, const void* data, size_t len, uint64_t offset,
+                const char* what) override {
+    return RealStorageIo()->Pwrite(fd, data, len, offset, what);
+  }
+  Status Fsync(int fd, const char* what) override {
+    return RealStorageIo()->Fsync(fd, what);
+  }
+  Status FsyncDir(const std::string& dir) override {
+    return RealStorageIo()->FsyncDir(dir);
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return RealStorageIo()->Rename(from, to);
+  }
+  Status Truncate(int fd, uint64_t len, const char* what) override {
+    return RealStorageIo()->Truncate(fd, len, what);
+  }
+  Status SyncFileRange(int fd, const char* what) override {
+    return RealStorageIo()->SyncFileRange(fd, what);
+  }
+};
 
 // ---------------------------------------------------------------------------
 // Cold-file format
@@ -215,6 +274,49 @@ TEST(ManifestTierTest, DemotedFlagSurvivesBaseSnapshotRoundTrip) {
   ASSERT_EQ(read_r->views.size(), 2u);
   EXPECT_TRUE(read_r->views[0].demoted);
   EXPECT_FALSE(read_r->views[1].demoted);
+}
+
+TEST(ManifestTierTest, ReadsVersion2ManifestAsAllHot) {
+  // A store written before the tier flag existed (version 2: no per-view
+  // flags word) must open with every view hot — not fail with a version
+  // error. Hand-serialized v2 bytes, since the writer only emits v3 now.
+  ScratchDir scratch("manifest_v2");
+  std::string buf;
+  buf.append("VMSVMAN1", 8);
+  auto put_u32 = [&buf](uint32_t v) {
+    buf.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto put_u64 = [&buf](uint64_t v) {
+    buf.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put_u32(2);     // version
+  put_u32(0);     // reserved
+  put_u64(1000);  // num_rows
+  put_u64(10);    // num_pages
+  put_u64(0);     // pool_generation
+  put_u64(1);     // epoch
+  put_u64(3);     // next_view_id
+  put_u64(2);     // view count
+  // v2 view record: id, lo, hi, creation_scanned_pages, page_count, pages —
+  // no flags word.
+  put_u64(1); put_u64(0); put_u64(50); put_u64(10); put_u64(2);
+  put_u64(3); put_u64(4);
+  put_u64(2); put_u64(60); put_u64(90); put_u64(4); put_u64(0);
+  put_u32(Crc32(buf.data(), buf.size()));
+  {
+    std::ofstream out(ManifestPath(scratch.path()),
+                      std::ios::binary | std::ios::trunc);
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    ASSERT_TRUE(out.good());
+  }
+  auto read_r = ReadManifest(scratch.path());
+  ASSERT_TRUE(read_r.ok()) << read_r.status().ToString();
+  EXPECT_EQ(read_r->next_view_id, 3u);
+  ASSERT_EQ(read_r->views.size(), 2u);
+  EXPECT_FALSE(read_r->views[0].demoted);
+  EXPECT_EQ(read_r->views[0].pages, (std::vector<uint64_t>{3, 4}));
+  EXPECT_FALSE(read_r->views[1].demoted);
+  EXPECT_TRUE(read_r->views[1].pages.empty());
 }
 
 // ---------------------------------------------------------------------------
@@ -335,6 +437,98 @@ TEST(TieringTest, ColdBudgetTrimsLowestScoringColdView) {
   for (const RangeQuery& q : queries) {
     EXPECT_EQ(Adaptive(adaptive.get(), q), Oracle(adaptive.get(), q));
   }
+}
+
+TEST(TieringTest, FailedRespillNeverRecoversStaleColdFile) {
+  // The recovery hazard behind the hot-fallback path: a demoted view's
+  // membership drifts (update alignment edits unmaterialized views too),
+  // the checkpoint re-spill fails on ENOSPC, and the journal still resets.
+  // Recovery must NOT read the stale demotion-time cold file — the
+  // snapshot persists the entry hot with its fresh inline pages and
+  // unlinks the stale file.
+  ScratchDir scratch("tiering_respill");
+  ColdSpillFailingIo io;
+  AdaptiveConfig config = TieringConfig();
+  config.storage.io = &io;
+  const auto queries = TestQueries(4, 97);
+  uint64_t probe_lo = 0, probe_hi = 0;
+  {
+    auto adaptive = MakeDurable(scratch.path(), config);
+    for (const RangeQuery& q : queries) Adaptive(adaptive.get(), q);
+    ASSERT_GT(adaptive->DemoteColdestViews(
+                  adaptive->view_index().num_partial_views()), 0u);
+    ASSERT_TRUE(adaptive->Checkpoint().ok());
+
+    uint64_t absent_page = 0;
+    const VirtualView* view =
+        FindDemotedViewWithAbsentPage(*adaptive, &absent_page);
+    ASSERT_NE(view, nullptr);
+    probe_lo = view->lo();
+    probe_hi = view->hi();
+    const uint64_t view_id = view->durable_id();
+    // Drift the demoted view's membership: a row of an absent page gets a
+    // value inside the view's range, so alignment must ADD the page. The
+    // stale cold file misses exactly this page.
+    ASSERT_TRUE(adaptive->Update(absent_page * kValuesPerPage,
+                                 (probe_lo + probe_hi) / 2).ok());
+    io.fail.store(true, std::memory_order_release);
+    ASSERT_TRUE(adaptive->Checkpoint().ok());  // spill failure is soft
+    io.fail.store(false, std::memory_order_release);
+    // The stale file is gone and the failure was counted; the manifest
+    // stays dirty, so a later healthy checkpoint retries the spill.
+    EXPECT_EQ(ReadColdViewFile(scratch.path(), view_id).status().code(),
+              StatusCode::kNotFound);
+    EXPECT_GE(adaptive->durability_stats().manifest_write_failures, 1u);
+  }
+  auto reopen_r = AdaptiveColumn::Open(scratch.path(), config);
+  ASSERT_TRUE(reopen_r.ok()) << reopen_r.status().ToString();
+  auto adaptive = std::move(reopen_r).ValueOrDie();
+  // The probe range routes to the restored view; a stale-membership
+  // restore would miss the added page and silently undercount.
+  const RangeQuery probe{probe_lo, probe_hi};
+  EXPECT_EQ(Adaptive(adaptive.get(), probe), Oracle(adaptive.get(), probe));
+  for (const RangeQuery& q : queries) {
+    EXPECT_EQ(Adaptive(adaptive.get(), q), Oracle(adaptive.get(), q));
+  }
+}
+
+TEST(TieringTest, CheckpointSweepReclaimsOrphanColdFiles) {
+  // Views destroyed outside the trim path (replace, destroy-evict) leave
+  // cold files nothing references, and a crashed spill leaves a .tmp; the
+  // snapshot sweep must reclaim both while keeping live cold files intact.
+  ScratchDir scratch("tiering_sweep");
+  auto adaptive = MakeDurable(scratch.path(), TieringConfig());
+  for (const RangeQuery& q : TestQueries(4, 97)) Adaptive(adaptive.get(), q);
+  ASSERT_GT(adaptive->DemoteColdestViews(
+                adaptive->view_index().num_partial_views()), 0u);
+  ASSERT_TRUE(adaptive->Checkpoint().ok());
+
+  uint64_t absent_page = 0;
+  const VirtualView* view =
+      FindDemotedViewWithAbsentPage(*adaptive, &absent_page);
+  ASSERT_NE(view, nullptr);
+  const uint64_t live_id = view->durable_id();
+  // An orphan spill (its view is long gone) and an abandoned tmp file.
+  ASSERT_TRUE(
+      WriteColdViewFile(scratch.path(), 999, {1, 2}, /*sync=*/false).ok());
+  const std::string tmp_path = scratch.path() + "/view_998.cold.tmp";
+  {
+    std::ofstream tmp(tmp_path, std::ios::binary);
+    tmp << "partial spill";
+    ASSERT_TRUE(tmp.good());
+  }
+  // Dirty the manifest (alignment adds a page) so the checkpoint
+  // snapshots — the sweep rides on the snapshot.
+  ASSERT_TRUE(adaptive->Update(absent_page * kValuesPerPage,
+                               (view->lo() + view->hi()) / 2).ok());
+  ASSERT_TRUE(adaptive->Checkpoint().ok());
+
+  EXPECT_EQ(ReadColdViewFile(scratch.path(), 999).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(fs::exists(tmp_path));
+  // The pooled demoted view's fresh spill survived the sweep.
+  auto live = ReadColdViewFile(scratch.path(), live_id);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
 }
 
 TEST(TieringTest, DemotionDisabledIsNoOp) {
