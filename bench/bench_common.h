@@ -20,6 +20,12 @@
 #include <thread>
 #include <vector>
 
+#ifdef __linux__
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
 #include "exec/parallel_scanner.h"
 #include "exec/scan_kernels.h"
 #include "exec/thread_pool.h"
@@ -168,6 +174,10 @@ class JsonWriter {
     Separate();
     std::fputs(v ? "true" : "false", out_);
   }
+  void Null() {
+    Separate();
+    std::fputs("null", out_);
+  }
 
   void Field(const char* key, const char* v) { Key(key); String(v); }
   void Field(const char* key, const std::string& v) { Key(key); String(v.c_str()); }
@@ -236,6 +246,142 @@ inline void WriteBenchJsonCommon(JsonWriter* w, const char* bench_name,
   w->Field("hardware_concurrency", std::thread::hardware_concurrency());
   w->Field("default_kernel", env.kernel);
   w->Field("threads", env.threads);
+}
+
+// ---------------------------------------------------------------------------
+// TLB counters — perf_event_open(2) wrappers for the huge-page experiments.
+//
+// Availability is NEVER assumed: perf_event_open can be absent (seccomp,
+// kernel.perf_event_paranoid, containers return ENOENT/EACCES/ENOSYS), and
+// a bench must produce identical timing numbers either way. The group
+// reports `available() == false` and the JSON emitters write the fields as
+// null, which check_bench.py treats as structurally valid.
+
+/// One hardware counter group: dTLB load misses, dTLB loads, and cycles,
+/// read together so ratios are consistent.
+class TlbCounters {
+ public:
+  TlbCounters() {
+#ifdef __linux__
+    struct perf_event_attr_local {
+      // A minimal mirror of struct perf_event_attr (linux/perf_event.h) —
+      // declared locally so the header builds on toolchains without the
+      // kernel uapi headers. Only the leading fields the syscall reads are
+      // populated; `size` tells the kernel where our struct ends.
+      uint32_t type;
+      uint32_t size;
+      uint64_t config;
+      uint64_t sample_period;
+      uint64_t sample_type;
+      uint64_t read_format;
+      uint64_t flags;
+      uint32_t wakeup_events;
+      uint32_t bp_type;
+      uint64_t bp_addr;
+      uint64_t bp_len;
+      uint64_t pad[8];
+    };
+    constexpr uint32_t kTypeHardware = 0;   // PERF_TYPE_HARDWARE
+    constexpr uint32_t kTypeHwCache = 3;    // PERF_TYPE_HW_CACHE
+    constexpr uint64_t kCycles = 0;         // PERF_COUNT_HW_CPU_CYCLES
+    // PERF_COUNT_HW_CACHE_DTLB | (OP_READ << 8) | (RESULT_MISS << 16) etc.
+    constexpr uint64_t kDtlbReadMiss = 3 | (0 << 8) | (1 << 16);
+    constexpr uint64_t kDtlbReadAccess = 3 | (0 << 8) | (0 << 16);
+    constexpr uint64_t kFlagDisabled = 1;   // attr.disabled
+    const struct {
+      uint32_t type;
+      uint64_t config;
+    } events[3] = {{kTypeHwCache, kDtlbReadMiss},
+                   {kTypeHwCache, kDtlbReadAccess},
+                   {kTypeHardware, kCycles}};
+    for (int i = 0; i < 3; ++i) {
+      perf_event_attr_local attr{};
+      attr.type = events[i].type;
+      attr.size = sizeof(attr);
+      attr.config = events[i].config;
+      attr.flags = kFlagDisabled;
+      const long fd = ::syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0UL);
+      fds_[i] = static_cast<int>(fd);
+    }
+    // All-or-nothing: a partial group would make miss RATES meaningless.
+    if (fds_[0] < 0 || fds_[1] < 0 || fds_[2] < 0) Close();
+#endif
+  }
+  ~TlbCounters() { Close(); }
+  TlbCounters(const TlbCounters&) = delete;
+  TlbCounters& operator=(const TlbCounters&) = delete;
+
+  bool available() const { return fds_[0] >= 0; }
+
+  void Start() {
+#ifdef __linux__
+    if (!available()) return;
+    for (const int fd : fds_) {
+      ::ioctl(fd, 0x2403 /*PERF_EVENT_IOC_RESET*/, 0);
+      ::ioctl(fd, 0x2400 /*PERF_EVENT_IOC_ENABLE*/, 0);
+    }
+#endif
+  }
+
+  /// Stops the counters and latches their values (readable via the
+  /// accessors until the next Start).
+  void Stop() {
+#ifdef __linux__
+    if (!available()) return;
+    for (const int fd : fds_) {
+      ::ioctl(fd, 0x2401 /*PERF_EVENT_IOC_DISABLE*/, 0);
+    }
+    for (int i = 0; i < 3; ++i) {
+      uint64_t value = 0;
+      if (::read(fds_[i], &value, sizeof(value)) != sizeof(value)) value = 0;
+      values_[i] = value;
+    }
+#endif
+  }
+
+  uint64_t dtlb_load_misses() const { return values_[0]; }
+  uint64_t dtlb_loads() const { return values_[1]; }
+  uint64_t cycles() const { return values_[2]; }
+  /// Misses per 1k loads; 0 when loads were not counted.
+  double dtlb_miss_per_1k_loads() const {
+    return values_[1] == 0 ? 0.0 : 1000.0 * values_[0] / values_[1];
+  }
+
+ private:
+  void Close() {
+#ifdef __linux__
+    for (int& fd : fds_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+#endif
+  }
+
+  int fds_[3] = {-1, -1, -1};
+  uint64_t values_[3] = {0, 0, 0};
+};
+
+/// Emits the dTLB fields of one measurement: numbers when the counters ran,
+/// JSON nulls when perf is unavailable (so consumers can tell "zero misses"
+/// from "not measured").
+inline void WriteTlbFields(JsonWriter* w, const TlbCounters& tlb) {
+  w->FieldBool("dtlb_available", tlb.available());
+  if (tlb.available()) {
+    w->Field("dtlb_load_misses", tlb.dtlb_load_misses());
+    w->Field("dtlb_loads", tlb.dtlb_loads());
+    w->Field("cycles", tlb.cycles());
+    w->Field("dtlb_miss_per_1k_loads", tlb.dtlb_miss_per_1k_loads(), 4);
+  } else {
+    w->Key("dtlb_load_misses");
+    w->Null();
+    w->Key("dtlb_loads");
+    w->Null();
+    w->Key("cycles");
+    w->Null();
+    w->Key("dtlb_miss_per_1k_loads");
+    w->Null();
+  }
 }
 
 /// Aborts with a readable message when a Status is not OK.

@@ -75,6 +75,9 @@ struct StrategyResult {
   ViewCompactionStats stats;
   uint64_t vmas_before = 0;
   uint64_t vmas_after = 0;
+  /// PMD-backed bytes of the compacted arena, from smaps (0 in the 4 KiB
+  /// fallback — compaction-driven promotion found nothing to collapse).
+  uint64_t huge_backed_bytes = 0;
 };
 
 struct CompactionReport {
@@ -84,6 +87,8 @@ struct CompactionReport {
   /// Live process-wide VMA count at the fragmentation peak (the quantity
   /// vm.max_map_count bounds; 0 where /proc/self/maps is unavailable).
   uint64_t vma_count = 0;
+  /// Huge flavor of the column file (the views inherit it).
+  const char* huge_backing = "none";
   double fragmented_median_ms = 0;
   std::vector<double> fragmented_rep_ms;
   std::vector<StrategyResult> strategies;
@@ -130,6 +135,7 @@ CompactionReport RunCompactionExperiment(const bench::BenchEnv& env) {
   const RangeQuery q{0, kMaxValue / 2};
 
   CompactionReport report;
+  report.huge_backing = HugeBackingName(column->file()->huge_backing());
   auto fragmented = MakeFragmentedView(*column);
   report.view_pages = fragmented->num_pages();
   report.runs_before = fragmented->num_slot_runs();
@@ -163,6 +169,9 @@ CompactionReport RunCompactionExperiment(const bench::BenchEnv& env) {
     VMSV_BENCH_CHECK_OK(view->Compact(options, &result.stats));
     result.compact_ms = compact_timer.ElapsedMillis();
     result.vmas_after = ArenaVmaCount(*view);
+    if (auto smaps = ParseSelfSmaps(); smaps.ok()) {
+      result.huge_backed_bytes = ArenaHugeBackedBytes(*smaps, view->arena());
+    }
 
     Stopwatch first_timer;
     const PageScanResult first = view->Scan(q);
@@ -340,6 +349,7 @@ int WriteJson(const std::string& path, const bench::BenchEnv& env,
     w.Field("runs_before", comp.runs_before);
     w.Field("holes_before", comp.holes_before);
     w.Field("vma_count", comp.vma_count);
+    w.Field("huge_backing", comp.huge_backing);
     w.Field("fragmented_median_ms", comp.fragmented_median_ms);
     w.FieldArray("fragmented_rep_ms", comp.fragmented_rep_ms);
     w.Field("scan_speedup", comp.scan_speedup, 4);
@@ -357,6 +367,9 @@ int WriteJson(const std::string& path, const bench::BenchEnv& env,
       w.Field("file_runs_after", s.stats.file_runs_after);
       w.Field("arena_vmas_before", s.vmas_before);
       w.Field("arena_vmas_after", s.vmas_after);
+      w.Field("huge_units_promoted", s.stats.huge_units_promoted);
+      w.Field("huge_promote_failures", s.stats.huge_promote_failures);
+      w.Field("huge_backed_bytes", s.huge_backed_bytes);
       w.FieldArray("rep_ms", s.rep_ms);
       w.EndObject();
     }

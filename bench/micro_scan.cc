@@ -30,6 +30,7 @@
 #include "index/physical_copy_index.h"
 #include "index/virtual_view_index.h"
 #include "index/zone_map_index.h"
+#include "rewiring/maps_parser.h"
 #include "util/histogram.h"
 #include "util/macros.h"
 #include "util/stopwatch.h"
@@ -60,6 +61,12 @@ struct SweepConfig {
   double median_ms = 0;
   double pages_per_s = 0;
   double gb_per_s = 0;
+  // dTLB counters over all timed reps (false => the null fields in JSON).
+  bool dtlb_available = false;
+  uint64_t dtlb_load_misses = 0;
+  uint64_t dtlb_loads = 0;
+  uint64_t cycles = 0;
+  double dtlb_miss_per_1k_loads = 0;
 };
 
 int SweepMain() {
@@ -70,6 +77,24 @@ int SweepMain() {
   const Value* base =
       reinterpret_cast<const Value*>(column->base_arena().data());
   const RangeQuery q{0, kMaxValue / 2};
+
+  // Huge-page coverage of the base arena, from the kernel's own accounting
+  // (smaps), so the dTLB numbers below are attributable to a layout. Both
+  // are 0 in the 4 KiB fallback — that IS the measurement, not a failure.
+  const VirtualArena& arena = column->base_arena();
+  uint64_t smaps_huge_bytes = 0;
+  if (auto smaps = ParseSelfSmaps(); smaps.ok()) {
+    smaps_huge_bytes = ArenaHugeBackedBytes(*smaps, arena);
+  }
+  const double column_bytes = static_cast<double>(env.pages) * kPageSize;
+  const double huge_coverage = smaps_huge_bytes / column_bytes;
+  std::fprintf(stdout,
+               "# huge pages: backing=%s units=%llu coverage=%.1f%% "
+               "(smaps: %llu bytes PMD-backed)\n",
+               HugeBackingName(column->file()->huge_backing()),
+               static_cast<unsigned long long>(arena.huge_unit_count()),
+               100.0 * huge_coverage,
+               static_cast<unsigned long long>(smaps_huge_bytes));
 
   std::vector<ScanKernel> kernels;
   for (ScanKernel k :
@@ -84,6 +109,11 @@ int SweepMain() {
       ScanPageScalar(base, env.pages * kValuesPerPage, q);
 
   const ScanKernel restore = ActiveScanKernel();
+  // One counter group reused across configurations: the main thread issues
+  // every load in the serial path and shares the work in the sharded one,
+  // so its dTLB rate is comparable across configs (absolute counts are not,
+  // with threads > 1 — the rate field is the one to compare).
+  bench::TlbCounters tlb;
   std::vector<SweepConfig> configs;
   for (const ScanKernel kernel : kernels) {
     VMSV_BENCH_CHECK_OK(SetActiveScanKernel(kernel));
@@ -98,6 +128,7 @@ int SweepMain() {
       // Warm-up: touches every page (and spins up pool workers) untimed.
       PageScanResult r = scanner.ScanPages(base, env.pages, q);
       SampleStats times;
+      tlb.Start();
       for (uint64_t rep = 0; rep < env.reps; ++rep) {
         Stopwatch timer;
         r = scanner.ScanPages(base, env.pages, q);
@@ -105,6 +136,12 @@ int SweepMain() {
         times.Add(ms);
         cfg.rep_ms.push_back(ms);
       }
+      tlb.Stop();
+      cfg.dtlb_available = tlb.available();
+      cfg.dtlb_load_misses = tlb.dtlb_load_misses();
+      cfg.dtlb_loads = tlb.dtlb_loads();
+      cfg.cycles = tlb.cycles();
+      cfg.dtlb_miss_per_1k_loads = tlb.dtlb_miss_per_1k_loads();
       if (r.match_count != ref.match_count || r.sum != ref.sum) {
         std::fprintf(stderr,
                      "[bench] RESULT MISMATCH kernel=%s threads=%u vs scalar "
@@ -138,6 +175,11 @@ int SweepMain() {
     bench::WriteBenchJsonCommon(&w, "micro_scan", env, /*seed=*/42);
     w.Field("query_selectivity", 0.5, 1);
     w.Field("distribution", "uniform");
+    w.Field("huge_backing", HugeBackingName(column->file()->huge_backing()));
+    w.Field("huge_units", arena.huge_unit_count());
+    w.Field("huge_backed_bytes", smaps_huge_bytes);
+    w.Field("huge_coverage", huge_coverage, 4);
+    w.FieldBool("dtlb_available", tlb.available());
     w.Key("configs");
     w.BeginArray();
     for (const SweepConfig& cfg : configs) {
@@ -148,6 +190,21 @@ int SweepMain() {
       w.Field("pages_per_s", cfg.pages_per_s, 1);
       w.Field("gb_per_s", cfg.gb_per_s, 4);
       w.FieldArray("rep_ms", cfg.rep_ms);
+      if (cfg.dtlb_available) {
+        w.Field("dtlb_load_misses", cfg.dtlb_load_misses);
+        w.Field("dtlb_loads", cfg.dtlb_loads);
+        w.Field("cycles", cfg.cycles);
+        w.Field("dtlb_miss_per_1k_loads", cfg.dtlb_miss_per_1k_loads, 4);
+      } else {
+        w.Key("dtlb_load_misses");
+        w.Null();
+        w.Key("dtlb_loads");
+        w.Null();
+        w.Key("cycles");
+        w.Null();
+        w.Key("dtlb_miss_per_1k_loads");
+        w.Null();
+      }
       w.EndObject();
     }
     w.EndArray();

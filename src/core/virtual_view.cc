@@ -151,7 +151,8 @@ Status VirtualView::EnsureMaterialized(BackgroundMapper* mapper) {
   if (mapper != nullptr) {
     session = std::unique_lock<std::mutex>(mapper->producer_mutex());
   }
-  auto arena_r = VirtualArena::Create(file_, arena_slots_);
+  auto arena_r = VirtualArena::Create(file_, arena_slots_,
+                                      pages_.empty() ? 0 : pages_[0]);
   if (!arena_r.ok()) return arena_r.status();
   // Materialization is transactional: the arena is installed only once every
   // mapping succeeded. A mid-way mmap failure (e.g. vm.max_map_count
@@ -339,7 +340,11 @@ Status VirtualView::RemovePage(uint64_t page) {
   // Materialized: punch a PROT_NONE hole — one mmap call (the historical
   // swap-remove paid two: rewire the tail page in, unmap the tail slot) and
   // slot order survives, which keeps runs coalescible. The price is
-  // fragmentation, paid down by Compact().
+  // fragmentation, paid down by Compact(). If the slot sits inside a
+  // promoted 2 MiB unit, the unit is demoted to 4 KiB first — the hole
+  // punch itself would split the PMD anyway, but demoting keeps the arena's
+  // granularity bookkeeping ahead of the kernel, not behind it.
+  VMSV_RETURN_IF_ERROR(arena_->DemoteRange(slot, 1));
   VMSV_RETURN_IF_ERROR(arena_->UnmapRange(slot, 1));
   const bool left_live = slot > 0 && pages_[slot - 1] != kHoleSlot;
   const bool right_live =
@@ -451,7 +456,14 @@ Status VirtualView::Compact(const ViewCompactionOptions& options,
               [](const MoveUnit& a, const MoveUnit& b) { return a.page < b.page; });
   }
 
-  auto arena_r = VirtualArena::Create(file_, arena_slots_);
+  // The congruence hint: slot 0 of the dense arena will hold the first file
+  // page of the (possibly sorted) layout. Placing the arena base congruent
+  // to that page mod 2 MiB is what makes the post-compaction collapse
+  // attempt possible at all — with sort_runs_by_page the densified view is
+  // file-contiguous, exactly the layout a PMD can map.
+  auto arena_r =
+      VirtualArena::Create(file_, arena_slots_,
+                           units.empty() ? 0 : units.front().page);
   if (!arena_r.ok()) return arena_r.status();
   std::unique_ptr<VirtualArena> dense = std::move(arena_r).ValueOrDie();
   const bool allow_mremap =
@@ -473,6 +485,15 @@ Status VirtualView::Compact(const ViewCompactionOptions& options,
     *retired_arena = std::move(arena_);
   }
   PublishArena(std::move(dense));
+  if (options.promote_huge && arena_->HugeCapable()) {
+    // Compaction IS the promotion trigger: the view is now dense and (with
+    // sort_runs_by_page) file-contiguous, so try to collapse every whole
+    // congruent 2 MiB unit. Refusals leave those units at 4 KiB and are
+    // only counted — scans are bit-identical either way.
+    VMSV_RETURN_IF_ERROR(arena_->PromoteRange(0, num_live_));
+    out.huge_units_promoted = arena_->huge_unit_count();
+    out.huge_promote_failures = arena_->huge_promote_failures();
+  }
 
   pages_.clear();
   pages_.reserve(num_live_);

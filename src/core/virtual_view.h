@@ -79,6 +79,11 @@ struct ViewCompactionOptions {
   /// VMAs (mapping-budget relief) and future re-materializations coalesce.
   /// Scan results are order-insensitive, so this is always safe.
   bool sort_runs_by_page = true;
+  /// After publishing the dense arena, attempt to collapse its whole
+  /// congruent 2 MiB units to PMD mappings (no-op unless the backing file
+  /// carries a huge flavor; see VirtualArena::PromoteRange). Collapse
+  /// refusals are counted in the stats, never errors.
+  bool promote_huge = true;
 };
 
 /// What one Compact call did (all counts are pages/runs of this view).
@@ -97,6 +102,11 @@ struct ViewCompactionStats {
   /// Moves executed as mremap (PTEs preserved) vs rewire fallback.
   uint64_t mremap_moves = 0;
   uint64_t remap_moves = 0;
+  /// 2 MiB units PMD-backed after the post-compaction promotion pass, and
+  /// collapse attempts the kernel refused (0/0 when promotion is off or the
+  /// file has no huge flavor).
+  uint64_t huge_units_promoted = 0;
+  uint64_t huge_promote_failures = 0;
 };
 
 /// Per-view usage accounting consumed by the cost-aware eviction policy

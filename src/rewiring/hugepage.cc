@@ -1,0 +1,37 @@
+#include "rewiring/hugepage.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/env.h"
+
+namespace vmsv {
+
+bool HugePagesDisabledByEnv() {
+  return GetEnvUint64("VMSV_NO_HUGEPAGES", 0) != 0;
+}
+
+bool HugetlbRequestedByEnv() {
+  return GetEnvUint64("VMSV_HUGETLB", 0) != 0;
+}
+
+bool ThpShmemEligible() {
+#if defined(__linux__)
+  std::FILE* f =
+      std::fopen("/sys/kernel/mm/transparent_hugepage/shmem_enabled", "r");
+  if (f == nullptr) return false;
+  char buf[256];
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  // The active mode is bracketed, e.g. "always within_size [advise] never".
+  const char* active = std::strchr(buf, '[');
+  if (active == nullptr) return false;
+  return std::strncmp(active, "[never]", 7) != 0 &&
+         std::strncmp(active, "[deny]", 6) != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace vmsv

@@ -1,0 +1,80 @@
+// Huge-page (2 MiB) support shared by the rewiring layer: constants, the
+// environment kill-switch, and capability probes for the two backing
+// flavors a PhysicalMemoryFile can request (paper extension; ROADMAP
+// "TLB-aware arenas").
+//
+//   - THP: a normal memfd whose mappings are advised MADV_HUGEPAGE and,
+//     once dense and populated, collapsed to PMD mappings with
+//     MADV_COLLAPSE. The file stays 4 KiB-rewirable throughout — a
+//     MAP_FIXED 4 KiB rewire over a collapsed range simply splits the PMD
+//     back into PTEs — so this flavor is always safe to request.
+//   - hugetlb: memfd_create(MFD_HUGETLB | MFD_HUGE_2MB) out of a
+//     preallocated hugetlbfs pool. Genuinely reserved 2 MiB frames, but the
+//     file can ONLY be mapped at 2 MiB granularity: 4 KiB rewiring of such
+//     a file fails EINVAL, so this flavor is an explicit opt-in
+//     (VMSV_HUGETLB=1) for base-column scan measurement.
+//
+// Every probe failure (ENOMEM: no pool; EINVAL: kernel without the
+// feature) degrades to the next flavor down, ending at plain 4 KiB — the
+// fallback taxonomy in ARCHITECTURE.md "Memory layout & TLB".
+
+#ifndef VMSV_REWIRING_HUGEPAGE_H_
+#define VMSV_REWIRING_HUGEPAGE_H_
+
+#include <cstdint>
+
+#include <sys/mman.h>
+
+#include "rewiring/physical_memory_file.h"
+
+// Advice / flag values newer than some libc headers; the kernel ABI values
+// are stable.
+#ifndef MADV_HUGEPAGE
+#define MADV_HUGEPAGE 14
+#endif
+#ifndef MADV_NOHUGEPAGE
+#define MADV_NOHUGEPAGE 15
+#endif
+#ifndef MADV_COLLAPSE
+#define MADV_COLLAPSE 25
+#endif
+#ifndef MFD_HUGETLB
+#define MFD_HUGETLB 0x0004U
+#endif
+#ifndef MFD_HUGE_2MB
+#define MFD_HUGE_2MB (21U << 26)
+#endif
+
+namespace vmsv {
+
+/// One PMD mapping: 2 MiB, the promotion granularity.
+inline constexpr uint64_t kHugePageSize = 2 * 1024 * 1024;
+
+/// 4 KiB pages per 2 MiB huge unit (512).
+inline constexpr uint64_t kPagesPerHugeUnit = kHugePageSize / kPageSize;
+
+/// VMSV_NO_HUGEPAGES=1 — the forced-fallback override: every huge-page
+/// request behaves as if no support existed, so the bit-identity regression
+/// tests can pin 4 KiB-mode results against huge-mode results. Read per
+/// call (tests flip it mid-process).
+bool HugePagesDisabledByEnv();
+
+/// VMSV_HUGETLB=1 — opt-in to probing the hugetlbfs pool for anonymous
+/// base-column files. Off by default because a hugetlb file cannot be
+/// 4 KiB-rewired: partial views over such a column fail to materialize and
+/// every query falls back to base scans (measurement mode, not an adaptive
+/// mode).
+bool HugetlbRequestedByEnv();
+
+/// True when the kernel advertises THP for shmem/memfd mappings in a mode
+/// reachable by madvise ("advise"/"within_size"/"always" in
+/// /sys/kernel/mm/transparent_hugepage/shmem_enabled). False on "never",
+/// "deny", or when the sysfs file is absent (THP not compiled in). Note
+/// this is an ELIGIBILITY check only: MADV_COLLAPSE can still fail EINVAL
+/// on kernels without the collapse operation — callers must treat any
+/// madvise failure as "stay at 4 KiB".
+bool ThpShmemEligible();
+
+}  // namespace vmsv
+
+#endif  // VMSV_REWIRING_HUGEPAGE_H_

@@ -43,6 +43,39 @@ enum class MemoryFileBackend {
 MemoryFileBackend MemoryFileBackendFromString(const std::string& name);
 const char* MemoryFileBackendName(MemoryFileBackend backend);
 
+/// Huge-page (2 MiB) backing requested at Create.
+enum class HugePageRequest {
+  /// Plain 4 KiB file, no huge-page machinery.
+  kNone,
+  /// Probe hugetlb first when VMSV_HUGETLB=1 opts in (see HugeBacking::
+  /// kHugetlb for why it is opt-in), else mark the file THP-capable so
+  /// arenas attempt MADV_HUGEPAGE + MADV_COLLAPSE promotion. Degrades to
+  /// kNone on any probe failure or under VMSV_NO_HUGEPAGES=1.
+  kAuto,
+  /// Probe hugetlb without the env opt-in (tests exercise the pool path
+  /// directly); same fallback chain as kAuto.
+  kHugetlb,
+};
+
+/// What Create's probe chain actually delivered (huge_backing()).
+enum class HugeBacking {
+  /// 4 KiB only — the universal fallback.
+  kNone,
+  /// Normal memfd, THP-eligible: arenas advise MADV_HUGEPAGE and attempt
+  /// MADV_COLLAPSE after the compactor densifies a range. The file remains
+  /// 4 KiB-rewirable at all times (a 4 KiB MAP_FIXED rewire over a
+  /// collapsed range splits the PMD back to PTEs), so every adaptation
+  /// path is unchanged.
+  kThp,
+  /// memfd_create(MFD_HUGETLB | MFD_HUGE_2MB) out of the hugetlbfs pool:
+  /// genuine reserved 2 MiB frames, but the file can ONLY be mapped in
+  /// 2 MiB units — 4 KiB rewiring fails EINVAL, so partial views over such
+  /// a column degrade to base scans. Reached only via explicit opt-in.
+  kHugetlb,
+};
+
+const char* HugeBackingName(HugeBacking backing);
+
 class PhysicalMemoryFile {
  public:
   /// Creates an anonymous main-memory file of `pages` zero-filled pages.
@@ -51,9 +84,16 @@ class PhysicalMemoryFile {
   /// over it inherits the seam.
   /// Error contract: InvalidArgument for kFile (a path is required there —
   /// use CreateAt/OpenAt).
+  ///
+  /// `huge` requests 2 MiB backing; the probe chain (hugetlb memfd + probe
+  /// map → THP-capable memfd → plain) degrades transparently on any
+  /// ENOMEM/EINVAL, and huge_backing() reports what was delivered. Huge
+  /// backing applies to the memfd backend only (shm_open objects get no
+  /// huge flavor; THP collapse on them is still attempted by arenas when
+  /// the kernel allows, but the file is reported kNone).
   static StatusOr<PhysicalMemoryFile> Create(
       uint64_t pages, MemoryFileBackend backend = MemoryFileBackend::kMemfd,
-      VmIo* vm_io = nullptr);
+      VmIo* vm_io = nullptr, HugePageRequest huge = HugePageRequest::kNone);
 
   /// Creates (O_CREAT | O_TRUNC) a file-backed memory file of `pages`
   /// zero-filled pages at `path`. The parent directory must exist.
@@ -79,6 +119,12 @@ class PhysicalMemoryFile {
   MemoryFileBackend backend() const { return backend_; }
   /// Backing path; empty for the anonymous backends.
   const std::string& path() const { return path_; }
+
+  /// The 2 MiB backing flavor Create's probe chain delivered (kNone unless
+  /// requested AND available). Arenas key their granularity machinery —
+  /// aligned reservations, promotion attempts, per-range bookkeeping — off
+  /// this.
+  HugeBacking huge_backing() const { return huge_backing_; }
 
   /// Grows the file to `new_pages` (no-op if already at least that large).
   Status Grow(uint64_t new_pages);
@@ -110,6 +156,7 @@ class PhysicalMemoryFile {
   MemoryFileBackend backend_ = MemoryFileBackend::kMemfd;
   std::string path_;
   VmIo* vm_io_ = nullptr;
+  HugeBacking huge_backing_ = HugeBacking::kNone;
 };
 
 }  // namespace vmsv

@@ -1,11 +1,13 @@
 #include "rewiring/vm_io.h"
 
+#include "rewiring/hugepage.h"
 #include "util/macros.h"
 
 #include <cerrno>
 #include <cstring>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include <sys/mman.h>
 #include <unistd.h>
@@ -52,6 +54,20 @@ class PassthroughVmIo : public VmIo {
     return OkStatus();
   }
 
+  Status Madvise(void* addr, size_t len, int advice,
+                 const char* what) override {
+#if defined(__linux__)
+    if (::madvise(addr, len, advice) != 0) return ErrnoError(what, errno);
+    return OkStatus();
+#else
+    (void)addr;
+    (void)len;
+    (void)advice;
+    return Status(StatusCode::kUnimplemented,
+                  std::string(what) + ": madvise unavailable on this platform");
+#endif
+  }
+
   StatusOr<int> MemfdCreate(const char* name, unsigned int flags) override {
 #if defined(__linux__)
     const int fd = static_cast<int>(::memfd_create(name, flags));
@@ -95,6 +111,7 @@ const char* VmOpName(VmOp op) {
     case VmOp::kMunmap: return "munmap";
     case VmOp::kMremap: return "mremap";
     case VmOp::kMprotect: return "mprotect";
+    case VmOp::kMadvise: return "madvise";
     case VmOp::kMemfdCreate: return "memfd_create";
     case VmOp::kFtruncate: return "ftruncate";
   }
@@ -171,17 +188,17 @@ void FaultInjectingVmIo::EraseRange(SegmentMap* segs, uint64_t start,
 
 void FaultInjectingVmIo::InsertSegment(SegmentMap* segs, uint64_t start,
                                        uint64_t end, bool file, int fd,
-                                       uint64_t offset) {
+                                       uint64_t offset, bool huge_advised) {
   if (start >= end) return;
   EraseRange(segs, start, end);
-  Segment seg{end, file, fd, offset};
+  Segment seg{end, file, fd, offset, huge_advised};
   // Merge with the left neighbor (kernel VMA-merge rules; see Segment doc).
   auto it = segs->lower_bound(start);
   if (it != segs->begin()) {
     auto prev = std::prev(it);
     const Segment& l = prev->second;
     const bool mergeable =
-        l.end == start && l.file == file &&
+        l.end == start && l.file == file && l.huge_advised == huge_advised &&
         (!file || (l.fd == fd && l.offset + (l.end - prev->first) == offset));
     if (mergeable) {
       start = prev->first;
@@ -195,7 +212,7 @@ void FaultInjectingVmIo::InsertSegment(SegmentMap* segs, uint64_t start,
   if (it != segs->end()) {
     const Segment& r = it->second;
     const bool mergeable =
-        r.file == file &&
+        r.file == file && r.huge_advised == huge_advised &&
         (!file || (r.fd == fd && offset + (end - start) == r.offset));
     if (mergeable) {
       seg.end = r.end;
@@ -203,6 +220,38 @@ void FaultInjectingVmIo::InsertSegment(SegmentMap* segs, uint64_t start,
     }
   }
   (*segs)[start] = seg;
+}
+
+void FaultInjectingVmIo::ApplyHugeAdvice(SegmentMap* segs, uint64_t start,
+                                         uint64_t end, bool huge_advised) {
+  if (start >= end) return;
+  // Collect the covered pieces with their identities first (InsertSegment
+  // below mutates the map), then re-insert each with the new flag;
+  // InsertSegment's merge rules coalesce uniformly advised neighbors back
+  // together. Uncovered gaps (unmapped address space) are skipped — the
+  // kernel just ignores them for the hugepage advices.
+  struct Piece {
+    uint64_t start, end, offset;
+    bool file;
+    int fd;
+  };
+  std::vector<Piece> pieces;
+  auto it = segs->lower_bound(start);
+  if (it != segs->begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > start) it = prev;
+  }
+  for (; it != segs->end() && it->first < end; ++it) {
+    const uint64_t s = it->first < start ? start : it->first;
+    const uint64_t e = it->second.end > end ? end : it->second.end;
+    if (s >= e) continue;
+    const Segment& seg = it->second;
+    pieces.push_back(Piece{s, e, seg.offset + (s - it->first), seg.file,
+                           seg.fd});
+  }
+  for (const Piece& p : pieces) {
+    InsertSegment(segs, p.start, p.end, p.file, p.fd, p.offset, huge_advised);
+  }
 }
 
 void FaultInjectingVmIo::CommitLocked(SegmentMap&& next) {
@@ -317,8 +366,10 @@ StatusOr<void*> FaultInjectingVmIo::Mremap(void* old_addr, size_t old_len,
     found = true;
   }
   EraseRange(&next, src, src + old_len);
+  // mremap carries vm_flags (including the hugepage advice) to the target.
   InsertSegment(&next, dst, dst + new_len, found ? moved_seg.file : true,
-                found ? moved_seg.fd : -1, found ? moved_seg.offset : 0);
+                found ? moved_seg.fd : -1, found ? moved_seg.offset : 0,
+                found && moved_seg.huge_advised);
   CommitLocked(std::move(next));
   return moved;
 }
@@ -337,11 +388,51 @@ Status FaultInjectingVmIo::Mprotect(void* addr, size_t len, int prot,
   return RealVmIo()->Mprotect(addr, len, prot, what);
 }
 
+Status FaultInjectingVmIo::Madvise(void* addr, size_t len, int advice,
+                                   const char* what) {
+  const bool hugepage_advice =
+      advice == MADV_HUGEPAGE || advice == MADV_NOHUGEPAGE;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.madvises;
+    const int fail = AdmitOpLocked(VmOp::kMadvise);
+    if (fail != 0) {
+      ++stats_.faults_injected;
+      return InjectedError(what, fail);
+    }
+    if (plan_.max_vmas != 0 && hugepage_advice) {
+      // Sub-range advice splits a VMA (the advice is a vm_flags change), and
+      // the kernel charges the split against max_map_count — refusing with
+      // ENOMEM, like any other mapping-budget breach. Simulate the exact
+      // split/merge outcome before the kernel sees the call.
+      SegmentMap probe = segments_;
+      const uint64_t start = reinterpret_cast<uint64_t>(addr);
+      ApplyHugeAdvice(&probe, start, start + len, advice == MADV_HUGEPAGE);
+      if (probe.size() > plan_.max_vmas) {
+        ++stats_.budget_rejections;
+        return InjectedError(what, ENOMEM);
+      }
+    }
+  }
+  VMSV_RETURN_IF_ERROR(RealVmIo()->Madvise(addr, len, advice, what));
+  if (hugepage_advice) {
+    const uint64_t start = reinterpret_cast<uint64_t>(addr);
+    std::lock_guard<std::mutex> lk(mu_);
+    SegmentMap next = segments_;
+    ApplyHugeAdvice(&next, start, start + len, advice == MADV_HUGEPAGE);
+    CommitLocked(std::move(next));
+  }
+  // MADV_COLLAPSE and the rest change page tables (or nothing), not VMA
+  // boundaries: a collapsed range stays exactly one VMA in the accountant.
+  return OkStatus();
+}
+
 StatusOr<int> FaultInjectingVmIo::MemfdCreate(const char* name,
                                               unsigned int flags) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.memfd_creates;
+    if ((flags & MFD_HUGETLB) != 0) ++stats_.hugetlb_memfd_creates;
     const int fail = AdmitOpLocked(VmOp::kMemfdCreate);
     if (fail != 0) {
       ++stats_.faults_injected;

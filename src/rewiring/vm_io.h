@@ -54,6 +54,12 @@ class VmIo {
   virtual Status Mprotect(void* addr, size_t len, int prot,
                           const char* what) = 0;
 
+  /// madvise(2) — the huge-page promotion/demotion channel (MADV_HUGEPAGE,
+  /// MADV_COLLAPSE, MADV_NOHUGEPAGE). Callers treat ANY failure as "the
+  /// range stays 4 KiB" — advice is never load-bearing for correctness.
+  virtual Status Madvise(void* addr, size_t len, int advice,
+                         const char* what) = 0;
+
   /// memfd_create(2) (shm_open fallback is the caller's business; this is
   /// the memfd path only).
   virtual StatusOr<int> MemfdCreate(const char* name, unsigned int flags) = 0;
@@ -72,6 +78,7 @@ enum class VmOp {
   kMunmap,
   kMremap,
   kMprotect,
+  kMadvise,
   kMemfdCreate,
   kFtruncate,
 };
@@ -103,16 +110,21 @@ class FaultInjectingVmIo : public VmIo {
     uint64_t munmaps = 0;
     uint64_t mremaps = 0;
     uint64_t mprotects = 0;
+    uint64_t madvises = 0;
     uint64_t memfd_creates = 0;
+    /// memfd_create calls carrying MFD_HUGETLB (a subset of memfd_creates):
+    /// these draw 2 MiB frames from the hugetlbfs pool, the resource the
+    /// huge-page fault scenarios exhaust.
+    uint64_t hugetlb_memfd_creates = 0;
     uint64_t ftruncates = 0;
     /// Operations failed by the armed (op_index, errno) plan.
     uint64_t faults_injected = 0;
-    /// mmap/mremap calls refused because they would exceed max_vmas.
+    /// mmap/mremap/madvise calls refused because they would exceed max_vmas.
     uint64_t budget_rejections = 0;
 
     uint64_t ops() const {
-      return mmaps + munmaps + mremaps + mprotects + memfd_creates +
-             ftruncates;
+      return mmaps + munmaps + mremaps + mprotects + madvises +
+             memfd_creates + ftruncates;
     }
   };
 
@@ -141,6 +153,8 @@ class FaultInjectingVmIo : public VmIo {
                          const char* what) override;
   Status Mprotect(void* addr, size_t len, int prot,
                   const char* what) override;
+  Status Madvise(void* addr, size_t len, int advice,
+                 const char* what) override;
   StatusOr<int> MemfdCreate(const char* name, unsigned int flags) override;
   Status Ftruncate(int fd, uint64_t len, const char* what) override;
 
@@ -150,11 +164,16 @@ class FaultInjectingVmIo : public VmIo {
   /// same PROT_NONE|MAP_NORESERVE reservation flavor, which the kernel
   /// merges); file segments merge only with the same fd at contiguous
   /// offsets — the rule that makes PTE-granular rewiring explode VMAs.
+  /// MADV_HUGEPAGE/MADV_NOHUGEPAGE set a per-VMA flag, so differently
+  /// advised neighbors never merge and sub-range advice splits a VMA —
+  /// while a uniformly advised, file-contiguous range stays (or re-merges
+  /// to) ONE VMA even after its pages collapse to PMD granularity.
   struct Segment {
     uint64_t end = 0;
     bool file = false;
     int fd = -1;
     uint64_t offset = 0;
+    bool huge_advised = false;
   };
   using SegmentMap = std::map<uint64_t, Segment>;  // keyed by start
 
@@ -164,7 +183,13 @@ class FaultInjectingVmIo : public VmIo {
 
   static void EraseRange(SegmentMap* segs, uint64_t start, uint64_t end);
   static void InsertSegment(SegmentMap* segs, uint64_t start, uint64_t end,
-                            bool file, int fd, uint64_t offset);
+                            bool file, int fd, uint64_t offset,
+                            bool huge_advised = false);
+  /// Re-flags [start, end) with `huge_advised`, splitting partially covered
+  /// segments at the boundaries and re-merging uniform neighbors — the
+  /// kernel's madvise VMA arithmetic.
+  static void ApplyHugeAdvice(SegmentMap* segs, uint64_t start, uint64_t end,
+                              bool huge_advised);
 
   /// Commits `next` as the live segment map and updates the peak.
   void CommitLocked(SegmentMap&& next);

@@ -34,6 +34,9 @@ SCHEMA_VERSION = 1
 
 KNOWN_KERNELS = {"scalar", "avx2", "avx512"}
 
+# What PhysicalMemoryFile::Create's probe chain can deliver (HugeBackingName).
+KNOWN_HUGE_BACKINGS = {"none", "thp", "hugetlb"}
+
 
 def fail(msg):
     print(f"check_bench: FAIL: {msg}", file=sys.stderr)
@@ -57,6 +60,28 @@ def expect_fields(obj, fields, where):
         expect_type(obj, field, want, where)
 
 
+def expect_nullable_number(obj, field, where):
+    """dTLB counters are null where perf_event_open is unavailable —
+    STRUCTURALLY null, not absent, so schema drift still fails loudly."""
+    if field not in obj:
+        fail(f"{where}: missing field '{field}'")
+    value = obj[field]
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail(f"{where}: field '{field}' is {type(value).__name__}, "
+             f"want number or null")
+    return value
+
+
+def check_huge_fields(obj, where):
+    """Shared structural checks for the 2 MiB-backing report: the backing
+    name must be a known flavor, and counters must be non-negative. No
+    machine has a REQUIRED backing — coverage is environment, not schema."""
+    if obj["huge_backing"] not in KNOWN_HUGE_BACKINGS:
+        fail(f"{where}: unknown huge_backing '{obj['huge_backing']}'")
+
+
 def check_rep_array(cfg, field, reps, where):
     if len(cfg[field]) != reps:
         fail(f"{where}: {len(cfg[field])} {field} entries, want reps={reps}")
@@ -77,6 +102,13 @@ SCAN_TOP_LEVEL_FIELDS = {
     "seed": int,
     "hardware_concurrency": int,
     "default_kernel": str,
+    # TLB-aware arenas: what 2 MiB backing the column actually came up
+    # with, and how much of the arena smaps attributes to PMD mappings.
+    "huge_backing": str,
+    "huge_units": int,
+    "huge_backed_bytes": int,
+    "huge_coverage": float,
+    "dtlb_available": bool,
     "configs": list,
 }
 
@@ -89,6 +121,11 @@ SCAN_CONFIG_FIELDS = {
     "rep_ms": list,
 }
 
+# perf_event_open counters: numbers where the group opened, null where the
+# machine refuses perf (containers commonly do) — structural either way.
+SCAN_DTLB_FIELDS = ("dtlb_load_misses", "dtlb_loads", "cycles",
+                    "dtlb_miss_per_1k_loads")
+
 
 def check_micro_scan(doc, path):
     expect_fields(doc, SCAN_TOP_LEVEL_FIELDS, path)
@@ -96,6 +133,13 @@ def check_micro_scan(doc, path):
         fail(f"{path}: pages/reps must be positive")
     if doc["default_kernel"] not in KNOWN_KERNELS:
         fail(f"{path}: unknown default_kernel '{doc['default_kernel']}'")
+    check_huge_fields(doc, path)
+    if doc["huge_units"] < 0 or doc["huge_backed_bytes"] < 0:
+        fail(f"{path}: huge counters must be non-negative")
+    if not 0.0 <= doc["huge_coverage"] <= 1.0:
+        fail(f"{path}: huge_coverage out of [0, 1]")
+    if doc["huge_backing"] == "none" and doc["huge_units"] != 0:
+        fail(f"{path}: huge_units nonzero with huge_backing=none")
     configs = doc["configs"]
     if not configs:
         fail(f"{path}: configs is empty")
@@ -119,6 +163,14 @@ def check_micro_scan(doc, path):
         if cfg["median_ms"] <= 0 or cfg["pages_per_s"] <= 0 or cfg["gb_per_s"] <= 0:
             fail(f"{where}: throughput fields must be positive")
         check_rep_array(cfg, "rep_ms", doc["reps"], where)
+        for field in SCAN_DTLB_FIELDS:
+            value = expect_nullable_number(cfg, field, where)
+            if doc["dtlb_available"]:
+                if value is None or value < 0:
+                    fail(f"{where}: {field} must be a non-negative number "
+                         f"when dtlb_available")
+            elif value is not None:
+                fail(f"{where}: {field} must be null when !dtlb_available")
         # Derived-throughput consistency: pages_per_s must follow from
         # median_ms within rounding tolerance.
         derived = doc["pages"] / (cfg["median_ms"] / 1000.0)
@@ -156,6 +208,9 @@ COMPACTION_FIELDS = {
     "fragmented_median_ms": float,
     "fragmented_rep_ms": list,
     "scan_speedup": float,
+    # What 2 MiB backing the column file came up with (the strategies'
+    # promotion counters are only meaningful against this).
+    "huge_backing": str,
     "strategies": list,
 }
 
@@ -170,6 +225,13 @@ STRATEGY_FIELDS = {
     "file_runs_after": int,
     "arena_vmas_before": int,
     "arena_vmas_after": int,
+    # Compaction-driven promotion: units collapsed to 2 MiB in the dense
+    # arena, refusals counted (a kernel without MADV_COLLAPSE reports all
+    # attempts as failures — still schema-valid), and the smaps-attributed
+    # huge bytes after the promote pass.
+    "huge_units_promoted": int,
+    "huge_promote_failures": int,
+    "huge_backed_bytes": int,
     "rep_ms": list,
 }
 
@@ -215,6 +277,7 @@ def check_micro_lifecycle(doc, path):
     comp = doc["compaction"]
     where = f"{path}: compaction"
     expect_fields(comp, COMPACTION_FIELDS, where)
+    check_huge_fields(comp, where)
     if comp["view_pages"] <= 0 or comp["runs_before"] <= 0:
         fail(f"{where}: view_pages/runs_before must be positive")
     if comp["fragmented_median_ms"] <= 0 or comp["scan_speedup"] <= 0:
@@ -237,6 +300,12 @@ def check_micro_lifecycle(doc, path):
             fail(f"{swhere}: no moves recorded")
         if s["runs_after"] > comp["runs_before"]:
             fail(f"{swhere}: compaction increased run count")
+        if (s["huge_units_promoted"] < 0 or s["huge_promote_failures"] < 0 or
+                s["huge_backed_bytes"] < 0):
+            fail(f"{swhere}: huge counters must be non-negative")
+        if comp["huge_backing"] == "none" and s["huge_units_promoted"] != 0:
+            fail(f"{swhere}: huge_units_promoted nonzero with "
+                 f"huge_backing=none")
         check_rep_array(s, "rep_ms", doc["reps"], swhere)
         strategies[s["strategy"]] = s
     if set(strategies) != KNOWN_STRATEGIES:

@@ -1,0 +1,84 @@
+// hugepage_probe — reports which 2 MiB-backing mechanisms this machine
+// actually provides, and exits 0 regardless. Wired into ctest so every test
+// log records the huge-page environment the suite ran under: when the
+// mixed-granularity tests skip (no pool, THP off) or the bench reports 0%%
+// coverage, this log line says why.
+//
+//   thp:      /sys/kernel/mm/transparent_hugepage/shmem_enabled gate, plus
+//             a live MADV_COLLAPSE attempt on an anonymous THP-advised
+//             range (some kernels expose the sysfs file but not the op);
+//   hugetlb:  a real memfd_create(MFD_HUGETLB) + map probe against the
+//             2 MiB pool (nr_hugepages);
+//   perf:     whether perf_event_open delivers the dTLB counter group.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "rewiring/hugepage.h"
+#include "rewiring/physical_memory_file.h"
+#include "rewiring/vm_io.h"
+
+#ifdef __linux__
+#include <sys/mman.h>
+#endif
+
+namespace vmsv {
+namespace {
+
+const char* YesNo(bool b) { return b ? "yes" : "no"; }
+
+// MADV_COLLAPSE support is only discoverable by calling it: kernels without
+// the op return EINVAL even where the THP sysfs knobs look healthy.
+bool ProbeCollapse() {
+#ifdef __linux__
+  const size_t len = 2 * kHugePageSize;
+  void* raw = ::mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (raw == MAP_FAILED) return false;
+  const uint64_t aligned =
+      (reinterpret_cast<uint64_t>(raw) + kHugePageSize - 1) &
+      ~(kHugePageSize - 1);
+  void* addr = reinterpret_cast<void*>(aligned);
+  static_cast<char*>(addr)[0] = 1;
+  (void)::madvise(addr, kHugePageSize, MADV_HUGEPAGE);
+  const bool ok = ::madvise(addr, kHugePageSize, MADV_COLLAPSE) == 0;
+  ::munmap(raw, len);
+  return ok;
+#else
+  return false;
+#endif
+}
+
+int Main() {
+  std::printf("# hugepage_probe: 2 MiB backing availability\n");
+  std::printf("page_size=%llu huge_page_size=%llu\n",
+              static_cast<unsigned long long>(kPageSize),
+              static_cast<unsigned long long>(kHugePageSize));
+  std::printf("env_disabled=%s (VMSV_NO_HUGEPAGES)\n",
+              YesNo(HugePagesDisabledByEnv()));
+  std::printf("hugetlb_requested=%s (VMSV_HUGETLB)\n",
+              YesNo(HugetlbRequestedByEnv()));
+  std::printf("thp_shmem_eligible=%s (shmem_enabled sysfs)\n",
+              YesNo(ThpShmemEligible()));
+  std::printf("madv_collapse=%s (live probe)\n", YesNo(ProbeCollapse()));
+
+  // The hugetlb probe goes through the same Create path the storage layer
+  // uses, so "yes" here means a hugetlb column would actually come up.
+  auto hugetlb = PhysicalMemoryFile::Create(
+      kPagesPerHugeUnit, MemoryFileBackend::kMemfd, nullptr,
+      HugePageRequest::kHugetlb);
+  const bool hugetlb_ok =
+      hugetlb.ok() && hugetlb->huge_backing() == HugeBacking::kHugetlb;
+  std::printf("hugetlb_pool=%s (memfd MFD_HUGETLB + 2 MiB map probe)\n",
+              YesNo(hugetlb_ok));
+
+  bench::TlbCounters tlb;
+  std::printf("perf_dtlb_counters=%s (perf_event_open)\n",
+              YesNo(tlb.available()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace vmsv
+
+int main() { return vmsv::Main(); }
