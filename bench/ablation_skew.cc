@@ -7,7 +7,7 @@
 // saved, and the number of views the column settled on.
 
 #include "bench_common.h"
-#include "core/adaptive_layer.h"
+#include "vmsv.h"
 #include "util/table_printer.h"
 #include "workload/distribution.h"
 #include "workload/query_generator.h"
@@ -35,7 +35,7 @@ int Main() {
     AdaptiveConfig config;
     config.max_views = 50;
     auto adaptive_r =
-        AdaptiveColumn::Create(std::move(column_r).ValueOrDie(), config);
+        Db::Create(std::move(column_r).ValueOrDie(), DbOptions{config});
     VMSV_BENCH_CHECK_OK(adaptive_r.status());
     auto adaptive = std::move(adaptive_r).ValueOrDie();
 
@@ -51,7 +51,7 @@ int Main() {
     auto report_r = RunWorkload(adaptive.get(), queries, options);
     VMSV_BENCH_CHECK_OK(report_r.status());
 
-    const CumulativeStats& m = adaptive->metrics();
+    const CumulativeStats m = adaptive->Metrics();
     table.AddRow(bench::WithScanConfigCells(
         {TablePrinter::Fmt(skew, 1),
          TablePrinter::Fmt(report_r->adaptive_total_ms, 1),
@@ -60,7 +60,7 @@ int Main() {
              report_r->fullscan_total_ms / report_r->adaptive_total_ms, 2),
          TablePrinter::Fmt(100.0 * m.PagesSavedRatio(), 1),
          TablePrinter::Fmt(static_cast<uint64_t>(
-             adaptive->view_index().num_partial_views()))},
+             adaptive->shard(0)->view_index().num_partial_views()))},
         env));
   }
   table.PrintTable();

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "core/adaptive_layer.h"
+#include "vmsv.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
 #include "workload/distribution.h"
@@ -45,7 +45,7 @@ AblationResult RunConfig(const bench::BenchEnv& env, QueryMode mode,
   config.max_views = 100;
   config.discard_tolerance = d;
   config.replace_tolerance = r;
-  auto adaptive_r = AdaptiveColumn::Create(std::move(column_r).ValueOrDie(), config);
+  auto adaptive_r = Db::Create(std::move(column_r).ValueOrDie(), DbOptions{config});
   VMSV_BENCH_CHECK_OK(adaptive_r.status());
   auto adaptive = std::move(adaptive_r).ValueOrDie();
 
@@ -75,8 +75,8 @@ AblationResult RunConfig(const bench::BenchEnv& env, QueryMode mode,
         break;
     }
   }
-  out.final_views = adaptive->view_index().num_partial_views();
-  out.total_view_pages = adaptive->view_index().TotalPartialPages();
+  out.final_views = adaptive->shard(0)->view_index().num_partial_views();
+  out.total_view_pages = adaptive->shard(0)->view_index().TotalPartialPages();
   return out;
 }
 

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "core/adaptive_layer.h"
+#include "vmsv.h"
 #include "util/table_printer.h"
 #include "workload/distribution.h"
 #include "workload/query_generator.h"
@@ -57,7 +57,7 @@ int RunDistribution(const bench::BenchEnv& env, DataDistribution kind) {
   AdaptiveConfig config;
   config.mode = QueryMode::kSingleView;
   config.max_views = GetEnvUint64("VMSV_MAX_VIEWS", 100);
-  auto adaptive_r = AdaptiveColumn::Create(std::move(column_r).ValueOrDie(), config);
+  auto adaptive_r = Db::Create(std::move(column_r).ValueOrDie(), DbOptions{config});
   VMSV_BENCH_CHECK_OK(adaptive_r.status());
   auto adaptive = std::move(adaptive_r).ValueOrDie();
 
@@ -97,7 +97,7 @@ int RunDistribution(const bench::BenchEnv& env, DataDistribution kind) {
                report.fullscan_total_ms,
                report.fullscan_total_ms / report.adaptive_total_ms,
                static_cast<unsigned long long>(
-                   adaptive->view_index().num_partial_views()));
+                   adaptive->shard(0)->view_index().num_partial_views()));
   return 0;
 }
 

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "core/adaptive_layer.h"
+#include "vmsv.h"
 #include "util/table_printer.h"
 #include "workload/distribution.h"
 #include "workload/query_generator.h"
@@ -38,7 +38,7 @@ int RunScenario(const bench::BenchEnv& env, const Scenario& scenario) {
   AdaptiveConfig config;
   config.mode = QueryMode::kMultiView;
   config.max_views = scenario.max_views;
-  auto adaptive_r = AdaptiveColumn::Create(std::move(column_r).ValueOrDie(), config);
+  auto adaptive_r = Db::Create(std::move(column_r).ValueOrDie(), DbOptions{config});
   VMSV_BENCH_CHECK_OK(adaptive_r.status());
   auto adaptive = std::move(adaptive_r).ValueOrDie();
 

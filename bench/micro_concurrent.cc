@@ -38,7 +38,7 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "core/adaptive_layer.h"
+#include "vmsv.h"
 #include "util/histogram.h"
 #include "util/macros.h"
 #include "util/random.h"
@@ -60,7 +60,7 @@ constexpr uint64_t kWorkloadSeed = 11;
 /// cover the mutating paths).
 constexpr uint64_t kScalingRanges = 32;
 
-std::unique_ptr<AdaptiveColumn> MakeAdaptive(const bench::BenchEnv& env) {
+std::unique_ptr<Table> MakeAdaptive(const bench::BenchEnv& env) {
   DistributionSpec spec;
   spec.kind = DataDistribution::kSine;
   spec.max_value = kMaxValue;
@@ -70,7 +70,7 @@ std::unique_ptr<AdaptiveColumn> MakeAdaptive(const bench::BenchEnv& env) {
   AdaptiveConfig config;
   config.max_views = 64;
   auto adaptive_r =
-      AdaptiveColumn::Create(std::move(column_r).ValueOrDie(), config);
+      Db::Create(std::move(column_r).ValueOrDie(), DbOptions{config});
   VMSV_BENCH_CHECK_OK(adaptive_r.status());
   return std::move(adaptive_r).ValueOrDie();
 }
@@ -102,7 +102,7 @@ struct ScalingReport {
 /// comparable across client counts.
 class WriterLoop {
  public:
-  explicit WriterLoop(AdaptiveColumn* adaptive)
+  explicit WriterLoop(Table* adaptive)
       : adaptive_(adaptive), worker_([this] { Run(); }) {}
 
   ~WriterLoop() { Stop(); }
@@ -118,16 +118,16 @@ class WriterLoop {
  private:
   void Run() {
     Rng rng(99);
-    const uint64_t rows = adaptive_->column().num_rows();
+    const uint64_t rows = adaptive_->num_rows();
     constexpr Value kJitter = kMaxValue / 1000;
     while (!stop_.load()) {
       for (int burst = 0; burst < 32 && !stop_.load(); ++burst) {
         const uint64_t row = rng.Below(rows);
-        const Value old_value = adaptive_->column().Get(row);
+        const Value old_value = adaptive_->shard(0)->column().Get(row);
         const Value lo = old_value > kJitter ? old_value - kJitter : 0;
         const Value hi =
             old_value < kMaxValue - kJitter ? old_value + kJitter : kMaxValue;
-        adaptive_->Update(row, lo + rng.Below(hi - lo + 1));
+        VMSV_BENCH_CHECK_OK(adaptive_->Update(row, lo + rng.Below(hi - lo + 1)));
         ++updates_;
       }
       VMSV_BENCH_CHECK_OK(adaptive_->FlushUpdates().status());
@@ -135,7 +135,7 @@ class WriterLoop {
     }
   }
 
-  AdaptiveColumn* adaptive_;
+  Table* adaptive_;
   std::atomic<bool> stop_{false};
   uint64_t updates_ = 0;
   uint64_t flushes_ = 0;
@@ -237,7 +237,7 @@ BatchReport RunBatchExperiment(const bench::BenchEnv& env,
     individual_results.push_back(*exec);
   }
   report.individual_ms = individual_timer.ElapsedMillis();
-  report.individual_scanned_pages = individual->metrics().scanned_pages;
+  report.individual_scanned_pages = individual->Metrics().scanned_pages;
 
   auto batched = MakeAdaptive(env);
   Stopwatch batch_timer;

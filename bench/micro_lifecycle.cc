@@ -38,7 +38,7 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "core/adaptive_layer.h"
+#include "vmsv.h"
 #include "core/view_lifecycle.h"
 #include "core/virtual_view.h"
 #include "rewiring/maps_parser.h"
@@ -240,7 +240,7 @@ EvictionReport RunEvictionExperiment(const bench::BenchEnv& env) {
       config.max_views = kEvictionMaxViews;
       config.lifecycle.eviction_policy = policy;
       auto adaptive_r =
-          AdaptiveColumn::Create(std::move(column_r).ValueOrDie(), config);
+          Db::Create(std::move(column_r).ValueOrDie(), DbOptions{config});
       VMSV_BENCH_CHECK_OK(adaptive_r.status());
       auto adaptive = std::move(adaptive_r).ValueOrDie();
 
@@ -253,7 +253,7 @@ EvictionReport RunEvictionExperiment(const bench::BenchEnv& env) {
       PolicyResult result;
       result.policy = policy;
       result.accumulated_ms = run_r->adaptive_total_ms;
-      const CumulativeStats& m = adaptive->metrics();
+      const CumulativeStats m = adaptive->Metrics();
       result.scanned_pages = m.scanned_pages;
       result.views_created = m.views_created;
       result.views_evicted = m.views_evicted;

@@ -12,7 +12,7 @@
 //   - rebuild:    attach to the data file with NO manifest knowledge; every
 //                 view is rebuilt by adaptation full scans (what restart
 //                 cost before durability existed);
-//   - cold_open:  AdaptiveColumn::Open (manifest read + journal replay) plus
+//   - cold_open:  Db::Open (manifest read + journal replay) plus
 //                 the first pass, which lazily re-materializes each restored
 //                 view on first use;
 //   - warm:       steady-state pass on an already-open, materialized column.
@@ -42,7 +42,7 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "core/adaptive_layer.h"
+#include "vmsv.h"
 #include "storage/storage_io.h"
 #include "util/histogram.h"
 #include "util/macros.h"
@@ -128,7 +128,7 @@ std::vector<RangeQuery> MakeQueries(const bench::BenchEnv& env) {
 }
 
 /// Runs the sequence, returning per-query (count, sum); aborts on error.
-std::vector<QueryResult> ExecuteAll(AdaptiveColumn* adaptive,
+std::vector<QueryResult> ExecuteAll(Table* adaptive,
                                     const std::vector<RangeQuery>& queries) {
   std::vector<QueryResult> out;
   out.reserve(queries.size());
@@ -152,8 +152,8 @@ std::vector<QueryResult> SetUpDurableColumn(
     const bench::BenchEnv& env, const std::string& dir,
     const std::vector<RangeQuery>& queries) {
   std::filesystem::remove_all(dir);
-  auto adaptive_r = AdaptiveColumn::CreateDurable(
-      dir, env.pages * kValuesPerPage, BenchConfig());
+  auto adaptive_r = Db::CreateDurable(
+      dir, env.pages * kValuesPerPage, DbOptions{BenchConfig()});
   VMSV_BENCH_CHECK_OK(adaptive_r.status());
   auto adaptive = std::move(adaptive_r).ValueOrDie();
 
@@ -161,13 +161,13 @@ std::vector<QueryResult> SetUpDurableColumn(
   spec.kind = DataDistribution::kSine;
   spec.max_value = kMaxValue;
   spec.seed = 42;
-  FillColumn(spec, adaptive->mutable_column());
+  FillColumn(spec, adaptive->shard(0)->mutable_column());
 
   ExecuteAll(adaptive.get(), queries);  // adapt: build + materialize views
   // A batch of updates so the journal/alignment path is part of the
   // persisted state (checkpoint flushes + realigns + snapshots).
   for (uint64_t i = 0; i < kUpdatesPerFlush; ++i) {
-    const uint64_t row = (i * 7919) % adaptive->column().num_rows();
+    const uint64_t row = (i * 7919) % adaptive->num_rows();
     VMSV_BENCH_CHECK_OK(
         adaptive->Update(row, (row * 104729 + i) % kMaxValue));
   }
@@ -199,8 +199,8 @@ RestartReport RunRestartExperiment(const bench::BenchEnv& env,
       auto column_r =
           PhysicalColumn::Attach(file, env.pages * kValuesPerPage);
       VMSV_BENCH_CHECK_OK(column_r.status());
-      auto adaptive_r = AdaptiveColumn::Create(
-          std::move(column_r).ValueOrDie(), BenchConfig());
+      auto adaptive_r = Db::Create(
+          std::move(column_r).ValueOrDie(), DbOptions{BenchConfig()});
       VMSV_BENCH_CHECK_OK(adaptive_r.status());
       Stopwatch timer;
       const auto got = ExecuteAll(adaptive_r->get(), queries);
@@ -213,13 +213,13 @@ RestartReport RunRestartExperiment(const bench::BenchEnv& env,
     // re-materializing) pass.
     {
       Stopwatch timer;
-      auto adaptive_r = AdaptiveColumn::Open(dir, BenchConfig());
+      auto adaptive_r = Db::Open(dir, DbOptions{BenchConfig()});
       VMSV_BENCH_CHECK_OK(adaptive_r.status());
       const auto got = ExecuteAll(adaptive_r->get(), queries);
       const double ms = timer.ElapsedMillis();
       cold.Add(ms);
       report.cold_open_rep_ms.push_back(ms);
-      const DurabilityStats stats = (*adaptive_r)->durability_stats();
+      const DurabilityStats stats = (*adaptive_r)->Durability();
       recover.Add(stats.open_recover_ms);
       report.open_recover_rep_ms.push_back(stats.open_recover_ms);
       report.views_persisted = stats.views_restored;
@@ -228,7 +228,7 @@ RestartReport RunRestartExperiment(const bench::BenchEnv& env,
   }
   // Warm: one open, one untimed materializing pass, then the steady state.
   {
-    auto adaptive_r = AdaptiveColumn::Open(dir, BenchConfig());
+    auto adaptive_r = Db::Open(dir, DbOptions{BenchConfig()});
     VMSV_BENCH_CHECK_OK(adaptive_r.status());
     check(ExecuteAll(adaptive_r->get(), queries), "warm(materialize)");
     for (uint64_t rep = 0; rep < env.reps; ++rep) {
@@ -256,10 +256,10 @@ FsyncReport RunFsyncExperiment(const bench::BenchEnv& env,
        {FlushPolicy::kNone, FlushPolicy::kAsync, FlushPolicy::kSync}) {
     AdaptiveConfig config = BenchConfig();
     config.storage.data_flush = policy;
-    auto adaptive_r = AdaptiveColumn::Open(dir, config);
+    auto adaptive_r = Db::Open(dir, DbOptions{config});
     VMSV_BENCH_CHECK_OK(adaptive_r.status());
     auto adaptive = std::move(adaptive_r).ValueOrDie();
-    const uint64_t rows = adaptive->column().num_rows();
+    const uint64_t rows = adaptive->num_rows();
 
     PolicyResult result;
     result.policy = policy;
@@ -267,14 +267,15 @@ FsyncReport RunFsyncExperiment(const bench::BenchEnv& env,
     // One untimed warm-up flush: the FIRST flush after an Open pays one-off
     // costs (realigning freshly restored views, faulting update pages) that
     // would otherwise pollute whichever policy runs first.
-    VMSV_BENCH_CHECK_OK(adaptive->Update(0, adaptive->column().Get(0) ^ 1));
+    VMSV_BENCH_CHECK_OK(
+        adaptive->Update(0, adaptive->shard(0)->column().Get(0) ^ 1));
     VMSV_BENCH_CHECK_OK(adaptive->FlushUpdates().status());
     for (uint64_t rep = 0; rep < env.reps; ++rep) {
       // Jittered in-place rewrites: values change (journal + alignment do
       // real work) while the distribution stays stationary.
       for (uint64_t i = 0; i < kUpdatesPerFlush; ++i) {
         const uint64_t row = (rep * kUpdatesPerFlush + i * 31) % rows;
-        const Value old_value = adaptive->column().Get(row);
+        const Value old_value = adaptive->shard(0)->column().Get(row);
         VMSV_BENCH_CHECK_OK(adaptive->Update(
             row, old_value ^ (1u << (rep % 10))));
       }
@@ -312,10 +313,10 @@ GroupCommitReport RunGroupCommitExperiment(const bench::BenchEnv& env,
     config.storage.journal_sync_every_update = mode.sync_every_update;
     config.storage.group_commit_batch = mode.batch;
     config.storage.io = &io;
-    auto adaptive_r = AdaptiveColumn::Open(dir, config);
+    auto adaptive_r = Db::Open(dir, DbOptions{config});
     VMSV_BENCH_CHECK_OK(adaptive_r.status());
     auto adaptive = std::move(adaptive_r).ValueOrDie();
-    const uint64_t rows = adaptive->column().num_rows();
+    const uint64_t rows = adaptive->num_rows();
 
     GroupCommitResult result;
     result.mode = mode.name;
@@ -329,7 +330,7 @@ GroupCommitReport RunGroupCommitExperiment(const bench::BenchEnv& env,
       Stopwatch timer;
       for (uint64_t i = 0; i < kGroupCommitUpdates; ++i) {
         const uint64_t row = (rep * kGroupCommitUpdates + i * 31) % rows;
-        const Value old_value = adaptive->column().Get(row);
+        const Value old_value = adaptive->shard(0)->column().Get(row);
         VMSV_BENCH_CHECK_OK(
             adaptive->Update(row, old_value ^ (1u << (rep % 10))));
       }

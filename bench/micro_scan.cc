@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "core/adaptive_layer.h"
+#include "vmsv.h"
 #include "exec/parallel_scanner.h"
 #include "exec/scan_kernels.h"
 #include "index/bitmap_index.h"
@@ -339,7 +339,7 @@ void BM_AdaptiveSteadyState(benchmark::State& state) {
   spec.max_value = kMaxValue;
   auto column = MakeColumn(spec, kBenchPages * kValuesPerPage);
   VMSV_CHECK(column.ok());
-  auto adaptive_r = AdaptiveColumn::Create(std::move(column).ValueOrDie(), {});
+  auto adaptive_r = Db::Create(std::move(column).ValueOrDie(), {});
   VMSV_CHECK(adaptive_r.ok());
   auto& adaptive = *adaptive_r;
   const RangeQuery q{10'000'000, 11'000'000};

@@ -32,7 +32,7 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "core/adaptive_layer.h"
+#include "vmsv.h"
 #include "core/view_lifecycle.h"
 #include "util/env.h"
 #include "util/histogram.h"
@@ -118,11 +118,11 @@ PolicyRun RunPolicy(const bench::BenchEnv& env, const std::string& dir,
     config.max_cold_views = budget * kColdMultiplier;
     config.lifecycle.eviction_policy = EvictionPolicy::kCostAware;
     config.lifecycle.enable_demotion = demote;
-    auto adaptive_r = AdaptiveColumn::CreateDurable(
-        dir, env.pages * kValuesPerPage, config);
+    auto adaptive_r = Db::CreateDurable(
+        dir, env.pages * kValuesPerPage, DbOptions{config});
     VMSV_BENCH_CHECK_OK(adaptive_r.status());
     auto adaptive = std::move(adaptive_r).ValueOrDie();
-    FillColumn(spec, adaptive->mutable_column());
+    FillColumn(spec, adaptive->shard(0)->mutable_column());
 
     RunnerOptions options;
     options.run_baseline = false;
@@ -142,7 +142,7 @@ PolicyRun RunPolicy(const bench::BenchEnv& env, const std::string& dir,
                          ? 0.0
                          : static_cast<double>(hits) /
                                static_cast<double>(report.traces.size());
-      const CumulativeStats& m = adaptive->metrics();
+      const CumulativeStats m = adaptive->Metrics();
       run.scanned_pages = m.scanned_pages;
       run.pages_saved_ratio = m.PagesSavedRatio();
       run.views_created = m.views_created;

@@ -6,7 +6,7 @@
 
 #include <memory>
 
-#include "core/adaptive_layer.h"
+#include "vmsv.h"
 #include "core/update_applier.h"
 #include "storage/update.h"
 #include "util/macros.h"
@@ -96,7 +96,7 @@ BENCHMARK_TEMPLATE(BM_AlignViews, MappingSource::kUserSpaceTable)
     ->Arg(10000);
 
 void BM_FlushThroughAdaptiveColumn(benchmark::State& state) {
-  auto adaptive_r = AdaptiveColumn::Create(MakeBenchColumn(), {});
+  auto adaptive_r = Db::Create(MakeBenchColumn(), {});
   VMSV_CHECK(adaptive_r.ok());
   auto& adaptive = *adaptive_r;
   // Establish a couple of views.
@@ -106,7 +106,7 @@ void BM_FlushThroughAdaptiveColumn(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     for (int i = 0; i < 1000; ++i) {
-      adaptive->Update(rng.Below(adaptive->column().num_rows()), rng.Next());
+      adaptive->Update(rng.Below(adaptive->num_rows()), rng.Next());
     }
     state.ResumeTiming();
     auto stats = adaptive->FlushUpdates();

@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "core/adaptive_layer.h"
+#include "vmsv.h"
 #include "util/table_printer.h"
 #include "workload/distribution.h"
 #include "workload/query_generator.h"
@@ -45,7 +45,7 @@ Totals RunConfig(const bench::BenchEnv& env, const Config& cfg) {
   AdaptiveConfig config;
   config.mode = cfg.mode;
   config.max_views = cfg.max_views;
-  auto adaptive_r = AdaptiveColumn::Create(std::move(column_r).ValueOrDie(), config);
+  auto adaptive_r = Db::Create(std::move(column_r).ValueOrDie(), DbOptions{config});
   VMSV_BENCH_CHECK_OK(adaptive_r.status());
   auto adaptive = std::move(adaptive_r).ValueOrDie();
 

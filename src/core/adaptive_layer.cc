@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <chrono>
 #include <filesystem>
+#include <map>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -1222,8 +1223,12 @@ StatusOr<BatchExecution> AdaptiveColumn::ExecuteBatch(
   // one guard, then scan the whole batch lock-free. The flush-first rule is
   // the same as Execute's; like Execute, a batch that had to flush routes
   // while still holding maintenance_mu_ (updates need the same mutex), so a
-  // sustained writer cannot starve it.
+  // sustained writer cannot starve it. Routing is RouteQuery — the same
+  // cost-based per-view cover path as Execute — so in kMultiView mode
+  // queries jointly covered by several views stay off the base pass and
+  // group into one deduplicated pass per cover.
   std::vector<VirtualView*> routed(queries.size(), nullptr);
+  std::vector<std::vector<VirtualView*>> covers(queries.size());
   EpochManager::Guard guard;
   {
     std::unique_lock<std::mutex> maintenance(maintenance_mu_, std::defer_lock);
@@ -1248,7 +1253,7 @@ StatusOr<BatchExecution> AdaptiveColumn::ExecuteBatch(
       lock.lock();
     }
     for (size_t i = 0; i < queries.size(); ++i) {
-      routed[i] = view_index_.FindSmallestCovering(queries[i]);
+      RouteQuery(queries[i], &routed[i], &covers[i]);
     }
     const uint64_t views_after = view_index_.num_partial_views();
     for (QueryExecution& exec : out.queries) {
@@ -1262,12 +1267,16 @@ StatusOr<BatchExecution> AdaptiveColumn::ExecuteBatch(
   const uint64_t column_pages = column_->num_pages();
   const uint64_t seq = metrics_.queries.load(std::memory_order_relaxed);
 
-  // Group the covered queries per view: one shared pass per view.
+  // Group the covered queries: one shared pass per single view, and one
+  // shared DEDUPLICATED pass per distinct multi-view cover.
   std::unordered_map<VirtualView*, std::vector<size_t>> by_view;
+  std::map<std::vector<VirtualView*>, std::vector<size_t>> by_cover;
   std::vector<size_t> missed;
   for (size_t i = 0; i < queries.size(); ++i) {
     if (routed[i] != nullptr) {
       by_view[routed[i]].push_back(i);
+    } else if (!covers[i].empty()) {
+      by_cover[covers[i]].push_back(i);
     } else {
       missed.push_back(i);
     }
@@ -1309,6 +1318,61 @@ StatusOr<BatchExecution> AdaptiveColumn::ExecuteBatch(
       out.individual_equivalent_pages += view->num_pages();
     }
     out.shared_scanned_pages += view->num_pages();
+    out.view_answered += members.size();
+  }
+
+  // Cover groups: queries sharing the same multi-view cover share one pass
+  // per cover view over the pages no earlier cover member already scanned —
+  // the same dedup Execute's AnswerFromCover applies, batched. Counts and
+  // sums are associative wrap-around adds, so merging the per-view partial
+  // results reproduces the single-query answer bit-identically.
+  for (auto& [cover, members] : by_cover) {
+    bool cover_ok = true;
+    for (VirtualView* view : cover) {
+      const Status materialized = view->EnsureMaterialized(mapper_.get());
+      if (!materialized.ok()) {
+        // One unmappable member poisons the whole cover (AnswerFromCover's
+        // contract): the group rides the base pass as kBaseFallback.
+        NoteMapFailure();
+        health_.base_fallbacks.fetch_add(members.size(),
+                                         std::memory_order_relaxed);
+        for (const size_t i : members) {
+          degraded.insert(i);
+          missed.push_back(i);
+        }
+        cover_ok = false;
+        break;
+      }
+      if (view->PromoteIfDemoted()) {
+        health_.views_promoted.fetch_add(1, std::memory_order_relaxed);
+        tier_dirty_.store(true, std::memory_order_release);
+      }
+    }
+    if (!cover_ok) continue;
+    std::vector<RangeQuery> group;
+    group.reserve(members.size());
+    for (const size_t i : members) group.push_back(queries[i]);
+    std::vector<PageScanResult> totals(members.size());
+    std::unordered_set<uint64_t> seen;
+    for (VirtualView* view : cover) {
+      const std::vector<PageScanResult> partial = view->ScanManyIf(
+          group, [&seen](uint64_t page) { return seen.insert(page).second; });
+      for (size_t m = 0; m < members.size(); ++m) totals[m].Merge(partial[m]);
+      view->RecordHit(seq);
+    }
+    const uint64_t cover_pages = seen.size();
+    for (size_t m = 0; m < members.size(); ++m) {
+      QueryExecution& exec = out.queries[members[m]];
+      exec.match_count = totals[m].match_count;
+      exec.sum = totals[m].sum;
+      exec.stats.considered_views = cover.size();
+      exec.stats.decision = CandidateDecision::kAnsweredFromView;
+      exec.stats.scanned_pages = m == 0 ? cover_pages : 0;
+      // What Execute would have scanned for this query: the same
+      // deduplicated cover page set.
+      out.individual_equivalent_pages += cover_pages;
+    }
+    out.shared_scanned_pages += cover_pages;
     out.view_answered += members.size();
   }
 

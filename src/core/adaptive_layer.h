@@ -354,13 +354,21 @@ struct ColumnHealth {
   uint64_t cold_view_reloads = 0;
 };
 
+/// \internal
+/// Direct AdaptiveColumn construction is an ENGINE-INTERNAL interface:
+/// everything outside src/ creates columns through the vmsv::Db facade
+/// (src/vmsv.h, core/db.h), which wraps one AdaptiveColumn — or a shard
+/// router over several — behind the stable Table surface. The facade
+/// exposes shard(i) for white-box introspection where tests need it.
 class AdaptiveColumn {
  public:
+  /// \internal Use vmsv::Db::Create.
   /// Error contract: InvalidArgument when `column` is null or
   /// config.max_views is 0.
   static StatusOr<std::unique_ptr<AdaptiveColumn>> Create(
       std::unique_ptr<PhysicalColumn> column, const AdaptiveConfig& config);
 
+  /// \internal Use vmsv::Db::CreateDurable.
   /// Creates a DURABLE column of `num_rows` zeroed values under `dir`
   /// (created if missing): column.dat + journal.wal + an initial MANIFEST.
   /// `config.storage.persist_dir` is overridden by `dir`.
@@ -369,6 +377,7 @@ class AdaptiveColumn {
   static StatusOr<std::unique_ptr<AdaptiveColumn>> CreateDurable(
       const std::string& dir, uint64_t num_rows, AdaptiveConfig config);
 
+  /// \internal Use vmsv::Db::Open.
   /// Reopens the durable column in `dir`: rebuilds the column over
   /// column.dat, restores every manifest view as an UNMATERIALIZED page
   /// list (first use lazily rewires it), and replays the journal — replayed
@@ -412,8 +421,12 @@ class AdaptiveColumn {
   /// no group member can match). Results are bit-identical to Execute-ing
   /// each query individually. The batch path only READS — it builds no
   /// candidate views (adaptation stays on the single-query path) — so it
-  /// runs concurrently with other readers. Routing uses single-view
-  /// covering in both modes. Pending updates are flushed first.
+  /// runs concurrently with other readers. Routing matches Execute's
+  /// RouteQuery: smallest-single-view in kSingleView mode, and the same
+  /// cost-based multi-view cover path in kMultiView mode — queries sharing
+  /// a cover share one deduplicated pass per cover view, and a cover
+  /// costlier than a full scan rides the shared base pass instead. Pending
+  /// updates are flushed first.
   StatusOr<BatchExecution> ExecuteBatch(const std::vector<RangeQuery>& queries);
 
   /// The non-adaptive baseline: scans the base column. Does not touch the

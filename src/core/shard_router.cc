@@ -1,0 +1,620 @@
+#include "core/shard_router.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "storage/storage_io.h"
+
+namespace vmsv {
+
+namespace {
+
+constexpr char kDescriptorName[] = "TABLE";
+constexpr char kDescriptorMagic[] = "vmsv-table";
+constexpr int kDescriptorVersion = 1;
+
+std::string ShardDirName(const std::string& dir, uint32_t s) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "shard-%03u", s);
+  return dir + "/" + buf;
+}
+
+/// The structurally most significant outcome wins the merged decision: a
+/// fan-out that adapted any shard's pool reports the adaptation, one that
+/// only read reports the read.
+int DecisionRank(CandidateDecision d) {
+  switch (d) {
+    case CandidateDecision::kInserted: return 7;
+    case CandidateDecision::kReplacedExisting: return 6;
+    case CandidateDecision::kEvictedExisting: return 5;
+    case CandidateDecision::kBudgetExhausted: return 4;
+    case CandidateDecision::kDiscardedSubset: return 3;
+    case CandidateDecision::kBaseFallback: return 2;
+    case CandidateDecision::kAnsweredFromView: return 1;
+    case CandidateDecision::kNone: return 0;
+  }
+  return 0;
+}
+
+CandidateDecision MergeDecision(CandidateDecision a, CandidateDecision b) {
+  return DecisionRank(b) > DecisionRank(a) ? b : a;
+}
+
+/// Merges shard `part` into `total` in shard order: counts and sums are
+/// associative wrap-around adds, so the merged answer is bit-identical to
+/// the unsharded page-wise scan.
+void MergeExec(QueryExecution* total, const QueryExecution& part) {
+  total->match_count += part.match_count;
+  total->sum += part.sum;
+  total->stats.scanned_pages += part.stats.scanned_pages;
+  total->stats.considered_views += part.stats.considered_views;
+  total->stats.views_after += part.stats.views_after;
+  total->stats.decision = MergeDecision(total->stats.decision, part.stats.decision);
+}
+
+Status MkdirIfMissing(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return ErrnoError(("mkdir " + dir).c_str(), errno);
+  }
+  return OkStatus();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PartitionSpec
+
+uint64_t PartitionSpec::TotalPages() const {
+  return (num_rows + kValuesPerPage - 1) / kValuesPerPage;
+}
+
+uint32_t PartitionSpec::ShardOfPage(uint64_t page) const {
+  if (shards <= 1) return 0;
+  const uint64_t pages = TotalPages();
+  if (kind == PartitionKind::kHash) {
+    return static_cast<uint32_t>(page % shards);
+  }
+  // kRange: the first `rem` shards own base+1 pages, the rest own base.
+  const uint64_t base = pages / shards;
+  const uint64_t rem = pages % shards;
+  const uint64_t wide_pages = rem * (base + 1);
+  if (page < wide_pages) {
+    return static_cast<uint32_t>(page / (base + 1));
+  }
+  return static_cast<uint32_t>(rem + (page - wide_pages) / base);
+}
+
+uint32_t PartitionSpec::ShardOfRow(uint64_t row) const {
+  return ShardOfPage(row / kValuesPerPage);
+}
+
+uint64_t PartitionSpec::ShardPages(uint32_t s) const {
+  const uint64_t pages = TotalPages();
+  if (shards <= 1) return pages;
+  const uint64_t base = pages / shards;
+  const uint64_t rem = pages % shards;
+  return base + (s < rem ? 1 : 0);
+}
+
+uint64_t PartitionSpec::ShardRows(uint32_t s) const {
+  const uint64_t pages = ShardPages(s);
+  if (pages == 0) return 0;
+  const uint64_t total_pages = TotalPages();
+  // Only the shard owning the globally-last page can end mid-page; its
+  // last local page is that tail page (GlobalPage is ascending in lp).
+  if (ShardOfPage(total_pages - 1) == s) {
+    const uint64_t tail_rows = num_rows - (total_pages - 1) * kValuesPerPage;
+    return (pages - 1) * kValuesPerPage + tail_rows;
+  }
+  return pages * kValuesPerPage;
+}
+
+uint64_t PartitionSpec::GlobalPage(uint32_t s, uint64_t lp) const {
+  if (shards <= 1) return lp;
+  if (kind == PartitionKind::kHash) {
+    return lp * shards + s;
+  }
+  const uint64_t pages = TotalPages();
+  const uint64_t base = pages / shards;
+  const uint64_t rem = pages % shards;
+  const uint64_t offset =
+      static_cast<uint64_t>(s) * base + (s < rem ? s : rem);
+  return offset + lp;
+}
+
+uint64_t PartitionSpec::LocalRow(uint64_t row) const {
+  const uint64_t page = row / kValuesPerPage;
+  const uint32_t s = ShardOfPage(page);
+  uint64_t local_page;
+  if (shards <= 1) {
+    local_page = page;
+  } else if (kind == PartitionKind::kHash) {
+    local_page = page / shards;
+  } else {
+    const uint64_t pages = TotalPages();
+    const uint64_t base = pages / shards;
+    const uint64_t rem = pages % shards;
+    const uint64_t offset =
+        static_cast<uint64_t>(s) * base + (s < rem ? s : rem);
+    local_page = page - offset;
+  }
+  return local_page * kValuesPerPage + row % kValuesPerPage;
+}
+
+// ---------------------------------------------------------------------------
+// TABLE descriptor
+
+const char* PartitionKindName(PartitionKind kind) {
+  switch (kind) {
+    case PartitionKind::kRange: return "range";
+    case PartitionKind::kHash: return "hash";
+  }
+  return "unknown";
+}
+
+PartitionKind PartitionKindFromString(const std::string& name) {
+  if (name == "hash") return PartitionKind::kHash;
+  return PartitionKind::kRange;
+}
+
+Status WriteTableDescriptor(const std::string& dir, const PartitionSpec& spec,
+                            StorageIo* io) {
+  if (io == nullptr) io = RealStorageIo();
+  std::ostringstream text;
+  text << kDescriptorMagic << " " << kDescriptorVersion << "\n"
+       << "shards " << spec.shards << "\n"
+       << "partition " << PartitionKindName(spec.kind) << "\n"
+       << "rows " << spec.num_rows << "\n";
+  const std::string body = text.str();
+  const std::string final_path = dir + "/" + kDescriptorName;
+  const std::string tmp_path = final_path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return ErrnoError(("open " + tmp_path).c_str(), errno);
+  Status st = io->Write(fd, body.data(), body.size(), "table descriptor");
+  if (st.ok()) st = io->Fsync(fd, "table descriptor");
+  ::close(fd);
+  if (!st.ok()) return st;
+  st = io->Rename(tmp_path, final_path);
+  if (!st.ok()) return st;
+  return io->FsyncDir(dir);
+}
+
+StatusOr<PartitionSpec> ReadTableDescriptor(const std::string& dir) {
+  const std::string path = dir + "/" + kDescriptorName;
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return NotFound("no table descriptor at " + path);
+  }
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kDescriptorMagic ||
+      version != kDescriptorVersion) {
+    return IoError("malformed table descriptor at " + path);
+  }
+  PartitionSpec spec;
+  bool have_shards = false, have_partition = false, have_rows = false;
+  std::string key;
+  while (in >> key) {
+    if (key == "shards") {
+      if (!(in >> spec.shards)) break;
+      have_shards = true;
+    } else if (key == "partition") {
+      std::string kind;
+      if (!(in >> kind)) break;
+      spec.kind = PartitionKindFromString(kind);
+      have_partition = true;
+    } else if (key == "rows") {
+      if (!(in >> spec.num_rows)) break;
+      have_rows = true;
+    } else {
+      // Unknown keys are skipped with their value: future descriptor
+      // versions may add fields old readers can ignore.
+      std::string skipped;
+      in >> skipped;
+    }
+  }
+  if (!have_shards || !have_partition || !have_rows || spec.shards == 0) {
+    return IoError("incomplete table descriptor at " + path);
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedTable construction
+
+void ShardedTable::StartPools(const DbOptions& options) {
+  const bool pin = options.pin_cores == 1 ||
+                   (options.pin_cores < 0 && DefaultPinCores());
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    ShardPoolOptions pool_options;
+    pool_options.threads = options.threads_per_shard > 0
+                               ? options.threads_per_shard
+                               : 1;
+    pool_options.cpu = pin ? static_cast<int>(s) : -1;
+    pool_options.affinity = options.affinity;
+    shards_[s]->pool = std::make_unique<ShardPool>(pool_options);
+  }
+}
+
+void ShardedTable::RecomputeZone(uint32_t s) {
+  Shard& shard = *shards_[s];
+  const PhysicalColumn& column = shard.column->column();
+  // Page-wise, zero tail included: the zone must cover every value a SCAN
+  // can see, and scans sweep whole pages.
+  const Value* base =
+      reinterpret_cast<const Value*>(column.base_arena().data());
+  const uint64_t n = column.num_pages() * kValuesPerPage;
+  if (n == 0) {
+    shard.zone_set.store(false, std::memory_order_release);
+    return;
+  }
+  Value lo = base[0], hi = base[0];
+  for (uint64_t i = 1; i < n; ++i) {
+    if (base[i] < lo) lo = base[i];
+    if (base[i] > hi) hi = base[i];
+  }
+  shard.zone_lo.store(lo, std::memory_order_relaxed);
+  shard.zone_hi.store(hi, std::memory_order_relaxed);
+  shard.zone_set.store(true, std::memory_order_release);
+}
+
+void ShardedTable::WidenZone(Shard& shard, Value v) {
+  // Racing widens are monotone in each direction, so relaxed CAS loops
+  // keep the zone a superset of every value ever written.
+  if (!shard.zone_set.load(std::memory_order_acquire)) {
+    shard.zone_lo.store(v, std::memory_order_relaxed);
+    shard.zone_hi.store(v, std::memory_order_relaxed);
+    shard.zone_set.store(true, std::memory_order_release);
+    return;
+  }
+  Value lo = shard.zone_lo.load(std::memory_order_relaxed);
+  while (v < lo &&
+         !shard.zone_lo.compare_exchange_weak(lo, v, std::memory_order_relaxed)) {
+  }
+  Value hi = shard.zone_hi.load(std::memory_order_relaxed);
+  while (v > hi &&
+         !shard.zone_hi.compare_exchange_weak(hi, v, std::memory_order_relaxed)) {
+  }
+}
+
+bool ShardedTable::ZoneIntersects(const Shard& shard, const RangeQuery& q) const {
+  if (!shard.zone_set.load(std::memory_order_acquire)) return false;
+  const Value lo = shard.zone_lo.load(std::memory_order_relaxed);
+  const Value hi = shard.zone_hi.load(std::memory_order_relaxed);
+  return q.lo <= hi && q.hi >= lo;
+}
+
+std::vector<uint32_t> ShardedTable::RouteShards(const RangeQuery& q) const {
+  std::vector<uint32_t> targets;
+  targets.reserve(shards_.size());
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    if (ZoneIntersects(*shards_[s], q)) targets.push_back(s);
+  }
+  return targets;
+}
+
+StatusOr<std::unique_ptr<Table>> ShardedTable::Create(
+    uint64_t num_rows, const std::function<Value(uint64_t)>& value_of,
+    const DbOptions& options) {
+  PartitionSpec spec{options.partition, options.shards, num_rows};
+  auto table = std::unique_ptr<ShardedTable>(
+      new ShardedTable(spec, /*durable=*/false));
+  for (uint32_t s = 0; s < spec.shards; ++s) {
+    auto column = PhysicalColumn::Create(spec.ShardRows(s), options.backend);
+    if (!column.ok()) return column.status();
+    const uint64_t shard_rows = (*column)->num_rows();
+    for (uint64_t lp = 0; lp < spec.ShardPages(s); ++lp) {
+      const uint64_t gp = spec.GlobalPage(s, lp);
+      for (uint64_t off = 0; off < kValuesPerPage; ++off) {
+        const uint64_t global_row = gp * kValuesPerPage + off;
+        const uint64_t local_row = lp * kValuesPerPage + off;
+        if (global_row >= num_rows || local_row >= shard_rows) break;
+        (*column)->Set(local_row, value_of(global_row));
+      }
+    }
+    auto adaptive = AdaptiveColumn::Create(*std::move(column), options.column);
+    if (!adaptive.ok()) return adaptive.status();
+    auto shard = std::make_unique<Shard>();
+    shard->column = *std::move(adaptive);
+    table->shards_.push_back(std::move(shard));
+    table->RecomputeZone(s);
+  }
+  table->StartPools(options);
+  return std::unique_ptr<Table>(std::move(table));
+}
+
+StatusOr<std::unique_ptr<Table>> ShardedTable::CreateDurable(
+    const std::string& dir, uint64_t num_rows, const DbOptions& options) {
+  PartitionSpec spec{options.partition, options.shards, num_rows};
+  Status st = MkdirIfMissing(dir);
+  if (!st.ok()) return st;
+  if (FileExists(dir + "/" + kDescriptorName)) {
+    return FailedPrecondition("directory " + dir +
+                              " already holds a table (Open it instead)");
+  }
+  auto table = std::unique_ptr<ShardedTable>(
+      new ShardedTable(spec, /*durable=*/true));
+  for (uint32_t s = 0; s < spec.shards; ++s) {
+    auto adaptive = AdaptiveColumn::CreateDurable(ShardDirName(dir, s),
+                                                  spec.ShardRows(s),
+                                                  options.column);
+    if (!adaptive.ok()) return adaptive.status();
+    auto shard = std::make_unique<Shard>();
+    shard->column = *std::move(adaptive);
+    table->shards_.push_back(std::move(shard));
+    table->RecomputeZone(s);
+  }
+  // The descriptor is the creation commit point: written (atomically) only
+  // after every shard directory exists, so a crash mid-create leaves a
+  // directory Open refuses rather than a half-table it half-opens.
+  st = WriteTableDescriptor(dir, spec, options.column.storage.io);
+  if (!st.ok()) return st;
+  table->StartPools(options);
+  return std::unique_ptr<Table>(std::move(table));
+}
+
+StatusOr<std::unique_ptr<Table>> ShardedTable::Open(
+    const std::string& dir, const PartitionSpec& spec,
+    const DbOptions& options) {
+  auto table = std::unique_ptr<ShardedTable>(
+      new ShardedTable(spec, /*durable=*/true));
+  for (uint32_t s = 0; s < spec.shards; ++s) {
+    auto adaptive =
+        AdaptiveColumn::Open(ShardDirName(dir, s), options.column);
+    if (!adaptive.ok()) return adaptive.status();
+    if ((*adaptive)->column().num_rows() != spec.ShardRows(s)) {
+      return IoError("shard " + std::to_string(s) + " of " + dir +
+                     " has wrong row count for its descriptor");
+    }
+    auto shard = std::make_unique<Shard>();
+    shard->column = *std::move(adaptive);
+    table->shards_.push_back(std::move(shard));
+    table->RecomputeZone(s);
+  }
+  table->StartPools(options);
+  return std::unique_ptr<Table>(std::move(table));
+}
+
+// ---------------------------------------------------------------------------
+// Query surface
+
+void ShardedTable::FanOut(const std::vector<uint32_t>& targets,
+                          const std::function<void(size_t)>& fn) const {
+  if (targets.empty()) return;
+  if (targets.size() == 1) {
+    // Single-shard work runs inline: a pruned point lookup pays no handoff.
+    fn(0);
+    return;
+  }
+  WaitGroup wg;
+  wg.Add(targets.size() - 1);
+  for (size_t i = 1; i < targets.size(); ++i) {
+    shards_[targets[i]]->pool->Submit([&fn, &wg, i] {
+      fn(i);
+      wg.Done();
+    });
+  }
+  // The caller participates as shard targets[0]'s worker.
+  fn(0);
+  wg.Wait();
+}
+
+StatusOr<QueryExecution> ShardedTable::Execute(const RangeQuery& q) {
+  if (q.lo > q.hi) return InvalidArgument("query lo > hi");
+  const std::vector<uint32_t> targets = RouteShards(q);
+  QueryExecution merged;
+  if (targets.empty()) return merged;  // provably zero matches
+  std::vector<QueryExecution> execs(targets.size());
+  std::vector<Status> statuses(targets.size(), OkStatus());
+  FanOut(targets, [&](size_t i) {
+    auto r = shards_[targets[i]]->column->Execute(q);
+    if (r.ok()) {
+      execs[i] = *std::move(r);
+    } else {
+      statuses[i] = r.status();
+    }
+  });
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  // Merge in shard order (targets ascend): associative adds keep the
+  // answer bit-identical to the unsharded oracle.
+  for (const QueryExecution& exec : execs) MergeExec(&merged, exec);
+  return merged;
+}
+
+StatusOr<QueryExecution> ShardedTable::ExecuteFullScan(
+    const RangeQuery& q) const {
+  if (q.lo > q.hi) return InvalidArgument("query lo > hi");
+  // The baseline deliberately skips zone pruning: it scans every base
+  // page, like the unsharded baseline it is compared against.
+  std::vector<uint32_t> targets(shards_.size());
+  for (uint32_t s = 0; s < shards_.size(); ++s) targets[s] = s;
+  std::vector<QueryExecution> execs(targets.size());
+  std::vector<Status> statuses(targets.size(), OkStatus());
+  FanOut(targets, [&](size_t i) {
+    auto r = shards_[targets[i]]->column->ExecuteFullScan(q);
+    if (r.ok()) {
+      execs[i] = *std::move(r);
+    } else {
+      statuses[i] = r.status();
+    }
+  });
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  QueryExecution merged;
+  for (const QueryExecution& exec : execs) MergeExec(&merged, exec);
+  merged.stats.decision = CandidateDecision::kNone;
+  return merged;
+}
+
+StatusOr<BatchExecution> ShardedTable::ExecuteBatch(
+    const std::vector<RangeQuery>& queries) {
+  for (const RangeQuery& q : queries) {
+    if (q.lo > q.hi) return InvalidArgument("query lo > hi");
+  }
+  BatchExecution out;
+  out.queries.resize(queries.size());
+  if (queries.empty()) return out;
+
+  // Per-shard sub-batches in batch order, with the member -> global index
+  // mapping for the merge.
+  std::vector<std::vector<RangeQuery>> sub(shards_.size());
+  std::vector<std::vector<size_t>> sub_index(shards_.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (uint32_t s = 0; s < shards_.size(); ++s) {
+      if (ZoneIntersects(*shards_[s], queries[i])) {
+        sub[s].push_back(queries[i]);
+        sub_index[s].push_back(i);
+      }
+    }
+  }
+  std::vector<uint32_t> targets;
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    if (!sub[s].empty()) targets.push_back(s);
+  }
+  if (targets.empty()) return out;  // every query provably matches nothing
+
+  std::vector<BatchExecution> partials(targets.size());
+  std::vector<Status> statuses(targets.size(), OkStatus());
+  FanOut(targets, [&](size_t i) {
+    auto r = shards_[targets[i]]->column->ExecuteBatch(sub[targets[i]]);
+    if (r.ok()) {
+      partials[i] = *std::move(r);
+    } else {
+      statuses[i] = r.status();
+    }
+  });
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+
+  // Merge per query in shard order; batch-level accounting sums per-shard
+  // totals (a query answered on k shards counts once per shard it ran on).
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const uint32_t s = targets[i];
+    const BatchExecution& part = partials[i];
+    for (size_t m = 0; m < sub_index[s].size(); ++m) {
+      MergeExec(&out.queries[sub_index[s][m]], part.queries[m]);
+    }
+    out.shared_scanned_pages += part.shared_scanned_pages;
+    out.individual_equivalent_pages += part.individual_equivalent_pages;
+    out.overlap_groups += part.overlap_groups;
+    out.view_answered += part.view_answered;
+    out.base_answered += part.base_answered;
+  }
+  return out;
+}
+
+Status ShardedTable::Update(uint64_t row, Value new_value) {
+  if (row >= spec_.num_rows) {
+    return InvalidArgument("Update row " + std::to_string(row) +
+                           " beyond table (" + std::to_string(spec_.num_rows) +
+                           " rows)");
+  }
+  Shard& shard = *shards_[spec_.ShardOfRow(row)];
+  // Widen BEFORE the write: a racing query must already route to this
+  // shard by the time the new value can be visible. (A failed update
+  // leaves the zone conservatively wide — harmless.)
+  WidenZone(shard, new_value);
+  return shard.column->Update(spec_.LocalRow(row), new_value);
+}
+
+StatusOr<UpdateApplyStats> ShardedTable::FlushUpdates() {
+  UpdateApplyStats total;
+  for (auto& shard : shards_) {
+    auto stats = shard->column->FlushUpdates();
+    if (!stats.ok()) return stats.status();
+    total.parse_ms += stats->parse_ms;
+    total.align_ms += stats->align_ms;
+    total.pages_added += stats->pages_added;
+    total.pages_removed += stats->pages_removed;
+    total.net_updates += stats->net_updates;
+  }
+  return total;
+}
+
+Status ShardedTable::Checkpoint() {
+  for (auto& shard : shards_) {
+    Status st = shard->column->Checkpoint();
+    if (!st.ok()) return st;
+  }
+  return OkStatus();
+}
+
+TableHealth ShardedTable::Health() const {
+  TableHealth health;
+  health.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const ColumnHealth h = shard->column->Health();
+    health.total.degraded_read_only |= h.degraded_read_only;
+    health.total.mapping_pressure |= h.mapping_pressure;
+    health.total.map_failures += h.map_failures;
+    health.total.base_fallbacks += h.base_fallbacks;
+    health.total.emergency_evictions += h.emergency_evictions;
+    health.total.failed_adaptations += h.failed_adaptations;
+    health.total.abandoned_compactions += h.abandoned_compactions;
+    health.total.journal_stalls += h.journal_stalls;
+    health.total.read_only_entries += h.read_only_entries;
+    health.total.read_only_exits += h.read_only_exits;
+    health.total.views_demoted += h.views_demoted;
+    health.total.views_promoted += h.views_promoted;
+    health.total.cold_view_reloads += h.cold_view_reloads;
+    health.shards.push_back(h);
+    health.pin_failures += shard->pool->pin_failures();
+  }
+  return health;
+}
+
+CumulativeStats ShardedTable::Metrics() const {
+  CumulativeStats total;
+  for (const auto& shard : shards_) {
+    const CumulativeStats m = shard->column->metrics();
+    total.queries += m.queries;
+    total.scanned_pages += m.scanned_pages;
+    total.fullscan_equivalent_pages += m.fullscan_equivalent_pages;
+    total.views_created += m.views_created;
+    total.views_discarded += m.views_discarded;
+    total.views_replaced += m.views_replaced;
+    total.views_evicted += m.views_evicted;
+    total.candidates_dropped += m.candidates_dropped;
+  }
+  return total;
+}
+
+DurabilityStats ShardedTable::Durability() const {
+  DurabilityStats total;
+  for (const auto& shard : shards_) {
+    const DurabilityStats d = shard->column->durability_stats();
+    total.journal_appends += d.journal_appends;
+    total.journal_replayed += d.journal_replayed;
+    total.journal_tail_truncated |= d.journal_tail_truncated;
+    total.manifest_writes += d.manifest_writes;
+    total.manifest_write_failures += d.manifest_write_failures;
+    total.manifest_delta_appends += d.manifest_delta_appends;
+    total.manifest_deltas_replayed += d.manifest_deltas_replayed;
+    total.manifest_delta_tail_truncated |= d.manifest_delta_tail_truncated;
+    total.views_restored += d.views_restored;
+    total.open_recover_ms += d.open_recover_ms;
+    total.journal_appended_lsn += d.journal_appended_lsn;
+    total.journal_durable_lsn += d.journal_durable_lsn;
+    total.journal_group_commits += d.journal_group_commits;
+  }
+  return total;
+}
+
+}  // namespace vmsv

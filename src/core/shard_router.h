@@ -1,0 +1,170 @@
+// ShardedTable — shard-per-core scale-out for a logical column
+// (ROADMAP "Shard-per-core scale-out + serving layer").
+//
+// A logical column of P pages is partitioned across N AdaptiveColumn
+// shards, each a complete engine of its own: its own maintenance mutex,
+// view pool, lifecycle manager, journal, and (when durable) persist
+// subdirectory — so adaptation, flushes, and demotion on one shard never
+// serialize the others. Work reaches a shard through its ShardPool
+// (exec/shard_pool.h), whose workers are optionally pinned to the shard's
+// core (VMSV_PIN_CORES=1, best-effort via the CpuAffinity seam).
+//
+// PARTITIONING is by PAGE, not row: shard i owns either a balanced
+// contiguous page block (kRange) or every page p with p % N == i (kHash).
+// Page granularity is what makes sharded results BIT-IDENTICAL to an
+// unsharded oracle: the shards' pages are exactly a partition of the
+// oracle's pages (including the single zero-filled tail page), so summing
+// per-shard match_count/sum in shard order — associative wrap-around
+// uint64 adds — reproduces the oracle's page-wise scan exactly. Updates
+// route by row to exactly one shard (the one owning the row's page).
+//
+// QUERY FAN-OUT is pruned by per-shard VALUE ZONES: each shard keeps a
+// conservative [min, max] over every value in its pages, computed by one
+// pass at create/open and only ever WIDENED by updates. A query visits
+// just the shards whose zone intersects its predicate; skipped shards
+// provably contribute zero matches, so pruning never affects results.
+//
+// DURABLE LAYOUT: dir/TABLE (a small text descriptor: version, shard
+// count, partition kind, row count) plus dir/shard-000/ ... each holding a
+// self-contained durable column. Checkpoint iterates the shards; recovery
+// is per shard, so a kill between per-shard checkpoints reopens every
+// shard at its own journal-consistent point and the TABLE's contract
+// (acknowledged updates survive) still holds table-wide.
+
+#ifndef VMSV_CORE_SHARD_ROUTER_H_
+#define VMSV_CORE_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adaptive_layer.h"
+#include "core/db.h"
+#include "exec/shard_pool.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace vmsv {
+
+/// The page-to-shard assignment of one table. Pure arithmetic over
+/// (kind, shards, num_rows) — persisted in the TABLE descriptor, so every
+/// reopen routes identically.
+struct PartitionSpec {
+  PartitionKind kind = PartitionKind::kRange;
+  uint32_t shards = 1;
+  uint64_t num_rows = 0;
+
+  /// Total pages of the logical column (rounded up like PhysicalColumn).
+  uint64_t TotalPages() const;
+  /// Shard owning global page `page`.
+  uint32_t ShardOfPage(uint64_t page) const;
+  /// Shard owning global row `row`.
+  uint32_t ShardOfRow(uint64_t row) const;
+  /// Pages shard `s` owns.
+  uint64_t ShardPages(uint32_t s) const;
+  /// Rows shard `s` owns (its pages' rows; only the shard holding the
+  /// globally-last page can end mid-page).
+  uint64_t ShardRows(uint32_t s) const;
+  /// Global page backing shard `s`'s local page `lp` (ascending in lp, so
+  /// the global tail page is always a shard's LAST local page).
+  uint64_t GlobalPage(uint32_t s, uint64_t lp) const;
+  /// Shard-local row id of global row `row` on ShardOfRow(row).
+  uint64_t LocalRow(uint64_t row) const;
+};
+
+/// Writes `dir`/TABLE (atomic tmp+rename through `io`; null = real I/O).
+Status WriteTableDescriptor(const std::string& dir, const PartitionSpec& spec,
+                            StorageIo* io);
+
+/// Reads `dir`/TABLE. Error contract: NotFound when absent, IoError on a
+/// malformed descriptor.
+StatusOr<PartitionSpec> ReadTableDescriptor(const std::string& dir);
+
+/// \internal The sharded Table implementation behind vmsv::Db. Constructed
+/// through Db::Create/CreateDurable/Open only.
+class ShardedTable : public Table {
+ public:
+  /// Builds an in-memory sharded table, filling global row r with
+  /// value_of(r).
+  static StatusOr<std::unique_ptr<Table>> Create(
+      uint64_t num_rows, const std::function<Value(uint64_t)>& value_of,
+      const DbOptions& options);
+
+  /// Creates the durable layout (descriptor + shard subdirectories).
+  static StatusOr<std::unique_ptr<Table>> CreateDurable(
+      const std::string& dir, uint64_t num_rows, const DbOptions& options);
+
+  /// Reopens a durable sharded table from its descriptor.
+  static StatusOr<std::unique_ptr<Table>> Open(const std::string& dir,
+                                               const PartitionSpec& spec,
+                                               const DbOptions& options);
+
+  StatusOr<QueryExecution> Execute(const RangeQuery& q) override;
+  StatusOr<BatchExecution> ExecuteBatch(
+      const std::vector<RangeQuery>& queries) override;
+  StatusOr<QueryExecution> ExecuteFullScan(const RangeQuery& q) const override;
+  Status Update(uint64_t row, Value new_value) override;
+  StatusOr<UpdateApplyStats> FlushUpdates() override;
+  Status Checkpoint() override;
+  TableHealth Health() const override;
+  CumulativeStats Metrics() const override;
+  DurabilityStats Durability() const override;
+
+  uint64_t num_rows() const override { return spec_.num_rows; }
+  uint64_t num_pages() const override { return spec_.TotalPages(); }
+  uint32_t num_shards() const override {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  bool is_durable() const override { return durable_; }
+  AdaptiveColumn* shard(uint32_t i) override { return shards_[i]->column.get(); }
+
+  const PartitionSpec& partition() const { return spec_; }
+
+  /// Shards Execute(q) would visit, ascending — the zone-pruning decision
+  /// exposed for routing-determinism tests.
+  std::vector<uint32_t> RouteShards(const RangeQuery& q) const;
+
+ private:
+  /// One shard's engine + executor + value zone. Zone bounds are relaxed
+  /// atomics: updates widen them concurrently with routing reads, and a
+  /// conservatively-stale bound only costs an extra shard visit.
+  struct Shard {
+    std::unique_ptr<AdaptiveColumn> column;
+    std::unique_ptr<ShardPool> pool;
+    std::atomic<Value> zone_lo{~Value{0}};
+    std::atomic<Value> zone_hi{0};
+    /// True once any value exists (a zoneless empty shard matches nothing).
+    std::atomic<bool> zone_set{false};
+  };
+
+  ShardedTable(PartitionSpec spec, bool durable) : spec_(spec), durable_(durable) {}
+
+  /// Builds the per-shard pools (affinity per options) — shared tail of
+  /// every factory.
+  void StartPools(const DbOptions& options);
+
+  /// One pass over shard `s`'s pages (zero tail included, matching what
+  /// scans see) re-deriving its value zone.
+  void RecomputeZone(uint32_t s);
+
+  void WidenZone(Shard& shard, Value v);
+
+  bool ZoneIntersects(const Shard& shard, const RangeQuery& q) const;
+
+  /// Runs fn(position) on each target shard's pool concurrently and waits
+  /// (fn receives the POSITION within `targets`, not the shard id).
+  /// Position 0 runs inline on the caller.
+  void FanOut(const std::vector<uint32_t>& targets,
+              const std::function<void(size_t)>& fn) const;
+
+  PartitionSpec spec_;
+  bool durable_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace vmsv
+
+#endif  // VMSV_CORE_SHARD_ROUTER_H_

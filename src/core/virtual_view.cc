@@ -570,6 +570,24 @@ PageScanResult VirtualView::ScanSelectedSlots(
                               runs, q);
 }
 
+std::vector<PageScanResult> VirtualView::ScanManySelectedSlots(
+    const std::vector<uint64_t>& slots,
+    const std::vector<RangeQuery>& queries) const {
+  // Same run coalescing as ScanSelectedSlots, then one shared pass answers
+  // every query from each page read.
+  std::vector<PageRun> runs;
+  size_t i = 0;
+  while (i < slots.size()) {
+    uint64_t len = 1;
+    while (i + len < slots.size() && slots[i + len] == slots[i] + len) ++len;
+    runs.push_back(PageRun{slots[i], len});
+    i += len;
+  }
+  const BatchExecutor executor;
+  return executor.SharedScanPageRuns(
+      reinterpret_cast<const Value*>(arena().data()), runs, queries);
+}
+
 // ---------------------------------------------------------------------------
 // Creation by scan
 

@@ -417,6 +417,29 @@ class VirtualView {
   PageScanResult ScanSelectedSlots(const std::vector<uint64_t>& slots,
                                    const RangeQuery& q) const;
 
+  /// Shared-scan variant of ScanSelectedSlots: answers every query in ONE
+  /// pass over the selected slots' data (exec/batch_executor.h). Result i
+  /// is bit-identical to ScanSelectedSlots(slots, queries[i]).
+  std::vector<PageScanResult> ScanManySelectedSlots(
+      const std::vector<uint64_t>& slots,
+      const std::vector<RangeQuery>& queries) const;
+
+  /// ScanMany restricted to pages passing `include` — the multi-view dedup
+  /// hook, batched: membership is decided serially in slot order (the
+  /// predicate may be stateful, exactly like ScanIf), then the selected
+  /// slots are shared-scanned once for ALL queries.
+  template <typename Pred>
+  std::vector<PageScanResult> ScanManyIf(const std::vector<RangeQuery>& queries,
+                                         Pred include) const {
+    std::vector<uint64_t> slots;
+    slots.reserve(pages_.size());
+    for (uint64_t slot = 0; slot < pages_.size(); ++slot) {
+      if (pages_[slot] == kHoleSlot) continue;
+      if (include(pages_[slot])) slots.push_back(slot);
+    }
+    return ScanManySelectedSlots(slots, queries);
+  }
+
  private:
   VirtualView(std::shared_ptr<PhysicalMemoryFile> file, uint64_t arena_slots,
               Value lo, Value hi)

@@ -1,0 +1,49 @@
+#include "exec/affinity.h"
+
+#include <sched.h>
+
+#include <cerrno>
+#include <thread>
+
+#include "util/env.h"
+
+namespace vmsv {
+
+namespace {
+
+class RealCpuAffinityImpl : public CpuAffinity {
+ public:
+  Status PinSelfToCpu(int cpu) override {
+    if (cpu < 0) return InvalidArgument("PinSelfToCpu: negative cpu");
+    unsigned online = std::thread::hardware_concurrency();
+    if (online == 0) online = 1;
+    const int target = cpu % static_cast<int>(online);
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(target, &set);
+    // pid 0 = the calling thread (Linux sched_setaffinity is per-thread).
+    if (sched_setaffinity(0, sizeof(set), &set) != 0) {
+      return ErrnoError("sched_setaffinity", errno);
+    }
+    return OkStatus();
+  }
+};
+
+}  // namespace
+
+CpuAffinity* RealCpuAffinity() {
+  static RealCpuAffinityImpl* instance = new RealCpuAffinityImpl();
+  return instance;
+}
+
+Status RefusingCpuAffinity::PinSelfToCpu(int cpu) {
+  (void)cpu;
+  return ErrnoError("sched_setaffinity(injected refusal)", errno_);
+}
+
+bool DefaultPinCores() {
+  static const bool enabled = GetEnvUint64("VMSV_PIN_CORES", 0) != 0;
+  return enabled;
+}
+
+}  // namespace vmsv

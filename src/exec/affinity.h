@@ -1,0 +1,51 @@
+// CpuAffinity — the seam between core pinning and sched_setaffinity(2).
+//
+// Shard-per-core serving (core/shard_router.h) wants each shard's worker
+// threads resident on one core so per-shard caches and run queues stay
+// local. Pinning is strictly best-effort: a refusal (EPERM in a restricted
+// container, EINVAL on an offline cpu, cpuset masks) is counted and the
+// worker runs unpinned — affinity is a performance hint, never a
+// correctness requirement. Routing the syscall through this interface lets
+// the fault tests exercise the refusal path deterministically instead of
+// depending on host privileges (same pattern as StorageIo / VmIo).
+//
+// Pinning is OFF by default and opted into with VMSV_PIN_CORES=1.
+
+#ifndef VMSV_EXEC_AFFINITY_H_
+#define VMSV_EXEC_AFFINITY_H_
+
+#include "util/status.h"
+
+namespace vmsv {
+
+class CpuAffinity {
+ public:
+  virtual ~CpuAffinity() = default;
+
+  /// Pins the CALLING thread to `cpu` (callers pass any non-negative id;
+  /// the real implementation wraps it modulo the online cpu count).
+  /// Error contract: ErrnoError carrying the sched_setaffinity errno on
+  /// refusal; the thread's affinity is then unchanged.
+  virtual Status PinSelfToCpu(int cpu) = 0;
+};
+
+/// The process-wide passthrough instance (stateless, thread-safe).
+CpuAffinity* RealCpuAffinity();
+
+/// An injectable CpuAffinity that refuses every pin with a fixed errno —
+/// the shard tests' refusal matrix.
+class RefusingCpuAffinity : public CpuAffinity {
+ public:
+  explicit RefusingCpuAffinity(int refuse_errno) : errno_(refuse_errno) {}
+  Status PinSelfToCpu(int cpu) override;
+
+ private:
+  int errno_;
+};
+
+/// True when VMSV_PIN_CORES=1 (read once and cached).
+bool DefaultPinCores();
+
+}  // namespace vmsv
+
+#endif  // VMSV_EXEC_AFFINITY_H_

@@ -1,0 +1,54 @@
+#include "exec/shard_pool.h"
+
+#include <utility>
+
+namespace vmsv {
+
+ShardPool::ShardPool(const ShardPoolOptions& options) {
+  const unsigned threads = options.threads > 0 ? options.threads : 1;
+  CpuAffinity* affinity =
+      options.affinity != nullptr ? options.affinity : RealCpuAffinity();
+  workers_.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers_.emplace_back(
+        [this, cpu = options.cpu, affinity] { WorkerLoop(cpu, affinity); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ShardPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void ShardPool::WorkerLoop(int cpu, CpuAffinity* affinity) {
+  if (cpu >= 0 && !affinity->PinSelfToCpu(cpu).ok()) {
+    pin_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue before honoring stop: submitted work always runs
+      // (a fan-out caller may already be parked on its WaitGroup).
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace vmsv

@@ -1,0 +1,27 @@
+// vmsv — adaptive storage views in virtual memory.
+//
+// The single public entry point of the library. Include this header and
+// program against vmsv::Db / vmsv::Table (core/db.h):
+//
+//   #include "vmsv.h"
+//
+//   auto table = *vmsv::Db::Create(rows, [](uint64_t r) { return value(r); },
+//                                  {});
+//   auto exec  = table->Execute({lo, hi});            // one query
+//   auto batch = table->ExecuteBatch(queries);        // shared scans
+//   st         = table->Update(row, v);               // routed point update
+//   st         = table->Checkpoint();                 // durable tables
+//   auto h     = table->Health();                     // aggregate + per-shard
+//
+// Everything deeper — core/adaptive_layer.h, core/virtual_view.h, the
+// rewiring and storage layers — is internal: stable only for in-tree tests
+// and tools, and subject to change without notice.
+
+#ifndef VMSV_VMSV_H_
+#define VMSV_VMSV_H_
+
+#include "core/db.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+#endif  // VMSV_VMSV_H_

@@ -14,7 +14,7 @@ namespace {
 /// Runs one query of the sequence into its trace slot. Shared verbatim by
 /// the serial loop and every closed-loop client (slots are disjoint, so
 /// clients need no synchronization beyond the engine's own).
-Status RunOneQuery(AdaptiveColumn* adaptive, const RangeQuery& q,
+Status RunOneQuery(Table* table, const RangeQuery& q,
                    bool need_baseline, bool verify, size_t index,
                    QueryTrace* trace) {
   trace->query = q;
@@ -24,14 +24,14 @@ Status RunOneQuery(AdaptiveColumn* adaptive, const RangeQuery& q,
   std::optional<QueryExecution> baseline;
   if (need_baseline) {
     Stopwatch baseline_timer;
-    auto baseline_r = adaptive->ExecuteFullScan(q);
+    auto baseline_r = table->ExecuteFullScan(q);
     if (!baseline_r.ok()) return baseline_r.status();
     trace->fullscan_ms = baseline_timer.ElapsedMillis();
     baseline = *std::move(baseline_r);
   }
 
   Stopwatch adaptive_timer;
-  auto exec = adaptive->Execute(q);
+  auto exec = table->Execute(q);
   if (!exec.ok()) return exec.status();
   trace->adaptive_ms = adaptive_timer.ElapsedMillis();
   trace->scanned_pages = exec->stats.scanned_pages;
@@ -57,10 +57,10 @@ Status RunOneQuery(AdaptiveColumn* adaptive, const RangeQuery& q,
 
 }  // namespace
 
-StatusOr<WorkloadReport> RunWorkload(AdaptiveColumn* adaptive,
+StatusOr<WorkloadReport> RunWorkload(Table* table,
                                      const std::vector<RangeQuery>& queries,
                                      const RunnerOptions& options) {
-  if (adaptive == nullptr) return InvalidArgument("RunWorkload needs a column");
+  if (table == nullptr) return InvalidArgument("RunWorkload needs a table");
   const uint64_t clients = options.num_clients > 0 ? options.num_clients : 1;
   WorkloadReport report;
   report.num_clients = clients;
@@ -68,19 +68,19 @@ StatusOr<WorkloadReport> RunWorkload(AdaptiveColumn* adaptive,
   const bool need_baseline = options.run_baseline || options.verify_results;
 
   if (options.warmup && !queries.empty()) {
-    auto warm = adaptive->ExecuteFullScan(queries.front());
+    auto warm = table->ExecuteFullScan(queries.front());
     if (!warm.ok()) return warm.status();
   }
 
   Stopwatch wall;
   if (clients <= 1) {
     for (size_t i = 0; i < queries.size(); ++i) {
-      VMSV_RETURN_IF_ERROR(RunOneQuery(adaptive, queries[i], need_baseline,
+      VMSV_RETURN_IF_ERROR(RunOneQuery(table, queries[i], need_baseline,
                                        options.verify_results, i,
                                        &report.traces[i]));
       if (options.checkpoint_every != 0 &&
           (i + 1) % options.checkpoint_every == 0) {
-        VMSV_RETURN_IF_ERROR(adaptive->Checkpoint());
+        VMSV_RETURN_IF_ERROR(table->Checkpoint());
       }
     }
   } else {
@@ -96,7 +96,7 @@ StatusOr<WorkloadReport> RunWorkload(AdaptiveColumn* adaptive,
         for (size_t i = c; i < queries.size(); i += clients) {
           report.traces[i].client = c;
           const Status st =
-              RunOneQuery(adaptive, queries[i], need_baseline,
+              RunOneQuery(table, queries[i], need_baseline,
                           options.verify_results, i, &report.traces[i]);
           if (!st.ok()) {
             client_status[c] = st;
@@ -120,7 +120,9 @@ StatusOr<WorkloadReport> RunWorkload(AdaptiveColumn* adaptive,
     report.adaptive_total_ms += trace.adaptive_ms;
     report.fullscan_total_ms += trace.fullscan_ms;
   }
-  report.health = adaptive->Health();
+  const TableHealth table_health = table->Health();
+  report.health = table_health.total;
+  report.shard_health = table_health.shards;
   report.views_demoted = report.health.views_demoted;
   report.views_promoted = report.health.views_promoted;
   report.cold_view_reloads = report.health.cold_view_reloads;

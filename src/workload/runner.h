@@ -1,5 +1,6 @@
-// RunWorkload — drives a query sequence through an AdaptiveColumn, timing
-// each adaptive answer against the full-scan baseline and (optionally)
+// RunWorkload — drives a query sequence through a vmsv::Table (one
+// AdaptiveColumn or a sharded router, the runner cannot tell), timing each
+// adaptive answer against the full-scan baseline and (optionally)
 // verifying that both agree. All figure harnesses and the adaptive tests
 // share this loop.
 //
@@ -15,7 +16,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/adaptive_layer.h"
+#include "core/db.h"
 #include "storage/types.h"
 #include "util/status.h"
 
@@ -69,9 +70,14 @@ struct WorkloadReport {
   double wall_ms = 0;
   double queries_per_sec = 0;
   uint64_t num_clients = 1;
-  /// Column health snapshot taken after the last query, so harnesses see
-  /// whether (and how often) the run degraded to base-column fallbacks.
+  /// Aggregated health snapshot taken after the last query (counters
+  /// summed, degraded flags OR'ed across shards), so harnesses see whether
+  /// (and how often) the run degraded to base-column fallbacks.
   ColumnHealth health;
+  /// Per-shard health breakdown, shard order (size 1 for unsharded
+  /// tables): a degraded_read_only shard stays visible here even when the
+  /// rest of the table is healthy.
+  std::vector<ColumnHealth> shard_health;
   /// Tiering activity over the run (mirrors of the `health` counters, so
   /// benches and tests read the demote/promote/reload totals directly):
   /// hot views spilled cold, cold views promoted back by a routed query,
@@ -81,7 +87,7 @@ struct WorkloadReport {
   uint64_t cold_view_reloads = 0;
 };
 
-StatusOr<WorkloadReport> RunWorkload(AdaptiveColumn* adaptive,
+StatusOr<WorkloadReport> RunWorkload(Table* table,
                                      const std::vector<RangeQuery>& queries,
                                      const RunnerOptions& options);
 

@@ -1,4 +1,4 @@
-#include "core/adaptive_layer.h"
+#include "vmsv.h"
 
 #include <memory>
 #include <vector>
@@ -26,9 +26,9 @@ std::unique_ptr<PhysicalColumn> MakeTestColumn(DataDistribution kind) {
   return std::move(column_r).ValueOrDie();
 }
 
-std::unique_ptr<AdaptiveColumn> MakeAdaptive(DataDistribution kind,
-                                             const AdaptiveConfig& config) {
-  auto adaptive_r = AdaptiveColumn::Create(MakeTestColumn(kind), config);
+std::unique_ptr<Table> MakeAdaptive(DataDistribution kind,
+                                    const AdaptiveConfig& config) {
+  auto adaptive_r = Db::Create(MakeTestColumn(kind), DbOptions{config});
   EXPECT_TRUE(adaptive_r.ok()) << adaptive_r.status().ToString();
   return std::move(adaptive_r).ValueOrDie();
 }
@@ -42,11 +42,11 @@ std::vector<RangeQuery> TestWorkload(uint64_t n, uint64_t seed) {
 }
 
 TEST(AdaptiveColumnTest, CreateValidatesArguments) {
-  EXPECT_FALSE(AdaptiveColumn::Create(nullptr, {}).ok());
+  EXPECT_FALSE(Db::Create(nullptr, {}).ok());
   AdaptiveConfig config;
   config.max_views = 0;
   EXPECT_FALSE(
-      AdaptiveColumn::Create(MakeTestColumn(DataDistribution::kSine), config)
+      Db::Create(MakeTestColumn(DataDistribution::kSine), DbOptions{config})
           .ok());
 }
 
@@ -77,9 +77,9 @@ TEST_P(AdaptiveModeTest, ResultsEqualFullScanBaseline) {
   EXPECT_EQ(report_r->traces.size(), 40u);
 
   // The budget must be respected throughout.
-  EXPECT_LE(adaptive->view_index().num_partial_views(), config.max_views);
+  EXPECT_LE(adaptive->shard(0)->view_index().num_partial_views(), config.max_views);
   // On clustered data at least one view must have materialized.
-  EXPECT_GE(adaptive->view_index().num_partial_views(), 1u);
+  EXPECT_GE(adaptive->shard(0)->view_index().num_partial_views(), 1u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -102,14 +102,14 @@ TEST(AdaptiveColumnTest, MaxViewsBudgetIsHardLimit) {
   for (const RangeQuery& q : TestWorkload(60, 11)) {
     auto exec = adaptive->Execute(q);
     ASSERT_TRUE(exec.ok());
-    EXPECT_LE(adaptive->view_index().num_partial_views(), 3u);
+    EXPECT_LE(adaptive->shard(0)->view_index().num_partial_views(), 3u);
     saw_budget_exhausted |=
         exec->stats.decision == CandidateDecision::kBudgetExhausted;
   }
   EXPECT_TRUE(saw_budget_exhausted);
   // Drops are no longer silent: the counter must match what we observed.
-  EXPECT_GT(adaptive->metrics().candidates_dropped, 0u);
-  EXPECT_EQ(adaptive->metrics().views_evicted, 0u);
+  EXPECT_GT(adaptive->shard(0)->metrics().candidates_dropped, 0u);
+  EXPECT_EQ(adaptive->shard(0)->metrics().views_evicted, 0u);
 }
 
 TEST(AdaptiveColumnTest, CostAwareBudgetStaysWithinLimitToo) {
@@ -120,11 +120,11 @@ TEST(AdaptiveColumnTest, CostAwareBudgetStaysWithinLimitToo) {
   for (const RangeQuery& q : TestWorkload(60, 11)) {
     auto exec = adaptive->Execute(q);
     ASSERT_TRUE(exec.ok());
-    EXPECT_LE(adaptive->view_index().num_partial_views(), 3u);
+    EXPECT_LE(adaptive->shard(0)->view_index().num_partial_views(), 3u);
   }
   // Under budget pressure the pool adapted instead of freezing.
-  EXPECT_GT(adaptive->metrics().views_evicted +
-                adaptive->metrics().candidates_dropped,
+  EXPECT_GT(adaptive->shard(0)->metrics().views_evicted +
+                adaptive->shard(0)->metrics().candidates_dropped,
             0u);
 }
 
@@ -160,7 +160,7 @@ TEST(AdaptiveColumnTest, RepeatedQueryIsDiscardedAsSubset) {
   auto exec = adaptive->Execute(wider);
   ASSERT_TRUE(exec.ok());
   EXPECT_EQ(exec->stats.decision, CandidateDecision::kDiscardedSubset);
-  EXPECT_EQ(adaptive->view_index().num_partial_views(), 1u);
+  EXPECT_EQ(adaptive->shard(0)->view_index().num_partial_views(), 1u);
 
   // An exact-subset discard must extend the absorbing view's range, so the
   // same query is answered from the view from now on instead of triggering
@@ -227,7 +227,7 @@ TEST(AdaptiveColumnTest, DataFreeRangeIsRememberedAsEmptyView) {
   auto third = adaptive->Execute(RangeQuery{kMaxValue + 1001, kMaxValue + 2000});
   ASSERT_TRUE(third.ok());
   EXPECT_EQ(third->stats.decision, CandidateDecision::kDiscardedSubset);
-  EXPECT_EQ(adaptive->view_index().num_partial_views(), 1u);
+  EXPECT_EQ(adaptive->shard(0)->view_index().num_partial_views(), 1u);
 
   const RangeQuery data_range{0, kMaxValue / 4};
   auto fourth = adaptive->Execute(data_range);
@@ -237,7 +237,7 @@ TEST(AdaptiveColumnTest, DataFreeRangeIsRememberedAsEmptyView) {
   EXPECT_EQ(fourth->match_count, baseline->match_count);
   EXPECT_EQ(fourth->sum, baseline->sum);
   // The empty view must still be present alongside any new view.
-  EXPECT_GE(adaptive->view_index().num_partial_views(), 2u);
+  EXPECT_GE(adaptive->shard(0)->view_index().num_partial_views(), 2u);
 }
 
 TEST(AdaptiveColumnTest, MultiViewCombinesViews) {
@@ -266,7 +266,7 @@ TEST(AdaptiveColumnTest, MetricsAccumulate) {
   auto adaptive = MakeAdaptive(DataDistribution::kSine, {});
   ASSERT_TRUE(adaptive->Execute(RangeQuery{0, kMaxValue}).ok());
   ASSERT_TRUE(adaptive->Execute(RangeQuery{1'000'000, 2'000'000}).ok());
-  const CumulativeStats& m = adaptive->metrics();
+  const CumulativeStats& m = adaptive->shard(0)->metrics();
   EXPECT_EQ(m.queries, 2u);
   EXPECT_EQ(m.fullscan_equivalent_pages, 2 * kTestPages);
   EXPECT_GT(m.scanned_pages, 0u);
@@ -282,14 +282,14 @@ TEST(AdaptiveColumnTest, PendingUpdatesAreFlushedBeforeAnswering) {
   // Move some rows into and out of the queried range, bypassing no logs.
   Rng rng(5);
   for (int i = 0; i < 200; ++i) {
-    const uint64_t row = rng.Below(adaptive->column().num_rows());
+    const uint64_t row = rng.Below(adaptive->shard(0)->column().num_rows());
     adaptive->Update(row, rng.Below(kMaxValue + 1));
   }
-  EXPECT_TRUE(adaptive->HasPendingUpdates());
+  EXPECT_TRUE(adaptive->shard(0)->HasPendingUpdates());
 
   auto exec = adaptive->Execute(q);
   ASSERT_TRUE(exec.ok());
-  EXPECT_FALSE(adaptive->HasPendingUpdates());
+  EXPECT_FALSE(adaptive->shard(0)->HasPendingUpdates());
   auto baseline = adaptive->ExecuteFullScan(q);
   ASSERT_TRUE(baseline.ok());
   EXPECT_EQ(exec->match_count, baseline->match_count);
@@ -314,7 +314,7 @@ TEST(AdaptiveColumnTest, ProcMapsMappingSourceMatchesBaseline) {
   ASSERT_TRUE(adaptive->Execute(RangeQuery{30'000'000, 70'000'000}).ok());
   Rng rng(17);
   for (int i = 0; i < 300; ++i) {
-    adaptive->Update(rng.Below(adaptive->column().num_rows()),
+    adaptive->Update(rng.Below(adaptive->shard(0)->column().num_rows()),
                      rng.Below(kMaxValue + 1));
   }
   const RangeQuery q{35'000'000, 65'000'000};

@@ -14,7 +14,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/adaptive_layer.h"
+#include "vmsv.h"
 #include "core/virtual_view.h"
 #include "exec/batch_executor.h"
 #include "exec/parallel_scanner.h"
@@ -183,7 +183,7 @@ TEST(ConcurrentEngineTest, ConcurrentReadersMatchSerialOracle) {
   AdaptiveConfig config;
   config.max_views = 4;  // force budget pressure under concurrent adaptation
   auto adaptive_r =
-      AdaptiveColumn::Create(MakeTestColumn(DataDistribution::kSine), config);
+      Db::Create(MakeTestColumn(DataDistribution::kSine), DbOptions{config});
   ASSERT_TRUE(adaptive_r.ok());
   auto& adaptive = *adaptive_r;
 
@@ -222,11 +222,11 @@ TEST(ConcurrentEngineTest, ConcurrentReadersMatchSerialOracle) {
   EXPECT_EQ(failures.load(), 0);
   // 8 distinct ranges through a 4-view budget: the engine had to exercise
   // the eviction/drop path concurrently.
-  const CumulativeStats m = adaptive->metrics();
+  const CumulativeStats m = adaptive->shard(0)->metrics();
   EXPECT_GT(m.views_evicted + m.candidates_dropped, 0u);
   // With no reader in flight, the limbo list must drain completely.
-  adaptive->epoch_manager().TryReclaim();
-  EXPECT_EQ(adaptive->epoch_manager().limbo_size(), 0u);
+  adaptive->shard(0)->epoch_manager().TryReclaim();
+  EXPECT_EQ(adaptive->shard(0)->epoch_manager().limbo_size(), 0u);
 }
 
 TEST(ConcurrentEngineTest, ConcurrentLazyMaterializationWithSharedMapper) {
@@ -237,7 +237,7 @@ TEST(ConcurrentEngineTest, ConcurrentLazyMaterializationWithSharedMapper) {
   config.creation.background_mapping = true;
   config.creation.lazy_materialize = true;
   auto adaptive_r =
-      AdaptiveColumn::Create(MakeTestColumn(DataDistribution::kSine), config);
+      Db::Create(MakeTestColumn(DataDistribution::kSine), DbOptions{config});
   ASSERT_TRUE(adaptive_r.ok());
   auto& adaptive = *adaptive_r;
 
@@ -350,7 +350,7 @@ TEST(ConcurrentEngineTest, ReadersRaceUpdaterAndLifecycleMaintenance) {
     }
   }
 
-  auto adaptive_r = AdaptiveColumn::Create(std::move(column), config);
+  auto adaptive_r = Db::Create(std::move(column), DbOptions{config});
   ASSERT_TRUE(adaptive_r.ok());
   auto& adaptive = *adaptive_r;
 
@@ -403,8 +403,8 @@ TEST(ConcurrentEngineTest, ReadersRaceUpdaterAndLifecycleMaintenance) {
     EXPECT_EQ(exec->match_count, baseline->match_count);
     EXPECT_EQ(exec->sum, baseline->sum);
   }
-  adaptive->epoch_manager().TryReclaim();
-  EXPECT_EQ(adaptive->epoch_manager().limbo_size(), 0u);
+  adaptive->shard(0)->epoch_manager().TryReclaim();
+  EXPECT_EQ(adaptive->shard(0)->epoch_manager().limbo_size(), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -422,9 +422,9 @@ TEST(ConcurrentEngineTest, BatchBitIdenticalToIndividualAndScansFewerPages) {
 
   AdaptiveConfig config;
   auto individual_r =
-      AdaptiveColumn::Create(MakeTestColumn(DataDistribution::kSine), config);
+      Db::Create(MakeTestColumn(DataDistribution::kSine), DbOptions{config});
   auto batch_r =
-      AdaptiveColumn::Create(MakeTestColumn(DataDistribution::kSine), config);
+      Db::Create(MakeTestColumn(DataDistribution::kSine), DbOptions{config});
   ASSERT_TRUE(individual_r.ok() && batch_r.ok());
   auto& individual = *individual_r;
   auto& batch = *batch_r;
@@ -435,7 +435,7 @@ TEST(ConcurrentEngineTest, BatchBitIdenticalToIndividualAndScansFewerPages) {
     ASSERT_TRUE(exec.ok());
     individual_results.push_back(*exec);
   }
-  const uint64_t individual_pages = individual->metrics().scanned_pages;
+  const uint64_t individual_pages = individual->shard(0)->metrics().scanned_pages;
 
   auto batch_exec = batch->ExecuteBatch(queries);
   ASSERT_TRUE(batch_exec.ok());
@@ -587,7 +587,7 @@ TEST(ConcurrentEngineTest, SortCompactionTriggerConsolidatesScatteredViews) {
 TEST(ConcurrentEngineTest, MultiClientRunnerMergesTracesAndVerifies) {
   AdaptiveConfig config;
   auto adaptive_r =
-      AdaptiveColumn::Create(MakeTestColumn(DataDistribution::kSine), config);
+      Db::Create(MakeTestColumn(DataDistribution::kSine), DbOptions{config});
   ASSERT_TRUE(adaptive_r.ok());
   auto& adaptive = *adaptive_r;
 

@@ -33,7 +33,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/adaptive_layer.h"
+#include "vmsv.h"
 #include "scoped_temp_dir.h"
 #include "storage/storage_io.h"
 #include "util/env.h"
@@ -107,10 +107,23 @@ struct ScriptOutcome {
   uint64_t acked = 0;
 };
 
+/// Owns the facade table while exposing the engine for white-box use.
+struct OwnedColumn {
+  std::unique_ptr<Table> table;
+  AdaptiveColumn* operator->() const { return table->shard(0); }
+};
+
+StatusOr<OwnedColumn> OpenColumn(const std::string& dir,
+                                 const AdaptiveConfig& config) {
+  auto table_r = Db::Open(dir, DbOptions{config});
+  if (!table_r.ok()) return table_r.status();
+  return OwnedColumn{std::move(table_r).ValueOrDie()};
+}
+
 ScriptOutcome RunScript(const std::string& dir, const Scenario& s,
                         FaultInjectingIo* io) {
   ScriptOutcome out;
-  auto open_r = AdaptiveColumn::Open(dir, MakeConfig(s, io));
+  auto open_r = OpenColumn(dir, MakeConfig(s, io));
   if (!open_r.ok()) return out;  // crashed before the column came up
   auto col = std::move(open_r).ValueOrDie();
   const std::vector<RangeQuery> queries = ScriptQueries();
@@ -188,7 +201,7 @@ struct RecoveredState {
 /// checks it against the full scan (invariant 2).
 bool CaptureState(const std::string& dir, const Scenario& s, bool adapt,
                   RecoveredState* state, std::string* error) {
-  auto open_r = AdaptiveColumn::Open(dir, MakeConfig(s, nullptr));
+  auto open_r = OpenColumn(dir, MakeConfig(s, nullptr));
   if (!open_r.ok()) {
     *error = "reopen failed: " + open_r.status().ToString();
     return false;
@@ -304,11 +317,10 @@ class CrashMatrix {
 
  private:
   void MakeGenesis() {
-    auto col_r =
-        AdaptiveColumn::CreateDurable(genesis_, NumRows(),
-                                      MakeConfig(scenario_, nullptr));
+    auto col_r = Db::CreateDurable(genesis_, NumRows(),
+                                   DbOptions{MakeConfig(scenario_, nullptr)});
     ASSERT_TRUE(col_r.ok()) << col_r.status().ToString();
-    auto col = std::move(col_r).ValueOrDie();
+    OwnedColumn col{std::move(col_r).ValueOrDie()};
     DistributionSpec spec;
     spec.kind = DataDistribution::kSine;
     spec.max_value = kMaxValue;

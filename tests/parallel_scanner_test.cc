@@ -10,7 +10,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/adaptive_layer.h"
+#include "vmsv.h"
 #include "exec/scan_kernels.h"
 #include "index/zone_map_index.h"
 #include "workload/distribution.h"
@@ -110,7 +110,7 @@ TEST(ParallelScannerTest, AdaptiveColumnAgreesWithSerialScan) {
   const RangeQuery q{10'000'000, 30'000'000};
   const PageScanResult ref =
       ScanPageScalar(base, column->num_pages() * kValuesPerPage, q);
-  auto adaptive_r = AdaptiveColumn::Create(std::move(column), {});
+  auto adaptive_r = Db::Create(std::move(column), {});
   ASSERT_TRUE(adaptive_r.ok());
   auto& adaptive = *adaptive_r;
   auto full = adaptive->ExecuteFullScan(q);

@@ -14,7 +14,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/adaptive_layer.h"
+#include "vmsv.h"
 #include "scoped_temp_dir.h"
 #include "storage/journal.h"
 #include "storage/manifest.h"
@@ -53,13 +53,30 @@ std::vector<RangeQuery> TestQueries(uint64_t n, uint64_t seed) {
   return MakeFixedSelectivityWorkload(wspec, 0.10);
 }
 
+/// Owns the facade table while exposing the engine underneath for the
+/// white-box durability assertions.
+struct OwnedColumn {
+  std::unique_ptr<Table> table;
+  AdaptiveColumn* operator->() const { return table->shard(0); }
+  AdaptiveColumn& operator*() const { return *table->shard(0); }
+  AdaptiveColumn* get() const { return table ? table->shard(0) : nullptr; }
+  void reset() { table.reset(); }
+};
+
+StatusOr<OwnedColumn> OpenColumn(const std::string& dir,
+                                 const AdaptiveConfig& config) {
+  auto table_r = Db::Open(dir, DbOptions{config});
+  if (!table_r.ok()) return table_r.status();
+  return OwnedColumn{std::move(table_r).ValueOrDie()};
+}
+
 /// Creates a populated durable column under `dir`.
-std::unique_ptr<AdaptiveColumn> MakeDurable(const std::string& dir,
-                                            const AdaptiveConfig& config = {}) {
-  auto adaptive_r = AdaptiveColumn::CreateDurable(
-      dir, TestPages() * kValuesPerPage, config);
-  EXPECT_TRUE(adaptive_r.ok()) << adaptive_r.status().ToString();
-  auto adaptive = std::move(adaptive_r).ValueOrDie();
+OwnedColumn MakeDurable(const std::string& dir,
+                        const AdaptiveConfig& config = {}) {
+  auto table_r = Db::CreateDurable(dir, TestPages() * kValuesPerPage,
+                                   DbOptions{config});
+  EXPECT_TRUE(table_r.ok()) << table_r.status().ToString();
+  OwnedColumn adaptive{std::move(table_r).ValueOrDie()};
   FillColumn(SineSpec(), adaptive->mutable_column());
   return adaptive;
 }
@@ -322,13 +339,13 @@ TEST(FileBackedMemoryFileTest, DataSurvivesReattach) {
 
 TEST(DurableColumnTest, CreateRejectsExistingAndOpenRejectsMissing) {
   ScratchDir scratch("durable_guard");
-  EXPECT_EQ(AdaptiveColumn::Open(scratch.path(), {}).status().code(),
+  EXPECT_EQ(OpenColumn(scratch.path(), {}).status().code(),
             StatusCode::kNotFound);
   auto adaptive = MakeDurable(scratch.path());
-  ASSERT_NE(adaptive, nullptr);
+  ASSERT_NE(adaptive.get(), nullptr);
   EXPECT_TRUE(adaptive->is_durable());
   EXPECT_EQ(
-      AdaptiveColumn::CreateDurable(scratch.path(), 100, {}).status().code(),
+      Db::CreateDurable(scratch.path(), 100, {}).status().code(),
       StatusCode::kFailedPrecondition);
 }
 
@@ -358,7 +375,7 @@ TEST(DurableColumnTest, RestartRoundTripIsBitIdentical) {
 
   AdaptiveConfig config;
   config.max_views = 32;
-  auto reopened_r = AdaptiveColumn::Open(scratch.path(), config);
+  auto reopened_r = OpenColumn(scratch.path(), config);
   ASSERT_TRUE(reopened_r.ok()) << reopened_r.status().ToString();
   auto reopened = std::move(reopened_r).ValueOrDie();
   const DurabilityStats stats = reopened->durability_stats();
@@ -400,7 +417,7 @@ TEST(DurableColumnTest, KillAndReopenReplaysJournalIdempotently) {
   }  // kill: no flush, journal holds the updates
 
   for (int incarnation = 0; incarnation < 2; ++incarnation) {
-    auto reopened_r = AdaptiveColumn::Open(scratch.path(), {});
+    auto reopened_r = OpenColumn(scratch.path(), {});
     ASSERT_TRUE(reopened_r.ok()) << reopened_r.status().ToString();
     auto reopened = std::move(reopened_r).ValueOrDie();
     EXPECT_GT(reopened->durability_stats().journal_replayed, 0u)
@@ -436,7 +453,7 @@ TEST(DurableColumnTest, FlushPoliciesAllRecover) {
       before = ExecuteAll(adaptive.get(), queries);
       ASSERT_TRUE(adaptive->Checkpoint().ok());
     }
-    auto reopened_r = AdaptiveColumn::Open(scratch.path(), config);
+    auto reopened_r = OpenColumn(scratch.path(), config);
     ASSERT_TRUE(reopened_r.ok())
         << FlushPolicyName(policy) << ": " << reopened_r.status().ToString();
     EXPECT_EQ(ExecuteAll(reopened_r->get(), queries), before)
@@ -456,7 +473,7 @@ TEST(DurableColumnTest, JournalSyncEveryUpdateRoundTrips) {
     ASSERT_TRUE(adaptive->Update(1, 43).ok());
     oracle = FullScanAll(adaptive.get(), queries);
   }  // kill without flush
-  auto reopened_r = AdaptiveColumn::Open(scratch.path(), config);
+  auto reopened_r = OpenColumn(scratch.path(), config);
   ASSERT_TRUE(reopened_r.ok());
   EXPECT_EQ(reopened_r->get()->durability_stats().journal_replayed, 2u);
   EXPECT_EQ(FullScanAll(reopened_r->get(), queries), oracle);
@@ -469,7 +486,7 @@ TEST(DurableColumnTest, RunnerCheckpointEveryPersistsMidSequence) {
   options.run_baseline = false;
   options.verify_results = true;
   options.checkpoint_every = 4;
-  auto report_r = RunWorkload(adaptive.get(), TestQueries(12, 9), options);
+  auto report_r = RunWorkload(adaptive.table.get(), TestQueries(12, 9), options);
   ASSERT_TRUE(report_r.ok()) << report_r.status().ToString();
   // Initial manifest + at least one mid-sequence refresh.
   EXPECT_GT(adaptive->durability_stats().manifest_writes, 1u);
@@ -489,8 +506,8 @@ TEST(DurableColumnTest, CreateDurableLocksBeforeTouchingColumnData) {
   // the manifest-existence check: with no MANIFEST on disk, only the journal
   // flock stands between it and O_TRUNCing the live column.dat.
   ASSERT_TRUE(fs::remove(ManifestPath(scratch.path())));
-  EXPECT_EQ(AdaptiveColumn::CreateDurable(scratch.path(),
-                                          TestPages() * kValuesPerPage, {})
+  EXPECT_EQ(Db::CreateDurable(scratch.path(),
+                              TestPages() * kValuesPerPage, {})
                 .status()
                 .code(),
             StatusCode::kFailedPrecondition);
@@ -511,11 +528,11 @@ TEST(DurableColumnTest, CreateDurableDropsLeftoverJournalRecords) {
   // checkpoint consumes the journal.
   ASSERT_TRUE(fs::remove(ManifestPath(scratch.path())));
   {
-    auto recreated_r = AdaptiveColumn::CreateDurable(
+    auto recreated_r = Db::CreateDurable(
         scratch.path(), TestPages() * kValuesPerPage, {});
     ASSERT_TRUE(recreated_r.ok()) << recreated_r.status().ToString();
   }  // kill again before any flush
-  auto reopened_r = AdaptiveColumn::Open(scratch.path(), {});
+  auto reopened_r = OpenColumn(scratch.path(), {});
   ASSERT_TRUE(reopened_r.ok()) << reopened_r.status().ToString();
   EXPECT_EQ(reopened_r->get()->durability_stats().journal_replayed, 0u);
   EXPECT_EQ(reopened_r->get()->column().Get(7), 0u);
@@ -553,7 +570,7 @@ TEST(DurableColumnTest, ReopenAppliesRecordWhoseCellWriteWasLost) {
     auto journal = std::move(open_r.ValueOrDie().journal);
     ASSERT_TRUE(journal->Append({5, old_value, old_value + 9}, true).ok());
   }
-  auto reopened_r = AdaptiveColumn::Open(scratch.path(), {});
+  auto reopened_r = OpenColumn(scratch.path(), {});
   ASSERT_TRUE(reopened_r.ok()) << reopened_r.status().ToString();
   auto reopened = std::move(reopened_r).ValueOrDie();
   EXPECT_EQ(reopened->durability_stats().journal_replayed, 1u);
@@ -567,13 +584,13 @@ TEST(DurableColumnTest, ReopenAppliesRecordWhoseCellWriteWasLost) {
 TEST(DurableColumnTest, SecondOpenOfLiveColumnIsRefused) {
   ScratchDir scratch("durable_lock");
   auto adaptive = MakeDurable(scratch.path());
-  ASSERT_NE(adaptive, nullptr);
+  ASSERT_NE(adaptive.get(), nullptr);
   // The journal flock is per-open-file-description, so even a same-process
   // second handle conflicts — a stand-in for the cross-process race.
-  EXPECT_EQ(AdaptiveColumn::Open(scratch.path(), {}).status().code(),
+  EXPECT_EQ(OpenColumn(scratch.path(), {}).status().code(),
             StatusCode::kFailedPrecondition);
   adaptive.reset();  // releases the lock
-  EXPECT_TRUE(AdaptiveColumn::Open(scratch.path(), {}).ok());
+  EXPECT_TRUE(OpenColumn(scratch.path(), {}).ok());
 }
 
 TEST(DurableColumnTest, OpenClampsRestoredViewsToMaxViews) {
@@ -590,7 +607,7 @@ TEST(DurableColumnTest, OpenClampsRestoredViewsToMaxViews) {
   }
   AdaptiveConfig small;
   small.max_views = 4;
-  auto reopened_r = AdaptiveColumn::Open(scratch.path(), small);
+  auto reopened_r = OpenColumn(scratch.path(), small);
   ASSERT_TRUE(reopened_r.ok()) << reopened_r.status().ToString();
   auto reopened = std::move(reopened_r).ValueOrDie();
   EXPECT_LE(reopened->view_index().num_partial_views(), 4u);
@@ -861,7 +878,7 @@ TEST(GroupCommitTest, AcknowledgedBatchesSurviveAKill) {
     EXPECT_GE(stats.journal_durable_lsn, 8u);
     oracle = FullScanAll(adaptive.get(), queries);
   }  // kill without flush
-  auto reopened_r = AdaptiveColumn::Open(scratch.path(), config);
+  auto reopened_r = OpenColumn(scratch.path(), config);
   ASSERT_TRUE(reopened_r.ok()) << reopened_r.status().ToString();
   auto reopened = std::move(reopened_r).ValueOrDie();
   EXPECT_EQ(reopened->durability_stats().journal_replayed, 10u);
@@ -908,7 +925,7 @@ TEST(DurableColumnTest, KillBeforeCheckpointRestoresViewsFromDeltas) {
     views_before = adaptive->view_index().num_partial_views();
     ASSERT_GT(views_before, 0u);
   }  // kill WITHOUT checkpoint: the base snapshot still shows an empty pool
-  auto reopened_r = AdaptiveColumn::Open(scratch.path(), config);
+  auto reopened_r = OpenColumn(scratch.path(), config);
   ASSERT_TRUE(reopened_r.ok()) << reopened_r.status().ToString();
   auto reopened = std::move(reopened_r).ValueOrDie();
   const DurabilityStats stats = reopened->durability_stats();
@@ -924,11 +941,11 @@ TEST(DurableColumnTest, KillBeforeCheckpointRestoresViewsFromDeltas) {
 TEST(DurableColumnTest, InMemoryColumnsReportNoDurability) {
   auto column_r = MakeColumn(SineSpec(), TestPages() * kValuesPerPage);
   ASSERT_TRUE(column_r.ok());
-  auto adaptive_r = AdaptiveColumn::Create(std::move(column_r).ValueOrDie(), {});
+  auto adaptive_r = Db::Create(std::move(column_r).ValueOrDie(), {});
   ASSERT_TRUE(adaptive_r.ok());
   EXPECT_FALSE((*adaptive_r)->is_durable());
   EXPECT_TRUE((*adaptive_r)->Checkpoint().ok());  // documented no-op
-  EXPECT_EQ((*adaptive_r)->durability_stats().manifest_writes, 0u);
+  EXPECT_EQ((*adaptive_r)->Durability().manifest_writes, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,657 @@
+// sharded_table_test — the ShardedTable contract behind vmsv::Db:
+//
+//   * PartitionSpec arithmetic (page partition is exact, tail page last);
+//   * BIT-IDENTITY: sharded scans, batches, and updates produce exactly the
+//     match_count/sum an unsharded oracle produces, for every partition
+//     kind and shard count, under seeded query/update/flush interleavings;
+//   * durable restart round-trips, including a simulated kill between
+//     per-shard checkpoints (some shards recover from their manifest,
+//     others replay their journal — the table-wide answer is unchanged);
+//   * routing determinism and zone-pruning soundness (a skipped shard
+//     provably holds no match);
+//   * core-pinning refusal is counted in TableHealth, never an error;
+//   * TABLE descriptor round-trip, forward compatibility, error contract;
+//   * the batch cover-routing fix: ExecuteBatch consults the same
+//     cost-based multi-view cover path as Execute (regression pins the
+//     page accounting);
+//   * concurrent readers + writer on a sharded table (TSAN coverage).
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/shard_router.h"
+#include "exec/affinity.h"
+#include "scoped_temp_dir.h"
+#include "vmsv.h"
+
+namespace vmsv {
+namespace {
+
+constexpr uint64_t kPages = 16;
+constexpr uint64_t kRows = kPages * kValuesPerPage;
+
+/// Deterministic, page-spanning value mix (full 64-bit multiply keeps the
+/// low bits varied); modulo keeps the domain queryable.
+Value MixValue(uint64_t row) { return (row * 2654435761ull) % 1'000'000; }
+
+/// Identity data: value == row. Gives kRange shards DISJOINT value zones,
+/// which the routing tests rely on.
+Value IdentityValue(uint64_t row) { return row; }
+
+AdaptiveConfig MultiViewConfig() {
+  AdaptiveConfig config;
+  config.mode = QueryMode::kMultiView;
+  config.max_views = 4;
+  return config;
+}
+
+DbOptions ShardedOptions(uint32_t shards, PartitionKind kind) {
+  DbOptions options;
+  options.column = MultiViewConfig();
+  options.shards = shards;
+  options.partition = kind;
+  return options;
+}
+
+void ExpectSameAnswer(const QueryExecution& got, const QueryExecution& want,
+                      const char* what) {
+  EXPECT_EQ(got.match_count, want.match_count) << what;
+  EXPECT_EQ(got.sum, want.sum) << what;
+}
+
+// ---------------------------------------------------------------------------
+// PartitionSpec arithmetic
+
+void CheckPartitionArithmetic(PartitionKind kind, uint32_t shards,
+                              uint64_t num_rows) {
+  PartitionSpec spec;
+  spec.kind = kind;
+  spec.shards = shards;
+  spec.num_rows = num_rows;
+
+  const uint64_t total_pages = spec.TotalPages();
+  EXPECT_EQ(total_pages, (num_rows + kValuesPerPage - 1) / kValuesPerPage);
+
+  // The shards' pages are an exact partition: every global page is owned by
+  // the shard whose GlobalPage() enumeration produces it, exactly once.
+  uint64_t pages_seen = 0;
+  uint64_t rows_seen = 0;
+  std::vector<int> owner(total_pages, -1);
+  for (uint32_t s = 0; s < shards; ++s) {
+    const uint64_t shard_pages = spec.ShardPages(s);
+    pages_seen += shard_pages;
+    rows_seen += spec.ShardRows(s);
+    uint64_t prev = 0;
+    for (uint64_t lp = 0; lp < shard_pages; ++lp) {
+      const uint64_t gp = spec.GlobalPage(s, lp);
+      ASSERT_LT(gp, total_pages);
+      EXPECT_EQ(owner[gp], -1) << "page owned twice";
+      owner[gp] = static_cast<int>(s);
+      EXPECT_EQ(spec.ShardOfPage(gp), s);
+      if (lp > 0) {
+        EXPECT_GT(gp, prev) << "GlobalPage must ascend in lp";
+      }
+      prev = gp;
+    }
+  }
+  EXPECT_EQ(pages_seen, total_pages);
+  EXPECT_EQ(rows_seen, num_rows);
+
+  // The global tail page must be its owner's LAST local page — that is what
+  // keeps the zero-filled tail in the same page-wise position the oracle
+  // scans it in.
+  const uint64_t tail = total_pages - 1;
+  const uint32_t tail_owner = spec.ShardOfPage(tail);
+  EXPECT_EQ(spec.GlobalPage(tail_owner, spec.ShardPages(tail_owner) - 1),
+            tail);
+
+  // Row routing agrees with page routing, and LocalRow round-trips.
+  for (uint64_t row = 0; row < num_rows;
+       row += kValuesPerPage / 3 + 1) {
+    const uint32_t s = spec.ShardOfRow(row);
+    EXPECT_EQ(s, spec.ShardOfPage(row / kValuesPerPage));
+    const uint64_t local = spec.LocalRow(row);
+    ASSERT_LT(local, spec.ShardRows(s));
+    const uint64_t back = spec.GlobalPage(s, local / kValuesPerPage) *
+                              kValuesPerPage +
+                          local % kValuesPerPage;
+    EXPECT_EQ(back, row);
+  }
+}
+
+TEST(PartitionSpec, RangeArithmetic) {
+  CheckPartitionArithmetic(PartitionKind::kRange, 4,
+                           10 * kValuesPerPage - 100);
+  CheckPartitionArithmetic(PartitionKind::kRange, 3, 7 * kValuesPerPage);
+  CheckPartitionArithmetic(PartitionKind::kRange, 1, kRows);
+}
+
+TEST(PartitionSpec, HashArithmetic) {
+  CheckPartitionArithmetic(PartitionKind::kHash, 4,
+                           10 * kValuesPerPage - 100);
+  CheckPartitionArithmetic(PartitionKind::kHash, 3, 7 * kValuesPerPage);
+  CheckPartitionArithmetic(PartitionKind::kHash, 5, 5 * kValuesPerPage + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity against an unsharded oracle
+
+/// Drives the same seeded query/update/flush interleaving into `table` and
+/// a 1-shard oracle and requires every answer to be bit-identical.
+void RunOracleInterleaving(PartitionKind kind, uint32_t shards,
+                           uint64_t seed) {
+  auto oracle_r = Db::Create(kRows, MixValue, DbOptions{MultiViewConfig()});
+  ASSERT_TRUE(oracle_r.ok()) << oracle_r.status().message();
+  auto sharded_r = Db::Create(kRows, MixValue, ShardedOptions(shards, kind));
+  ASSERT_TRUE(sharded_r.ok()) << sharded_r.status().message();
+  auto oracle = *std::move(oracle_r);
+  auto sharded = *std::move(sharded_r);
+  ASSERT_EQ(sharded->num_shards(), shards);
+  ASSERT_EQ(sharded->num_rows(), oracle->num_rows());
+  ASSERT_EQ(sharded->num_pages(), oracle->num_pages());
+
+  std::mt19937_64 rng(seed);
+  auto random_query = [&rng]() {
+    Value a = rng() % 1'000'000;
+    Value b = rng() % 1'000'000;
+    if (a > b) std::swap(a, b);
+    return RangeQuery{a, b};
+  };
+
+  for (int op = 0; op < 150; ++op) {
+    const uint64_t kind_roll = rng() % 10;
+    if (kind_roll < 6) {
+      const RangeQuery q = random_query();
+      auto want = oracle->Execute(q);
+      auto got = sharded->Execute(q);
+      ASSERT_TRUE(want.ok()) << want.status().message();
+      ASSERT_TRUE(got.ok()) << got.status().message();
+      ExpectSameAnswer(*got, *want, "Execute");
+    } else if (kind_roll < 9) {
+      const uint64_t row = rng() % kRows;
+      const Value v = rng() % 2'000'000;  // may exceed the initial domain
+      ASSERT_TRUE(oracle->Update(row, v).ok());
+      ASSERT_TRUE(sharded->Update(row, v).ok());
+    } else {
+      ASSERT_TRUE(oracle->FlushUpdates().ok());
+      ASSERT_TRUE(sharded->FlushUpdates().ok());
+    }
+    if (op % 50 == 49) {
+      const RangeQuery everything{0, ~Value{0}};
+      auto want = oracle->ExecuteFullScan(everything);
+      auto got = sharded->ExecuteFullScan(everything);
+      ASSERT_TRUE(want.ok() && got.ok());
+      ExpectSameAnswer(*got, *want, "ExecuteFullScan");
+    }
+  }
+
+  // The batch path merges per-shard batches per query — same contract.
+  std::vector<RangeQuery> batch;
+  for (int i = 0; i < 16; ++i) batch.push_back(random_query());
+  auto want_batch = oracle->ExecuteBatch(batch);
+  auto got_batch = sharded->ExecuteBatch(batch);
+  ASSERT_TRUE(want_batch.ok()) << want_batch.status().message();
+  ASSERT_TRUE(got_batch.ok()) << got_batch.status().message();
+  ASSERT_EQ(got_batch->queries.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ExpectSameAnswer(got_batch->queries[i], want_batch->queries[i],
+                     "ExecuteBatch");
+  }
+}
+
+TEST(ShardedTable, RangeBitIdentity) {
+  RunOracleInterleaving(PartitionKind::kRange, 2, 17);
+  RunOracleInterleaving(PartitionKind::kRange, 4, 18);
+  RunOracleInterleaving(PartitionKind::kRange, 8, 19);
+}
+
+TEST(ShardedTable, HashBitIdentity) {
+  RunOracleInterleaving(PartitionKind::kHash, 2, 27);
+  RunOracleInterleaving(PartitionKind::kHash, 4, 28);
+  RunOracleInterleaving(PartitionKind::kHash, 8, 29);
+}
+
+TEST(ShardedTable, TailPageBitIdentity) {
+  // A partial tail page is the historically fragile case: the sharded scan
+  // must see the same zero-filled tail the oracle does.
+  const uint64_t rows = 5 * kValuesPerPage - 77;
+  for (const PartitionKind kind :
+       {PartitionKind::kRange, PartitionKind::kHash}) {
+    auto oracle = *Db::Create(rows, MixValue, {});
+    auto sharded = *Db::Create(rows, MixValue, ShardedOptions(3, kind));
+    // Zero is IN-domain for the tail page — both sides must count the
+    // zero-filled slack identically.
+    for (const RangeQuery q :
+         {RangeQuery{0, 0}, RangeQuery{0, ~Value{0}}, RangeQuery{1, 999}}) {
+      auto want = oracle->Execute(q);
+      auto got = sharded->Execute(q);
+      ASSERT_TRUE(want.ok() && got.ok());
+      ExpectSameAnswer(*got, *want, "tail query");
+    }
+  }
+}
+
+TEST(ShardedTable, InvalidArgumentsMatchContract) {
+  auto table = *Db::Create(kRows, MixValue,
+                           ShardedOptions(4, PartitionKind::kRange));
+  EXPECT_EQ(table->Execute({10, 5}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(table->ExecuteBatch({{0, 1}, {10, 5}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(table->Update(kRows, 1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedTable, ShardCountClampsToPages) {
+  // Every shard owns at least one page: 2 pages cap 8 requested shards at 2.
+  auto table = *Db::Create(2 * kValuesPerPage, MixValue,
+                           ShardedOptions(8, PartitionKind::kRange));
+  EXPECT_EQ(table->num_shards(), 2u);
+  auto exec = table->Execute({0, ~Value{0}});
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ(exec->match_count, 2 * kValuesPerPage);
+}
+
+// ---------------------------------------------------------------------------
+// Routing determinism and zone pruning
+
+TEST(ShardedTable, RouteShardsIsDeterministicAndSound) {
+  // Identity data + kRange gives disjoint per-shard zones: shard s owns
+  // rows [s*4096/4 .. ) with value == row.
+  const uint64_t rows = 8 * kValuesPerPage;
+  auto table_r = Db::Create(rows, IdentityValue,
+                            ShardedOptions(4, PartitionKind::kRange));
+  ASSERT_TRUE(table_r.ok());
+  auto table = *std::move(table_r);
+  auto* sharded = dynamic_cast<ShardedTable*>(table.get());
+  ASSERT_NE(sharded, nullptr);
+  const uint64_t per_shard = rows / 4;
+
+  // Narrow query inside shard 0's zone routes to exactly shard 0.
+  const RangeQuery narrow{0, 100};
+  const std::vector<uint32_t> targets = sharded->RouteShards(narrow);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0], 0u);
+  EXPECT_EQ(sharded->RouteShards(narrow), targets) << "routing must repeat";
+
+  // Pruning soundness: every shard NOT routed holds zero matches.
+  for (uint32_t s = 0; s < table->num_shards(); ++s) {
+    if (s == targets[0]) continue;
+    auto full = table->shard(s)->ExecuteFullScan(narrow);
+    ASSERT_TRUE(full.ok());
+    EXPECT_EQ(full->match_count, 0u) << "pruned shard " << s << " matched";
+  }
+
+  // A mid-domain query touches exactly the two adjacent shards.
+  const RangeQuery straddle{per_shard - 10, per_shard + 10};
+  EXPECT_EQ(sharded->RouteShards(straddle),
+            (std::vector<uint32_t>{0, 1}));
+
+  // Beyond the domain: no zone intersects, and Execute still answers.
+  const RangeQuery beyond{rows + 1000, rows + 2000};
+  EXPECT_TRUE(sharded->RouteShards(beyond).empty());
+  auto miss = table->Execute(beyond);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_EQ(miss->match_count, 0u);
+  EXPECT_EQ(miss->sum, 0u);
+
+  // An update only ever WIDENS a zone — the new value must become routable.
+  ASSERT_TRUE(table->Update(0, rows + 1500).ok());
+  const std::vector<uint32_t> widened = sharded->RouteShards(beyond);
+  ASSERT_EQ(widened.size(), 1u);
+  EXPECT_EQ(widened[0], 0u);
+  auto hit = table->Execute(beyond);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->match_count, 1u);
+  EXPECT_EQ(hit->sum, rows + 1500);
+}
+
+TEST(ShardedTable, ExecuteFullScanVisitsEveryShard) {
+  // The non-adaptive baseline deliberately skips zone pruning: it is the
+  // ground truth the pruned path is checked against.
+  const uint64_t rows = 4 * kValuesPerPage;
+  auto table = *Db::Create(rows, IdentityValue,
+                           ShardedOptions(4, PartitionKind::kRange));
+  auto full = table->ExecuteFullScan({0, 50});
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->match_count, 51u);
+  EXPECT_EQ(full->stats.scanned_pages, table->num_pages());
+}
+
+// ---------------------------------------------------------------------------
+// Core pinning through the affinity seam
+
+TEST(ShardedTable, PinRefusalIsCountedNotFatal) {
+  RefusingCpuAffinity refusing(EPERM);
+  DbOptions options = ShardedOptions(2, PartitionKind::kRange);
+  options.pin_cores = 1;  // force pinning on regardless of VMSV_PIN_CORES
+  options.affinity = &refusing;
+  auto table_r = Db::Create(4 * kValuesPerPage, IdentityValue, options);
+  ASSERT_TRUE(table_r.ok()) << table_r.status().message();
+  auto table = *std::move(table_r);
+
+  // A full-domain query fans out to shard 1's worker; once the worker has
+  // run anything its (refused) pin attempt has certainly happened.
+  auto exec = table->Execute({0, ~Value{0}});
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ(exec->match_count, 4 * kValuesPerPage);
+
+  const TableHealth health = table->Health();
+  EXPECT_GE(health.pin_failures, 1u);
+  EXPECT_EQ(health.shards.size(), 2u);
+  EXPECT_FALSE(health.total.degraded_read_only);
+}
+
+TEST(ShardedTable, HealthAndMetricsAggregateAcrossShards) {
+  auto table = *Db::Create(kRows, MixValue,
+                           ShardedOptions(4, PartitionKind::kHash));
+  ASSERT_TRUE(table->Execute({0, ~Value{0}}).ok());
+  const TableHealth health = table->Health();
+  EXPECT_EQ(health.shards.size(), 4u);
+  uint64_t fallbacks = 0;
+  for (const ColumnHealth& shard : health.shards) {
+    fallbacks += shard.base_fallbacks;
+  }
+  EXPECT_EQ(health.total.base_fallbacks, fallbacks);
+  EXPECT_EQ(health.pin_failures, 0u);  // pinning defaults off
+  const CumulativeStats metrics = table->Metrics();
+  EXPECT_GE(metrics.queries, 1u);
+  EXPECT_GT(metrics.scanned_pages, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Durable layout: descriptor, restart, kill between shard checkpoints
+
+TEST(TableDescriptor, RoundTripAndForwardCompat) {
+  ScopedTempDir scratch("shard_descriptor");
+  PartitionSpec spec;
+  spec.kind = PartitionKind::kHash;
+  spec.shards = 5;
+  spec.num_rows = 12345;
+  ASSERT_TRUE(WriteTableDescriptor(scratch.path(), spec, nullptr).ok());
+
+  auto read = ReadTableDescriptor(scratch.path());
+  ASSERT_TRUE(read.ok()) << read.status().message();
+  EXPECT_EQ(read->kind, PartitionKind::kHash);
+  EXPECT_EQ(read->shards, 5u);
+  EXPECT_EQ(read->num_rows, 12345u);
+
+  // Unknown keys from a future writer are skipped, not fatal.
+  {
+    std::ofstream out(scratch.path() + "/TABLE", std::ios::app);
+    out << "future some-extension 7\n";
+  }
+  auto forward = ReadTableDescriptor(scratch.path());
+  ASSERT_TRUE(forward.ok()) << forward.status().message();
+  EXPECT_EQ(forward->shards, 5u);
+}
+
+TEST(TableDescriptor, ErrorContract) {
+  ScopedTempDir scratch("shard_descriptor_err");
+  EXPECT_EQ(ReadTableDescriptor(scratch.path()).status().code(),
+            StatusCode::kNotFound);
+  {
+    std::ofstream out(scratch.path() + "/TABLE");
+    out << "not-a-table 9\n";
+  }
+  EXPECT_EQ(ReadTableDescriptor(scratch.path()).status().code(),
+            StatusCode::kIoError);
+}
+
+/// Applies `count` seeded updates to `table`, mirroring them into
+/// `expected` (global row -> value).
+void ApplySeededUpdates(Table* table, std::vector<Value>* expected,
+                        uint64_t seed, int count) {
+  std::mt19937_64 rng(seed);
+  for (int i = 0; i < count; ++i) {
+    const uint64_t row = rng() % expected->size();
+    const Value v = 1 + rng() % 1'000'000;
+    ASSERT_TRUE(table->Update(row, v).ok());
+    (*expected)[row] = v;
+  }
+}
+
+/// Every cell of the reopened table must equal the mirror — checked through
+/// the partition arithmetic, so a routing bug cannot hide a storage bug.
+void ExpectCellsMatch(Table* table, const std::vector<Value>& expected) {
+  auto* sharded = dynamic_cast<ShardedTable*>(table);
+  ASSERT_NE(sharded, nullptr);
+  const PartitionSpec& spec = sharded->partition();
+  for (uint64_t row = 0; row < expected.size(); ++row) {
+    const uint32_t s = spec.ShardOfRow(row);
+    const Value got = table->shard(s)->column().Get(spec.LocalRow(row));
+    ASSERT_EQ(got, expected[row]) << "row " << row << " on shard " << s;
+  }
+}
+
+TEST(ShardedTableDurable, RestartRoundTrip) {
+  ScopedTempDir scratch("sharded_restart");
+  const uint64_t rows = 6 * kValuesPerPage;
+  std::vector<Value> expected(rows, 0);  // durable tables start zeroed
+  DbOptions options = ShardedOptions(3, PartitionKind::kRange);
+
+  {
+    auto table_r = Db::CreateDurable(scratch.path(), rows, options);
+    ASSERT_TRUE(table_r.ok()) << table_r.status().message();
+    auto table = *std::move(table_r);
+    ASSERT_TRUE(table->is_durable());
+    ASSERT_EQ(table->num_shards(), 3u);
+
+    // Script A survives via the checkpoint; script B only via the
+    // per-shard journals.
+    ApplySeededUpdates(table.get(), &expected, 101, 200);
+    ASSERT_TRUE(table->FlushUpdates().ok());
+    ASSERT_TRUE(table->Checkpoint().ok());
+    ApplySeededUpdates(table.get(), &expected, 102, 100);
+    ASSERT_TRUE(table->FlushUpdates().ok());
+  }
+
+  auto reopened_r = Db::Open(scratch.path(), options);
+  ASSERT_TRUE(reopened_r.ok()) << reopened_r.status().message();
+  auto reopened = *std::move(reopened_r);
+  EXPECT_EQ(reopened->num_shards(), 3u);
+  EXPECT_EQ(reopened->num_rows(), rows);
+  EXPECT_TRUE(reopened->is_durable());
+  ExpectCellsMatch(reopened.get(), expected);
+
+  // And the query surface agrees with a fresh in-memory oracle over the
+  // recovered cells.
+  auto oracle = *Db::Create(
+      rows, [&expected](uint64_t r) { return expected[r]; }, {});
+  for (const RangeQuery q :
+       {RangeQuery{0, 0}, RangeQuery{1, 500'000}, RangeQuery{0, ~Value{0}}}) {
+    auto want = oracle->Execute(q);
+    auto got = reopened->Execute(q);
+    ASSERT_TRUE(want.ok() && got.ok());
+    ExpectSameAnswer(*got, *want, "reopened query");
+  }
+}
+
+TEST(ShardedTableDurable, KillBetweenPerShardCheckpoints) {
+  ScopedTempDir scratch("sharded_partial_ckpt");
+  const uint64_t rows = 6 * kValuesPerPage;
+  std::vector<Value> expected(rows, 0);
+  DbOptions options = ShardedOptions(3, PartitionKind::kHash);
+
+  {
+    auto table = *Db::CreateDurable(scratch.path(), rows, options);
+    ApplySeededUpdates(table.get(), &expected, 201, 150);
+    ASSERT_TRUE(table->FlushUpdates().ok());
+    ASSERT_TRUE(table->Checkpoint().ok());
+
+    ApplySeededUpdates(table.get(), &expected, 202, 150);
+    ASSERT_TRUE(table->FlushUpdates().ok());
+    // Simulate dying between per-shard checkpoints: only shard 0 snapshots
+    // its manifest; shards 1 and 2 must recover the same updates from
+    // their journals on reopen.
+    ASSERT_TRUE(table->shard(0)->Checkpoint().ok());
+  }
+
+  auto reopened = *Db::Open(scratch.path(), options);
+  ASSERT_EQ(reopened->num_shards(), 3u);
+  ExpectCellsMatch(reopened.get(), expected);
+}
+
+TEST(ShardedTableDurable, OpenUsesDescriptorNotOptions) {
+  ScopedTempDir scratch("sharded_open_desc");
+  const uint64_t rows = 4 * kValuesPerPage;
+  {
+    auto table = *Db::CreateDurable(scratch.path(), rows,
+                                    ShardedOptions(4, PartitionKind::kRange));
+    ASSERT_EQ(table->num_shards(), 4u);
+    ASSERT_TRUE(table->Checkpoint().ok());
+  }
+  // The caller's shard/partition fields are ignored on open: the on-disk
+  // descriptor is authoritative, so every reopen routes identically.
+  auto reopened = *Db::Open(scratch.path(),
+                            ShardedOptions(2, PartitionKind::kHash));
+  EXPECT_EQ(reopened->num_shards(), 4u);
+  auto* sharded = dynamic_cast<ShardedTable*>(reopened.get());
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_EQ(sharded->partition().kind, PartitionKind::kRange);
+}
+
+TEST(ShardedTableDurable, UnshardedLayoutStaysPlain) {
+  ScopedTempDir scratch("sharded_plain");
+  const uint64_t rows = 2 * kValuesPerPage;
+  {
+    auto table = *Db::CreateDurable(scratch.path(), rows, {});
+    ASSERT_EQ(table->num_shards(), 1u);
+    ASSERT_TRUE(table->Update(3, 99).ok());
+    ASSERT_TRUE(table->Checkpoint().ok());
+  }
+  // 1-shard durable tables write the pre-facade layout: no TABLE
+  // descriptor, no shard subdirectory — old directories and tools keep
+  // working, and Db::Open falls back to the plain column path.
+  EXPECT_FALSE(std::filesystem::exists(scratch.path() + "/TABLE"));
+  EXPECT_FALSE(std::filesystem::exists(scratch.path() + "/shard-000"));
+  auto reopened = *Db::Open(scratch.path(), {});
+  EXPECT_EQ(reopened->num_shards(), 1u);
+  EXPECT_EQ(reopened->shard(0)->column().Get(3), 99u);
+}
+
+TEST(ShardedTableDurable, OpenMissingDirIsNotFound) {
+  ScopedTempDir scratch("sharded_open_missing");
+  EXPECT_EQ(Db::Open(scratch.path() + "/nope", {}).status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Batch cover routing (the ExecuteBatch routing-gap regression)
+
+TEST(BatchCoverRouting, BatchUsesTheCostBasedCoverPath) {
+  // Two disjoint views that jointly (but not individually) cover the batch
+  // queries. Before the fix, ExecuteBatch only consulted single-view
+  // routing and sent these queries to the base pass — a full-column scan;
+  // now it consults RouteQuery's cost-based cover and scans only the
+  // deduplicated cover pages.
+  const uint64_t rows = 32 * kValuesPerPage;
+  AdaptiveConfig config = MultiViewConfig();
+  config.cost_based_routing = true;
+  auto table = *Db::Create(rows, IdentityValue, DbOptions{config});
+
+  auto warm_a = table->Execute({1000, 5000});
+  ASSERT_TRUE(warm_a.ok());
+  ASSERT_EQ(warm_a->stats.decision, CandidateDecision::kInserted);
+  auto warm_b = table->Execute({5001, 9000});
+  ASSERT_TRUE(warm_b.ok());
+  ASSERT_EQ(warm_b->stats.decision, CandidateDecision::kInserted);
+
+  const std::vector<RangeQuery> batch = {{2000, 8000}, {2500, 7500}};
+  auto batch_r = table->ExecuteBatch(batch);
+  ASSERT_TRUE(batch_r.ok()) << batch_r.status().message();
+  const BatchExecution& out = *batch_r;
+
+  // Both answered from the two-view cover, not the base column.
+  EXPECT_EQ(out.view_answered, 2u);
+  EXPECT_EQ(out.base_answered, 0u);
+  for (const QueryExecution& exec : out.queries) {
+    EXPECT_EQ(exec.stats.decision, CandidateDecision::kAnsweredFromView);
+    EXPECT_EQ(exec.stats.considered_views, 2u);
+  }
+
+  // Page accounting pinned: with value==row, views [1000,5000] and
+  // [5001,9000] together hold pages 1..17 — 17 unique pages, far below the
+  // 32-page column the old base pass would have scanned. The shared cost
+  // lands on the group leader; the follower rides free.
+  EXPECT_EQ(out.shared_scanned_pages, 17u);
+  EXPECT_LT(out.shared_scanned_pages, table->num_pages());
+  EXPECT_EQ(out.queries[0].stats.scanned_pages, out.shared_scanned_pages);
+  EXPECT_EQ(out.queries[1].stats.scanned_pages, 0u);
+  EXPECT_EQ(out.individual_equivalent_pages, 2 * out.shared_scanned_pages);
+
+  // And the answers are still exact.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto want = table->ExecuteFullScan(batch[i]);
+    ASSERT_TRUE(want.ok());
+    ExpectSameAnswer(out.queries[i], *want, "cover answer");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (the TSAN job runs every unit test)
+
+TEST(ShardedTable, ConcurrentReadersAndWriter) {
+  auto table_r = Db::Create(kRows, MixValue,
+                            ShardedOptions(4, PartitionKind::kRange));
+  ASSERT_TRUE(table_r.ok());
+  auto table = *std::move(table_r);
+
+  // The writer records its script so the oracle can replay it serially.
+  std::vector<std::pair<uint64_t, Value>> script;
+  std::atomic<bool> failed{false};
+
+  std::thread writer([&]() {
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 200; ++i) {
+      const uint64_t row = rng() % kRows;
+      const Value v = rng() % 1'000'000;
+      script.emplace_back(row, v);
+      if (!table->Update(row, v).ok()) failed.store(true);
+      if (i % 25 == 24 && !table->FlushUpdates().ok()) failed.store(true);
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t]() {
+      std::mt19937_64 rng(100 + t);
+      for (int i = 0; i < 60; ++i) {
+        Value a = rng() % 1'000'000;
+        Value b = rng() % 1'000'000;
+        if (a > b) std::swap(a, b);
+        auto exec = table->Execute({a, b});
+        if (!exec.ok() || exec->match_count > kRows) failed.store(true);
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+  ASSERT_FALSE(failed.load());
+  ASSERT_TRUE(table->FlushUpdates().ok());
+
+  // Serial replay into an oracle: the concurrent run must have converged
+  // to the same final cells.
+  auto oracle = *Db::Create(kRows, MixValue, {});
+  for (const auto& [row, v] : script) ASSERT_TRUE(oracle->Update(row, v).ok());
+  ASSERT_TRUE(oracle->FlushUpdates().ok());
+  for (const RangeQuery q :
+       {RangeQuery{0, ~Value{0}}, RangeQuery{0, 250'000},
+        RangeQuery{250'001, 900'000}}) {
+    auto want = oracle->ExecuteFullScan(q);
+    auto got = table->ExecuteFullScan(q);
+    ASSERT_TRUE(want.ok() && got.ok());
+    ExpectSameAnswer(*got, *want, "post-concurrency scan");
+  }
+}
+
+}  // namespace
+}  // namespace vmsv

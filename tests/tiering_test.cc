@@ -19,7 +19,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/adaptive_layer.h"
+#include "vmsv.h"
 #include "scoped_temp_dir.h"
 #include "storage/cold_tier.h"
 #include "storage/journal.h"  // Crc32
@@ -67,12 +67,28 @@ AdaptiveConfig TieringConfig() {
   return config;
 }
 
-std::unique_ptr<AdaptiveColumn> MakeDurable(const std::string& dir,
-                                            const AdaptiveConfig& config) {
-  auto adaptive_r = AdaptiveColumn::CreateDurable(
-      dir, TestPages() * kValuesPerPage, config);
-  EXPECT_TRUE(adaptive_r.ok()) << adaptive_r.status().ToString();
-  auto adaptive = std::move(adaptive_r).ValueOrDie();
+/// Owns the facade table while exposing the underlying engine, so the
+/// white-box tiering assertions read like they always have.
+struct OwnedColumn {
+  std::unique_ptr<Table> table;
+  AdaptiveColumn* operator->() const { return table->shard(0); }
+  AdaptiveColumn& operator*() const { return *table->shard(0); }
+  AdaptiveColumn* get() const { return table->shard(0); }
+  void reset() { table.reset(); }
+};
+
+StatusOr<OwnedColumn> OpenColumn(const std::string& dir,
+                                 const AdaptiveConfig& config) {
+  auto table_r = Db::Open(dir, DbOptions{config});
+  if (!table_r.ok()) return table_r.status();
+  return OwnedColumn{std::move(table_r).ValueOrDie()};
+}
+
+OwnedColumn MakeDurable(const std::string& dir, const AdaptiveConfig& config) {
+  auto table_r = Db::CreateDurable(dir, TestPages() * kValuesPerPage,
+                                   DbOptions{config});
+  EXPECT_TRUE(table_r.ok()) << table_r.status().ToString();
+  OwnedColumn adaptive{std::move(table_r).ValueOrDie()};
   FillColumn(SineSpec(), adaptive->mutable_column());
   return adaptive;
 }
@@ -365,7 +381,7 @@ TEST(TieringTest, DemoteReopenPromoteBitIdenticalToNeverDemoted) {
     ASSERT_TRUE(adaptive->Checkpoint().ok());
   }
   {
-    auto reopen_r = AdaptiveColumn::Open(tiered_dir.path(), TieringConfig());
+    auto reopen_r = OpenColumn(tiered_dir.path(), TieringConfig());
     ASSERT_TRUE(reopen_r.ok()) << reopen_r.status().ToString();
     auto adaptive = std::move(reopen_r).ValueOrDie();
     EXPECT_GT(adaptive->Health().cold_view_reloads, 0u);
@@ -384,7 +400,7 @@ TEST(TieringTest, DemoteReopenPromoteBitIdenticalToNeverDemoted) {
     for (const RangeQuery& q : queries) Adaptive(adaptive.get(), q);
     ASSERT_TRUE(adaptive->Checkpoint().ok());
     adaptive.reset();  // release the journal flock before reopening
-    auto reopen_r = AdaptiveColumn::Open(control_dir.path(), config);
+    auto reopen_r = OpenColumn(control_dir.path(), config);
     ASSERT_TRUE(reopen_r.ok()) << reopen_r.status().ToString();
     adaptive = std::move(reopen_r).ValueOrDie();
     for (const RangeQuery& q : queries) {
@@ -409,7 +425,7 @@ TEST(TieringTest, TierStateSurvivesKillWithoutCheckpoint) {
     // No checkpoint: the object drops here, simulating a kill (there is
     // deliberately no destructor checkpoint).
   }
-  auto reopen_r = AdaptiveColumn::Open(scratch.path(), TieringConfig());
+  auto reopen_r = OpenColumn(scratch.path(), TieringConfig());
   ASSERT_TRUE(reopen_r.ok()) << reopen_r.status().ToString();
   auto adaptive = std::move(reopen_r).ValueOrDie();
   EXPECT_EQ(ColdCount(*adaptive), demoted);
@@ -480,7 +496,7 @@ TEST(TieringTest, FailedRespillNeverRecoversStaleColdFile) {
               StatusCode::kNotFound);
     EXPECT_GE(adaptive->durability_stats().manifest_write_failures, 1u);
   }
-  auto reopen_r = AdaptiveColumn::Open(scratch.path(), config);
+  auto reopen_r = OpenColumn(scratch.path(), config);
   ASSERT_TRUE(reopen_r.ok()) << reopen_r.status().ToString();
   auto adaptive = std::move(reopen_r).ValueOrDie();
   // The probe range routes to the restored view; a stale-membership
@@ -589,7 +605,7 @@ TEST(TieringLifecycleTest, SeededInterleavingsMatchSerialOracle) {
           break;
         case 9: {  // kill + reopen (journal replay covers unflushed updates)
           adaptive.reset();
-          auto reopen_r = AdaptiveColumn::Open(scratch.path(), config);
+          auto reopen_r = OpenColumn(scratch.path(), config);
           ASSERT_TRUE(reopen_r.ok()) << reopen_r.status().ToString();
           adaptive = std::move(reopen_r).ValueOrDie();
           break;

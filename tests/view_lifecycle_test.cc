@@ -11,7 +11,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/adaptive_layer.h"
+#include "vmsv.h"
 #include "core/virtual_view.h"
 #include "exec/parallel_scanner.h"
 #include "exec/scan_kernels.h"
@@ -282,7 +282,7 @@ TEST(AdaptiveEvictionTest, CostAwareEvictsColdViewAndStaysCorrect) {
   config.lifecycle.eviction_policy = EvictionPolicy::kCostAware;
   config.lifecycle.recency_half_life = 2.0;
   auto adaptive_r =
-      AdaptiveColumn::Create(MakeTestColumn(DataDistribution::kSine), config);
+      Db::Create(MakeTestColumn(DataDistribution::kSine), DbOptions{config});
   ASSERT_TRUE(adaptive_r.ok());
   auto& adaptive = *adaptive_r;
 
@@ -300,9 +300,9 @@ TEST(AdaptiveEvictionTest, CostAwareEvictsColdViewAndStaysCorrect) {
   auto exec = adaptive->Execute(fresh);
   ASSERT_TRUE(exec.ok());
   EXPECT_EQ(exec->stats.decision, CandidateDecision::kEvictedExisting);
-  EXPECT_EQ(adaptive->metrics().views_evicted, 1u);
-  EXPECT_EQ(adaptive->lifecycle_stats().evictions, 1u);
-  EXPECT_EQ(adaptive->view_index().num_partial_views(), 2u);
+  EXPECT_EQ(adaptive->shard(0)->metrics().views_evicted, 1u);
+  EXPECT_EQ(adaptive->shard(0)->lifecycle_stats().evictions, 1u);
+  EXPECT_EQ(adaptive->shard(0)->view_index().num_partial_views(), 2u);
 
   // The hot view must have survived; the cold one is gone.
   auto hot_again = adaptive->Execute(hot);
@@ -325,7 +325,7 @@ TEST(AdaptiveEvictionTest, DropNewestSurfacesDropCounter) {
   config.max_views = 1;
   config.lifecycle.eviction_policy = EvictionPolicy::kDropNewest;
   auto adaptive_r =
-      AdaptiveColumn::Create(MakeTestColumn(DataDistribution::kSine), config);
+      Db::Create(MakeTestColumn(DataDistribution::kSine), DbOptions{config});
   ASSERT_TRUE(adaptive_r.ok());
   auto& adaptive = *adaptive_r;
 
@@ -334,8 +334,8 @@ TEST(AdaptiveEvictionTest, DropNewestSurfacesDropCounter) {
   ASSERT_TRUE(exec.ok());
   EXPECT_EQ(exec->stats.decision, CandidateDecision::kBudgetExhausted);
   // The satellite fix: the silent drop is now a counter.
-  EXPECT_EQ(adaptive->metrics().candidates_dropped, 1u);
-  EXPECT_EQ(adaptive->metrics().views_evicted, 0u);
+  EXPECT_EQ(adaptive->shard(0)->metrics().candidates_dropped, 1u);
+  EXPECT_EQ(adaptive->shard(0)->metrics().views_evicted, 0u);
 }
 
 TEST(AdaptiveEvictionTest, EvictionUnderBackgroundMappingStaysCorrect) {
@@ -351,7 +351,7 @@ TEST(AdaptiveEvictionTest, EvictionUnderBackgroundMappingStaysCorrect) {
   config.lifecycle.eviction_policy = EvictionPolicy::kCostAware;
   config.lifecycle.recency_half_life = 1.0;
   auto adaptive_r =
-      AdaptiveColumn::Create(MakeTestColumn(DataDistribution::kSine), config);
+      Db::Create(MakeTestColumn(DataDistribution::kSine), DbOptions{config});
   ASSERT_TRUE(adaptive_r.ok());
   auto& adaptive = *adaptive_r;
 
@@ -365,9 +365,9 @@ TEST(AdaptiveEvictionTest, EvictionUnderBackgroundMappingStaysCorrect) {
     ASSERT_TRUE(baseline.ok());
     EXPECT_EQ(exec->match_count, baseline->match_count);
     EXPECT_EQ(exec->sum, baseline->sum);
-    EXPECT_LE(adaptive->view_index().num_partial_views(), 2u);
+    EXPECT_LE(adaptive->shard(0)->view_index().num_partial_views(), 2u);
   }
-  EXPECT_GT(adaptive->metrics().views_evicted, 0u);
+  EXPECT_GT(adaptive->shard(0)->metrics().views_evicted, 0u);
 }
 
 TEST(AdaptiveCompactionTest, UpdateChurnTriggersCompaction) {
@@ -375,13 +375,13 @@ TEST(AdaptiveCompactionTest, UpdateChurnTriggersCompaction) {
   config.lifecycle.compaction_min_runs = 4;
   config.lifecycle.compaction_run_ratio = 0.2;
   config.creation.lazy_materialize = false;
-  auto narrow_r = AdaptiveColumn::Create(
-      MakeTestColumn(DataDistribution::kUniform), config);
+  auto narrow_r = Db::Create(
+      MakeTestColumn(DataDistribution::kUniform), DbOptions{config});
   ASSERT_TRUE(narrow_r.ok());
   auto& narrow = *narrow_r;
   const RangeQuery low{0, kMaxValue / 4};
   ASSERT_TRUE(narrow->Execute(low).ok());
-  const VirtualView* view = narrow->view_index().views().front().get();
+  const VirtualView* view = narrow->shard(0)->view_index().views().front().get();
   const uint64_t pages_before = view->num_pages();
   ASSERT_GT(pages_before, 8u);
 
@@ -398,8 +398,8 @@ TEST(AdaptiveCompactionTest, UpdateChurnTriggersCompaction) {
   }
   auto exec = narrow->Execute(low);
   ASSERT_TRUE(exec.ok());
-  EXPECT_GE(narrow->lifecycle_stats().compactions, 1u);
-  view = narrow->view_index().views().front().get();
+  EXPECT_GE(narrow->shard(0)->lifecycle_stats().compactions, 1u);
+  view = narrow->shard(0)->view_index().views().front().get();
   EXPECT_TRUE(view->is_dense());
 
   auto baseline = narrow->ExecuteFullScan(low);

@@ -43,7 +43,7 @@
 
 #include <unistd.h>
 
-#include "core/adaptive_layer.h"
+#include "vmsv.h"
 #include "core/virtual_view.h"
 #include "rewiring/hugepage.h"
 #include "rewiring/physical_memory_file.h"
@@ -105,22 +105,30 @@ AdaptiveConfig MakeConfig(const Scenario& s, VmIo* io) {
 /// caller arms the fault plan AFTER this returns, so genesis ops are
 /// counted but never faulted (mirroring the crash matrix, whose genesis
 /// runs on real I/O).
-StatusOr<std::unique_ptr<AdaptiveColumn>> MakeFaultableColumn(
+/// Owns the facade table while exposing the engine for white-box use.
+struct OwnedColumn {
+  std::unique_ptr<Table> table;
+  AdaptiveColumn* operator->() const { return table->shard(0); }
+  AdaptiveColumn* get() const { return table->shard(0); }
+};
+
+StatusOr<OwnedColumn> MakeFaultableColumn(
     const Scenario& s, FaultInjectingVmIo* io, const std::string& dir = "") {
   if (s.tiering) {
     // Durable variant (demotion needs a persist dir); storage I/O is real,
     // only the mapping layer is faultable. The dir is recycled per point.
     std::error_code ec;
     std::filesystem::remove_all(dir, ec);
-    auto column_r =
-        AdaptiveColumn::CreateDurable(dir, NumRows(), MakeConfig(s, io));
-    if (!column_r.ok()) return column_r.status();
+    auto table_r =
+        Db::CreateDurable(dir, NumRows(), DbOptions{MakeConfig(s, io)});
+    if (!table_r.ok()) return table_r.status();
+    OwnedColumn owned{std::move(table_r).ValueOrDie()};
     DistributionSpec spec;
     spec.kind = DataDistribution::kSine;
     spec.max_value = kMaxValue;
     spec.seed = 42;
-    FillColumn(spec, (*column_r)->mutable_column());
-    return column_r;
+    FillColumn(spec, owned->mutable_column());
+    return owned;
   }
   auto file =
       PhysicalMemoryFile::Create(TestPages(), MemoryFileBackend::kMemfd, io);
@@ -133,8 +141,10 @@ StatusOr<std::unique_ptr<AdaptiveColumn>> MakeFaultableColumn(
   spec.max_value = kMaxValue;
   spec.seed = 42;
   FillColumn(spec, column->get());
-  return AdaptiveColumn::Create(std::move(column).ValueOrDie(),
-                                MakeConfig(s, io));
+  auto table_r = Db::Create(std::move(column).ValueOrDie(),
+                            DbOptions{MakeConfig(s, io)});
+  if (!table_r.ok()) return table_r.status();
+  return OwnedColumn{std::move(table_r).ValueOrDie()};
 }
 
 /// Round r of the script queries: same shape, fresh positions — so later
@@ -1149,8 +1159,9 @@ TEST(VmFaultDegradationTest, DurableEnospcFlipsReadOnlyAndRecovers) {
   FaultInjectingIo storage_io;
   AdaptiveConfig config;
   config.storage.io = &storage_io;
-  auto column = AdaptiveColumn::CreateDurable(tmp.path(), NumRows(), config);
-  ASSERT_TRUE(column.ok()) << column.status().ToString();
+  auto table_r = Db::CreateDurable(tmp.path(), NumRows(), DbOptions{config});
+  ASSERT_TRUE(table_r.ok()) << table_r.status().ToString();
+  OwnedColumn column{std::move(table_r).ValueOrDie()};
 
   FaultPlan disk_full;
   disk_full.kind = FaultKind::kFailOp;
@@ -1158,39 +1169,39 @@ TEST(VmFaultDegradationTest, DurableEnospcFlipsReadOnlyAndRecovers) {
   disk_full.fail_errno = ENOSPC;
   storage_io.Arm(disk_full);
 
-  const Status stalled = (*column)->Update(5, 123);
+  const Status stalled = column->Update(5, 123);
   ASSERT_FALSE(stalled.ok());
   EXPECT_EQ(stalled.sys_errno(), ENOSPC);
-  ColumnHealth health = (*column)->Health();
+  ColumnHealth health = column->Health();
   EXPECT_TRUE(health.degraded_read_only);
   EXPECT_EQ(health.read_only_entries, 1u);
   EXPECT_EQ(health.journal_stalls, 1u);
   // The rejected update applied nothing.
-  EXPECT_EQ((*column)->column().Get(5), 0u);
+  EXPECT_EQ(column->column().Get(5), 0u);
 
   // Reads keep answering exactly while write-degraded.
   const RangeQuery q{0, kMaxValue};
-  auto oracle = (*column)->ExecuteFullScan(q);
+  auto oracle = column->ExecuteFullScan(q);
   ASSERT_TRUE(oracle.ok());
-  auto exec = (*column)->Execute(q);
+  auto exec = column->Execute(q);
   ASSERT_TRUE(exec.ok());
   EXPECT_EQ(exec->match_count, oracle->match_count);
   EXPECT_EQ(exec->sum, oracle->sum);
 
   // A second rejected append does not double-count the transition.
   storage_io.Arm(disk_full);
-  ASSERT_FALSE((*column)->Update(6, 456).ok());
-  health = (*column)->Health();
+  ASSERT_FALSE(column->Update(6, 456).ok());
+  health = column->Health();
   EXPECT_EQ(health.read_only_entries, 1u);
   EXPECT_EQ(health.journal_stalls, 2u);
 
   // Space returns: the next append succeeds and the flag self-clears.
   storage_io.Arm(FaultPlan{});
-  ASSERT_TRUE((*column)->Update(5, 123).ok());
-  health = (*column)->Health();
+  ASSERT_TRUE(column->Update(5, 123).ok());
+  health = column->Health();
   EXPECT_FALSE(health.degraded_read_only);
   EXPECT_EQ(health.read_only_exits, 1u);
-  EXPECT_EQ((*column)->column().Get(5), 123u);
+  EXPECT_EQ(column->column().Get(5), 123u);
 }
 
 // ---------------------------------------------------------------------------
@@ -1218,7 +1229,7 @@ TEST(VmFaultDegradationTest, RunnerVerifiesUnderStickyExhaustion) {
   std::vector<RangeQuery> queries = ScriptQueries(0);
   const std::vector<RangeQuery> again = queries;
   queries.insert(queries.end(), again.begin(), again.end());
-  auto report = RunWorkload(column->get(), queries, options);
+  auto report = RunWorkload(column->table.get(), queries, options);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_GT(report->health.base_fallbacks, 0u);
   EXPECT_GT(report->health.map_failures, 0u);

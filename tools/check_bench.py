@@ -10,6 +10,8 @@ fails the build on drift. The `bench` field selects the schema:
   micro_lifecycle    view compaction + eviction ablation   (BENCH_lifecycle.json)
   micro_concurrent   client scaling + shared-scan batching (BENCH_concurrent.json)
   micro_persistence  restart recovery + fsync sweep        (BENCH_persistence.json)
+  micro_tiering      cold-view demote/promote ablation     (BENCH_tiering.json)
+  micro_shard        shard-per-core scale-out              (BENCH_shard.json)
 
 Regression gate (--baseline): compares each produced file against the
 committed baseline of the same bench. The gate is deliberately GENEROUS —
@@ -773,12 +775,123 @@ def check_micro_tiering(doc, path):
             f"{tiering['constrained_budget_hit_gain']:+.4f}")
 
 
+# ---------------------------------------------------------------------------
+# micro_shard (BENCH_shard.json)
+
+SHARD_TOP_LEVEL_FIELDS = {
+    "pages": int,
+    "values_per_page": int,
+    "queries": int,
+    "reps": int,
+    "seed": int,
+    "workload_seed": int,
+    "selectivity": float,
+    "distribution": str,
+    "hardware_concurrency": int,
+    "default_kernel": str,
+    "threads": int,
+    "shard": dict,
+}
+
+SHARD_FIELDS = {
+    "clients": int,
+    "partition": str,
+    "pin_cores": bool,
+    "identical_results": bool,
+    "best_multi_shard_speedup": float,
+    "shard_counts": list,
+}
+
+SHARD_POINT_FIELDS = {
+    "shards": int,
+    "readers_only_qps": float,
+    "readers_only_wall_ms": float,
+    "readers_rep_qps": list,
+    "readers_writer_qps": float,
+    "readers_writer_wall_ms": float,
+    "rw_rep_qps": list,
+    "writer_updates": int,
+    "writer_flushes": int,
+}
+
+KNOWN_PARTITIONS = {"range", "hash"}
+
+
+def check_micro_shard(doc, path):
+    expect_fields(doc, SHARD_TOP_LEVEL_FIELDS, path)
+    if doc["pages"] <= 0 or doc["reps"] <= 0 or doc["queries"] <= 0:
+        fail(f"{path}: pages/reps/queries must be positive")
+    if doc["default_kernel"] not in KNOWN_KERNELS:
+        fail(f"{path}: unknown default_kernel '{doc['default_kernel']}'")
+    if not 0 < doc["selectivity"] <= 1:
+        fail(f"{path}: selectivity out of (0, 1]")
+
+    shard = doc["shard"]
+    where = f"{path}: shard"
+    expect_fields(shard, SHARD_FIELDS, where)
+    if shard["partition"] not in KNOWN_PARTITIONS:
+        fail(f"{where}: unknown partition '{shard['partition']}'")
+    if shard["clients"] <= 0:
+        fail(f"{where}: clients must be positive")
+    # The non-negotiable contract: every shard count answered the probe set
+    # bit-identically to the 1-shard oracle.
+    if shard["identical_results"] is not True:
+        fail(f"{where}: sharded answers diverged from the 1-shard oracle")
+
+    points = shard["shard_counts"]
+    if not points:
+        fail(f"{where}: shard_counts missing or empty")
+    prev_shards = 0
+    for i, p in enumerate(points):
+        pwhere = f"{where}.shard_counts[{i}]"
+        if not isinstance(p, dict):
+            fail(f"{pwhere}: not an object")
+        expect_fields(p, SHARD_POINT_FIELDS, pwhere)
+        if p["shards"] <= prev_shards:
+            fail(f"{pwhere}: shards must be strictly increasing")
+        prev_shards = p["shards"]
+        if p["readers_only_qps"] <= 0 or p["readers_writer_qps"] <= 0:
+            fail(f"{pwhere}: throughput fields must be positive")
+        check_rep_array(p, "readers_rep_qps", doc["reps"], pwhere)
+        check_rep_array(p, "rw_rep_qps", doc["reps"], pwhere)
+    if points[0]["shards"] != 1:
+        fail(f"{where}: shard_counts must include the 1-shard oracle first")
+
+    single = points[0]["readers_only_qps"]
+    best_multi = max((p["readers_only_qps"] for p in points if p["shards"] > 1),
+                     default=single)
+    derived = max(1.0, best_multi / single) if single > 0 else 1.0
+    if not math.isclose(derived, shard["best_multi_shard_speedup"],
+                        rel_tol=1e-3):
+        fail(f"{where}: best_multi_shard_speedup "
+             f"{shard['best_multi_shard_speedup']} inconsistent "
+             f"(expected ~{derived:.4f})")
+
+    # The scale-out floor: on a multi-core host, serving through shards must
+    # not LOSE readers-only throughput vs the unsharded point (the 0.9
+    # factor absorbs closed-loop scheduling noise; the committed baseline
+    # shows the actual climb). A 1-vCPU container cannot scale by
+    # construction — parity is allowed and the floor is skipped.
+    host_cpus = doc["hardware_concurrency"]
+    if host_cpus >= 2 and len(points) > 1 and best_multi < 0.9 * single:
+        fail(f"{where}: best multi-shard readers qps {best_multi:.1f} is "
+             f"below 0.9x the 1-shard point {single:.1f} on a "
+             f"{host_cpus}-cpu host")
+
+    floor = ("floor enforced" if host_cpus >= 2
+             else "1 vCPU: parity allowed, floor skipped")
+    return (f"{len(points)} shard counts (1->{points[-1]['shards']}), best "
+            f"multi-shard speedup {shard['best_multi_shard_speedup']:.2f}x, "
+            f"bit-identical; {floor}")
+
+
 CHECKERS = {
     "micro_scan": check_micro_scan,
     "micro_lifecycle": check_micro_lifecycle,
     "micro_concurrent": check_micro_concurrent,
     "micro_persistence": check_micro_persistence,
     "micro_tiering": check_micro_tiering,
+    "micro_shard": check_micro_shard,
 }
 
 
@@ -865,12 +978,21 @@ def tiering_metrics(doc):
     return out
 
 
+def shard_metrics(doc):
+    out = {}
+    for p in doc["shard"]["shard_counts"]:
+        out[f"shard/{p['shards']}_readers"] = p["readers_only_wall_ms"]
+        out[f"shard/{p['shards']}_rw"] = p["readers_writer_wall_ms"]
+    return out
+
+
 METRIC_EXTRACTORS = {
     "micro_scan": scan_metrics,
     "micro_lifecycle": lifecycle_metrics,
     "micro_concurrent": concurrent_metrics,
     "micro_persistence": persistence_metrics,
     "micro_tiering": tiering_metrics,
+    "micro_shard": shard_metrics,
 }
 
 
